@@ -1,0 +1,24 @@
+# Convenience targets for the REF reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples reproduce lint clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
+
+reproduce:
+	$(PYTHON) -m repro reproduce all
+
+clean:
+	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

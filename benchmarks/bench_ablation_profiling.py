@@ -1,0 +1,72 @@
+"""Ablations on the profiling stage (DESIGN.md §5 design choices).
+
+Two knobs of the §4.4 profiling pipeline are swept:
+
+* **measurement noise** — how much simulator noise the classification
+  (Fig. 9 groups) tolerates before benchmarks start flipping groups;
+* **grid resolution** — how few sweep points suffice for the fit to
+  recover the same re-scaled elasticities as the full 5x5 Table 1 grid
+  (profiling cost is 25 cycle-accurate simulations per workload in the
+  paper; fewer points are cheaper).
+"""
+
+from repro.core import classify_many
+from repro.profiling import OfflineProfiler
+from repro.sim import PlatformConfig
+from repro.workloads import BENCHMARKS
+
+NOISE_LEVELS = (0.0, 0.01, 0.03, 0.05, 0.10)
+GRIDS = {
+    "5x5 (Table 1)": ((0.8, 1.6, 3.2, 6.4, 12.8), (128, 256, 512, 1024, 2048)),
+    "3x3": ((0.8, 3.2, 12.8), (128, 512, 2048)),
+    "2x2 (corners)": ((0.8, 12.8), (128, 2048)),
+}
+
+
+def noise_ablation():
+    lines = ["=== Ablation: classification robustness vs profiling noise ==="]
+    lines.append(f"{'noise sigma':>12} {'misclassified / 28':>20}")
+    for sigma in NOISE_LEVELS:
+        profiler = OfflineProfiler(noise_sigma=sigma)
+        prefs = classify_many(profiler.fit_suite())
+        wrong = sum(
+            1
+            for name, pref in prefs.items()
+            if pref.group.value != BENCHMARKS[name].expected_group
+        )
+        lines.append(f"{sigma:>12.2f} {wrong:>20d}")
+    return "\n".join(lines)
+
+
+def grid_ablation():
+    reference = OfflineProfiler(noise_sigma=0.0).fit_suite()
+    lines = ["=== Ablation: fit fidelity vs sweep-grid resolution (noiseless) ==="]
+    lines.append(f"{'grid':<16} {'points':>7} {'max |delta a_cache|':>20} {'groups changed':>15}")
+    for label, (bandwidths, caches) in GRIDS.items():
+        platform = PlatformConfig(
+            bandwidth_sweep_gbps=bandwidths, l2_sweep_kb=caches
+        )
+        profiler = OfflineProfiler(platform=platform, noise_sigma=0.0)
+        fits = profiler.fit_suite()
+        deltas, flips = [], 0
+        for name in BENCHMARKS:
+            coarse = fits[name].rescaled_elasticities[1]
+            fine = reference[name].rescaled_elasticities[1]
+            deltas.append(abs(coarse - fine))
+            if (coarse > 0.5) != (fine > 0.5):
+                flips += 1
+        lines.append(
+            f"{label:<16} {len(bandwidths) * len(caches):>7} "
+            f"{max(deltas):>20.3f} {flips:>15d}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_noise(benchmark, write_result):
+    text = benchmark.pedantic(noise_ablation, rounds=1, iterations=1)
+    write_result("ablation_noise", text)
+
+
+def test_ablation_grid(benchmark, write_result):
+    text = benchmark.pedantic(grid_ablation, rounds=1, iterations=1)
+    write_result("ablation_grid", text)

@@ -1,0 +1,88 @@
+"""Enforced sharing incentives: SI verified in the machine, not in utility.
+
+The SI theorem (§4.2) is proven in utility space.  This bench closes
+the loop on the simulator: co-run each 4-core Table 2 mix on the shared
+machine twice — once under way-partitioned + WFQ-paced **REF shares**,
+once under the **equal split** — and compare each agent's *measured*
+IPC.  Sharing incentives predict that agents (whose fitted utilities
+are faithful) should rarely lose much by moving from the equal split to
+REF, and the mix as a whole should gain.
+"""
+
+import numpy as np
+
+from repro.core import proportional_elasticity
+from repro.core.mechanism import Allocation
+from repro.sched import build_agent_shares
+from repro.sim import CacheConfig, DramConfig, PlatformConfig, SharedMachine
+from repro.workloads import FOUR_CORE_MIXES, get_mix, problem_from_fits
+
+#: Shared 4-core platform: 12 MB L2 (16 ways so 4+ agents partition
+#: cleanly) and a 24 GB/s channel matching the allocated capacity.
+SHARED_PLATFORM = PlatformConfig(
+    l2=CacheConfig(size_kb=12 * 1024, ways=16, latency_cycles=20),
+    dram=DramConfig(bandwidth_gbps=24.0, channel_gbps=24.0),
+)
+CAPACITIES = (24.0, 12.0 * 1024)
+N_INSTRUCTIONS = 80_000
+
+
+def run_mix(mix_name, profiler, machine):
+    mix = get_mix(mix_name)
+    fits = {m: profiler.fit(w) for m, w in zip(mix.members, mix.workloads())}
+    problem = problem_from_fits(mix, fits, CAPACITIES)
+    workload_of = {
+        agent_name: workload
+        for agent_name, workload in zip(mix.agent_names(), mix.workloads())
+    }
+
+    ref_allocation = proportional_elasticity(problem)
+    equal_shares = np.tile(problem.equal_split, (problem.n_agents, 1))
+    equal_allocation = Allocation(problem=problem, shares=equal_shares, mechanism="equal_split")
+
+    results = {}
+    for label, allocation in (("REF", ref_allocation), ("equal", equal_allocation)):
+        shares = build_agent_shares(allocation, SHARED_PLATFORM.l2, workload_of)
+        results[label] = machine.run(shares)
+    return problem, results
+
+
+def enforced_si_table(profiler):
+    machine = SharedMachine(SHARED_PLATFORM, n_instructions=N_INSTRUCTIONS)
+    lines = ["=== Enforced SI: measured IPC, REF shares vs equal split (4-core mixes) ==="]
+    lines.append(f"{'mix':<6} {'agent':<20} {'IPC equal':>10} {'IPC REF':>10} {'gain %':>8}")
+    gains = []
+    for mix_name in FOUR_CORE_MIXES:
+        problem, results = run_mix(mix_name, profiler, machine)
+        total_equal = total_ref = 0.0
+        for agent in problem.agents:
+            ipc_equal = results["equal"].ipc[agent.name]
+            ipc_ref = results["REF"].ipc[agent.name]
+            total_equal += ipc_equal
+            total_ref += ipc_ref
+            gain = (ipc_ref / ipc_equal - 1.0) * 100
+            gains.append(gain)
+            lines.append(
+                f"{mix_name:<6} {agent.name:<20} {ipc_equal:>10.3f} {ipc_ref:>10.3f} {gain:>8.1f}"
+            )
+        lines.append(
+            f"{mix_name:<6} {'(aggregate)':<20} {total_equal:>10.3f} {total_ref:>10.3f} "
+            f"{(total_ref / total_equal - 1) * 100:>8.1f}"
+        )
+    gains = np.asarray(gains)
+    lines.append(
+        f"\nper-agent IPC change, REF vs equal split: median {np.median(gains):+.1f}%, "
+        f"worst {gains.min():+.1f}%, best {gains.max():+.1f}%"
+    )
+    lines.append(
+        "note: SI is guaranteed with respect to the *fitted* utilities; residual\n"
+        "losses here measure Cobb-Douglas extrapolation error (bandwidth gains\n"
+        "saturate in the machine faster than the fitted power law predicts) plus\n"
+        "whole-way cache quantization — the deployment caveats §4.4 inherits."
+    )
+    return "\n".join(lines)
+
+
+def test_enforced_sharing_incentives(benchmark, profiler, write_result):
+    text = benchmark.pedantic(enforced_si_table, args=(profiler,), rounds=1, iterations=1)
+    write_result("enforced_si", text)

@@ -1,0 +1,68 @@
+"""Extension bench (§7): REF over cores + bandwidth + cache.
+
+The paper's future-work claim is that the mechanism extends to more
+resources.  This bench runs the full three-resource pipeline — Amdahl
+core scaling composed with the memory machine, 100-point sweep,
+three-resource Cobb-Douglas fit, closed-form REF — and verifies that
+the fairness guarantees carry over, at the same trivial cost.
+"""
+
+import numpy as np
+
+from repro.core import (
+    check_fairness,
+    fit_cobb_douglas,
+    proportional_elasticity,
+)
+from repro.core.mechanism import Agent, AllocationProblem
+from repro.sim import ParallelWorkload, ThreeResourceMachine
+from repro.workloads import get_workload
+
+TENANTS = [
+    ("ferret", 0.95),
+    ("freqmine", 0.60),
+    ("dedup", 0.85),
+    ("canneal", 0.90),
+]
+CAPACITIES = (16.0, 48.0, 48.0 * 1024)
+RESOURCES = ("cores", "membw_gbps", "cache_kb")
+
+
+def three_resource_pipeline():
+    machine = ThreeResourceMachine()
+    lines = ["=== Extension: three-resource REF (cores, bandwidth, cache) ==="]
+    lines.append(
+        f"{'tenant':<10} {'f_par':>6} {'a_cores':>8} {'a_mem':>8} {'a_cache':>8} {'R^2':>6}"
+    )
+    agents = []
+    for name, fraction in TENANTS:
+        workload = ParallelWorkload(get_workload(name), fraction)
+        points, ipc = machine.sweep(workload)
+        fit = fit_cobb_douglas(points, ipc)
+        alpha = fit.rescaled_elasticities
+        lines.append(
+            f"{name:<10} {fraction:>6.2f} {alpha[0]:>8.3f} {alpha[1]:>8.3f} "
+            f"{alpha[2]:>8.3f} {fit.r_squared:>6.3f}"
+        )
+        agents.append(Agent(name, fit.utility))
+
+    problem = AllocationProblem(agents, CAPACITIES, RESOURCES)
+    allocation = proportional_elasticity(problem)
+    report = check_fairness(allocation)
+    lines.append("")
+    lines.append(allocation.summary())
+    lines.append("")
+    lines.append(report.summary())
+    fractions = allocation.fractions()
+    dominant = [RESOURCES[int(np.argmax(row))] for row in fractions]
+    lines.append(
+        "dominant shares: "
+        + ", ".join(f"{a.name}->{d}" for a, d in zip(problem.agents, dominant))
+    )
+    assert report.is_fair
+    return "\n".join(lines)
+
+
+def test_three_resource_extension(benchmark, write_result):
+    text = benchmark.pedantic(three_resource_pipeline, rounds=1, iterations=1)
+    write_result("ext_three_resources", text)

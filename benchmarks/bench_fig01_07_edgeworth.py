@@ -1,0 +1,9 @@
+"""Figs. 1-7: Edgeworth-box geometry (see repro.experiments.edgeworth_box)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig01_07_edgeworth_geometry(benchmark, write_result):
+    result = benchmark.pedantic(run_experiment, args=("fig1-7",), rounds=1, iterations=1)
+    write_result("fig01_07_edgeworth", result.text)
+    assert result.data["ref_inside_fair_set"]

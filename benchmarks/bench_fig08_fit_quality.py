@@ -1,0 +1,26 @@
+"""Fig. 8: fit quality (see repro.experiments.fit_quality)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig08a_r_squared(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8a",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig08a_r_squared", result.text)
+    # "Most benchmarks are fitted with R-squared of 0.7-1.0" (§5.2).
+    assert result.data["fraction_high"] >= 0.8
+
+
+def test_fig08b_high_r2_series(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8b",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig08b_sim_vs_est_high", result.text)
+
+
+def test_fig08c_low_r2_series(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8c",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig08c_sim_vs_est_low", result.text)

@@ -1,0 +1,11 @@
+"""Fig. 9: re-scaled elasticities (see repro.experiments.elasticities)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_elasticities(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig9",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig09_elasticities", result.text)
+    assert result.data["mismatches"] == 0

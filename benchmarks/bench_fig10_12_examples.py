@@ -1,0 +1,13 @@
+"""Figs. 10-12: mechanism examples (see repro.experiments.mechanism_examples)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_12_examples(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10-12",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig10_12_examples", result.text)
+    # REF must be fair (SI, EF, PE) in every example.
+    for verdicts in result.data["verdicts"].values():
+        assert verdicts["proportional elasticity"] == (True, True, True)

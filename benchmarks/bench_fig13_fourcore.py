@@ -1,0 +1,13 @@
+"""Fig. 13: 4-core throughput (see repro.experiments.throughput)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_four_core_throughput(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig13",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig13_fourcore", result.text)
+    # The headline: fairness costs little (paper < 10%; 15% slack for
+    # the substitute simulator).
+    assert result.data["worst_penalty"] < 0.15

@@ -1,0 +1,13 @@
+"""Fig. 14: 8-core throughput (see repro.experiments.throughput)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig14_eight_core_throughput(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig14",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("fig14_eightcore", result.text)
+    assert result.data["worst_penalty"] < 0.15
+    # Fig. 14's observation: equal slowdown may trail REF at 8 agents.
+    assert len(result.data["trailing"]) >= 1

@@ -1,0 +1,31 @@
+"""§5.5: mechanism cost (see repro.experiments.strategic)."""
+
+from repro.core.mechanism import proportional_elasticity
+from repro.experiments import run_experiment
+from repro.experiments.strategic import population
+from repro.optimize import equal_slowdown, max_nash_welfare
+
+
+def test_mechanism_cost_table(benchmark, write_result):
+    result = benchmark.pedantic(run_experiment, args=("cost",), rounds=1, iterations=1)
+    write_result("mechanism_cost", result.text)
+    # The closed form must beat the convex solvers by orders of magnitude.
+    timings = result.data["timings"]
+    assert timings[8]["fair_ms"] / timings[8]["ref_ms"] > 50
+
+
+def test_ref_closed_form_speed(benchmark):
+    problem = population(64, seed=7)
+    benchmark(proportional_elasticity, problem)
+
+
+def test_equal_slowdown_speed(benchmark):
+    problem = population(8, seed=7)
+    benchmark.pedantic(equal_slowdown, args=(problem,), rounds=2, iterations=1)
+
+
+def test_max_welfare_fair_speed(benchmark):
+    problem = population(8, seed=7)
+    benchmark.pedantic(
+        max_nash_welfare, args=(problem,), kwargs={"fair": True}, rounds=2, iterations=1
+    )

@@ -1,0 +1,48 @@
+"""Substrate validation: trace-driven simulator vs analytic machine.
+
+Not a paper figure, but the ablation DESIGN.md calls out: the fast
+analytic machine (used for the full 28 x 25 characterization sweep)
+must agree with the detailed trace-driven simulator — the stand-in for
+MARSSx86 + DRAMSim2 — on both IPC levels and, more importantly, on
+*trends* (the paper values relative over absolute accuracy).
+"""
+
+import numpy as np
+
+from repro.sim import AnalyticMachine, TraceMachine
+from repro.workloads import get_workload
+
+WORKLOADS = ("raytrace", "bodytrack", "ferret", "canneal", "dedup", "ocean_cp")
+POINTS = [(128, 0.8), (512, 3.2), (2048, 12.8)]
+
+
+def validation_table():
+    trace = TraceMachine(n_instructions=150_000)
+    analytic = AnalyticMachine()
+    lines = ["=== Substrate validation: trace-driven vs analytic IPC ==="]
+    lines.append(
+        f"{'workload':<12} {'cache KB':>9} {'bw GB/s':>8} {'trace':>8} {'analytic':>9} {'ratio':>7}"
+    )
+    ratios = []
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        for cache_kb, bandwidth in POINTS:
+            detailed = trace.simulate(workload, cache_kb, bandwidth).ipc
+            fast = analytic.ipc(workload, cache_kb, bandwidth)
+            ratio = detailed / fast
+            ratios.append(ratio)
+            lines.append(
+                f"{name:<12} {cache_kb:>9} {bandwidth:>8.1f} {detailed:>8.3f} "
+                f"{fast:>9.3f} {ratio:>7.2f}"
+            )
+    ratios = np.asarray(ratios)
+    lines.append(
+        f"\nagreement: geometric-mean ratio {np.exp(np.mean(np.log(ratios))):.2f}, "
+        f"worst {ratios.min():.2f} / {ratios.max():.2f}"
+    )
+    return "\n".join(lines)
+
+
+def test_sim_validation(benchmark, write_result):
+    text = benchmark.pedantic(validation_table, rounds=1, iterations=1)
+    write_result("sim_validation", text)

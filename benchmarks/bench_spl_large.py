@@ -1,0 +1,28 @@
+"""§4.3: strategy-proofness in the large (see repro.experiments.strategic)."""
+
+from repro.core.spl import best_response, max_manipulation_gain
+from repro.experiments import run_experiment
+from repro.experiments.strategic import population
+
+
+def test_spl_scaling(benchmark, write_result):
+    result = benchmark.pedantic(run_experiment, args=("spl",), rounds=1, iterations=1)
+    write_result("spl_scaling", result.text)
+    gains = result.data["worst_gain"]
+    assert gains[64] < gains[2]
+    assert gains[64] < 1e-3
+
+
+def test_best_response_cost(benchmark):
+    problem = population(64)
+    alpha = problem.rescaled_alpha_matrix()
+    others = alpha.sum(axis=0) - alpha[0]
+    benchmark(best_response, alpha[0], others, problem.capacity_vector)
+
+
+def test_max_manipulation_gain_64(benchmark):
+    problem = population(64)
+    result = benchmark.pedantic(
+        max_manipulation_gain, args=(problem, range(4)), rounds=1, iterations=1
+    )
+    assert result < 5e-3

@@ -1,0 +1,24 @@
+"""Table 1: platform parameters plus machine-model sweep costs."""
+
+from repro.experiments import run_experiment
+from repro.sim import AnalyticMachine, TraceMachine
+from repro.workloads import get_workload
+
+
+def test_table1_platform(benchmark, write_result):
+    result = benchmark.pedantic(run_experiment, args=("table1",), rounds=1, iterations=1)
+    write_result("table1_platform", result.text)
+
+
+def test_analytic_sweep_cost(benchmark):
+    machine = AnalyticMachine()
+    workload = get_workload("ferret")
+    benchmark(machine.sweep, workload)
+
+
+def test_trace_point_cost(benchmark):
+    machine = TraceMachine(n_instructions=100_000)
+    workload = get_workload("ferret")
+    benchmark.pedantic(
+        machine.simulate, args=(workload, 512.0, 3.2), rounds=3, iterations=1
+    )

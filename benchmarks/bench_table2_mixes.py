@@ -1,0 +1,11 @@
+"""Table 2: workload characterization (see repro.experiments.elasticities)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_characterization(benchmark, profiler, write_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2",), kwargs={"profiler": profiler}, rounds=1, iterations=1
+    )
+    write_result("table2_mixes", result.text)
+    assert result.data["mismatches"] == 0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the evaluation benches (Figs. 1-14, Tables 1-2).
+
+Each bench regenerates one table or figure from the paper: it computes
+the same rows/series the paper reports, prints them, and appends them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote measured
+values.  The expensive common inputs (the 28-benchmark profile sweep and
+Cobb-Douglas fits) are computed once per session.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.profiling import OfflineProfiler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profiler():
+    """One shared offline profiler (profiles are cached inside it)."""
+    return OfflineProfiler()
+
+
+@pytest.fixture(scope="session")
+def fits(profiler):
+    """Fitted Cobb-Douglas utilities for all 28 benchmarks."""
+    return profiler.fit_suite()
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Writer that stores a bench's regenerated table under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write

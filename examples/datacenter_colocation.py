@@ -1,0 +1,84 @@
+"""Datacenter co-location: many agents and strategy-proofness (§4.3).
+
+The paper argues REF is strategy-proof *in the large*: with tens of
+agents, no single agent can gain by misreporting her elasticities.  This
+example reproduces the §4.3 experiment — "consider 64 tasks sharing a
+large system ... each of the 64 tasks' elasticities are uniformly random
+from (0,1)" — and shows:
+
+* the REF allocation for 64 heterogeneous tasks is computed in
+  microseconds (closed form, Eq. 13);
+* the optimal misreport of each strategic agent (solving Eq. 15) is
+  essentially her true elasticity vector — lying does not pay;
+* for contrast, in a 2-agent system lying *does* pay, which is why the
+  guarantee is "in the large".
+
+Run:  python examples/datacenter_colocation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Agent, AllocationProblem, CobbDouglasUtility, proportional_elasticity
+from repro.core import check_fairness
+from repro.core.spl import best_response
+
+#: A four-socket server: 64 threads, > 100 GB/s of bandwidth (§4.3).
+CAPACITIES = (128.0, 96.0 * 1024)  # GB/s, KB of aggregate LLC
+N_TASKS = 64
+
+
+def random_agents(n: int, seed: int = 7) -> list:
+    """Agents with elasticities drawn uniformly from (0, 1), as in §4.3."""
+    rng = np.random.default_rng(seed)
+    agents = []
+    for i in range(n):
+        alpha = rng.uniform(0.05, 1.0, size=2)
+        agents.append(Agent(f"task{i:02d}", CobbDouglasUtility(alpha)))
+    return agents
+
+
+def main() -> None:
+    agents = random_agents(N_TASKS)
+    problem = AllocationProblem(agents, CAPACITIES, ("membw_gbps", "cache_kb"))
+
+    start = time.perf_counter()
+    allocation = proportional_elasticity(problem)
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    print(f"REF allocated {N_TASKS} tasks x 2 resources in {elapsed_us:.0f} us (closed form)")
+
+    report = check_fairness(allocation)
+    print(report.summary())
+
+    # Strategic analysis: can any of the first 8 tasks gain by lying?
+    alpha = problem.rescaled_alpha_matrix()
+    caps = problem.capacity_vector
+    print("\nStrategic best responses (Eq. 15), 64-agent system:")
+    print(f"{'task':<8} {'true alpha':>22} {'best report':>22} {'gain %':>8}")
+    worst_gain = 0.0
+    for i in range(8):
+        others = alpha.sum(axis=0) - alpha[i]
+        response = best_response(alpha[i], others, caps)
+        worst_gain = max(worst_gain, response.gain)
+        print(
+            f"task{i:02d}   {np.array2string(alpha[i], precision=3):>22} "
+            f"{np.array2string(response.reported_alpha, precision=3):>22} "
+            f"{response.gain * 100:8.4f}"
+        )
+    print(f"worst manipulation gain across sampled tasks: {worst_gain * 100:.4f}%")
+
+    # Contrast: with only two agents, lying can pay noticeably.
+    two = problem = AllocationProblem(agents[:2], CAPACITIES, ("membw_gbps", "cache_kb"))
+    alpha2 = two.rescaled_alpha_matrix()
+    others = alpha2.sum(axis=0) - alpha2[0]
+    response = best_response(alpha2[0], others, two.capacity_vector)
+    print(
+        f"\n2-agent contrast: task00's optimal misreport "
+        f"{np.array2string(response.reported_alpha, precision=3)} "
+        f"gains {response.gain * 100:.2f}% — SP holds only in the large."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Dynamic reallocation: tracking software phases on-line (§4.4).
+
+The on-line profiling story from the paper, run as a closed-loop
+controller: a phased application alternates between a cache-loving
+phase (freqmine-like) and a bandwidth-loving phase (dedup-like) while
+co-located with a steady bandwidth-bound neighbour (canneal).  Every
+epoch the controller re-fits utilities from recent observations
+(decayed history) and re-runs REF.
+
+Watch the reported cache elasticity — and the cache allocation — follow
+the phase changes with a lag of a few epochs.
+
+Run:  python examples/dynamic_phases.py
+"""
+
+from repro.dynamic import DynamicAllocator, Phase, PhasedWorkload
+from repro.workloads import get_workload
+
+CAPACITIES = (12.8, 2048.0)
+PHASE_LENGTH = 12
+N_EPOCHS = 3 * PHASE_LENGTH
+
+
+def main() -> None:
+    phased = PhasedWorkload(
+        "phasey",
+        [
+            Phase(get_workload("freqmine"), PHASE_LENGTH),  # cache-loving phase
+            Phase(get_workload("dedup"), PHASE_LENGTH),     # bandwidth-loving phase
+        ],
+    )
+    allocator = DynamicAllocator(
+        workloads={"phasey": phased, "canneal": get_workload("canneal")},
+        capacities=CAPACITIES,
+        decay=0.75,          # age out stale-phase evidence
+        seed=1,
+    )
+    result = allocator.run(N_EPOCHS)
+
+    boundaries = set(phased.phase_boundaries(N_EPOCHS))
+    print(
+        f"{'epoch':>5} {'phase':<10} {'reported a_cache':>17} "
+        f"{'cache alloc KB':>15} {'IPC':>7}"
+    )
+    for record in result.records:
+        epoch = record.epoch
+        phase = phased.spec_at(epoch).name
+        marker = "  <- phase change" if epoch in boundaries else ""
+        print(
+            f"{epoch:>5} {phase:<10} {record.reported_alpha['phasey'][1]:>17.3f} "
+            f"{record.allocation['phasey'][1]:>15.1f} "
+            f"{record.measured_ipc['phasey']:>7.3f}{marker}"
+        )
+
+    cache_series = result.reported_series("phasey", resource=1)
+    freq_tail = cache_series[PHASE_LENGTH - 4 : PHASE_LENGTH]
+    dedup_tail = cache_series[2 * PHASE_LENGTH - 4 : 2 * PHASE_LENGTH]
+    print(
+        f"\nreported cache elasticity, late freqmine phase: {freq_tail.mean():.2f} "
+        f"vs late dedup phase: {dedup_tail.mean():.2f}"
+    )
+    print("The controller reallocates cache toward the phase that can use it.")
+
+
+if __name__ == "__main__":
+    main()

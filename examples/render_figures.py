@@ -1,0 +1,87 @@
+"""Render the paper's key evaluation figures as terminal graphics.
+
+Regenerates the data for Figs. 8a, 9, 13 and 14 through the library and
+draws them with :mod:`repro.viz` — the whole evaluation at a glance,
+no plotting stack required.
+
+Run:  python examples/render_figures.py
+"""
+
+from repro import weighted_system_throughput
+from repro.core import classify_many
+from repro.optimize import MECHANISMS
+from repro.profiling import OfflineProfiler
+from repro.viz import grouped_bars, hbar_chart, line_plot, stacked_shares
+from repro.workloads import (
+    BENCHMARK_ORDER,
+    EIGHT_CORE_MIXES,
+    FOUR_CORE_MIXES,
+    build_mix_problem,
+    get_mix,
+    get_workload,
+)
+
+MECHANISM_ORDER = [
+    "Max Welfare w/ Fairness",
+    "Proportional Elasticity w/ Fairness",
+    "Max Welfare w/o Fairness",
+    "Equal Slowdown w/o Fairness",
+]
+
+
+def main() -> None:
+    profiler = OfflineProfiler()
+    fits = profiler.fit_suite()
+
+    print("=" * 72)
+    print("Fig. 8a — coefficient of determination per benchmark")
+    print("=" * 72)
+    print(hbar_chart({name: fits[name].r_squared for name in BENCHMARK_ORDER}, max_value=1.0))
+
+    print()
+    print("=" * 72)
+    print("Fig. 8b — simulated vs fitted IPC (ferret, 25 sweep points)")
+    print("=" * 72)
+    profile = profiler.profile(get_workload("ferret"))
+    predicted = fits["ferret"].predict(profile.allocations)
+    print(
+        line_plot(
+            range(profile.n_samples),
+            {"simulated": profile.ipc, "fitted": predicted},
+        )
+    )
+
+    print()
+    print("=" * 72)
+    print("Fig. 9 — re-scaled elasticities (cache filled, bandwidth hollow)")
+    print("=" * 72)
+    prefs = classify_many(fits)
+    print(
+        stacked_shares(
+            {name: prefs[name].cache_elasticity for name in BENCHMARK_ORDER},
+            left_label="cache",
+            right_label="memory bandwidth",
+        )
+    )
+
+    for title, mixes in (
+        ("Fig. 13 — 4-core weighted system throughput", FOUR_CORE_MIXES),
+        ("Fig. 14 — 8-core weighted system throughput", EIGHT_CORE_MIXES),
+    ):
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        series = {name: [] for name in MECHANISM_ORDER}
+        labels = []
+        for mix_name in mixes:
+            problem = build_mix_problem(mix_name, profiler=profiler)
+            labels.append(f"{mix_name} ({get_mix(mix_name).characterization})")
+            for name in MECHANISM_ORDER:
+                allocation = MECHANISMS[name](problem)
+                series[name].append(weighted_system_throughput(allocation))
+        print(grouped_bars(labels, series))
+
+
+if __name__ == "__main__":
+    main()

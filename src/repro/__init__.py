@@ -1,0 +1,53 @@
+"""repro — reproduction of REF: Resource Elasticity Fairness (ASPLOS 2014).
+
+The public API re-exports the core objects most users need:
+
+* :class:`~repro.core.utility.CobbDouglasUtility` and fitting via
+  :func:`~repro.core.fitting.fit_cobb_douglas`,
+* :class:`~repro.core.mechanism.AllocationProblem` /
+  :func:`~repro.core.mechanism.proportional_elasticity` — the REF mechanism,
+* fairness checkers (:func:`~repro.core.properties.check_fairness`),
+* the evaluation mechanisms in :mod:`repro.optimize`,
+* the simulation substrate in :mod:`repro.sim`, workload models in
+  :mod:`repro.workloads`, profiling in :mod:`repro.profiling`, and
+  enforcement schedulers in :mod:`repro.sched`.
+"""
+
+from .core import (
+    Agent,
+    Allocation,
+    AllocationProblem,
+    CobbDouglasFit,
+    CobbDouglasUtility,
+    EdgeworthBox,
+    FairnessReport,
+    LeontiefUtility,
+    ResourceGroup,
+    check_fairness,
+    classify,
+    fit_cobb_douglas,
+    proportional_elasticity,
+    rescale_elasticities,
+    weighted_system_throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Agent",
+    "Allocation",
+    "AllocationProblem",
+    "CobbDouglasFit",
+    "CobbDouglasUtility",
+    "EdgeworthBox",
+    "FairnessReport",
+    "LeontiefUtility",
+    "ResourceGroup",
+    "check_fairness",
+    "classify",
+    "fit_cobb_douglas",
+    "proportional_elasticity",
+    "rescale_elasticities",
+    "weighted_system_throughput",
+    "__version__",
+]

@@ -1,0 +1,421 @@
+"""Command-line interface: the REF pipeline without writing Python.
+
+Subcommands (``python -m repro <command> --help`` for details):
+
+* ``profile``  — sweep one benchmark over the Table 1 grid; JSON out.
+* ``fit``      — fit a Cobb-Douglas utility to a profile (file or
+  benchmark name); reports elasticities and R².
+* ``classify`` — the Fig. 9 table: re-scaled elasticities and C/M
+  groups for all benchmarks.
+* ``allocate`` — run a mechanism on a Table 2 mix (or ad-hoc benchmark
+  list) and print the allocation plus its fairness report.
+* ``evaluate`` — the four §5.5 mechanisms side by side on one mix
+  (one Fig. 13/14 row).
+* ``spl``      — the §4.3 strategic analysis for an N-agent population.
+* ``fit-suite`` — fit all 28 benchmarks and save the suite as JSON
+  (consumed by ``allocate --fits``).
+* ``cosim``    — co-simulate a mix on the shared machine under enforced
+  shares (choose the mechanism, DRAM policy and cache mode).
+* ``reproduce`` — regenerate any paper figure/table by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import (
+    check_fairness,
+    classify_many,
+    proportional_elasticity,
+    weighted_system_throughput,
+)
+from .core.mechanism import Agent, AllocationProblem
+from .core.spl import best_response
+from .core.utility import CobbDouglasUtility
+from .optimize import MECHANISMS, drf_allocation, equal_slowdown, max_nash_welfare
+from .profiling import OfflineProfiler, Profile
+from .workloads import (
+    BENCHMARKS,
+    MIXES,
+    RESOURCE_NAMES,
+    get_mix,
+    get_workload,
+    problem_from_fits,
+)
+from .workloads.mixes import WorkloadMix
+
+__all__ = ["main", "build_parser"]
+
+#: CLI mechanism names -> allocation functions.
+CLI_MECHANISMS = {
+    "ref": proportional_elasticity,
+    "equal-slowdown": equal_slowdown,
+    "max-welfare-fair": lambda p: max_nash_welfare(p, fair=True),
+    "max-welfare-unfair": lambda p: max_nash_welfare(p, fair=False),
+    "drf": drf_allocation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REF: resource elasticity fairness (ASPLOS 2014) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="sweep a benchmark over the Table 1 grid")
+    profile.add_argument("workload", choices=sorted(BENCHMARKS))
+    profile.add_argument("--noise", type=float, default=0.01, help="log-space noise sigma")
+    profile.add_argument("--seed", type=int, default=2014)
+    profile.add_argument("--output", "-o", help="write profile JSON to this path")
+
+    fit = sub.add_parser("fit", help="fit a Cobb-Douglas utility")
+    source = fit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", choices=sorted(BENCHMARKS))
+    source.add_argument("--profile", help="path to a profile JSON")
+    fit.add_argument("--json", action="store_true", help="machine-readable output")
+
+    fit_suite = sub.add_parser(
+        "fit-suite", help="fit every benchmark and save the suite to JSON"
+    )
+    fit_suite.add_argument("output", help="path for the fitted-suite JSON")
+    fit_suite.add_argument("--noise", type=float, default=0.01)
+    fit_suite.add_argument("--seed", type=int, default=2014)
+
+    classify = sub.add_parser("classify", help="Fig. 9 elasticity table for all benchmarks")
+    classify.add_argument("--json", action="store_true")
+
+    allocate = sub.add_parser("allocate", help="allocate a mix with one mechanism")
+    target = allocate.add_mutually_exclusive_group(required=True)
+    target.add_argument("--mix", choices=sorted(MIXES))
+    target.add_argument("--workloads", help="comma-separated benchmark names")
+    allocate.add_argument(
+        "--mechanism", choices=sorted(CLI_MECHANISMS), default="ref"
+    )
+    allocate.add_argument(
+        "--capacities",
+        help="bandwidth_gbps,cache_kb (default: scaled to the agent count)",
+    )
+    allocate.add_argument(
+        "--fits", help="fitted-suite JSON from `fit-suite` (skips re-profiling)"
+    )
+    allocate.add_argument("--json", action="store_true")
+
+    evaluate = sub.add_parser("evaluate", help="compare the four mechanisms on a mix")
+    evaluate.add_argument("mix", choices=sorted(MIXES))
+
+    spl = sub.add_parser("spl", help="strategic (mis)reporting analysis")
+    spl.add_argument("--agents", type=int, default=64)
+    spl.add_argument("--strategic", type=int, default=4, help="agents to analyze")
+    spl.add_argument("--seed", type=int, default=2014)
+
+    cosim = sub.add_parser(
+        "cosim", help="co-simulate a mix on the shared machine under enforced shares"
+    )
+    cosim.add_argument("mix", choices=sorted(MIXES))
+    cosim.add_argument("--mechanism", choices=sorted(CLI_MECHANISMS), default="ref")
+    cosim.add_argument(
+        "--policy", choices=["fcfs", "wfq", "stfm"], default="wfq",
+        help="DRAM arbitration policy",
+    )
+    cosim.add_argument(
+        "--cache-mode", choices=["partitioned", "shared"], default="partitioned",
+        help="'shared' = unpartitioned LLC (the no-enforcement baseline)",
+    )
+    cosim.add_argument("--instructions", type=int, default=80_000)
+    cosim.add_argument("--seed", type=int, default=99)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate a paper figure/table (or list them)"
+    )
+    reproduce.add_argument(
+        "artifact",
+        nargs="?",
+        help="experiment id (e.g. fig13, table2); omit or pass 'list' to enumerate; 'all' runs everything",
+    )
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_profile(args) -> int:
+    profiler = OfflineProfiler(noise_sigma=args.noise, seed=args.seed)
+    profile = profiler.profile(get_workload(args.workload))
+    payload = json.dumps(profile.as_dict(), indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {profile.n_samples}-point profile to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    if args.profile:
+        with open(args.profile) as handle:
+            profile = Profile.from_dict(json.load(handle))
+        name = profile.workload_name
+    else:
+        profiler = OfflineProfiler()
+        profile = profiler.profile(get_workload(args.workload))
+        name = args.workload
+    fit = profile.fit()
+    alpha = fit.rescaled_elasticities
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": name,
+                    "scale": fit.utility.scale,
+                    "elasticities": list(fit.elasticities),
+                    "rescaled_elasticities": alpha.tolist(),
+                    "r_squared": fit.r_squared,
+                }
+            )
+        )
+    else:
+        print(
+            f"{name}: u = {fit.utility.scale:.4f} * bw^{fit.elasticities[0]:.4f} "
+            f"* cache^{fit.elasticities[1]:.4f}"
+        )
+        print(f"re-scaled: a_mem = {alpha[0]:.3f}, a_cache = {alpha[1]:.3f}")
+        print(f"R^2 = {fit.r_squared:.3f} over {fit.n_samples} samples")
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    profiler = OfflineProfiler()
+    prefs = classify_many(profiler.fit_suite())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    name: {
+                        "a_mem": pref.memory_elasticity,
+                        "a_cache": pref.cache_elasticity,
+                        "group": pref.group.value,
+                    }
+                    for name, pref in prefs.items()
+                }
+            )
+        )
+        return 0
+    print(f"{'benchmark':<20} {'a_cache':>8} {'a_mem':>8} {'group':>6}")
+    for name, pref in prefs.items():
+        print(
+            f"{name:<20} {pref.cache_elasticity:>8.3f} "
+            f"{pref.memory_elasticity:>8.3f} {pref.group.value:>6}"
+        )
+    return 0
+
+
+def _cmd_fit_suite(args) -> int:
+    from . import io
+
+    profiler = OfflineProfiler(noise_sigma=args.noise, seed=args.seed)
+    fits = profiler.fit_suite()
+    io.save_json(io.suite_to_dict(fits), args.output)
+    print(f"wrote {len(fits)} fits to {args.output}")
+    return 0
+
+
+def _build_problem(args) -> AllocationProblem:
+    if args.mix:
+        mix = get_mix(args.mix)
+    else:
+        members = tuple(name.strip() for name in args.workloads.split(",") if name.strip())
+        for member in members:
+            if member not in BENCHMARKS:
+                raise SystemExit(f"unknown benchmark {member!r}")
+        counts = "-".join(
+            part
+            for part in (
+                f"{sum(1 for m in members if BENCHMARKS[m].expected_group == 'C')}C",
+                f"{sum(1 for m in members if BENCHMARKS[m].expected_group == 'M')}M",
+            )
+            if not part.startswith("0")
+        )
+        mix = WorkloadMix("adhoc", members, counts or "0C")
+    if getattr(args, "fits", None):
+        from . import io
+
+        suite = io.suite_from_dict(io.load_json(args.fits))
+        missing = [m for m in set(mix.members) if m not in suite]
+        if missing:
+            raise SystemExit(f"fits file lacks entries for: {sorted(missing)}")
+        fits = {m: suite[m] for m in set(mix.members)}
+    else:
+        profiler = OfflineProfiler()
+        fits = {m: profiler.fit(get_workload(m)) for m in set(mix.members)}
+    capacities = None
+    if args.capacities:
+        parts = args.capacities.split(",")
+        if len(parts) != 2:
+            raise SystemExit("--capacities expects 'bandwidth_gbps,cache_kb'")
+        capacities = (float(parts[0]), float(parts[1]))
+    return problem_from_fits(mix, fits, capacities)
+
+
+def _cmd_allocate(args) -> int:
+    problem = _build_problem(args)
+    allocation = CLI_MECHANISMS[args.mechanism](problem)
+    report = check_fairness(allocation, pe_rtol=1e-2)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "mechanism": args.mechanism,
+                    "capacities": dict(zip(RESOURCE_NAMES, problem.capacities)),
+                    "allocation": allocation.as_dict(),
+                    "weighted_system_throughput": weighted_system_throughput(allocation),
+                    "sharing_incentives": report.sharing_incentives,
+                    "envy_free": report.envy_free,
+                    "pareto_efficient": report.pareto_efficient,
+                }
+            )
+        )
+        return 0
+    print(allocation.summary())
+    print()
+    print(report.summary())
+    print(f"\nweighted system throughput: {weighted_system_throughput(allocation):.4f}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    profiler = OfflineProfiler()
+    mix = get_mix(args.mix)
+    fits = {m: profiler.fit(get_workload(m)) for m in set(mix.members)}
+    problem = problem_from_fits(mix, fits)
+    print(f"{args.mix} ({mix.characterization}), {problem.n_agents} agents")
+    for name, mechanism in MECHANISMS.items():
+        allocation = mechanism(problem)
+        report = check_fairness(allocation, pe_rtol=1e-2)
+        print(
+            f"{name:<38} throughput {weighted_system_throughput(allocation):7.4f}  "
+            f"SI={report.sharing_incentives} EF={report.envy_free}"
+        )
+    return 0
+
+
+def _cmd_spl(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    agents = [
+        Agent(f"t{i}", CobbDouglasUtility(rng.uniform(0.05, 1.0, size=2)))
+        for i in range(args.agents)
+    ]
+    problem = AllocationProblem(agents, (128.0, 96.0 * 1024))
+    alpha = problem.rescaled_alpha_matrix()
+    worst = 0.0
+    for i in range(min(args.strategic, args.agents)):
+        others = alpha.sum(axis=0) - alpha[i]
+        response = best_response(alpha[i], others, problem.capacity_vector)
+        worst = max(worst, response.gain)
+        print(
+            f"agent t{i}: true {np.round(alpha[i], 3).tolist()} "
+            f"best report {np.round(response.reported_alpha, 3).tolist()} "
+            f"gain {response.gain * 100:.4f}%"
+        )
+    print(f"worst manipulation gain across {min(args.strategic, args.agents)} agents: "
+          f"{worst * 100:.4f}%")
+    return 0
+
+
+def _cmd_cosim(args) -> int:
+    from .sched import build_agent_shares
+    from .sim import CacheConfig, DramConfig, PlatformConfig, SharedMachine
+
+    profiler = OfflineProfiler()
+    mix = get_mix(args.mix)
+    fits = {m: profiler.fit(get_workload(m)) for m in set(mix.members)}
+    problem = problem_from_fits(mix, fits)
+    workload_of = dict(zip(mix.agent_names(), (get_workload(m) for m in mix.members)))
+
+    # Size the shared machine to the mix: enough ways for everyone,
+    # a channel matching the allocated aggregate bandwidth.
+    ways = 16 if problem.n_agents <= 8 else 32
+    platform = PlatformConfig(
+        l2=CacheConfig(size_kb=int(problem.capacities[1]), ways=ways, latency_cycles=20),
+        dram=DramConfig(
+            bandwidth_gbps=problem.capacities[0], channel_gbps=problem.capacities[0]
+        ),
+    )
+    allocation = CLI_MECHANISMS[args.mechanism](problem)
+    shares = build_agent_shares(allocation, platform.l2, workload_of)
+    machine = SharedMachine(platform, n_instructions=args.instructions)
+    result = machine.run(
+        shares, seed=args.seed, policy=args.policy, cache_mode=args.cache_mode
+    )
+    alone = {s.name: machine.run_alone(s, seed=args.seed).ipc[s.name] for s in shares}
+    slowdowns = result.slowdowns(alone)
+    print(
+        f"{args.mix} under {args.mechanism} shares, policy={args.policy}, "
+        f"cache={args.cache_mode}"
+    )
+    print(
+        f"{'agent':<20} {'IPC':>8} {'alone':>8} {'slowdown':>9} "
+        f"{'latency ns':>11} {'GB/s':>7}"
+    )
+    for share in shares:
+        name = share.name
+        print(
+            f"{name:<20} {result.ipc[name]:>8.3f} {alone[name]:>8.3f} "
+            f"{slowdowns[name]:>9.2f} {result.mean_latency_ns[name]:>11.1f} "
+            f"{result.achieved_bandwidth_gbps[name]:>7.2f}"
+        )
+    print(f"unfairness index (max/min slowdown): {result.unfairness_index(slowdowns):.3f}")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from .experiments import list_experiments, run_experiment
+
+    artifact = args.artifact or "list"
+    if artifact == "list":
+        print("available experiments:")
+        for experiment_id in list_experiments():
+            print(f"  {experiment_id}")
+        return 0
+    profiler = OfflineProfiler()
+    targets = list_experiments() if artifact == "all" else [artifact]
+    for experiment_id in targets:
+        try:
+            result = run_experiment(experiment_id, profiler=profiler)
+        except KeyError as error:
+            raise SystemExit(str(error)) from None
+        print(result.text)
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "profile": _cmd_profile,
+    "fit": _cmd_fit,
+    "fit-suite": _cmd_fit_suite,
+    "cosim": _cmd_cosim,
+    "reproduce": _cmd_reproduce,
+    "classify": _cmd_classify,
+    "allocate": _cmd_allocate,
+    "evaluate": _cmd_evaluate,
+    "spl": _cmd_spl,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Core REF library: utilities, fitting, the mechanism, and fairness analysis."""
+
+from .bargaining import NashBargainingSolution, nash_bargaining
+from .ceei import CompetitiveEquilibrium, competitive_equilibrium
+from .classify import ResourceGroup, ResourcePreference, classify, classify_many
+from .edgeworth import CurveSegment, EdgeworthBox
+from .fitting import CobbDouglasFit, fit_cobb_douglas
+from .leontief_fit import LeontiefFit, fit_leontief
+from .mechanism import Agent, Allocation, AllocationProblem, proportional_elasticity
+from .properties import (
+    FairnessReport,
+    check_fairness,
+    envy_matrix,
+    is_envy_free,
+    is_pareto_efficient,
+    mrs_spread,
+    satisfies_sharing_incentives,
+    sharing_incentive_margins,
+    unfairness_index,
+)
+from .spl import BestResponse, best_response, lying_utility, manipulation_gain, max_manipulation_gain
+from .utility import CobbDouglasUtility, LeontiefUtility, Utility, rescale_elasticities
+from .welfare import (
+    egalitarian_welfare,
+    nash_welfare,
+    weighted_system_throughput,
+    weighted_utilities,
+    weighted_utility,
+)
+
+__all__ = [
+    "Agent",
+    "Allocation",
+    "AllocationProblem",
+    "BestResponse",
+    "CobbDouglasFit",
+    "CompetitiveEquilibrium",
+    "CobbDouglasUtility",
+    "CurveSegment",
+    "EdgeworthBox",
+    "FairnessReport",
+    "LeontiefFit",
+    "LeontiefUtility",
+    "NashBargainingSolution",
+    "ResourceGroup",
+    "ResourcePreference",
+    "Utility",
+    "best_response",
+    "check_fairness",
+    "classify",
+    "classify_many",
+    "competitive_equilibrium",
+    "egalitarian_welfare",
+    "envy_matrix",
+    "fit_cobb_douglas",
+    "fit_leontief",
+    "is_envy_free",
+    "is_pareto_efficient",
+    "lying_utility",
+    "manipulation_gain",
+    "max_manipulation_gain",
+    "mrs_spread",
+    "nash_bargaining",
+    "nash_welfare",
+    "proportional_elasticity",
+    "rescale_elasticities",
+    "satisfies_sharing_incentives",
+    "sharing_incentive_margins",
+    "unfairness_index",
+    "weighted_system_throughput",
+    "weighted_utilities",
+    "weighted_utility",
+]

@@ -1,0 +1,105 @@
+"""Competitive Equilibrium from Equal Incomes (CEEI) — §4.2, executable.
+
+The paper's fairness proof identifies the REF allocation with the CEEI
+solution: start every agent with an equal budget, post prices, let
+Cobb-Douglas consumers demand optimally, and clear the market.
+
+For *re-scaled* Cobb-Douglas utilities the equilibrium is closed form.
+A Cobb-Douglas consumer with budget ``B`` spends the fraction ``a_r``
+of it on resource ``r`` (the classic expenditure-share property), so
+demand is ``x_ir = a_ir * B_i / p_r``; market clearing
+``sum_i x_ir = C_r`` pins the price
+
+    p_r = sum_i a_ir * B_i / C_r .
+
+With equal budgets this reproduces Eq. 13 exactly — the identity this
+module verifies (and that the tests pin down).  Unequal budgets give
+the natural weighted generalization (useful for priority classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .mechanism import Allocation, AllocationProblem
+
+__all__ = ["CompetitiveEquilibrium", "competitive_equilibrium"]
+
+
+@dataclass(frozen=True)
+class CompetitiveEquilibrium:
+    """A market equilibrium: prices plus the demanded allocation.
+
+    Attributes
+    ----------
+    prices:
+        Per-resource market-clearing prices (per unit of resource).
+    incomes:
+        Per-agent budgets (all equal for CEEI proper).
+    allocation:
+        The equilibrium allocation (each agent's optimal bundle at the
+        posted prices, budgets exhausted, markets cleared).
+    """
+
+    prices: np.ndarray
+    incomes: np.ndarray
+    allocation: Allocation
+
+    def budget_spent(self) -> np.ndarray:
+        """Money spent by each agent at the equilibrium (== incomes)."""
+        return self.allocation.shares @ self.prices
+
+    def excess_demand(self) -> np.ndarray:
+        """Per-resource demand minus capacity (zero at equilibrium)."""
+        return self.allocation.shares.sum(axis=0) - self.allocation.problem.capacity_vector
+
+    def is_equilibrium(self, tol: float = 1e-9) -> bool:
+        """Check budget exhaustion and market clearing."""
+        budgets_ok = np.allclose(self.budget_spent(), self.incomes, rtol=tol, atol=tol)
+        markets_ok = np.allclose(self.excess_demand(), 0.0, atol=tol)
+        return bool(budgets_ok and markets_ok)
+
+
+def competitive_equilibrium(
+    problem: AllocationProblem, incomes: Optional[Sequence[float]] = None
+) -> CompetitiveEquilibrium:
+    """Compute the (closed-form) competitive equilibrium.
+
+    Parameters
+    ----------
+    problem:
+        The allocation instance; utilities are re-scaled internally
+        (CEEI is defined on the homogeneous representatives).
+    incomes:
+        Optional positive per-agent budgets; defaults to the equal
+        incomes of CEEI.  Only ratios matter.
+
+    Returns
+    -------
+    CompetitiveEquilibrium
+        With equal incomes, ``result.allocation`` coincides with
+        :func:`repro.core.mechanism.proportional_elasticity` — the
+        §4.2 equivalence.
+    """
+    alpha = problem.rescaled_alpha_matrix()
+    if incomes is None:
+        budgets = np.ones(problem.n_agents)
+    else:
+        budgets = np.asarray(incomes, dtype=float)
+        if budgets.shape != (problem.n_agents,):
+            raise ValueError(
+                f"incomes must have one entry per agent "
+                f"({problem.n_agents}), got shape {budgets.shape}"
+            )
+        if np.any(budgets <= 0):
+            raise ValueError("incomes must be strictly positive")
+
+    capacity = problem.capacity_vector
+    # Market-clearing prices for Cobb-Douglas expenditure shares.
+    prices = (alpha * budgets[:, None]).sum(axis=0) / capacity
+    shares = alpha * budgets[:, None] / prices
+    allocation = Allocation(problem=problem, shares=shares, mechanism="ceei")
+    return CompetitiveEquilibrium(prices=prices, incomes=budgets, allocation=allocation)

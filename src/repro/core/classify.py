@@ -1,0 +1,91 @@
+"""Workload classification from re-scaled elasticities (§5.3, Fig. 9).
+
+After fitting, the paper re-scales elasticities and sorts workloads into
+two groups: group **C** demands cache capacity (``a_cache > 0.5``) and
+group **M** demands memory bandwidth (``a_mem > 0.5``).  The grouping
+drives the workload-mix experiments of Table 2 and Figs. 10-14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Mapping
+
+from .fitting import CobbDouglasFit
+from .utility import CobbDouglasUtility
+
+__all__ = ["ResourceGroup", "ResourcePreference", "classify", "classify_many"]
+
+
+class ResourceGroup(str, Enum):
+    """The paper's two workload groups for the cache/bandwidth case study."""
+
+    CACHE = "C"
+    MEMORY = "M"
+
+
+@dataclass(frozen=True)
+class ResourcePreference:
+    """A workload's re-scaled elasticity profile and derived group.
+
+    Attributes
+    ----------
+    name:
+        Workload name.
+    cache_elasticity / memory_elasticity:
+        Re-scaled elasticities (Eq. 12); they sum to one.
+    group:
+        ``ResourceGroup.CACHE`` when ``cache_elasticity > 0.5``,
+        otherwise ``ResourceGroup.MEMORY``.
+    """
+
+    name: str
+    memory_elasticity: float
+    cache_elasticity: float
+
+    @property
+    def group(self) -> ResourceGroup:
+        if self.cache_elasticity > 0.5:
+            return ResourceGroup.CACHE
+        return ResourceGroup.MEMORY
+
+    @property
+    def dominant_elasticity(self) -> float:
+        return max(self.cache_elasticity, self.memory_elasticity)
+
+
+def classify(
+    name: str,
+    utility: CobbDouglasUtility,
+    memory_index: int = 0,
+    cache_index: int = 1,
+) -> ResourcePreference:
+    """Classify one workload from its (possibly un-rescaled) utility.
+
+    Parameters
+    ----------
+    name:
+        Workload label.
+    utility:
+        Fitted Cobb-Douglas utility over (bandwidth, cache) — or any
+        two-resource ordering selected by ``memory_index``/``cache_index``.
+    """
+    alpha = utility.rescaled().alpha
+    return ResourcePreference(
+        name=name,
+        memory_elasticity=float(alpha[memory_index]),
+        cache_elasticity=float(alpha[cache_index]),
+    )
+
+
+def classify_many(
+    fits: Mapping[str, CobbDouglasFit],
+    memory_index: int = 0,
+    cache_index: int = 1,
+) -> Dict[str, ResourcePreference]:
+    """Classify a suite of fitted workloads; preserves mapping order."""
+    return {
+        name: classify(name, fit.utility, memory_index, cache_index)
+        for name, fit in fits.items()
+    }

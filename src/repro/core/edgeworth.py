@@ -1,0 +1,228 @@
+"""Edgeworth-box analysis for two agents and two resources (Figs. 1-7).
+
+The paper visualizes its constraints in an Edgeworth box: the box width
+is the total amount of resource 0 (memory bandwidth in the recurring
+example), the height is the total amount of resource 1 (cache size),
+agent 1's origin is the lower-left corner and agent 2's is the upper
+right.  Every interior point is a feasible split.
+
+This module computes, in closed form or by root finding, the geometric
+objects the figures draw:
+
+* the **contract curve** of Pareto-efficient allocations (Fig. 5),
+* each agent's **envy-free region** (Fig. 2),
+* each agent's **sharing-incentive region** (Fig. 7),
+* the **fair set** — the segment of the contract curve that is envy-free
+  for both agents (Fig. 6), optionally intersected with SI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from .mechanism import Allocation, AllocationProblem, proportional_elasticity
+
+__all__ = ["EdgeworthBox", "CurveSegment"]
+
+
+@dataclass(frozen=True)
+class CurveSegment:
+    """A parametric segment of the contract curve.
+
+    ``x`` and ``y`` are agent 1's coordinates (agent 2 holds the
+    complement).  ``lo`` and ``hi`` are the segment's endpoints in
+    agent 1's resource-0 coordinate.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    lo: float
+    hi: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.x.size == 0
+
+
+class EdgeworthBox:
+    """Geometric analysis of a two-agent, two-resource allocation problem.
+
+    Parameters
+    ----------
+    problem:
+        Must have exactly two agents and two resources; utilities may be
+        un-rescaled (the geometry only depends on preference orderings).
+
+    Notes
+    -----
+    All curves are expressed in agent 1's coordinates ``(x, y)`` where
+    ``x`` is agent 1's amount of resource 0 and ``y`` her amount of
+    resource 1.  Agent 2 then holds ``(Cx - x, Cy - y)``.
+    """
+
+    def __init__(self, problem: AllocationProblem):
+        if problem.n_agents != 2 or problem.n_resources != 2:
+            raise ValueError(
+                "Edgeworth-box analysis requires exactly 2 agents and 2 resources; "
+                f"got {problem.n_agents} agents, {problem.n_resources} resources"
+            )
+        self.problem = problem
+        self.u1 = problem.agents[0].utility
+        self.u2 = problem.agents[1].utility
+        self.cx, self.cy = problem.capacities
+
+    # ------------------------------------------------------------------
+    # Contract curve (Pareto-efficient allocations, Eq. 10)
+    # ------------------------------------------------------------------
+
+    def contract_curve_y(self, x: np.ndarray) -> np.ndarray:
+        """Agent 1's resource-1 amount on the contract curve at resource-0 ``x``.
+
+        Interior PE requires equal marginal rates of substitution
+        (Eq. 10).  Writing ``a = a_1x / a_1y`` and ``b = a_2x / a_2y``,
+        tangency gives the closed form
+
+            y(x) = b * Cy * x / ( a * (Cx - x) + b * x )
+        """
+        x = np.asarray(x, dtype=float)
+        a = self.u1.elasticities[0] / self.u1.elasticities[1]
+        b = self.u2.elasticities[0] / self.u2.elasticities[1]
+        denominator = a * (self.cx - x) + b * x
+        return b * self.cy * x / denominator
+
+    def contract_curve(self, n_points: int = 201) -> CurveSegment:
+        """Sampled contract curve from origin to origin (Fig. 5)."""
+        x = np.linspace(0.0, self.cx, n_points)
+        return CurveSegment(x=x, y=self.contract_curve_y(x), lo=0.0, hi=self.cx)
+
+    # ------------------------------------------------------------------
+    # Envy-freeness and sharing-incentive regions
+    # ------------------------------------------------------------------
+
+    def envy_margin(self, agent: int, x: float, y: float) -> float:
+        """``u_i(own) - u_i(other's bundle)`` at box point ``(x, y)``.
+
+        Non-negative values mean the agent does not envy (Eqs. 6-7).
+        """
+        own, other = (x, y), (self.cx - x, self.cy - y)
+        if agent == 0:
+            return self.u1.value(own) - self.u1.value(other)
+        if agent == 1:
+            return self.u2.value(other) - self.u2.value(own)
+        raise ValueError(f"agent must be 0 or 1, got {agent}")
+
+    def si_margin(self, agent: int, x: float, y: float) -> float:
+        """``u_i(bundle) - u_i(C/2)`` at box point ``(x, y)`` (Eqs. 4-5)."""
+        half = (self.cx / 2.0, self.cy / 2.0)
+        if agent == 0:
+            return self.u1.value((x, y)) - self.u1.value(half)
+        if agent == 1:
+            bundle = (self.cx - x, self.cy - y)
+            return self.u2.value(bundle) - self.u2.value(half)
+        raise ValueError(f"agent must be 0 or 1, got {agent}")
+
+    def region_masks(
+        self, n_grid: int = 101
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Boolean grids over the box: (EF1, EF2, SI1, SI2, x-y meshgrid).
+
+        Returns masks evaluated on an ``n_grid x n_grid`` lattice with
+        agent 1's coordinates; used to regenerate the shaded regions of
+        Figs. 2, 6 and 7.
+        """
+        xs = np.linspace(0.0, self.cx, n_grid)
+        ys = np.linspace(0.0, self.cy, n_grid)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        ef1 = np.empty_like(grid_x, dtype=bool)
+        ef2 = np.empty_like(grid_x, dtype=bool)
+        si1 = np.empty_like(grid_x, dtype=bool)
+        si2 = np.empty_like(grid_x, dtype=bool)
+        for idx in np.ndindex(grid_x.shape):
+            x, y = float(grid_x[idx]), float(grid_y[idx])
+            ef1[idx] = self.envy_margin(0, x, y) >= -1e-12
+            ef2[idx] = self.envy_margin(1, x, y) >= -1e-12
+            si1[idx] = self.si_margin(0, x, y) >= -1e-12
+            si2[idx] = self.si_margin(1, x, y) >= -1e-12
+        return ef1, ef2, si1, si2, np.stack([grid_x, grid_y])
+
+    # ------------------------------------------------------------------
+    # Fair set: contract curve ∩ EF (∩ SI)
+    # ------------------------------------------------------------------
+
+    def _fair_margin(self, x: float, include_si: bool) -> float:
+        """Worst margin over the fairness constraints at contract point ``x``."""
+        y = float(self.contract_curve_y(np.asarray(x)))
+        margins = [self.envy_margin(0, x, y), self.envy_margin(1, x, y)]
+        if include_si:
+            margins.append(self.si_margin(0, x, y))
+            margins.append(self.si_margin(1, x, y))
+        return min(margins)
+
+    def fair_segment(
+        self, include_si: bool = False, n_scan: int = 2001
+    ) -> Optional[Tuple[float, float]]:
+        """Endpoints (in agent 1's resource-0 coordinate) of the fair set.
+
+        Scans the open contract curve for the sub-interval where both
+        agents' EF constraints (and optionally SI) hold, refining the
+        boundary points with Brent's method.  For Cobb-Douglas agents
+        the feasible set on the contract curve is a single interval and
+        always contains the REF point (which satisfies every
+        constraint), so the scan is seeded with it; when the interval
+        is degenerate (identical agents), the REF point itself is
+        returned as a zero-length segment.  Returns ``None`` only if
+        even the REF point fails the margin check numerically.
+        """
+        eps = self.cx * 1e-9
+        ref_x = float(proportional_elasticity(self.problem).shares[0, 0])
+        xs = np.unique(
+            np.concatenate([np.linspace(eps, self.cx - eps, n_scan), [ref_x]])
+        )
+        margins = np.array([self._fair_margin(float(x), include_si) for x in xs])
+        feasible = margins >= -1e-12
+        if not feasible.any():
+            return None
+        first, last = int(np.argmax(feasible)), int(len(xs) - 1 - np.argmax(feasible[::-1]))
+        lo, hi = float(xs[first]), float(xs[last])
+
+        def margin(x: float) -> float:
+            return self._fair_margin(x, include_si)
+
+        if first > 0 and margin(xs[first - 1]) < 0 < margin(xs[first]):
+            lo = float(brentq(margin, xs[first - 1], xs[first]))
+        if last < len(xs) - 1 and margin(xs[last + 1]) < 0 < margin(xs[last]):
+            hi = float(brentq(margin, xs[last], xs[last + 1]))
+        return lo, hi
+
+    def fair_allocations(
+        self, include_si: bool = False, n_points: int = 51
+    ) -> List[Allocation]:
+        """Sampled fair allocations along the contract curve (Fig. 6/7)."""
+        segment = self.fair_segment(include_si=include_si)
+        if segment is None:
+            return []
+        xs = np.linspace(segment[0], segment[1], n_points)
+        ys = self.contract_curve_y(xs)
+        allocations = []
+        for x, y in zip(xs, ys):
+            shares = np.array([[x, y], [self.cx - x, self.cy - y]])
+            allocations.append(
+                Allocation(problem=self.problem, shares=shares, mechanism="edgeworth_fair_set")
+            )
+        return allocations
+
+    # ------------------------------------------------------------------
+    # Canonical always-EF points (§3.2)
+    # ------------------------------------------------------------------
+
+    def trivially_envy_free_points(self) -> List[Tuple[float, float]]:
+        """The midpoint and the two zero-utility corners (always EF, §3.2)."""
+        return [
+            (self.cx / 2.0, self.cy / 2.0),
+            (0.0, self.cy),
+            (self.cx, 0.0),
+        ]

@@ -1,0 +1,176 @@
+"""Fitting Cobb-Douglas utilities to performance profiles (§4.4, Eq. 16).
+
+The paper derives each agent's utility function from performance profiles:
+measure IPC at several (cache size, memory bandwidth) allocations, apply a
+log transformation to linearize ``u = a0 * prod_r x_r**a_r`` into
+
+    log u = log a0 + sum_r a_r * log x_r
+
+and estimate the elasticities ``a_r`` with ordinary least squares.  Fit
+quality is summarized with the coefficient of determination (R²), which
+the paper reports per benchmark in Fig. 8a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .utility import CobbDouglasUtility
+
+__all__ = ["CobbDouglasFit", "fit_cobb_douglas"]
+
+#: Elasticities fitted below this value are clamped to it so the resulting
+#: utility stays inside the (strictly positive exponent) Cobb-Douglas domain.
+#: Near-zero or slightly negative fitted elasticities arise for workloads
+#: that are insensitive to a resource (the paper's "negligible variance"
+#: cases such as radiosity).
+MIN_ELASTICITY = 1e-6
+
+
+@dataclass(frozen=True)
+class CobbDouglasFit:
+    """Result of a least-squares Cobb-Douglas fit.
+
+    Attributes
+    ----------
+    utility:
+        The fitted :class:`~repro.core.utility.CobbDouglasUtility`
+        (with the fitted ``scale = a0``).
+    r_squared:
+        Coefficient of determination of the *log-space* regression, the
+        quantity Fig. 8a reports.  Approaches 1.0 as fit improves; near
+        zero when the profile has negligible variance for the model to
+        capture.
+    r_squared_linear:
+        R² computed in the original (IPC) space between measured and
+        predicted performance; a secondary diagnostic.
+    residuals:
+        Log-space residuals, one per profile sample.
+    n_samples:
+        Number of profile points used for the fit.
+    """
+
+    utility: CobbDouglasUtility
+    r_squared: float
+    r_squared_linear: float
+    residuals: np.ndarray = field(repr=False)
+    n_samples: int
+
+    @property
+    def elasticities(self) -> Tuple[float, ...]:
+        """Fitted raw (un-rescaled) elasticities."""
+        return self.utility.elasticities
+
+    @property
+    def rescaled_elasticities(self) -> np.ndarray:
+        """Elasticities re-scaled to sum to one (Eq. 12)."""
+        return self.utility.rescaled().alpha
+
+    def predict(self, allocations: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predicted performance for each allocation row."""
+        return np.array([self.utility.value(row) for row in np.atleast_2d(allocations)])
+
+
+def _r_squared(observed: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit.
+
+    When the observed data has zero variance the usual definition is
+    degenerate; we return 1.0 if the predictions are exact and 0.0
+    otherwise, matching the paper's treatment of no-trend benchmarks.
+    """
+    ss_tot = float(np.sum((observed - observed.mean()) ** 2))
+    ss_res = float(np.sum((observed - predicted) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_cobb_douglas(
+    allocations: Sequence[Sequence[float]],
+    performance: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> CobbDouglasFit:
+    """Fit a Cobb-Douglas utility to a performance profile (Eq. 16).
+
+    Parameters
+    ----------
+    allocations:
+        An ``(n_samples, n_resources)`` array-like of strictly positive
+        resource allocations — e.g. rows of (memory bandwidth GB/s,
+        cache size MB) from the 5x5 sweep of Table 1.
+    performance:
+        Strictly positive measured performance (IPC) per allocation row.
+    weights:
+        Optional non-negative per-sample weights for weighted least
+        squares (used by the online profiler to emphasize recent samples).
+
+    Returns
+    -------
+    CobbDouglasFit
+        Fitted utility plus goodness-of-fit diagnostics.
+
+    Raises
+    ------
+    ValueError
+        On shape mismatches, non-positive data, or fewer samples than
+        parameters (``n_resources + 1``).
+    """
+    x = np.asarray(allocations, dtype=float)
+    u = np.asarray(performance, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"allocations must be 2-D (samples x resources), got shape {x.shape}")
+    n_samples, n_resources = x.shape
+    if u.shape != (n_samples,):
+        raise ValueError(
+            f"performance must have one entry per allocation row: "
+            f"expected {n_samples}, got {u.shape}"
+        )
+    if n_samples < n_resources + 1:
+        raise ValueError(
+            f"need at least n_resources + 1 = {n_resources + 1} samples to fit, "
+            f"got {n_samples}"
+        )
+    if np.any(x <= 0):
+        raise ValueError("allocations must be strictly positive for the log transform")
+    if np.any(u <= 0):
+        raise ValueError("performance must be strictly positive for the log transform")
+
+    # Standard linear model after the log transformation (Eq. 16):
+    # columns are [1, log x_1, ..., log x_R].
+    design = np.column_stack([np.ones(n_samples), np.log(x)])
+    target = np.log(u)
+
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (n_samples,):
+            raise ValueError(f"weights must have shape ({n_samples},), got {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        sqrt_w = np.sqrt(w)
+        design = design * sqrt_w[:, None]
+        target = target * sqrt_w
+
+    coef, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    log_scale, alpha = coef[0], coef[1:]
+
+    # Clamp into the Cobb-Douglas domain (strictly positive exponents).
+    alpha = np.maximum(alpha, MIN_ELASTICITY)
+
+    utility = CobbDouglasUtility(alpha, scale=float(np.exp(log_scale)))
+
+    # Diagnostics are always computed on the unweighted data so that R²
+    # is comparable across weighted and unweighted fits.
+    plain_design = np.column_stack([np.ones(n_samples), np.log(x)])
+    log_target = np.log(u)
+    log_pred = plain_design @ np.concatenate([[log_scale], alpha])
+    residuals = log_target - log_pred
+    return CobbDouglasFit(
+        utility=utility,
+        r_squared=_r_squared(log_target, log_pred),
+        r_squared_linear=_r_squared(u, np.exp(log_pred)),
+        residuals=residuals,
+        n_samples=n_samples,
+    )

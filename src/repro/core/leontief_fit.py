@@ -1,0 +1,133 @@
+"""Fitting Leontief utilities to performance profiles — the hard road.
+
+§2's second argument for Cobb-Douglas: "since Leontief is concave
+piecewise-linear, fitting it would require non-convex optimization,
+which is computationally expensive and possibly NP-hard ... Fitting
+architectural performance to Leontief is equivalent to finding the
+demand vector for substitutable microarchitectural resources."
+
+This module makes that claim testable.  It fits
+``u = scale * min_r(x_r / d_r)`` by the best method available for a
+non-convex piecewise-linear family: search over demand-ratio space
+(log-spaced grid plus local refinement), with the scale solved in
+closed form per candidate.  Used by
+``benchmarks/bench_leontief_fit.py`` to compare goodness of fit — and
+fitting cost — against the one-shot least-squares Cobb-Douglas fit on
+the same profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .utility import LeontiefUtility
+
+__all__ = ["LeontiefFit", "fit_leontief"]
+
+
+@dataclass(frozen=True)
+class LeontiefFit:
+    """Result of a Leontief fit (two-resource, with affine head-room).
+
+    The fitted model is ``u = intercept + scale * min(x, ratio * y)`` —
+    deliberately *more* expressive than the paper's pure Leontief form,
+    so the comparison against Cobb-Douglas errs in Leontief's favour.
+    """
+
+    utility: LeontiefUtility
+    scale: float
+    intercept: float
+    r_squared: float
+    n_evaluations: int
+    residuals: np.ndarray = field(repr=False)
+
+    def predict(self, allocations: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predicted performance at each allocation row."""
+        rows = np.atleast_2d(np.asarray(allocations, dtype=float))
+        basis = np.minimum(
+            rows[:, 0] / self.utility.demands[0], rows[:, 1] / self.utility.demands[1]
+        )
+        return self.intercept + self.scale * basis
+
+
+def _evaluate(ratio: float, x: np.ndarray, u: np.ndarray) -> Tuple[float, float, float]:
+    """Best (intercept, scale) and SSE for ``u = c + s * min(x, ratio*y)``."""
+    basis = np.minimum(x[:, 0], ratio * x[:, 1])
+    design = np.column_stack([np.ones_like(basis), basis])
+    coef, _, _, _ = np.linalg.lstsq(design, u, rcond=None)
+    residual = u - design @ coef
+    return float(coef[0]), float(coef[1]), float(np.dot(residual, residual))
+
+
+def fit_leontief(
+    allocations: Sequence[Sequence[float]],
+    performance: Sequence[float],
+    n_grid: int = 200,
+    n_refinements: int = 3,
+) -> LeontiefFit:
+    """Fit a two-resource Leontief utility by demand-ratio search.
+
+    Parameters
+    ----------
+    allocations:
+        ``(n_samples, 2)`` strictly positive allocations.
+    performance:
+        Strictly positive measured performance per row.
+    n_grid:
+        Log-spaced candidate ratios per search pass.
+    n_refinements:
+        Zoom-in passes around the best ratio found.
+
+    Returns
+    -------
+    LeontiefFit
+        The best piecewise-linear fit found, its (linear-space) R², and
+        the number of candidate evaluations spent — the cost the paper
+        contrasts with one least-squares solve.
+    """
+    x = np.asarray(allocations, dtype=float)
+    u = np.asarray(performance, dtype=float)
+    if x.ndim != 2 or x.shape[1] != 2:
+        raise ValueError(f"allocations must be (n, 2), got shape {x.shape}")
+    if u.shape != (x.shape[0],):
+        raise ValueError("performance must have one entry per allocation row")
+    if np.any(x <= 0) or np.any(u <= 0):
+        raise ValueError("allocations and performance must be strictly positive")
+    if n_grid < 3 or n_refinements < 0:
+        raise ValueError("n_grid must be >= 3 and n_refinements >= 0")
+
+    # Ratio r in u = c + s * min(x, r*y): bracket by the data's aspects.
+    lo = float(np.min(x[:, 0] / x[:, 1])) / 10.0
+    hi = float(np.max(x[:, 0] / x[:, 1])) * 10.0
+    best = (1.0, 0.0, 1.0, np.inf)  # ratio, intercept, scale, sse
+    evaluations = 0
+    for _ in range(n_refinements + 1):
+        ratios = np.geomspace(lo, hi, n_grid)
+        for ratio in ratios:
+            intercept, scale, sse = _evaluate(float(ratio), x, u)
+            evaluations += 1
+            if sse < best[3]:
+                best = (float(ratio), intercept, scale, sse)
+        # Zoom around the incumbent.
+        step = (np.log(hi) - np.log(lo)) / (n_grid - 1)
+        lo = float(np.exp(np.log(best[0]) - 2 * step))
+        hi = float(np.exp(np.log(best[0]) + 2 * step))
+
+    best_ratio, intercept, scale, sse = best
+    # u = c + s * min(x / 1, y / (1/r)) -> demands (1, 1/r).
+    utility = LeontiefUtility((1.0, 1.0 / best_ratio))
+    predictions = intercept + scale * np.minimum(x[:, 0], best_ratio * x[:, 1])
+    residuals = u - predictions
+    ss_tot = float(np.sum((u - u.mean()) ** 2))
+    r_squared = 1.0 - sse / ss_tot if ss_tot > 0 else 0.0
+    return LeontiefFit(
+        utility=utility,
+        scale=scale,
+        intercept=intercept,
+        r_squared=r_squared,
+        n_evaluations=evaluations,
+        residuals=residuals,
+    )

@@ -1,0 +1,242 @@
+"""The REF proportional-elasticity allocation mechanism (§4, Eqs. 12-13).
+
+The mechanism's inputs are each agent's fitted Cobb-Douglas utility and
+the total capacity of each shared resource.  Its output is a closed-form
+allocation: re-scale each agent's elasticities so they sum to one
+(Eq. 12) and give each agent a share of every resource proportional to
+her re-scaled elasticity for it (Eq. 13):
+
+    x_ir = ( a_ir / sum_j a_jr ) * C_r
+
+This allocation coincides with the Nash bargaining solution and the
+Competitive Equilibrium from Equal Incomes, and therefore provides
+sharing incentives, envy-freeness and Pareto efficiency (§4.2), plus
+strategy-proofness in the large (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .utility import CobbDouglasUtility
+
+__all__ = [
+    "Agent",
+    "AllocationProblem",
+    "Allocation",
+    "proportional_elasticity",
+]
+
+
+@dataclass(frozen=True)
+class Agent:
+    """A user sharing the machine, identified by name, with fitted utility."""
+
+    name: str
+    utility: CobbDouglasUtility
+
+    @property
+    def rescaled_alpha(self) -> np.ndarray:
+        """The agent's elasticities re-scaled to sum to one (Eq. 12)."""
+        return self.utility.rescaled().alpha
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """An N-agent, R-resource fair-division instance.
+
+    Parameters
+    ----------
+    agents:
+        The users sharing the system, each with a Cobb-Douglas utility
+        over the same ``R`` resources.
+    capacities:
+        Total capacity ``C_r`` of each resource (e.g. ``(24.0, 12.0)``
+        for 24 GB/s of bandwidth and 12 MB of cache in the paper's
+        recurring example).
+    resource_names:
+        Optional human-readable labels, defaulting to ``r0, r1, ...``.
+    """
+
+    agents: Tuple[Agent, ...]
+    capacities: Tuple[float, ...]
+    resource_names: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        agents: Iterable[Agent],
+        capacities: Iterable[float],
+        resource_names: Optional[Iterable[str]] = None,
+    ):
+        agents = tuple(agents)
+        capacities = tuple(float(c) for c in capacities)
+        if not agents:
+            raise ValueError("an allocation problem needs at least one agent")
+        if not capacities:
+            raise ValueError("an allocation problem needs at least one resource")
+        if any(c <= 0 for c in capacities):
+            raise ValueError(f"capacities must be strictly positive, got {capacities}")
+        for agent in agents:
+            if agent.utility.n_resources != len(capacities):
+                raise ValueError(
+                    f"agent {agent.name!r} has a utility over "
+                    f"{agent.utility.n_resources} resources but the problem "
+                    f"has {len(capacities)}"
+                )
+        names = tuple(agent.name for agent in agents)
+        if len(set(names)) != len(names):
+            raise ValueError(f"agent names must be unique, got {names}")
+        if resource_names is None:
+            resource_names = tuple(f"r{r}" for r in range(len(capacities)))
+        else:
+            resource_names = tuple(resource_names)
+            if len(resource_names) != len(capacities):
+                raise ValueError(
+                    f"expected {len(capacities)} resource names, got {len(resource_names)}"
+                )
+        object.__setattr__(self, "agents", agents)
+        object.__setattr__(self, "capacities", capacities)
+        object.__setattr__(self, "resource_names", resource_names)
+
+    @property
+    def n_agents(self) -> int:
+        return len(self.agents)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.capacities)
+
+    @property
+    def capacity_vector(self) -> np.ndarray:
+        return np.asarray(self.capacities, dtype=float)
+
+    @property
+    def equal_split(self) -> np.ndarray:
+        """The equal division ``C / N`` each agent compares against for SI."""
+        return self.capacity_vector / self.n_agents
+
+    def rescaled_alpha_matrix(self) -> np.ndarray:
+        """``(N, R)`` matrix of re-scaled elasticities, one row per agent."""
+        return np.vstack([agent.rescaled_alpha for agent in self.agents])
+
+    def raw_alpha_matrix(self) -> np.ndarray:
+        """``(N, R)`` matrix of raw (as-fitted) elasticities."""
+        return np.vstack([agent.utility.alpha for agent in self.agents])
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A concrete division of the machine among the problem's agents.
+
+    ``shares[i, r]`` is the amount of resource ``r`` given to agent ``i``
+    (same agent order as ``problem.agents``).
+    """
+
+    problem: AllocationProblem
+    shares: np.ndarray = field(repr=False)
+    mechanism: str = "unspecified"
+
+    def __post_init__(self) -> None:
+        shares = np.asarray(self.shares, dtype=float)
+        expected = (self.problem.n_agents, self.problem.n_resources)
+        if shares.shape != expected:
+            raise ValueError(f"shares must have shape {expected}, got {shares.shape}")
+        if np.any(shares < -1e-12):
+            raise ValueError("shares must be non-negative")
+        object.__setattr__(self, "shares", shares)
+
+    def __getitem__(self, agent_name: str) -> np.ndarray:
+        """Allocation vector for the named agent."""
+        for i, agent in enumerate(self.problem.agents):
+            if agent.name == agent_name:
+                return self.shares[i]
+        raise KeyError(f"no agent named {agent_name!r}")
+
+    def utilities(self) -> np.ndarray:
+        """Each agent's utility of her own bundle, in agent order."""
+        return np.array(
+            [agent.utility.value(self.shares[i]) for i, agent in enumerate(self.problem.agents)]
+        )
+
+    def fractions(self) -> np.ndarray:
+        """Shares normalized by total capacity (rows of per-resource fractions)."""
+        return self.shares / self.problem.capacity_vector
+
+    def is_feasible(self, tol: float = 1e-9) -> bool:
+        """True when per-resource totals do not exceed capacity."""
+        totals = self.shares.sum(axis=0)
+        return bool(np.all(totals <= self.problem.capacity_vector * (1 + tol)))
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested ``{agent: {resource: amount}}`` mapping for reporting."""
+        return {
+            agent.name: {
+                name: float(self.shares[i, r])
+                for r, name in enumerate(self.problem.resource_names)
+            }
+            for i, agent in enumerate(self.problem.agents)
+        }
+
+    def summary(self) -> str:
+        """Human-readable allocation table (used by examples and benches)."""
+        lines: List[str] = []
+        header = f"{'agent':<20}" + "".join(
+            f"{name:>14}" for name in self.problem.resource_names
+        )
+        lines.append(header)
+        for i, agent in enumerate(self.problem.agents):
+            row = f"{agent.name:<20}" + "".join(
+                f"{self.shares[i, r]:>14.4f}" for r in range(self.problem.n_resources)
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def proportional_elasticity(
+    problem: AllocationProblem, weights: Optional[Sequence[float]] = None
+) -> Allocation:
+    """Compute the REF allocation in closed form (Eq. 13).
+
+    Each agent receives, for every resource, a share of total capacity
+    proportional to her re-scaled elasticity for that resource:
+
+        x_ir = ( a^_ir / sum_j a^_jr ) * C_r
+
+    The computation is O(N * R) — the "computationally trivial" property
+    the paper contrasts with geometric-programming alternatives (§5.5).
+
+    Parameters
+    ----------
+    problem:
+        The fair-division instance.
+    weights:
+        Optional strictly positive per-agent priorities.  Equal weights
+        (the default) give CEEI / the paper's mechanism; unequal weights
+        give the natural priority-class generalization — equivalent to
+        a competitive equilibrium from *unequal* incomes, so PE is
+        retained while SI/EF hold between equal-weight agents only.
+
+    Returns
+    -------
+    Allocation
+        With default weights: the fair allocation, provably satisfying
+        SI, EF, PE and SPL for Cobb-Douglas agents.
+    """
+    alpha = problem.rescaled_alpha_matrix()
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (problem.n_agents,):
+            raise ValueError(
+                f"weights must have one entry per agent ({problem.n_agents}), "
+                f"got shape {w.shape}"
+            )
+        if np.any(w <= 0):
+            raise ValueError("weights must be strictly positive")
+        alpha = alpha * w[:, None]
+    denom = alpha.sum(axis=0)
+    shares = alpha / denom * problem.capacity_vector
+    mechanism = "proportional_elasticity" if weights is None else "weighted_proportional_elasticity"
+    return Allocation(problem=problem, shares=shares, mechanism=mechanism)

@@ -1,0 +1,211 @@
+"""Game-theoretic property checkers: SI, EF, PE (§3, Eq. 11).
+
+The paper defines a fair allocation by three properties:
+
+* **Sharing incentives (SI)** — every agent weakly prefers her bundle to
+  the equal split ``C / N`` (Eq. 3).
+* **Envy-freeness (EF)** — no agent strictly prefers another agent's
+  bundle to her own (§3.2).
+* **Pareto efficiency (PE)** — no feasible reallocation makes someone
+  strictly better off without making someone else worse off; for
+  interior Cobb-Douglas allocations this is equivalent to all agents
+  having equal marginal rates of substitution (§3.3, Eq. 10).
+
+These checkers are used by the tests to certify REF allocations and by
+the evaluation benches to demonstrate, as in Figs. 10-12, that the
+equal-slowdown mechanism violates SI and EF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .mechanism import Allocation
+
+__all__ = [
+    "sharing_incentive_margins",
+    "satisfies_sharing_incentives",
+    "envy_matrix",
+    "is_envy_free",
+    "mrs_spread",
+    "is_pareto_efficient",
+    "unfairness_index",
+    "FairnessReport",
+    "check_fairness",
+]
+
+#: Default relative tolerance for property checks.  Property violations in
+#: the paper's counterexamples are orders of magnitude larger than this.
+DEFAULT_RTOL = 1e-6
+
+
+def sharing_incentive_margins(allocation: Allocation) -> np.ndarray:
+    """Per-agent SI margin: ``u_i(x_i) / u_i(C/N) - 1``.
+
+    Positive margins mean the agent strictly gains from sharing; a
+    negative margin is an SI violation (the agent would rather take the
+    equal split).
+    """
+    problem = allocation.problem
+    equal = problem.equal_split
+    margins = np.empty(problem.n_agents)
+    for i, agent in enumerate(problem.agents):
+        u_equal = agent.utility.value(equal)
+        u_own = agent.utility.value(allocation.shares[i])
+        margins[i] = u_own / u_equal - 1.0
+    return margins
+
+
+def satisfies_sharing_incentives(allocation: Allocation, rtol: float = DEFAULT_RTOL) -> bool:
+    """True when every agent weakly prefers her bundle to ``C / N`` (Eq. 3)."""
+    return bool(np.all(sharing_incentive_margins(allocation) >= -rtol))
+
+
+def envy_matrix(allocation: Allocation) -> np.ndarray:
+    """``(N, N)`` matrix ``E[i, j] = u_i(x_j) / u_i(x_i) - 1``.
+
+    ``E[i, j] > 0`` means agent ``i`` envies agent ``j`` — she would be
+    strictly happier with ``j``'s bundle.  The diagonal is zero.
+    """
+    problem = allocation.problem
+    n = problem.n_agents
+    matrix = np.zeros((n, n))
+    for i, agent in enumerate(problem.agents):
+        u_own = agent.utility.value(allocation.shares[i])
+        for j in range(n):
+            if i == j:
+                continue
+            u_other = agent.utility.value(allocation.shares[j])
+            if u_own == 0.0:
+                # Zero own-utility: the agent envies any bundle she values.
+                matrix[i, j] = np.inf if u_other > 0 else 0.0
+            else:
+                matrix[i, j] = u_other / u_own - 1.0
+    return matrix
+
+
+def is_envy_free(allocation: Allocation, rtol: float = DEFAULT_RTOL) -> bool:
+    """True when no agent strictly prefers another agent's bundle (§3.2)."""
+    return bool(np.all(envy_matrix(allocation) <= rtol))
+
+
+def mrs_spread(allocation: Allocation) -> float:
+    """Maximum disagreement in marginal rates of substitution across agents.
+
+    For each agent we form the normalized utility-gradient direction
+    ``g_ir = a_ir / x_ir`` (the Cobb-Douglas gradient up to the positive
+    factor ``u_i``); PE at an interior allocation requires all agents'
+    directions to coincide (the tangency condition of Eq. 10).  Returns
+    the maximum relative deviation of any agent's direction from the
+    mean direction; zero (up to floating point) at PE allocations.
+
+    Raises
+    ------
+    ValueError
+        If any agent holds a zero amount of some resource (the gradient
+        direction is undefined at the boundary).
+    """
+    problem = allocation.problem
+    if np.any(allocation.shares <= 0):
+        raise ValueError(
+            "MRS spread is only defined for interior allocations "
+            "(all shares strictly positive)"
+        )
+    directions = np.empty_like(allocation.shares)
+    for i, agent in enumerate(problem.agents):
+        grad = agent.utility.alpha / allocation.shares[i]
+        directions[i] = grad / grad.sum()
+    mean_dir = directions.mean(axis=0)
+    return float(np.max(np.abs(directions - mean_dir) / mean_dir))
+
+
+def is_pareto_efficient(allocation: Allocation, rtol: float = 1e-4) -> bool:
+    """True when the interior allocation satisfies the PE tangency condition.
+
+    Checks that every agent's marginal rate of substitution agrees for
+    every pair of resources (Eq. 10).  The tolerance is looser than the
+    SI/EF checks because numeric optimizers only equalize MRS values to
+    their convergence tolerance.
+    """
+    if np.any(allocation.shares <= 0):
+        # Boundary allocations can be PE (the Edgeworth-box origins) but
+        # are never produced by the mechanisms we evaluate; report False
+        # so callers treat them as needing manual analysis.
+        return False
+    return mrs_spread(allocation) <= rtol
+
+
+def unfairness_index(allocation: Allocation) -> float:
+    """Max-over-min weighted-utility ratio (the prior-work unfairness index).
+
+    Prior memory-scheduling work considers an allocation fair when every
+    agent suffers the same slowdown, i.e. when this index is 1.0 (§6).
+    Uses weighted utility ``U_i = u_i(x_i) / u_i(C)`` as the slowdown
+    proxy, exactly as §5.5 does.
+    """
+    problem = allocation.problem
+    capacity = problem.capacity_vector
+    weighted = np.array(
+        [
+            agent.utility.value(allocation.shares[i]) / agent.utility.value(capacity)
+            for i, agent in enumerate(problem.agents)
+        ]
+    )
+    if np.any(weighted == 0):
+        return float("inf")
+    return float(weighted.max() / weighted.min())
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Aggregate result of checking SI, EF and PE for one allocation."""
+
+    sharing_incentives: bool
+    envy_free: bool
+    pareto_efficient: bool
+    si_margins: np.ndarray
+    envy: np.ndarray
+    mrs_disagreement: Optional[float]
+
+    @property
+    def is_fair(self) -> bool:
+        """Fair in the game-theoretic sense: EF and PE (§3) plus SI."""
+        return self.sharing_incentives and self.envy_free and self.pareto_efficient
+
+    def summary(self) -> str:
+        """One-line-per-property report used by examples and benches."""
+        lines: List[str] = [
+            f"sharing incentives : {'PASS' if self.sharing_incentives else 'VIOLATED'}"
+            f"  (worst margin {self.si_margins.min():+.4f})",
+            f"envy-freeness      : {'PASS' if self.envy_free else 'VIOLATED'}"
+            f"  (worst envy {np.max(self.envy):+.4f})",
+        ]
+        if self.mrs_disagreement is None:
+            lines.append("pareto efficiency  : UNDEFINED (boundary allocation)")
+        else:
+            lines.append(
+                f"pareto efficiency  : {'PASS' if self.pareto_efficient else 'VIOLATED'}"
+                f"  (MRS spread {self.mrs_disagreement:.2e})"
+            )
+        return "\n".join(lines)
+
+
+def check_fairness(
+    allocation: Allocation,
+    rtol: float = DEFAULT_RTOL,
+    pe_rtol: float = 1e-4,
+) -> FairnessReport:
+    """Evaluate all three fairness properties for an allocation."""
+    interior = bool(np.all(allocation.shares > 0))
+    disagreement = mrs_spread(allocation) if interior else None
+    return FairnessReport(
+        sharing_incentives=satisfies_sharing_incentives(allocation, rtol),
+        envy_free=is_envy_free(allocation, rtol),
+        pareto_efficient=(disagreement is not None and disagreement <= pe_rtol),
+        si_margins=sharing_incentive_margins(allocation),
+        envy=envy_matrix(allocation),
+        mrs_disagreement=disagreement,
+    )

@@ -1,0 +1,83 @@
+"""Weighted utility and system-welfare metrics (§4.5, Eq. 17).
+
+To compare allocation mechanisms, the paper adapts the architecture
+community's *weighted progress* metric: each agent's utility under the
+shared allocation is divided by her utility when given the whole
+machine, ``U_i(x_i) = u_i(x_i) / u_i(C)``.  Summing over agents gives
+*weighted system throughput* (Eq. 17), the y-axis of Figs. 13-14.  The
+same normalized quantity doubles as the "slowdown" the equal-slowdown
+mechanism equalizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .mechanism import Allocation, AllocationProblem
+
+__all__ = [
+    "weighted_utility",
+    "weighted_utilities",
+    "weighted_system_throughput",
+    "nash_welfare",
+    "egalitarian_welfare",
+]
+
+
+def weighted_utility(
+    problem: AllocationProblem, agent_index: int, bundle: Sequence[float]
+) -> float:
+    """``U_i(x) = u_i(x) / u_i(C)`` for one agent and bundle (§4.5).
+
+    ``U_i`` is dimensionless and lies in ``[0, 1]`` for any feasible
+    bundle because Cobb-Douglas utilities are monotone: no bundle beats
+    owning the whole machine.
+    """
+    agent = problem.agents[agent_index]
+    u_full = agent.utility.value(problem.capacity_vector)
+    if u_full == 0.0:
+        raise ZeroDivisionError(
+            f"agent {agent.name!r} derives zero utility from the full machine"
+        )
+    return agent.utility.value(bundle) / u_full
+
+
+def weighted_utilities(allocation: Allocation) -> np.ndarray:
+    """Vector of ``U_i(x_i)`` for all agents, in agent order."""
+    problem = allocation.problem
+    return np.array(
+        [
+            weighted_utility(problem, i, allocation.shares[i])
+            for i in range(problem.n_agents)
+        ]
+    )
+
+
+def weighted_system_throughput(allocation: Allocation) -> float:
+    """Weighted system throughput: ``sum_i U_i(x_i)`` (Eq. 17).
+
+    This is the metric reported on the y-axis of Figs. 13 and 14.  An
+    ideal (infeasible) value of ``N`` would mean every agent performs as
+    if she owned the whole machine.
+    """
+    return float(weighted_utilities(allocation).sum())
+
+
+def nash_welfare(allocation: Allocation) -> float:
+    """Nash social welfare: ``prod_i U_i(x_i)`` (§5.5).
+
+    The quantity the max-welfare mechanisms maximize; tractable because
+    its log is concave in log-allocations.
+    """
+    return float(np.prod(weighted_utilities(allocation)))
+
+
+def egalitarian_welfare(allocation: Allocation) -> float:
+    """Egalitarian welfare: ``min_i U_i(x_i)`` (§4.5).
+
+    Maximizing this max-min objective without fairness constraints is
+    the paper's formalization of the equal-slowdown mechanism.
+    """
+    return float(weighted_utilities(allocation).min())

@@ -1,0 +1,12 @@
+"""Dynamic reallocation: on-line profiling driving per-epoch REF (§4.4)."""
+
+from .controller import ControllerResult, DynamicAllocator, EpochRecord
+from .phases import Phase, PhasedWorkload
+
+__all__ = [
+    "ControllerResult",
+    "DynamicAllocator",
+    "EpochRecord",
+    "Phase",
+    "PhasedWorkload",
+]

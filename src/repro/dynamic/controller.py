@@ -1,0 +1,195 @@
+"""Epoch-based dynamic reallocation: on-line profiling driving REF.
+
+Implements the loop §4.4 sketches: "As the system allocates for this
+utility, the user profiles software performance.  And as profiles are
+accumulated for varied allocations, the user adapts its utility
+function."
+
+Every epoch the controller
+
+1. collects each agent's currently reported elasticities (naive
+   ``x^0.5 y^0.5`` until the on-line profiler has enough samples),
+2. computes the REF allocation for the reports (closed form, so the
+   per-epoch control cost is negligible),
+3. lets each agent run one epoch at its allocation — measured on the
+   analytic machine with optional noise — plus a configurable number of
+   log-uniform exploration measurements, and
+4. feeds the observations back into the agents' profilers.
+
+With per-sample weight decay the controller tracks *phase changes*
+(:class:`~repro.dynamic.phases.PhasedWorkload`), re-converging to each
+phase's fair allocation a few epochs after every switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.mechanism import Agent, Allocation, AllocationProblem, proportional_elasticity
+from ..profiling.online import OnlineProfiler
+from ..sim.analytic import AnalyticMachine
+
+__all__ = ["EpochRecord", "ControllerResult", "DynamicAllocator"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything observed during one epoch."""
+
+    epoch: int
+    reported_alpha: Dict[str, np.ndarray]
+    allocation: Allocation
+    measured_ipc: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class ControllerResult:
+    """The full run history."""
+
+    records: Tuple[EpochRecord, ...] = field(repr=False)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.records)
+
+    def reported_series(self, agent: str, resource: int = 1) -> np.ndarray:
+        """One agent's reported elasticity for a resource, per epoch."""
+        return np.array([record.reported_alpha[agent][resource] for record in self.records])
+
+    def allocation_series(self, agent: str, resource: int) -> np.ndarray:
+        """One agent's allocated amount of a resource, per epoch."""
+        return np.array(
+            [record.allocation[agent][resource] for record in self.records]
+        )
+
+    def ipc_series(self, agent: str) -> np.ndarray:
+        return np.array([record.measured_ipc[agent] for record in self.records])
+
+
+class DynamicAllocator:
+    """Closed-loop on-line profiling + REF reallocation.
+
+    Parameters
+    ----------
+    workloads:
+        Agent name -> workload; either a static
+        :class:`~repro.workloads.spec.WorkloadSpec` or a
+        :class:`~repro.dynamic.phases.PhasedWorkload`.
+    capacities:
+        (bandwidth GB/s, cache KB) shared by the agents.
+    decay:
+        On-line profiler sample decay; < 1 makes the controller track
+        phase changes (old evidence ages out).
+    exploration_samples:
+        Extra log-uniform measurements per agent per epoch; at least
+        one is needed for the regression to stay identified.
+    noise_sigma:
+        Measurement noise applied to every IPC observation.
+    machine:
+        Performance model used as ground truth; defaults to the
+        analytic machine.
+    """
+
+    #: Lower bounds keeping exploration inside the profiled regime.
+    MIN_BANDWIDTH_GBPS = 0.4
+    MIN_CACHE_KB = 64.0
+
+    def __init__(
+        self,
+        workloads: Dict[str, object],
+        capacities: Tuple[float, float],
+        decay: float = 0.85,
+        exploration_samples: int = 2,
+        noise_sigma: float = 0.01,
+        machine: Optional[AnalyticMachine] = None,
+        seed: int = 0,
+    ):
+        if not workloads:
+            raise ValueError("at least one agent is required")
+        if exploration_samples < 1:
+            raise ValueError("exploration_samples must be >= 1 to keep fits identified")
+        if any(c <= 0 for c in capacities):
+            raise ValueError(f"capacities must be positive, got {capacities}")
+        self.workloads = dict(workloads)
+        self.capacities = (float(capacities[0]), float(capacities[1]))
+        self.exploration_samples = exploration_samples
+        self.noise_sigma = noise_sigma
+        self.machine = machine if machine is not None else AnalyticMachine()
+        self._rng = np.random.default_rng(seed)
+        self._profilers = {
+            name: OnlineProfiler(n_resources=2, decay=decay) for name in self.workloads
+        }
+
+    # ------------------------------------------------------------------
+
+    def _spec_at(self, workload, epoch: int):
+        """Resolve phased workloads to the epoch's active behaviour."""
+        spec_at = getattr(workload, "spec_at", None)
+        return spec_at(epoch) if callable(spec_at) else workload
+
+    def _measure(self, spec, bandwidth: float, cache_kb: float) -> float:
+        ipc = self.machine.ipc(spec, cache_kb, bandwidth)
+        if self.noise_sigma > 0:
+            ipc *= float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+        return float(ipc)
+
+    def _explore(self, spec, profiler: OnlineProfiler) -> None:
+        for _ in range(self.exploration_samples):
+            bandwidth = float(
+                np.exp(
+                    self._rng.uniform(
+                        np.log(self.MIN_BANDWIDTH_GBPS), np.log(self.capacities[0])
+                    )
+                )
+            )
+            cache_kb = float(
+                np.exp(
+                    self._rng.uniform(np.log(self.MIN_CACHE_KB), np.log(self.capacities[1]))
+                )
+            )
+            profiler.observe((bandwidth, cache_kb), self._measure(spec, bandwidth, cache_kb))
+
+    def step(self, epoch: int) -> EpochRecord:
+        """Run one epoch: allocate on current reports, measure, update."""
+        agents = [
+            Agent(name, self._profilers[name].utility) for name in self.workloads
+        ]
+        problem = AllocationProblem(
+            agents, self.capacities, ("membw_gbps", "cache_kb")
+        )
+        allocation = proportional_elasticity(problem)
+
+        measured: Dict[str, float] = {}
+        reported: Dict[str, np.ndarray] = {}
+        for index, (name, workload) in enumerate(self.workloads.items()):
+            spec = self._spec_at(workload, epoch)
+            bandwidth, cache_kb = allocation.shares[index]
+            # Clamp the observed operating point to the model's valid
+            # region: transient mis-fits can starve an agent toward a
+            # zero share, and log-space leverage points there would
+            # poison the regression (a feedback spiral).  Real systems
+            # enforce minimum allocations for the same reason.
+            bandwidth = max(bandwidth, self.MIN_BANDWIDTH_GBPS)
+            cache_kb = max(cache_kb, self.MIN_CACHE_KB)
+            ipc = self._measure(spec, bandwidth, cache_kb)
+            measured[name] = ipc
+            profiler = self._profilers[name]
+            reported[name] = profiler.report_elasticities().copy()
+            profiler.observe((bandwidth, cache_kb), ipc)
+            self._explore(spec, profiler)
+        return EpochRecord(
+            epoch=epoch,
+            reported_alpha=reported,
+            allocation=allocation,
+            measured_ipc=measured,
+        )
+
+    def run(self, n_epochs: int) -> ControllerResult:
+        """Run the closed loop for ``n_epochs``; returns the history."""
+        if n_epochs <= 0:
+            raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+        records = [self.step(epoch) for epoch in range(n_epochs)]
+        return ControllerResult(records=tuple(records))

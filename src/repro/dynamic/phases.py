@@ -1,0 +1,78 @@
+"""Phase-changing workloads: the setting on-line profiling exists for.
+
+§4.4's on-line profiler is motivated by software whose resource
+preferences are unknown — and, in practice, change: applications move
+between phases (e.g. a build phase that streams input, then a compute
+phase that lives in cache).  A :class:`PhasedWorkload` strings together
+existing :class:`~repro.workloads.spec.WorkloadSpec` behaviours with
+epoch-granularity durations, giving the dynamic allocation controller
+something real to chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["Phase", "PhasedWorkload"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a workload behaviour held for a number of epochs."""
+
+    spec: object
+    epochs: int
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"phase duration must be positive, got {self.epochs}")
+
+
+@dataclass(frozen=True)
+class PhasedWorkload:
+    """A workload whose behaviour switches between phases over time.
+
+    The phase sequence repeats cyclically, modelling iterative
+    applications (e.g. MapReduce rounds alternating map-like and
+    reduce-like behaviour).
+    """
+
+    name: str
+    phases: Tuple[Phase, ...]
+
+    def __init__(self, name: str, phases: Sequence[Phase]):
+        phases = tuple(phases)
+        if not name:
+            raise ValueError("workload name must be non-empty")
+        if not phases:
+            raise ValueError("at least one phase is required")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "phases", phases)
+
+    @property
+    def cycle_epochs(self) -> int:
+        """Total epochs in one trip through the phase sequence."""
+        return sum(phase.epochs for phase in self.phases)
+
+    def spec_at(self, epoch: int):
+        """The active behaviour during the given (0-based) epoch."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        position = epoch % self.cycle_epochs
+        for phase in self.phases:
+            if position < phase.epochs:
+                return phase.spec
+            position -= phase.epochs
+        raise AssertionError("unreachable: phase walk exhausted")  # pragma: no cover
+
+    def phase_boundaries(self, n_epochs: int) -> List[int]:
+        """Epochs at which the active phase changes, within a horizon."""
+        boundaries = []
+        previous = self.spec_at(0)
+        for epoch in range(1, n_epochs):
+            current = self.spec_at(epoch)
+            if current is not previous:
+                boundaries.append(epoch)
+                previous = current
+        return boundaries

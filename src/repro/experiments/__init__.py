@@ -1,0 +1,28 @@
+"""First-class experiments: every paper artifact, regenerable by id.
+
+Importing this package registers all experiments; run them via
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("fig13")
+>>> print(result.text)
+
+or from the shell: ``python -m repro reproduce fig13``.
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    edgeworth_box,
+    elasticities,
+    fit_quality,
+    mechanism_examples,
+    platform_table,
+    strategic,
+    throughput,
+)
+from .base import EXPERIMENTS, ExperimentResult, list_experiments, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,71 @@
+"""Experiment registry: every paper artifact as a first-class object.
+
+Each module in :mod:`repro.experiments` regenerates one of the paper's
+figures or tables and registers it here.  An experiment is a callable
+taking an optional shared :class:`~repro.profiling.OfflineProfiler`
+(so suites of experiments reuse one profile cache) and returning an
+:class:`ExperimentResult` — the artifact's identity plus the regenerated
+rows as text and as structured data.
+
+Consumers:
+
+* the benchmark harness (`benchmarks/bench_*.py`) wraps each experiment
+  in pytest-benchmark and stores its text under `benchmarks/results/`;
+* the CLI (``python -m repro reproduce <id>``) runs one or all of them
+  interactively;
+* tests assert registry completeness and per-experiment invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "experiment", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.text.strip():
+            raise ValueError(f"experiment {self.experiment_id} produced empty output")
+
+
+#: Registry: experiment id -> callable(profiler=None) -> ExperimentResult.
+EXPERIMENTS: Dict[str, Callable] = {}
+
+
+def experiment(experiment_id: str):
+    """Class-of-one decorator registering an experiment function."""
+
+    def register(fn: Callable) -> Callable:
+        if experiment_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = fn
+        fn.experiment_id = experiment_id
+        return fn
+
+    return register
+
+
+def run_experiment(experiment_id: str, profiler=None) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    return fn(profiler=profiler)
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,93 @@
+"""Experiment: Figs. 1-7 — the Edgeworth-box geometry of the §3 example."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import EdgeworthBox, proportional_elasticity
+from ..core.mechanism import Agent, AllocationProblem
+from ..core.utility import CobbDouglasUtility, LeontiefUtility
+from .base import ExperimentResult, experiment
+
+__all__ = ["paper_box", "fig01_07_edgeworth"]
+
+
+def paper_box() -> EdgeworthBox:
+    """The recurring example: Eq. 2 utilities on 24 GB/s + 12 MB."""
+    problem = AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+        resource_names=("membw_gbps", "cache_mb"),
+    )
+    return EdgeworthBox(problem)
+
+
+@experiment("fig1-7")
+def fig01_07_edgeworth(profiler=None) -> ExperimentResult:
+    """Regenerate the geometry behind Figs. 1-7.
+
+    Computes the feasible box, EF/SI region areas, Cobb-Douglas vs
+    Leontief MRS values, the contract curve, and the fair segments with
+    and without SI — plus the REF point's membership in the fair set.
+    """
+    box = paper_box()
+    lines = ["=== Figs. 1-7: Edgeworth box, u1 = x^0.6 y^0.4, u2 = x^0.2 y^0.8 ==="]
+
+    # Fig. 1: the box.
+    lines.append(f"box: {box.cx} GB/s wide x {box.cy} MB tall")
+    lines.append("example point: user1 (6 GB/s, 8 MB) -> user2 (18 GB/s, 4 MB)")
+
+    # Fig. 2: EF region areas (fraction of the box).
+    ef1, ef2, si1, si2, _ = box.region_masks(n_grid=101)
+    lines.append(f"EF region area, user1: {ef1.mean():.3f} of box (Fig. 2a)")
+    lines.append(f"EF region area, user2: {ef2.mean():.3f} of box (Fig. 2b)")
+    lines.append(f"EF1 ∩ EF2 area: {np.mean(ef1 & ef2):.3f} of box")
+    lines.append(f"SI region area, user1: {si1.mean():.3f}, user2: {si2.mean():.3f} (Fig. 7)")
+
+    # Fig. 3/4: MRS at the worked point, Cobb-Douglas vs Leontief.
+    mrs = box.u1.marginal_rate_of_substitution([6.0, 8.0])
+    lines.append(f"Cobb-Douglas MRS for user1 at (6, 8): {mrs:.3f} (Eq. 9: 0.6/0.4 * 8/6)")
+    leontief = LeontiefUtility((1.0, 0.5))
+    lines.append(
+        "Leontief MRS (Fig. 4): "
+        f"{leontief.marginal_rate_of_substitution([2.0, 10.0])} above the kink, "
+        f"{leontief.marginal_rate_of_substitution([10.0, 2.0])} below"
+    )
+
+    # Fig. 5: contract curve samples.
+    curve = box.contract_curve(n_points=7)
+    samples = ", ".join(f"({x:.1f}, {y:.2f})" for x, y in zip(curve.x, curve.y))
+    lines.append(f"contract curve (x1, y1) samples: {samples}")
+
+    # Figs. 6-7: fair segments.
+    ef_segment = box.fair_segment(include_si=False)
+    si_segment = box.fair_segment(include_si=True)
+    lines.append(
+        f"fair set on contract curve (EF+PE, Fig. 6): "
+        f"x1 in [{ef_segment[0]:.3f}, {ef_segment[1]:.3f}] GB/s"
+    )
+    lines.append(
+        f"fair set with SI (Fig. 7):                 "
+        f"x1 in [{si_segment[0]:.3f}, {si_segment[1]:.3f}] GB/s"
+    )
+
+    ref = proportional_elasticity(box.problem)
+    ref_inside = bool(si_segment[0] <= ref.shares[0, 0] <= si_segment[1])
+    lines.append(
+        f"REF allocation: user1 ({ref.shares[0, 0]:.1f} GB/s, {ref.shares[0, 1]:.1f} MB) "
+        f"— inside the Fig. 7 fair set: {ref_inside}"
+    )
+    return ExperimentResult(
+        experiment_id="fig1-7",
+        title="Figs. 1-7: Edgeworth-box geometry",
+        text="\n".join(lines),
+        data={
+            "ef_segment": ef_segment,
+            "si_segment": si_segment,
+            "ref_point": tuple(ref.shares[0]),
+            "ref_inside_fair_set": ref_inside,
+        },
+    )

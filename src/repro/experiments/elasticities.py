@@ -1,0 +1,79 @@
+"""Experiments: Fig. 9 and Table 2 — elasticities and characterization."""
+
+from __future__ import annotations
+
+from ..core import classify_many
+from ..profiling import OfflineProfiler
+from ..workloads import BENCHMARK_ORDER, BENCHMARKS, MIXES
+from .base import ExperimentResult, experiment
+
+__all__ = ["fig09_elasticities", "table2_mixes"]
+
+
+def _profiler(profiler) -> OfflineProfiler:
+    return profiler if profiler is not None else OfflineProfiler()
+
+
+@experiment("fig9")
+def fig09_elasticities(profiler=None) -> ExperimentResult:
+    """Re-scaled elasticities and C/M groups for all benchmarks (Fig. 9)."""
+    profiler = _profiler(profiler)
+    prefs = classify_many(profiler.fit_suite())
+    lines = ["=== Fig. 9: re-scaled elasticities (cache vs memory bandwidth) ==="]
+    lines.append(f"{'benchmark':<20} {'a_cache':>8} {'a_mem':>8} {'group':>6} {'paper':>6}")
+    mismatches = 0
+    groups = {}
+    for name in BENCHMARK_ORDER:
+        pref = prefs[name]
+        expected = BENCHMARKS[name].expected_group
+        match = pref.group.value == expected
+        mismatches += 0 if match else 1
+        groups[name] = pref.group.value
+        flag = "" if match else "  <-- MISMATCH"
+        lines.append(
+            f"{name:<20} {pref.cache_elasticity:>8.3f} {pref.memory_elasticity:>8.3f} "
+            f"{pref.group.value:>6} {expected:>6}{flag}"
+        )
+    n_c = sum(1 for g in groups.values() if g == "C")
+    lines.append(
+        f"\ngroups: {n_c} C, {len(groups) - n_c} M; mismatches vs Table 2: {mismatches}"
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Fig. 9: re-scaled elasticities",
+        text="\n".join(lines),
+        data={"groups": groups, "mismatches": mismatches},
+    )
+
+
+@experiment("table2")
+def table2_mixes(profiler=None) -> ExperimentResult:
+    """Table 2 rows with measured C/M counts cross-checked."""
+    profiler = _profiler(profiler)
+    prefs = classify_many(profiler.fit_suite())
+    lines = ["=== Table 2: workload characterization ==="]
+    lines.append(f"{'mix':<6} {'members':<72} {'paper':>7} {'measured':>9}")
+    mismatches = 0
+    measured_all = {}
+    for mix in MIXES.values():
+        measured_c = sum(1 for m in mix.members if prefs[m].group.value == "C")
+        measured_m = mix.n_agents - measured_c
+        measured = (
+            f"{measured_c}C-{measured_m}M" if measured_c and measured_m
+            else (f"{measured_c}C" if measured_c else f"{measured_m}M")
+        )
+        measured_all[mix.name] = measured
+        match = measured == mix.characterization
+        mismatches += 0 if match else 1
+        members = ", ".join(mix.members)
+        lines.append(
+            f"{mix.name:<6} {members:<72} {mix.characterization:>7} {measured:>9}"
+            f"{'' if match else '  <-- MISMATCH'}"
+        )
+    lines.append(f"\nmismatches vs Table 2: {mismatches}")
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table 2: workload characterization",
+        text="\n".join(lines),
+        data={"measured": measured_all, "mismatches": mismatches},
+    )

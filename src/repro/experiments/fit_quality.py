@@ -1,0 +1,85 @@
+"""Experiments: Fig. 8 — quality of the Cobb-Douglas fits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..profiling import OfflineProfiler
+from ..workloads import BENCHMARK_ORDER, get_workload
+from .base import ExperimentResult, experiment
+
+__all__ = ["fig08a_r_squared", "fig08b_high_r2", "fig08c_low_r2"]
+
+
+def _profiler(profiler) -> OfflineProfiler:
+    return profiler if profiler is not None else OfflineProfiler()
+
+
+@experiment("fig8a")
+def fig08a_r_squared(profiler=None) -> ExperimentResult:
+    """R² per benchmark over the Table 1 sweep (Fig. 8a)."""
+    profiler = _profiler(profiler)
+    fits = profiler.fit_suite()
+    lines = ["=== Fig. 8a: coefficient of determination per benchmark ==="]
+    lines.append(f"{'benchmark':<20} {'R^2':>7}")
+    values = {}
+    for name in BENCHMARK_ORDER:
+        r2 = fits[name].r_squared
+        values[name] = r2
+        lines.append(f"{name:<20} {r2:7.3f}")
+    fraction_high = float(np.mean([v >= 0.7 for v in values.values()]))
+    lowest = min(values, key=values.get)
+    lines.append(
+        f"\nfraction of benchmarks with R^2 in [0.7, 1.0]: {fraction_high:.2f} "
+        "(paper: 'most benchmarks')"
+    )
+    lines.append(f"lowest-R^2 benchmark: {lowest}")
+    return ExperimentResult(
+        experiment_id="fig8a",
+        title="Fig. 8a: fit quality (R²)",
+        text="\n".join(lines),
+        data={"r_squared": values, "fraction_high": fraction_high, "lowest": lowest},
+    )
+
+
+def _sim_vs_est(profiler, names, figure) -> ExperimentResult:
+    profiler = _profiler(profiler)
+    fits = {name: profiler.fit(get_workload(name)) for name in names}
+    lines = [f"=== Fig. 8{figure}: simulated vs fitted IPC ({', '.join(names)}) ==="]
+    header = f"{'bw GB/s':>8} {'cache KB':>9}"
+    for name in names:
+        header += f" {name + ' sim':>16} {name + ' est':>16}"
+    lines.append(header)
+    profiles = {name: profiler.profile(get_workload(name)) for name in names}
+    for k in range(25):
+        bw, kb = profiles[names[0]].allocations[k]
+        row = f"{bw:>8.1f} {kb:>9.0f}"
+        for name in names:
+            sim = profiles[name].ipc[k]
+            est = fits[name].utility.value([bw, kb])
+            row += f" {sim:>16.3f} {est:>16.3f}"
+        lines.append(row)
+    worst = {}
+    for name in names:
+        sim = profiles[name].ipc
+        est = fits[name].predict(profiles[name].allocations)
+        worst[name] = float(np.max(np.abs(est - sim) / sim))
+        lines.append(f"{name}: worst relative fit error {worst[name] * 100:.1f}%")
+    return ExperimentResult(
+        experiment_id=f"fig8{figure}",
+        title=f"Fig. 8{figure}: simulated vs fitted IPC",
+        text="\n".join(lines),
+        data={"worst_relative_error": worst},
+    )
+
+
+@experiment("fig8b")
+def fig08b_high_r2(profiler=None) -> ExperimentResult:
+    """Representative high-R² series: ferret and fmm (Fig. 8b)."""
+    return _sim_vs_est(profiler, ["ferret", "fmm"], "b")
+
+
+@experiment("fig8c")
+def fig08c_low_r2(profiler=None) -> ExperimentResult:
+    """Representative low-R² series: radiosity and string_match (Fig. 8c)."""
+    return _sim_vs_est(profiler, ["radiosity", "string_match"], "c")

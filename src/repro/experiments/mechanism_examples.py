@@ -1,0 +1,71 @@
+"""Experiment: Figs. 10-12 — equal slowdown vs REF on benchmark pairs."""
+
+from __future__ import annotations
+
+from ..core import check_fairness, proportional_elasticity
+from ..optimize import equal_slowdown
+from ..profiling import OfflineProfiler
+from ..workloads import problem_from_fits
+from ..workloads.mixes import WorkloadMix
+from .base import ExperimentResult, experiment
+
+__all__ = ["EXAMPLE_PAIRS", "fig10_12_examples"]
+
+CAPACITIES = (24.0, 12.0 * 1024)
+
+#: The §5.4 roles and the pairs that play them with our fitted
+#: elasticities (role shifts documented in EXPERIMENTS.md).
+EXAMPLE_PAIRS = [
+    ("Fig. 10 (Example 1, C-M, equal slowdown happens fair)", "histogram", "string_match", "1C-1M"),
+    ("Fig. 11 (Example 2, C-M, SI+EF violated)", "histogram", "dedup", "1C-1M"),
+    ("Fig. 11 (paper's pair)", "barnes", "canneal", "1C-1M"),
+    ("Fig. 12 (Example 3, C-C, SI+EF violated)", "freqmine", "linear_regression", "2C"),
+]
+
+
+def _pair_report(fits, title, first, second, label):
+    mix = WorkloadMix(f"{first}+{second}", (first, second), label)
+    problem = problem_from_fits(mix, fits, CAPACITIES)
+    lines = [f"--- {title}: {first} + {second} ---"]
+    verdicts = {}
+    for mech_name, mechanism in (
+        ("equal slowdown", equal_slowdown),
+        ("proportional elasticity", proportional_elasticity),
+    ):
+        allocation = mechanism(problem)
+        fractions = allocation.fractions()
+        report = check_fairness(allocation, rtol=1e-4)
+        for i, agent in enumerate(problem.agents):
+            lines.append(
+                f"  {mech_name:<24} {agent.name:<20} "
+                f"bw {fractions[i, 0] * 100:5.1f}%  cache {fractions[i, 1] * 100:5.1f}%"
+            )
+        lines.append(
+            f"  {mech_name:<24} SI={report.sharing_incentives} "
+            f"EF={report.envy_free} PE={report.pareto_efficient}"
+        )
+        verdicts[mech_name] = (
+            report.sharing_incentives,
+            report.envy_free,
+            report.pareto_efficient,
+        )
+    return "\n".join(lines), verdicts
+
+
+@experiment("fig10-12")
+def fig10_12_examples(profiler=None) -> ExperimentResult:
+    """The three §5.4 examples, allocations as % of total capacity."""
+    profiler = profiler if profiler is not None else OfflineProfiler()
+    fits = profiler.fit_suite()
+    parts = ["=== Figs. 10-12: allocations as % of total capacity ==="]
+    verdicts = {}
+    for title, first, second, label in EXAMPLE_PAIRS:
+        text, pair_verdicts = _pair_report(fits, title, first, second, label)
+        parts.append(text)
+        verdicts[f"{first}+{second}"] = pair_verdicts
+    return ExperimentResult(
+        experiment_id="fig10-12",
+        title="Figs. 10-12: equal slowdown vs proportional elasticity",
+        text="\n".join(parts),
+        data={"verdicts": verdicts},
+    )

@@ -1,0 +1,45 @@
+"""Experiment: Table 1 — the simulated platform parameters."""
+
+from __future__ import annotations
+
+from ..sim import TABLE1_PLATFORM
+from .base import ExperimentResult, experiment
+
+__all__ = ["table1_platform"]
+
+
+@experiment("table1")
+def table1_platform(profiler=None) -> ExperimentResult:
+    """Print the reproduction's analogue of Table 1."""
+    platform = TABLE1_PLATFORM
+    lines = ["=== Table 1: platform parameters ==="]
+    lines.append(
+        f"Processor      : {platform.core.frequency_ghz} GHz OOO core, "
+        f"{platform.core.issue_width}-wide issue"
+    )
+    lines.append(
+        f"L1 cache       : {platform.l1.size_kb} KB, {platform.l1.ways}-way, "
+        f"{platform.l1.line_bytes}-byte blocks, {platform.l1.latency_cycles}-cycle latency"
+    )
+    lines.append(
+        f"L2 cache       : {list(platform.l2_sweep_kb)} KB, {platform.l2.ways}-way, "
+        f"{platform.l2.line_bytes}-byte blocks, {platform.l2.latency_cycles}-cycle latency"
+    )
+    lines.append(
+        f"DRAM controller: closed-page, {platform.dram.n_channels} channel(s) x "
+        f"{platform.dram.n_ranks} ranks x {platform.dram.n_banks} banks, "
+        "rank-then-bank round-robin"
+    )
+    lines.append(
+        f"DRAM bandwidth : {list(platform.bandwidth_sweep_gbps)} GB/s shares of a "
+        f"{platform.dram.channel_gbps} GB/s channel"
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: platform parameters",
+        text="\n".join(lines),
+        data={
+            "l2_sweep_kb": list(platform.l2_sweep_kb),
+            "bandwidth_sweep_gbps": list(platform.bandwidth_sweep_gbps),
+        },
+    )

@@ -1,0 +1,96 @@
+"""Experiments: §4.3 SPL scaling and the §5.5 complexity claim."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from ..core.spl import best_response
+from ..core.utility import CobbDouglasUtility
+from ..optimize import equal_slowdown, max_nash_welfare
+from .base import ExperimentResult, experiment
+
+__all__ = ["population", "spl_scaling", "mechanism_cost"]
+
+CAPACITIES = (128.0, 96.0 * 1024)
+POPULATIONS = (2, 4, 8, 16, 32, 64)
+N_STRATEGIC = 6
+
+
+def population(n: int, seed: int = 2014) -> AllocationProblem:
+    """N agents with elasticities drawn uniformly, as §4.3 prescribes."""
+    rng = np.random.default_rng(seed)
+    agents = [
+        Agent(f"t{i}", CobbDouglasUtility(rng.uniform(0.05, 1.0, size=2)))
+        for i in range(n)
+    ]
+    return AllocationProblem(agents, CAPACITIES)
+
+
+@experiment("spl")
+def spl_scaling(profiler=None) -> ExperimentResult:
+    """Worst manipulation gain versus population size (§4.3)."""
+    lines = ["=== §4.3: worst manipulation gain vs population size ==="]
+    lines.append(f"{'N agents':>9} {'worst gain %':>13} {'worst report deviation':>23}")
+    gains = {}
+    for n in POPULATIONS:
+        problem = population(n)
+        alpha = problem.rescaled_alpha_matrix()
+        caps = problem.capacity_vector
+        worst_gain, worst_dev = 0.0, 0.0
+        for i in range(min(N_STRATEGIC, n)):
+            others = alpha.sum(axis=0) - alpha[i]
+            response = best_response(alpha[i], others, caps)
+            worst_gain = max(worst_gain, response.gain)
+            worst_dev = max(worst_dev, response.deviation)
+        gains[n] = worst_gain
+        lines.append(f"{n:>9} {worst_gain * 100:>13.4f} {worst_dev:>23.4f}")
+    lines.append(
+        f"\nat N = 64 the worst gain is {gains[64] * 100:.4f}% — lying does not pay (SPL)"
+    )
+    return ExperimentResult(
+        experiment_id="spl",
+        title="§4.3: strategy-proofness in the large",
+        text="\n".join(lines),
+        data={"worst_gain": gains},
+    )
+
+
+@experiment("cost")
+def mechanism_cost(profiler=None) -> ExperimentResult:
+    """Closed-form REF vs convex-optimization mechanisms (§5.5)."""
+    lines = ["=== §5.5: mechanism cost, closed form vs convex optimization ==="]
+    lines.append(
+        f"{'N agents':>9} {'REF (ms)':>10} {'equal slowdown (ms)':>21} "
+        f"{'max welfare fair (ms)':>23} {'speedup':>9}"
+    )
+    timings = {}
+    for n in (2, 4, 8, 16):
+        problem = population(n, seed=7)
+
+        start = time.perf_counter()
+        for _ in range(50):
+            proportional_elasticity(problem)
+        ref_ms = (time.perf_counter() - start) / 50 * 1e3
+
+        start = time.perf_counter()
+        equal_slowdown(problem)
+        eq_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        max_nash_welfare(problem, fair=True)
+        fair_ms = (time.perf_counter() - start) * 1e3
+
+        timings[n] = {"ref_ms": ref_ms, "equal_slowdown_ms": eq_ms, "fair_ms": fair_ms}
+        lines.append(
+            f"{n:>9} {ref_ms:>10.4f} {eq_ms:>21.1f} {fair_ms:>23.1f} "
+            f"{fair_ms / ref_ms:>8.0f}x"
+        )
+    return ExperimentResult(
+        experiment_id="cost",
+        title="§5.5: mechanism computational cost",
+        text="\n".join(lines),
+        data={"timings": timings},
+    )

@@ -1,0 +1,153 @@
+"""JSON serialization for the library's artifacts.
+
+Profiles already serialize themselves (:meth:`repro.profiling.Profile.
+as_dict`); this module covers the rest of the pipeline so results can
+move between processes and sessions:
+
+* Cobb-Douglas utilities and fits (with their diagnostics),
+* allocation problems (agents + capacities) and allocations,
+* whole fitted suites (benchmark name -> fit), the artifact the CLI's
+  ``fit-suite`` command produces and ``allocate --fits`` consumes.
+
+All functions are pure dict <-> object converters plus thin
+``save_json`` / ``load_json`` file helpers; nothing here imports the
+simulators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from .core.fitting import CobbDouglasFit
+from .core.mechanism import Agent, Allocation, AllocationProblem
+from .core.utility import CobbDouglasUtility
+
+__all__ = [
+    "utility_to_dict",
+    "utility_from_dict",
+    "fit_to_dict",
+    "fit_from_dict",
+    "suite_to_dict",
+    "suite_from_dict",
+    "problem_to_dict",
+    "problem_from_dict",
+    "allocation_to_dict",
+    "allocation_from_dict",
+    "save_json",
+    "load_json",
+]
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Utilities and fits
+# ---------------------------------------------------------------------------
+
+
+def utility_to_dict(utility: CobbDouglasUtility) -> Dict:
+    """Serialize a Cobb-Douglas utility."""
+    return {"elasticities": list(utility.elasticities), "scale": utility.scale}
+
+
+def utility_from_dict(data: Mapping) -> CobbDouglasUtility:
+    """Inverse of :func:`utility_to_dict`."""
+    return CobbDouglasUtility(data["elasticities"], scale=data.get("scale", 1.0))
+
+
+def fit_to_dict(fit: CobbDouglasFit) -> Dict:
+    """Serialize a fit with its goodness-of-fit diagnostics."""
+    return {
+        "utility": utility_to_dict(fit.utility),
+        "r_squared": fit.r_squared,
+        "r_squared_linear": fit.r_squared_linear,
+        "residuals": fit.residuals.tolist(),
+        "n_samples": fit.n_samples,
+    }
+
+
+def fit_from_dict(data: Mapping) -> CobbDouglasFit:
+    """Inverse of :func:`fit_to_dict`."""
+    return CobbDouglasFit(
+        utility=utility_from_dict(data["utility"]),
+        r_squared=float(data["r_squared"]),
+        r_squared_linear=float(data["r_squared_linear"]),
+        residuals=np.asarray(data["residuals"], dtype=float),
+        n_samples=int(data["n_samples"]),
+    )
+
+
+def suite_to_dict(fits: Mapping[str, CobbDouglasFit]) -> Dict:
+    """Serialize a whole fitted suite (benchmark name -> fit)."""
+    return {name: fit_to_dict(fit) for name, fit in fits.items()}
+
+
+def suite_from_dict(data: Mapping) -> Dict[str, CobbDouglasFit]:
+    """Inverse of :func:`suite_to_dict`."""
+    return {name: fit_from_dict(entry) for name, entry in data.items()}
+
+
+# ---------------------------------------------------------------------------
+# Problems and allocations
+# ---------------------------------------------------------------------------
+
+
+def problem_to_dict(problem: AllocationProblem) -> Dict:
+    """Serialize an allocation problem (agents, utilities, capacities)."""
+    return {
+        "agents": [
+            {"name": agent.name, "utility": utility_to_dict(agent.utility)}
+            for agent in problem.agents
+        ],
+        "capacities": list(problem.capacities),
+        "resource_names": list(problem.resource_names),
+    }
+
+
+def problem_from_dict(data: Mapping) -> AllocationProblem:
+    """Inverse of :func:`problem_to_dict`."""
+    agents = [
+        Agent(entry["name"], utility_from_dict(entry["utility"]))
+        for entry in data["agents"]
+    ]
+    return AllocationProblem(agents, data["capacities"], data.get("resource_names"))
+
+
+def allocation_to_dict(allocation: Allocation) -> Dict:
+    """Serialize an allocation together with its problem."""
+    return {
+        "problem": problem_to_dict(allocation.problem),
+        "shares": allocation.shares.tolist(),
+        "mechanism": allocation.mechanism,
+    }
+
+
+def allocation_from_dict(data: Mapping) -> Allocation:
+    """Inverse of :func:`allocation_to_dict`."""
+    return Allocation(
+        problem=problem_from_dict(data["problem"]),
+        shares=np.asarray(data["shares"], dtype=float),
+        mechanism=data.get("mechanism", "unspecified"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Files
+# ---------------------------------------------------------------------------
+
+
+def save_json(data: Mapping, path: PathLike) -> None:
+    """Write a serialized artifact to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+
+
+def load_json(path: PathLike) -> Dict:
+    """Read a serialized artifact from a JSON file."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,47 @@
+"""Numeric allocation mechanisms: log-space convex programs (§4.5, §5.5)."""
+
+from .logspace import (
+    LogSpaceSolution,
+    capacity_constraints,
+    envy_free_constraints,
+    log_weighted_utilities,
+    pareto_constraints,
+    sharing_incentive_constraints,
+    solve,
+)
+from .drf import (
+    DrfAgent,
+    DrfResult,
+    demand_vector_from_elasticities,
+    dominant_resource_fairness,
+    drf_allocation,
+)
+from .mechanisms import (
+    MECHANISMS,
+    MechanismError,
+    equal_slowdown,
+    max_nash_welfare,
+    run_mechanism,
+    utilitarian_welfare,
+)
+
+__all__ = [
+    "LogSpaceSolution",
+    "MECHANISMS",
+    "DrfAgent",
+    "DrfResult",
+    "MechanismError",
+    "capacity_constraints",
+    "envy_free_constraints",
+    "demand_vector_from_elasticities",
+    "dominant_resource_fairness",
+    "drf_allocation",
+    "equal_slowdown",
+    "log_weighted_utilities",
+    "max_nash_welfare",
+    "pareto_constraints",
+    "run_mechanism",
+    "sharing_incentive_constraints",
+    "solve",
+    "utilitarian_welfare",
+]

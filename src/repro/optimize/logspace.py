@@ -1,0 +1,218 @@
+"""Log-space convex programming scaffolding for Cobb-Douglas allocation.
+
+Cobb-Douglas allocation programs become convex after the substitution
+``z_ir = log x_ir``:
+
+* ``log U_i`` is *linear* in ``z`` — so Nash-welfare and max-min
+  objectives are concave;
+* EF, SI and PE (MRS-equality) constraints are *linear* in ``z``;
+* the capacity constraint ``sum_i exp(z_ir) <= C_r`` is convex.
+
+This is the same structure the paper exploits with geometric
+programming via CVX (§5.5, footnote 2); here we solve with SciPy's
+SLSQP.  The module provides the shared constraint builders; the concrete
+mechanisms live in :mod:`repro.optimize.mechanisms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..core.mechanism import Allocation, AllocationProblem
+
+__all__ = [
+    "LogSpaceSolution",
+    "log_weighted_utilities",
+    "capacity_constraints",
+    "envy_free_constraints",
+    "sharing_incentive_constraints",
+    "pareto_constraints",
+    "solve",
+]
+
+#: Floor applied inside exp/log transforms to keep the solver in-domain.
+_Z_FLOOR = -30.0
+
+
+@dataclass(frozen=True)
+class LogSpaceSolution:
+    """A solved allocation plus solver diagnostics."""
+
+    allocation: Allocation
+    objective_value: float
+    success: bool
+    message: str
+    n_iterations: int
+
+
+def log_weighted_utilities(problem: AllocationProblem, z: np.ndarray) -> np.ndarray:
+    """``log U_i`` for every agent given flattened log-allocations ``z``.
+
+    ``log U_i = sum_r a_ir * (z_ir - log C_r)`` using each agent's raw
+    elasticities (the scale constant cancels in the ``u_i(x)/u_i(C)``
+    ratio).
+    """
+    alpha = problem.raw_alpha_matrix()
+    log_caps = np.log(problem.capacity_vector)
+    z_matrix = z.reshape(problem.n_agents, problem.n_resources)
+    return np.einsum("ir,ir->i", alpha, z_matrix - log_caps)
+
+
+def capacity_constraints(problem: AllocationProblem) -> List[Dict]:
+    """Per-resource constraints ``C_r - sum_i exp(z_ir) >= 0``."""
+    n, R = problem.n_agents, problem.n_resources
+    caps = problem.capacity_vector
+
+    def make(r: int) -> Callable[[np.ndarray], float]:
+        def fun(z: np.ndarray) -> float:
+            z_matrix = z[: n * R].reshape(n, R)
+            return caps[r] - np.exp(z_matrix[:, r]).sum()
+
+        return fun
+
+    return [{"type": "ineq", "fun": make(r)} for r in range(R)]
+
+
+def envy_free_constraints(problem: AllocationProblem) -> List[Dict]:
+    """Linear-in-z EF constraints: ``u_i(x_i) >= u_i(x_j)`` for all i != j.
+
+    In log space: ``sum_r a_ir (z_ir - z_jr) >= 0``.
+    """
+    n, R = problem.n_agents, problem.n_resources
+    alpha = problem.raw_alpha_matrix()
+    constraints: List[Dict] = []
+
+    def make(i: int, j: int) -> Callable[[np.ndarray], float]:
+        def fun(z: np.ndarray) -> float:
+            z_matrix = z[: n * R].reshape(n, R)
+            return float(np.dot(alpha[i], z_matrix[i] - z_matrix[j]))
+
+        return fun
+
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                constraints.append({"type": "ineq", "fun": make(i, j)})
+    return constraints
+
+
+def sharing_incentive_constraints(problem: AllocationProblem) -> List[Dict]:
+    """Linear-in-z SI constraints: ``u_i(x_i) >= u_i(C / N)`` (Eq. 3)."""
+    n, R = problem.n_agents, problem.n_resources
+    alpha = problem.raw_alpha_matrix()
+    log_equal = np.log(problem.equal_split)
+    constraints: List[Dict] = []
+
+    def make(i: int) -> Callable[[np.ndarray], float]:
+        def fun(z: np.ndarray) -> float:
+            z_matrix = z[: n * R].reshape(n, R)
+            return float(np.dot(alpha[i], z_matrix[i] - log_equal))
+
+        return fun
+
+    for i in range(n):
+        constraints.append({"type": "ineq", "fun": make(i)})
+    return constraints
+
+
+def pareto_constraints(problem: AllocationProblem) -> List[Dict]:
+    """Linear-in-z MRS-equality constraints (Eq. 10 / the PE rows of Eq. 11).
+
+    For every agent ``i > 0`` and resource ``r > 0`` we require
+
+        log(a_ir / a_i0) + z_i0 - z_ir == log(a_0r / a_00) + z_00 - z_0r
+
+    i.e. agent ``i``'s MRS between resources ``r`` and ``0`` equals agent
+    0's.  Pinning everything to agent 0 / resource 0 gives an
+    irredundant set of ``(N - 1) * (R - 1)`` equalities.
+    """
+    n, R = problem.n_agents, problem.n_resources
+    alpha = problem.raw_alpha_matrix()
+    constraints: List[Dict] = []
+
+    def make(i: int, r: int) -> Callable[[np.ndarray], float]:
+        offset = float(np.log(alpha[i, r] / alpha[i, 0]) - np.log(alpha[0, r] / alpha[0, 0]))
+
+        def fun(z: np.ndarray) -> float:
+            z_matrix = z[: n * R].reshape(n, R)
+            return offset + (z_matrix[i, 0] - z_matrix[i, r]) - (
+                z_matrix[0, 0] - z_matrix[0, r]
+            )
+
+        return fun
+
+    for i in range(1, n):
+        for r in range(1, R):
+            constraints.append({"type": "eq", "fun": make(i, r)})
+    return constraints
+
+
+def solve(
+    problem: AllocationProblem,
+    objective: Callable[[np.ndarray], float],
+    extra_constraints: Optional[Sequence[Dict]] = None,
+    extra_variables: int = 0,
+    initial_extra: Optional[Sequence[float]] = None,
+    mechanism: str = "logspace",
+    maxiter: int = 1000,
+    initial_shares: Optional[np.ndarray] = None,
+) -> LogSpaceSolution:
+    """Maximize ``objective(vars)`` over log-allocations with SLSQP.
+
+    Parameters
+    ----------
+    problem:
+        The allocation instance; its capacity constraints are always
+        included.
+    objective:
+        Function of the full variable vector (``N * R`` log-allocations
+        followed by ``extra_variables`` auxiliary scalars, e.g. the
+        epigraph variable of a max-min program) to be **maximized**.
+    extra_constraints:
+        Additional SLSQP-style constraint dicts (EF/SI/PE or epigraph).
+    extra_variables / initial_extra:
+        Number and initial values of auxiliary variables appended after
+        the log-allocations.
+    mechanism:
+        Label recorded on the returned :class:`Allocation`.
+    initial_shares:
+        Optional ``(N, R)`` warm-start shares; defaults to the equal
+        split.
+    """
+    n, R = problem.n_agents, problem.n_resources
+    if initial_shares is None:
+        z0 = np.log(np.tile(problem.equal_split, (n, 1))).ravel()
+    else:
+        z0 = np.log(np.maximum(np.asarray(initial_shares, dtype=float), 1e-12)).ravel()
+    x0 = np.concatenate([z0, np.asarray(initial_extra or [0.0] * extra_variables)])
+
+    constraints = capacity_constraints(problem) + list(extra_constraints or [])
+    log_caps = np.log(problem.capacity_vector)
+    bounds = [
+        (_Z_FLOOR, float(log_caps[r]))
+        for _ in range(n)
+        for r in range(R)
+    ] + [(None, None)] * extra_variables
+
+    result = minimize(
+        lambda v: -objective(v),
+        x0,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": maxiter, "ftol": 1e-12},
+    )
+    z_matrix = result.x[: n * R].reshape(n, R)
+    shares = np.exp(z_matrix)
+    allocation = Allocation(problem=problem, shares=shares, mechanism=mechanism)
+    return LogSpaceSolution(
+        allocation=allocation,
+        objective_value=float(objective(result.x)),
+        success=bool(result.success),
+        message=str(result.message),
+        n_iterations=int(result.nit),
+    )

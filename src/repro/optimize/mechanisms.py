@@ -1,0 +1,271 @@
+"""The evaluation-section allocation mechanisms (§4.5, §5.5).
+
+Four mechanisms are compared in Figs. 13-14:
+
+* **Max Welfare w/o Fairness** — maximize Nash social welfare
+  ``prod_i U_i`` subject only to capacity.  Solvable in closed form
+  (proportional to *raw* elasticities); an empirical performance upper
+  bound.
+* **Equal Slowdown w/o Fairness** — maximize ``min_i U_i`` subject only
+  to capacity: the architecture-community status quo of equalizing
+  slowdowns (§4.5 "Unfair Allocation").
+* **Max Welfare w/ Fairness** — maximize Nash welfare subject to SI, EF
+  and PE (Eq. 11); requires convex optimization (the paper uses CVX
+  geometric programming; we solve the equivalent log-space program).
+* **Proportional Elasticity (REF)** — the paper's closed-form mechanism,
+  :func:`repro.core.mechanism.proportional_elasticity`.
+
+A best-effort **utilitarian** maximizer (``max sum_i U_i``) is included
+for the §4.5 discussion; the exact problem is intractable (maximizing a
+convex function), so it is multi-start local search and clearly labeled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.mechanism import Allocation, AllocationProblem, proportional_elasticity
+from . import logspace
+
+__all__ = [
+    "MECHANISMS",
+    "MechanismError",
+    "equal_slowdown",
+    "max_nash_welfare",
+    "run_mechanism",
+    "utilitarian_welfare",
+]
+
+
+class MechanismError(RuntimeError):
+    """Raised when a numeric mechanism fails to converge."""
+
+
+def _solve_with_restarts(
+    problem: AllocationProblem,
+    objective,
+    extra_constraints,
+    label: str,
+    starts,
+    extra_variables: int = 0,
+    initial_extra_fn=None,
+) -> Allocation:
+    """Run SLSQP from several warm starts; keep the best converged solution.
+
+    SLSQP occasionally reports "positive directional derivative" on
+    tightly-constrained log-space programs; restarting from a different
+    strictly feasible interior point almost always recovers.
+    """
+    best: Optional[Allocation] = None
+    best_value = -np.inf
+    failures: List[str] = []
+    for start in starts:
+        initial_extra = initial_extra_fn(start) if initial_extra_fn else None
+        solution = logspace.solve(
+            problem,
+            objective,
+            extra_constraints=extra_constraints,
+            extra_variables=extra_variables,
+            initial_extra=initial_extra,
+            mechanism=label,
+            initial_shares=start,
+        )
+        if solution.success and solution.objective_value > best_value:
+            best, best_value = solution.allocation, solution.objective_value
+        elif not solution.success:
+            failures.append(solution.message)
+    if best is None:
+        raise MechanismError(f"{label} solver failed from every start: {failures}")
+    return best
+
+
+def _default_starts(problem: AllocationProblem, seed: int = 0) -> List[Optional[np.ndarray]]:
+    """Warm starts: REF (feasible for every fairness constraint), the
+    equal split, the unfair Nash optimum, and jittered variants."""
+    starts: List[Optional[np.ndarray]] = [
+        proportional_elasticity(problem).shares,
+        None,
+        max_nash_welfare(problem, fair=False).shares,
+    ]
+    rng = np.random.default_rng(seed)
+    for base in (starts[0], starts[2]):
+        noise = rng.uniform(0.8, 1.2, size=base.shape)
+        jittered = base * noise
+        starts.append(jittered / jittered.sum(axis=0) * problem.capacity_vector)
+    return starts
+
+
+def max_nash_welfare(
+    problem: AllocationProblem,
+    fair: bool = False,
+    numeric: Optional[bool] = None,
+) -> Allocation:
+    """Maximize Nash social welfare ``prod_i U_i(x_i)``.
+
+    Parameters
+    ----------
+    problem:
+        The allocation instance.
+    fair:
+        When True, impose the SI, EF and PE constraints of Eq. 11
+        ("Max Welfare w/ Fairness"); requires the numeric solver.
+        When False, the unconstrained optimum has the closed form
+        ``x_ir = a_ir / sum_j a_jr * C_r`` with **raw** elasticities
+        (the Lagrangian of Eq. 14 without re-scaling).
+    numeric:
+        Force (True) or forbid (False) the numeric path for the unfair
+        case; defaults to the closed form.  Used by tests to cross-check
+        the two paths.
+
+    Returns
+    -------
+    Allocation
+    """
+    if not fair and not numeric:
+        alpha = problem.raw_alpha_matrix()
+        shares = alpha / alpha.sum(axis=0) * problem.capacity_vector
+        return Allocation(problem=problem, shares=shares, mechanism="max_welfare_unfair")
+
+    def objective(v: np.ndarray) -> float:
+        return float(logspace.log_weighted_utilities(problem, v[: _nz(problem)]).sum())
+
+    extra: List[Dict] = []
+    label = "max_welfare_unfair_numeric"
+    starts: List[Optional[np.ndarray]] = [None]
+    if fair:
+        extra = (
+            logspace.sharing_incentive_constraints(problem)
+            + logspace.envy_free_constraints(problem)
+            + logspace.pareto_constraints(problem)
+        )
+        label = "max_welfare_fair"
+        # REF satisfies every fairness constraint — the ideal warm start.
+        starts = _default_starts(problem)
+    return _solve_with_restarts(problem, objective, extra, label, starts)
+
+
+def equal_slowdown(problem: AllocationProblem) -> Allocation:
+    """Maximize the minimum weighted utility (equal slowdown, §4.5).
+
+    Solved as an epigraph program: maximize ``t`` subject to
+    ``log U_i >= t`` for all agents plus capacity.  At the optimum every
+    binding agent's slowdown equals ``exp(t)`` — the "equal slowdown"
+    outcome prior work targets.  Provides neither SI nor EF in general
+    (Figs. 11-12).
+    """
+    nz = _nz(problem)
+
+    def objective(v: np.ndarray) -> float:
+        return float(v[nz])
+
+    def make_epigraph(i: int):
+        def fun(v: np.ndarray) -> float:
+            return float(logspace.log_weighted_utilities(problem, v[:nz])[i] - v[nz])
+
+        return fun
+
+    epigraph = [{"type": "ineq", "fun": make_epigraph(i)} for i in range(problem.n_agents)]
+
+    def initial_extra(start):
+        if start is None:
+            z0 = np.log(np.tile(problem.equal_split, (problem.n_agents, 1))).ravel()
+        else:
+            z0 = np.log(start).ravel()
+        return [float(logspace.log_weighted_utilities(problem, z0).min()) - 0.05]
+
+    return _solve_with_restarts(
+        problem,
+        objective,
+        epigraph,
+        "equal_slowdown",
+        _default_starts(problem),
+        extra_variables=1,
+        initial_extra_fn=initial_extra,
+    )
+
+
+def utilitarian_welfare(
+    problem: AllocationProblem, fair: bool = False, n_starts: int = 5, seed: int = 0
+) -> Allocation:
+    """Best-effort maximization of utilitarian welfare ``sum_i U_i``.
+
+    The exact problem is intractable (§4.5): the objective is convex in
+    log space, so maximizing it is non-convex.  We run multi-start local
+    search (perturbed equal-split starting points) and return the best
+    local optimum found.
+    """
+    nz = _nz(problem)
+    rng = np.random.default_rng(seed)
+
+    def objective(v: np.ndarray) -> float:
+        return float(np.exp(logspace.log_weighted_utilities(problem, v[:nz])).sum())
+
+    extra: List[Dict] = []
+    label = "utilitarian_unfair"
+    if fair:
+        extra = (
+            logspace.sharing_incentive_constraints(problem)
+            + logspace.envy_free_constraints(problem)
+            + logspace.pareto_constraints(problem)
+        )
+        label = "utilitarian_fair"
+
+    best: Optional[Allocation] = None
+    best_value = -np.inf
+    shape = (problem.n_agents, problem.n_resources)
+    starts: List[Optional[np.ndarray]] = [None]  # equal split first
+    for _ in range(max(n_starts - 1, 0)):
+        noise = rng.uniform(0.2, 1.0, size=shape)
+        starts.append(noise / noise.sum(axis=0) * problem.capacity_vector)
+    for start in starts:
+        solution = logspace.solve(
+            problem,
+            objective,
+            extra_constraints=extra,
+            mechanism=label,
+            initial_shares=start,
+        )
+        if solution.success and solution.objective_value > best_value:
+            best, best_value = solution.allocation, solution.objective_value
+    if best is None:
+        raise MechanismError("utilitarian solver failed from every starting point")
+    return best
+
+
+def _nz(problem: AllocationProblem) -> int:
+    """Number of log-allocation variables."""
+    return problem.n_agents * problem.n_resources
+
+
+def _ref(problem: AllocationProblem) -> Allocation:
+    return proportional_elasticity(problem)
+
+
+def _max_welfare_fair(problem: AllocationProblem) -> Allocation:
+    return max_nash_welfare(problem, fair=True)
+
+
+def _max_welfare_unfair(problem: AllocationProblem) -> Allocation:
+    return max_nash_welfare(problem, fair=False)
+
+
+#: The four mechanisms of Figs. 13-14, keyed by their legend labels.
+MECHANISMS = {
+    "Max Welfare w/ Fairness": _max_welfare_fair,
+    "Proportional Elasticity w/ Fairness": _ref,
+    "Max Welfare w/o Fairness": _max_welfare_unfair,
+    "Equal Slowdown w/o Fairness": equal_slowdown,
+}
+
+
+def run_mechanism(name: str, problem: AllocationProblem) -> Allocation:
+    """Run one of the named evaluation mechanisms (Figs. 13-14 legend)."""
+    try:
+        mechanism = MECHANISMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; expected one of {sorted(MECHANISMS)}"
+        ) from None
+    return mechanism(problem)

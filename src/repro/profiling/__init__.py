@@ -1,0 +1,7 @@
+"""Profiling: offline allocation sweeps and on-line utility adaptation (§4.4)."""
+
+from .offline import OfflineProfiler
+from .online import OnlineProfiler
+from .profile import Profile
+
+__all__ = ["OfflineProfiler", "OnlineProfiler", "Profile"]

@@ -1,0 +1,123 @@
+"""On-line profiling: adapt a utility function while running (§4.4).
+
+"Without prior knowledge, a user assumes all resources contribute
+equally to performance.  Such a naive user reports utility
+``u = x**0.5 * y**0.5``.  As the system allocates for this utility, the
+user profiles software performance.  And as profiles are accumulated for
+varied allocations, the user adapts its utility function."
+
+:class:`OnlineProfiler` implements that loop: it starts from the naive
+equal-elasticity report, records (allocation, IPC) observations, and
+re-fits once enough linearly-independent samples accumulate, optionally
+weighting recent samples more heavily (software phases change).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fitting import CobbDouglasFit, fit_cobb_douglas
+from ..core.utility import CobbDouglasUtility
+
+__all__ = ["OnlineProfiler"]
+
+
+class OnlineProfiler:
+    """Incrementally learns a workload's Cobb-Douglas utility.
+
+    Parameters
+    ----------
+    n_resources:
+        Number of shared resources.
+    min_samples:
+        Observations required before the first re-fit; until then the
+        naive equal-elasticity utility is reported.  Must be at least
+        ``n_resources + 1`` (the regression's parameter count).
+    decay:
+        Per-step multiplicative weight decay in (0, 1]; 1.0 weights all
+        history equally, smaller values emphasize recent samples.
+    """
+
+    def __init__(self, n_resources: int = 2, min_samples: Optional[int] = None, decay: float = 1.0):
+        if n_resources < 1:
+            raise ValueError(f"n_resources must be >= 1, got {n_resources}")
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        minimum_viable = n_resources + 1
+        if min_samples is None:
+            min_samples = max(minimum_viable, 4)
+        if min_samples < minimum_viable:
+            raise ValueError(
+                f"min_samples must be >= n_resources + 1 = {minimum_viable}, got {min_samples}"
+            )
+        self.n_resources = n_resources
+        self.min_samples = min_samples
+        self.decay = decay
+        self._allocations: List[np.ndarray] = []
+        self._performance: List[float] = []
+        self._fit: Optional[CobbDouglasFit] = None
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._performance)
+
+    @property
+    def naive_utility(self) -> CobbDouglasUtility:
+        """The §4.4 prior: all resources contribute equally."""
+        return CobbDouglasUtility([1.0 / self.n_resources] * self.n_resources)
+
+    @property
+    def utility(self) -> CobbDouglasUtility:
+        """Current best utility estimate (naive until enough samples)."""
+        if self._fit is None:
+            return self.naive_utility
+        return self._fit.utility
+
+    @property
+    def last_fit(self) -> Optional[CobbDouglasFit]:
+        """Diagnostics of the most recent re-fit, or None before it."""
+        return self._fit
+
+    def report_elasticities(self) -> np.ndarray:
+        """Re-scaled elasticities the agent would report to the mechanism."""
+        return self.utility.rescaled().alpha
+
+    def observe(self, allocation: Sequence[float], performance: float) -> CobbDouglasUtility:
+        """Record one (allocation, measured IPC) sample and maybe re-fit.
+
+        Returns the (possibly updated) utility estimate.  Samples with
+        non-positive entries are rejected — the log transform needs
+        strictly positive data.
+        """
+        arr = np.asarray(allocation, dtype=float)
+        if arr.shape != (self.n_resources,):
+            raise ValueError(
+                f"allocation must have shape ({self.n_resources},), got {arr.shape}"
+            )
+        if np.any(arr <= 0) or performance <= 0:
+            raise ValueError("allocation and performance must be strictly positive")
+        self._allocations.append(arr)
+        self._performance.append(float(performance))
+        if self.n_samples >= self.min_samples and self._has_variation():
+            weights = self._sample_weights()
+            self._fit = fit_cobb_douglas(
+                np.vstack(self._allocations), np.asarray(self._performance), weights=weights
+            )
+        return self.utility
+
+    def _sample_weights(self) -> Optional[np.ndarray]:
+        if self.decay == 1.0:
+            return None
+        ages = np.arange(self.n_samples - 1, -1, -1, dtype=float)
+        return self.decay ** ages
+
+    def _has_variation(self) -> bool:
+        """True when every resource axis has been sampled at >= 2 levels.
+
+        With all samples at a single allocation the design matrix is
+        rank-deficient and the fit would be meaningless.
+        """
+        allocations = np.vstack(self._allocations)
+        return bool(np.all(np.ptp(allocations, axis=0) > 0))

@@ -1,0 +1,91 @@
+"""Performance profiles: the data the utility-fitting step consumes.
+
+A :class:`Profile` records measured performance (IPC) at a set of
+resource allocations — the output of §4.4's profiling step and the
+input to :func:`repro.core.fitting.fit_cobb_douglas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.fitting import CobbDouglasFit, fit_cobb_douglas
+
+__all__ = ["Profile"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """IPC measurements over a set of (bandwidth GB/s, cache KB) points.
+
+    Attributes
+    ----------
+    workload_name:
+        The profiled benchmark.
+    allocations:
+        ``(n_samples, 2)`` array; column 0 is memory bandwidth in GB/s,
+        column 1 is cache capacity in KB (the paper's resource ordering
+        for ``u = a0 * x**ax * y**ay``).
+    ipc:
+        Measured instructions per cycle, one per row.
+    source:
+        Provenance label (``"analytic"``, ``"trace"``, ``"online"``).
+    """
+
+    workload_name: str
+    allocations: np.ndarray = field(repr=False)
+    ipc: np.ndarray = field(repr=False)
+    source: str = "analytic"
+
+    def __post_init__(self) -> None:
+        allocations = np.asarray(self.allocations, dtype=float)
+        ipc = np.asarray(self.ipc, dtype=float)
+        if allocations.ndim != 2 or allocations.shape[1] != 2:
+            raise ValueError(
+                f"allocations must be (n, 2) [bandwidth, cache], got {allocations.shape}"
+            )
+        if ipc.shape != (allocations.shape[0],):
+            raise ValueError("ipc must have one entry per allocation row")
+        if np.any(allocations <= 0) or np.any(ipc <= 0):
+            raise ValueError("allocations and ipc must be strictly positive")
+        object.__setattr__(self, "allocations", allocations)
+        object.__setattr__(self, "ipc", ipc)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.ipc.shape[0])
+
+    def fit(self) -> CobbDouglasFit:
+        """Fit a Cobb-Douglas utility to this profile (Eq. 16)."""
+        return fit_cobb_douglas(self.allocations, self.ipc)
+
+    def extended(self, allocation: Sequence[float], ipc: float) -> "Profile":
+        """A new profile with one more sample appended (online profiling)."""
+        return Profile(
+            workload_name=self.workload_name,
+            allocations=np.vstack([self.allocations, np.asarray(allocation, dtype=float)]),
+            ipc=np.append(self.ipc, float(ipc)),
+            source=self.source,
+        )
+
+    def as_dict(self) -> Dict[str, List]:
+        """JSON-serializable representation."""
+        return {
+            "workload_name": self.workload_name,
+            "allocations": self.allocations.tolist(),
+            "ipc": self.ipc.tolist(),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Profile":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            workload_name=data["workload_name"],
+            allocations=np.asarray(data["allocations"], dtype=float),
+            ipc=np.asarray(data["ipc"], dtype=float),
+            source=data.get("source", "analytic"),
+        )

@@ -1,0 +1,19 @@
+"""Enforcement substrates: WFQ, lottery scheduling, way partitioning (§4.4)."""
+
+from .enforce import EnforcementPlan, build_agent_shares, build_enforcement
+from .lottery import LotteryScheduler
+from .partition import build_partitioned_caches, partition_ways, quantization_error
+from .wfq import ServiceRecord, WfqPacket, WfqScheduler
+
+__all__ = [
+    "EnforcementPlan",
+    "LotteryScheduler",
+    "ServiceRecord",
+    "WfqPacket",
+    "WfqScheduler",
+    "build_agent_shares",
+    "build_enforcement",
+    "build_partitioned_caches",
+    "partition_ways",
+    "quantization_error",
+]

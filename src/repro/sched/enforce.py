@@ -1,0 +1,133 @@
+"""Turning a REF allocation into enforceable scheduler configuration.
+
+"After the procedure determines proportional shares for each user, we
+can enforce those shares with existing approaches" (§4.4).  This module
+is that glue: given an :class:`~repro.core.mechanism.Allocation` over
+(memory bandwidth, cache capacity) it produces
+
+* WFQ weights / lottery tickets for the bandwidth dimension, and
+* a way-partition assignment for the cache dimension,
+
+bundled in an :class:`EnforcementPlan` together with the quantization
+error the discrete hardware introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.mechanism import Allocation
+from ..sim.multicore import AgentShare
+from ..sim.platform import CacheConfig
+from .lottery import LotteryScheduler
+from .partition import partition_ways, quantization_error
+from .wfq import WfqScheduler
+
+__all__ = ["EnforcementPlan", "build_enforcement", "build_agent_shares"]
+
+
+@dataclass(frozen=True)
+class EnforcementPlan:
+    """Hardware-enforceable rendering of one allocation.
+
+    Attributes
+    ----------
+    bandwidth_weights:
+        Per-agent WFQ weights (equal to allocated GB/s; WFQ only cares
+        about ratios).
+    way_assignment:
+        Per-agent L2 ways.
+    cache_quantization_error:
+        Worst-case share error introduced by whole-way rounding.
+    """
+
+    bandwidth_weights: Dict[str, float]
+    way_assignment: Dict[str, int]
+    cache_quantization_error: float
+
+    def wfq_scheduler(self, rate: float = 1.0) -> WfqScheduler:
+        """A WFQ scheduler enforcing the bandwidth shares."""
+        return WfqScheduler(self.bandwidth_weights, rate=rate)
+
+    def lottery_scheduler(self, seed: int = 0) -> LotteryScheduler:
+        """A lottery scheduler enforcing the bandwidth shares."""
+        return LotteryScheduler(self.bandwidth_weights, seed=seed)
+
+
+def build_enforcement(
+    allocation: Allocation,
+    cache_config: CacheConfig,
+    bandwidth_resource: int = 0,
+    cache_resource: int = 1,
+) -> EnforcementPlan:
+    """Derive schedulers' configuration from a two-resource allocation.
+
+    Parameters
+    ----------
+    allocation:
+        Any allocation over (bandwidth, cache) — REF or otherwise.
+    cache_config:
+        The physical shared cache (its way count bounds partitioning).
+    bandwidth_resource / cache_resource:
+        Column indices of the two resources within the allocation.
+    """
+    problem = allocation.problem
+    names = [agent.name for agent in problem.agents]
+    bandwidth_weights = {
+        name: float(allocation.shares[i, bandwidth_resource]) for i, name in enumerate(names)
+    }
+    cache_capacity = problem.capacities[cache_resource]
+    cache_shares = {
+        name: float(allocation.shares[i, cache_resource] / cache_capacity)
+        for i, name in enumerate(names)
+    }
+    assignment = partition_ways(cache_shares, cache_config.ways)
+    return EnforcementPlan(
+        bandwidth_weights=bandwidth_weights,
+        way_assignment=assignment,
+        cache_quantization_error=quantization_error(
+            cache_shares, assignment, cache_config.ways
+        ),
+    )
+
+
+def build_agent_shares(
+    allocation: Allocation,
+    cache_config: CacheConfig,
+    workload_of: Dict[str, object],
+    bandwidth_resource: int = 0,
+    cache_resource: int = 1,
+) -> list:
+    """Render an allocation as :class:`~repro.sim.multicore.AgentShare`s.
+
+    The bridge from mechanism output to the shared-machine
+    co-simulation: bandwidth shares pass through, cache shares are
+    way-quantized against the physical cache.
+
+    Parameters
+    ----------
+    allocation:
+        Any two-resource allocation.
+    cache_config:
+        The *shared* L2 the agents will be partitioned into.
+    workload_of:
+        Agent name -> workload spec to execute (duplicated mix members
+        map their suffixed names to the same spec).
+    """
+    plan = build_enforcement(
+        allocation, cache_config, bandwidth_resource, cache_resource
+    )
+    shares = []
+    for agent in allocation.problem.agents:
+        if agent.name not in workload_of:
+            raise KeyError(f"no workload provided for agent {agent.name!r}")
+        shares.append(
+            AgentShare(
+                name=agent.name,
+                workload=workload_of[agent.name],
+                bandwidth_gbps=plan.bandwidth_weights[agent.name],
+                l2_ways=plan.way_assignment[agent.name],
+            )
+        )
+    return shares

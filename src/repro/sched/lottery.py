@@ -1,0 +1,85 @@
+"""Lottery scheduling for proportional-share enforcement (§4.4).
+
+The second enforcement substrate the paper cites (Waldspurger & Weihl):
+each client holds tickets in proportion to its allocated share; every
+quantum the scheduler draws a uniformly random ticket and runs the
+holder.  Over many quanta each client's CPU (or bandwidth) share
+converges to its ticket fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["LotteryScheduler"]
+
+
+@dataclass(frozen=True)
+class LotteryDraw:
+    """One quantum's outcome."""
+
+    quantum: int
+    winner: str
+
+
+class LotteryScheduler:
+    """Ticket-based proportional-share scheduler.
+
+    Parameters
+    ----------
+    tickets:
+        Per-client positive ticket counts (need not be integers — REF
+        shares are real-valued and tickets just need to be
+        proportional).
+    seed:
+        Seed for the lottery's random stream.
+    """
+
+    def __init__(self, tickets: Dict[str, float], seed: Optional[int] = None):
+        if not tickets:
+            raise ValueError("at least one client is required")
+        if any(t <= 0 for t in tickets.values()):
+            raise ValueError(f"ticket counts must be strictly positive: {tickets}")
+        self.tickets = dict(tickets)
+        self._clients = list(self.tickets)
+        total = sum(self.tickets.values())
+        self._probabilities = np.array([self.tickets[c] / total for c in self._clients])
+        self._rng = np.random.default_rng(seed)
+        self._wins: Dict[str, int] = {client: 0 for client in self._clients}
+        self._quanta = 0
+
+    def draw(self) -> str:
+        """Hold one lottery; returns the winning client and records it."""
+        winner = self._clients[self._rng.choice(len(self._clients), p=self._probabilities)]
+        self._wins[winner] += 1
+        self._quanta += 1
+        return winner
+
+    def run(self, n_quanta: int) -> List[LotteryDraw]:
+        """Run ``n_quanta`` lotteries; returns the draw sequence."""
+        if n_quanta <= 0:
+            raise ValueError(f"n_quanta must be positive, got {n_quanta}")
+        return [LotteryDraw(quantum=self._quanta, winner=self.draw()) for _ in range(n_quanta)]
+
+    @property
+    def quanta(self) -> int:
+        return self._quanta
+
+    def achieved_shares(self) -> Dict[str, float]:
+        """Fraction of quanta won so far by each client."""
+        if self._quanta == 0:
+            return {client: 0.0 for client in self._clients}
+        return {client: wins / self._quanta for client, wins in self._wins.items()}
+
+    def expected_shares(self) -> Dict[str, float]:
+        """Ticket fractions — the target the lottery converges to."""
+        return {client: float(p) for client, p in zip(self._clients, self._probabilities)}
+
+    def worst_share_error(self) -> float:
+        """Max absolute deviation of achieved from expected shares."""
+        achieved = self.achieved_shares()
+        expected = self.expected_shares()
+        return max(abs(achieved[c] - expected[c]) for c in self._clients)

@@ -1,0 +1,96 @@
+"""Cache way-partitioning: enforcing capacity shares in hardware terms.
+
+REF outputs real-valued cache-capacity shares; real chip multiprocessors
+enforce capacity with way partitioning, which is quantized to whole ways
+per set.  :func:`partition_ways` converts fractional shares into a
+per-agent way assignment with the largest-remainder method (every way
+assigned, at least one way per agent so nobody starves), and
+:func:`build_partitioned_caches` instantiates per-agent cache models
+restricted to their ways — the form the trace simulator consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.cache import SetAssociativeCache
+from ..sim.platform import CacheConfig
+
+__all__ = ["partition_ways", "build_partitioned_caches", "quantization_error"]
+
+
+def partition_ways(shares: Dict[str, float], n_ways: int) -> Dict[str, int]:
+    """Quantize fractional capacity shares into whole ways per agent.
+
+    Largest-remainder (Hamilton) apportionment with a one-way floor:
+    every agent gets at least one way (a zero-way agent could not run at
+    all), the rest go by share, and leftover ways flow to the largest
+    fractional remainders.
+
+    Parameters
+    ----------
+    shares:
+        Agent -> fraction of total capacity; fractions must be positive
+        and sum to at most 1 (small numerical slack allowed).
+    n_ways:
+        Total ways available; must be >= number of agents.
+
+    Returns
+    -------
+    dict
+        Agent -> whole ways; values sum to exactly ``n_ways``.
+    """
+    if not shares:
+        raise ValueError("at least one agent is required")
+    if any(v <= 0 for v in shares.values()):
+        raise ValueError(f"shares must be strictly positive: {shares}")
+    total = sum(shares.values())
+    if total > 1.0 + 1e-6:
+        raise ValueError(f"shares sum to {total}, which exceeds capacity")
+    if n_ways < len(shares):
+        raise ValueError(
+            f"{n_ways} ways cannot give each of {len(shares)} agents at least one way"
+        )
+
+    # Normalize so all ways get used even if shares sum below 1.
+    agents = list(shares)
+    ideal = {agent: shares[agent] / total * n_ways for agent in agents}
+    assignment = {agent: max(int(ideal[agent]), 1) for agent in agents}
+    # The one-way floor can over-commit; shave from the largest holders.
+    while sum(assignment.values()) > n_ways:
+        richest = max(agents, key=lambda a: (assignment[a], ideal[a]))
+        if assignment[richest] == 1:
+            raise ValueError(f"cannot fit {len(agents)} agents into {n_ways} ways")
+        assignment[richest] -= 1
+    remainders = {agent: ideal[agent] - assignment[agent] for agent in agents}
+    while sum(assignment.values()) < n_ways:
+        neediest = max(agents, key=lambda a: remainders[a])
+        assignment[neediest] += 1
+        remainders[neediest] -= 1.0
+    return assignment
+
+
+def quantization_error(shares: Dict[str, float], assignment: Dict[str, int], n_ways: int) -> float:
+    """Worst absolute share error introduced by way quantization."""
+    total = sum(shares.values())
+    return max(
+        abs(assignment[agent] / n_ways - shares[agent] / total) for agent in shares
+    )
+
+
+def build_partitioned_caches(
+    config: CacheConfig, assignment: Dict[str, int]
+) -> Dict[str, SetAssociativeCache]:
+    """Per-agent cache models restricted to their assigned ways.
+
+    Each agent sees a cache with the full set count but only her ways —
+    exactly how way-partitioned LLCs behave.
+    """
+    if sum(assignment.values()) > config.ways:
+        raise ValueError(
+            f"assignment uses {sum(assignment.values())} ways but the cache has {config.ways}"
+        )
+    return {
+        agent: SetAssociativeCache(config, n_partition_ways=ways)
+        for agent, ways in assignment.items()
+    }

@@ -1,0 +1,56 @@
+"""Simulation substrate: caches, DRAM, core model, traces, machines.
+
+This package substitutes for the MARSSx86 + DRAMSim2 stack of §5.1:
+trace-driven set-associative caches, an event-driven closed-page DRAM
+controller, an interval out-of-order core model, and a fast analytic
+machine used for full allocation sweeps.
+"""
+
+from .analytic import AnalyticMachine, SweepResult
+from .cache import CacheHierarchy, CacheStats, HierarchyResult, SetAssociativeCache
+from .cores import ParallelWorkload, ThreeResourceMachine, amdahl_speedup
+from .cpu import IpcSolution, MemoryProfile, interval_ipc, solve_ipc
+from .dram import DramRequest, DramResult, DramSimulator, loaded_latency
+from .machine import TraceMachine, TraceSimulationResult
+from .multicore import MEMORY_POLICIES, AgentShare, SharedMachine, SharedRunResult
+from .platform import (
+    TABLE1_PLATFORM,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    PlatformConfig,
+)
+from .trace import LocalityModel, generate_trace
+
+__all__ = [
+    "AgentShare",
+    "AnalyticMachine",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoreConfig",
+    "DramConfig",
+    "DramRequest",
+    "DramResult",
+    "DramSimulator",
+    "HierarchyResult",
+    "IpcSolution",
+    "LocalityModel",
+    "MEMORY_POLICIES",
+    "MemoryProfile",
+    "ParallelWorkload",
+    "PlatformConfig",
+    "SetAssociativeCache",
+    "SharedMachine",
+    "SharedRunResult",
+    "SweepResult",
+    "TABLE1_PLATFORM",
+    "ThreeResourceMachine",
+    "TraceMachine",
+    "TraceSimulationResult",
+    "amdahl_speedup",
+    "generate_trace",
+    "interval_ipc",
+    "loaded_latency",
+    "solve_ipc",
+]

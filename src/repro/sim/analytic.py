@@ -1,0 +1,123 @@
+"""Fast analytic machine model: closed-form IPC over the allocation grid.
+
+Combines the three analytic component models — Che's-approximation LRU
+miss ratios (:class:`~repro.sim.trace.LocalityModel`), the M/D/1 loaded
+DRAM latency (:func:`~repro.sim.dram.loaded_latency`) and the interval
+core model (:func:`~repro.sim.cpu.solve_ipc`) — into a single
+``ipc(workload, cache_kb, bandwidth_gbps)`` evaluation.
+
+This is the model used for the full 28-benchmark x 25-configuration
+sweep (the paper's Table 1 grid): it is deterministic and fast, and the
+trace-driven :class:`~repro.sim.machine.TraceMachine` validates it on
+representative workloads (see ``tests/integration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .cpu import IpcSolution, MemoryProfile, solve_ipc
+from .platform import PlatformConfig
+
+__all__ = ["AnalyticMachine", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """IPC measured over a grid of (bandwidth, cache) allocations.
+
+    ``allocations[k] = (bandwidth_gbps, cache_kb)`` and ``ipc[k]`` is the
+    matching performance — exactly the profile shape
+    :func:`repro.core.fitting.fit_cobb_douglas` consumes (with cache
+    expressed in KB and bandwidth in GB/s).
+    """
+
+    workload_name: str
+    allocations: np.ndarray
+    ipc: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.allocations.shape[0] != self.ipc.shape[0]:
+            raise ValueError("allocations and ipc must have matching lengths")
+
+    @property
+    def n_points(self) -> int:
+        return int(self.ipc.shape[0])
+
+
+class AnalyticMachine:
+    """Closed-form IPC model for a platform (Table 1 by default).
+
+    Parameters
+    ----------
+    platform:
+        Platform whose L1 geometry, core and DRAM timing parameters are
+        used.  The L2 size and DRAM bandwidth are overridden per query.
+    """
+
+    def __init__(self, platform: PlatformConfig = None):
+        self.platform = platform if platform is not None else PlatformConfig()
+
+    def memory_profile(self, workload, cache_kb: float) -> MemoryProfile:
+        """Per-instruction memory behaviour at a given L2 capacity.
+
+        The L1 filters the hottest lines; for an inclusive LRU hierarchy
+        the global L2 miss ratio depends (to first order) only on the L2
+        capacity, so both levels are evaluated on the same locality
+        model (the LRU stack-inclusion property).
+        """
+        l1_lines = self.platform.l1.n_lines
+        l2_lines = max(int(round(cache_kb * 1024 / self.platform.l2.line_bytes)), 1)
+        l1_miss = workload.locality.miss_ratio(l1_lines)
+        l2_global_miss = workload.locality.miss_ratio(max(l2_lines, l1_lines))
+        l2_accesses = workload.refs_per_instr * l1_miss
+        l2_misses = min(workload.refs_per_instr * l2_global_miss, l2_accesses)
+        return MemoryProfile(
+            l2_accesses_per_instr=l2_accesses,
+            l2_misses_per_instr=l2_misses,
+            base_cpi=workload.base_cpi,
+            mlp=workload.mlp,
+            l2_hit_latency_cycles=self.platform.l2.latency_cycles,
+        )
+
+    def solve(self, workload, cache_kb: float, bandwidth_gbps: float) -> IpcSolution:
+        """Full operating point (IPC, latency, utilization) for one allocation."""
+        if cache_kb <= 0 or bandwidth_gbps <= 0:
+            raise ValueError(
+                f"allocations must be positive, got cache={cache_kb} KB, "
+                f"bandwidth={bandwidth_gbps} GB/s"
+            )
+        profile = self.memory_profile(workload, cache_kb)
+        dram = replace(self.platform.dram, bandwidth_gbps=float(bandwidth_gbps))
+        return solve_ipc(profile, self.platform.core, dram)
+
+    def ipc(self, workload, cache_kb: float, bandwidth_gbps: float) -> float:
+        """Instructions per cycle for one (cache, bandwidth) allocation."""
+        return self.solve(workload, cache_kb, bandwidth_gbps).ipc
+
+    def sweep(
+        self,
+        workload,
+        bandwidths_gbps: Sequence[float] = None,
+        cache_sizes_kb: Sequence[float] = None,
+    ) -> SweepResult:
+        """IPC over the (bandwidth x cache) grid; defaults to Table 1's 5x5.
+
+        Points are ordered bandwidth-major to match Figs. 8b/8c.
+        """
+        if bandwidths_gbps is None:
+            bandwidths_gbps = self.platform.bandwidth_sweep_gbps
+        if cache_sizes_kb is None:
+            cache_sizes_kb = self.platform.l2_sweep_kb
+        points: List[Tuple[float, float]] = [
+            (float(bw), float(kb)) for bw in bandwidths_gbps for kb in cache_sizes_kb
+        ]
+        ipc = np.array([self.ipc(workload, kb, bw) for bw, kb in points])
+        return SweepResult(
+            workload_name=workload.name,
+            allocations=np.asarray(points),
+            ipc=ipc,
+        )

@@ -1,0 +1,223 @@
+"""Set-associative LRU cache simulator and two-level hierarchy.
+
+Substitutes for the cache models inside MARSSx86 (Table 1): a 32 KB
+4-way L1 backed by a swept-size 8-way L2, both with 64-byte lines and
+true LRU replacement.  The simulator consumes line-address traces from
+:mod:`repro.sim.trace` and reports hit/miss statistics; the miss stream
+of the L2 feeds the DRAM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .platform import CacheConfig
+
+__all__ = ["CacheStats", "SetAssociativeCache", "CacheHierarchy", "HierarchyResult"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+
+class SetAssociativeCache:
+    """A single set-associative cache level with true LRU replacement.
+
+    Each set is kept as a most-recently-used-first list of line tags;
+    way counts are small (4-8), so list operations are effectively
+    constant time.
+
+    Parameters
+    ----------
+    config:
+        Geometry (size, associativity, line size).
+    n_partition_ways:
+        Optional way-partitioning limit: the cache behaves as if only
+        this many ways per set exist.  Used by
+        :mod:`repro.sched.partition` to enforce capacity allocations the
+        way real CMPs do.
+    """
+
+    def __init__(self, config: CacheConfig, n_partition_ways: Optional[int] = None):
+        self.config = config
+        ways = config.ways if n_partition_ways is None else n_partition_ways
+        if not 1 <= ways <= config.ways:
+            raise ValueError(
+                f"n_partition_ways must be in [1, {config.ways}], got {n_partition_ways}"
+            )
+        self.effective_ways = ways
+        self.n_sets = config.n_sets
+        self.stats = CacheStats()
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+
+    @property
+    def effective_size_kb(self) -> float:
+        """Capacity visible after way partitioning."""
+        return self.config.size_kb * self.effective_ways / self.config.ways
+
+    def access(self, line_address: int) -> bool:
+        """Access one line; returns True on hit.  Misses allocate (LRU evict)."""
+        index = line_address % self.n_sets
+        tag = line_address // self.n_sets
+        ways = self._sets[index]
+        self.stats.accesses += 1
+        try:
+            position = ways.index(tag)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self.effective_ways:
+                ways.pop()
+            ways.insert(0, tag)
+            return False
+        if position:
+            ways.pop(position)
+            ways.insert(0, tag)
+        return True
+
+    def access_trace(self, line_addresses: np.ndarray) -> np.ndarray:
+        """Access a whole trace; returns a boolean hit vector."""
+        hits = np.empty(len(line_addresses), dtype=bool)
+        for i, address in enumerate(line_addresses):
+            hits[i] = self.access(int(address))
+        return hits
+
+    def flush(self) -> None:
+        """Invalidate all lines (statistics are preserved)."""
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(ways) for ways in self._sets)
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Summary of running a trace through the two-level hierarchy."""
+
+    l1: CacheStats
+    l2: CacheStats
+    n_accesses: int
+
+    @property
+    def l1_miss_ratio(self) -> float:
+        return self.l1.miss_ratio
+
+    @property
+    def l2_miss_ratio(self) -> float:
+        """L2 misses per L2 access (local miss ratio)."""
+        return self.l2.miss_ratio
+
+    @property
+    def global_l2_miss_ratio(self) -> float:
+        """L2 misses per *L1* access — the DRAM traffic fraction."""
+        if self.n_accesses == 0:
+            return 0.0
+        return self.l2.misses / self.n_accesses
+
+
+class CacheHierarchy:
+    """An inclusive L1 -> L2 hierarchy fed by a line-address trace.
+
+    L1 misses propagate to the L2; L2 misses are the DRAM request
+    stream.  Inclusion is maintained implicitly (both levels allocate on
+    miss; L1 is far smaller than any swept L2 size).
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        l2_partition_ways: Optional[int] = None,
+        next_line_prefetch: bool = False,
+    ):
+        self.l1 = SetAssociativeCache(l1_config)
+        self.l2 = SetAssociativeCache(l2_config, n_partition_ways=l2_partition_ways)
+        self.next_line_prefetch = next_line_prefetch
+        self.prefetches_issued = 0
+
+    def access(self, line_address: int) -> Tuple[bool, bool]:
+        """Access one line; returns (l1_hit, l2_hit).
+
+        ``l2_hit`` is True when the L1 hit (no L2 access was needed) or
+        when the L2 itself hit; it is False exactly when the access
+        reaches DRAM.
+
+        With ``next_line_prefetch`` enabled, every L2 demand miss also
+        installs line ``A + 1`` into the L2 (a classic next-line
+        prefetcher): sequential streams then hit on their next access.
+        Prefetch fills do not count as demand accesses in the L2's
+        statistics, but they do consume DRAM bandwidth — callers that
+        time DRAM should account for ``prefetches_issued``.
+        """
+        if self.l1.access(line_address):
+            return True, True
+        l2_hit = self.l2.access(line_address)
+        if not l2_hit and self.next_line_prefetch:
+            self._prefetch(line_address + 1)
+        return False, l2_hit
+
+    def _prefetch(self, line_address: int) -> None:
+        """Install a line into the L2 without perturbing demand stats."""
+        accesses, misses = self.l2.stats.accesses, self.l2.stats.misses
+        already_resident = self.l2.access(line_address)
+        self.l2.stats.accesses, self.l2.stats.misses = accesses, misses
+        if not already_resident:
+            self.prefetches_issued += 1
+
+    def warm(self, line_addresses: np.ndarray) -> None:
+        """Pre-load lines (checkpoint-style warm-up) and reset statistics.
+
+        Touch the given addresses in order (most-popular-last leaves the
+        hottest lines MRU in every set), then clear the counters so only
+        the measured region contributes to miss ratios.
+        """
+        for address in line_addresses:
+            self.access(int(address))
+        self.l1.stats.reset()
+        self.l2.stats.reset()
+
+    def run(self, line_addresses: np.ndarray) -> HierarchyResult:
+        """Run a full trace, returning per-level statistics.
+
+        Also returns, via the result's counters, the number of DRAM
+        requests (``result.l2.misses``).
+        """
+        for address in line_addresses:
+            self.access(int(address))
+        return HierarchyResult(
+            l1=self.l1.stats, l2=self.l2.stats, n_accesses=self.l1.stats.accesses
+        )
+
+    def dram_request_indices(self, line_addresses: np.ndarray) -> np.ndarray:
+        """Run a trace and return the indices that missed all levels.
+
+        Used by the machine model to time DRAM requests: the index of a
+        miss within the instruction stream locates its arrival time.
+        """
+        missed = []
+        for i, address in enumerate(line_addresses):
+            _, l2_hit = self.access(int(address))
+            if not l2_hit:
+                missed.append(i)
+        return np.asarray(missed, dtype=np.int64)

@@ -1,0 +1,171 @@
+"""Third-resource extension: processor cores (§7 / future work).
+
+The paper closes: "In future, the mechanism can support additional
+resources, such as the number of processor cores."  The REF mechanism
+is already R-resource; what is missing is a performance model in which
+core count is elastic.  This module supplies it:
+
+* parallel speedup follows **Amdahl's law** (the paper cites Hill &
+  Marty's multicore Amdahl analysis as a canonical diminishing-returns
+  effect): with parallel fraction ``f`` and ``n`` cores the throughput
+  multiplier is ``S(n) = 1 / ((1 - f) + f / n)``;
+* memory behaviour composes with the two-resource machine: aggregate
+  DRAM demand scales with aggregate throughput, so cores, cache and
+  bandwidth genuinely substitute for one another — exactly the regime
+  Cobb-Douglas models.
+
+Core allocations are treated as divisible (time-multiplexed), matching
+the mechanism's divisible-resource assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .analytic import AnalyticMachine
+from .cpu import interval_ipc
+from .dram import MAX_UTILIZATION, loaded_latency
+from .platform import PlatformConfig
+
+__all__ = ["ParallelWorkload", "amdahl_speedup", "ThreeResourceMachine"]
+
+#: Fixed-point iteration parameters (same regime as repro.sim.cpu).
+_MAX_ITERATIONS = 200
+_TOLERANCE = 1e-10
+_DAMPING = 0.5
+
+
+def amdahl_speedup(parallel_fraction: float, cores: float) -> float:
+    """Amdahl's-law throughput multiplier for a divisible core allocation.
+
+    ``S(n) = 1 / ((1 - f) + f / n)`` — strictly increasing and concave
+    in ``n``, saturating at ``1 / (1 - f)``.
+    """
+    if not 0 <= parallel_fraction < 1:
+        raise ValueError(
+            f"parallel_fraction must be in [0, 1), got {parallel_fraction}"
+        )
+    if cores <= 0:
+        raise ValueError(f"cores must be positive, got {cores}")
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / cores)
+
+
+@dataclass(frozen=True)
+class ParallelWorkload:
+    """A base workload plus its exploitable parallelism.
+
+    Wraps a two-resource :class:`~repro.workloads.spec.WorkloadSpec`
+    with the Amdahl parallel fraction; all locality and intensity
+    parameters are inherited from the base spec.
+    """
+
+    base: object
+    parallel_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.parallel_fraction < 1:
+            raise ValueError(
+                f"parallel_fraction must be in [0, 1), got {self.parallel_fraction}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+
+class ThreeResourceMachine:
+    """IPC as a function of (cores, memory bandwidth, cache capacity).
+
+    The fixed point extends :func:`repro.sim.cpu.solve_ipc`: per-core
+    IPC comes from the interval model at the loaded memory latency;
+    aggregate throughput is per-core IPC times the Amdahl multiplier;
+    and the loaded latency depends on aggregate throughput through the
+    bandwidth share's utilization.
+    """
+
+    def __init__(self, platform: PlatformConfig = None):
+        self.platform = platform if platform is not None else PlatformConfig()
+        self._two_resource = AnalyticMachine(self.platform)
+        #: Default sweep grid for the cores dimension.
+        self.cores_sweep: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+
+    def ipc(
+        self,
+        workload: ParallelWorkload,
+        cores: float,
+        cache_kb: float,
+        bandwidth_gbps: float,
+    ) -> float:
+        """Aggregate instructions per (reference-core) cycle."""
+        if cores <= 0 or cache_kb <= 0 or bandwidth_gbps <= 0:
+            raise ValueError(
+                f"allocations must be positive, got cores={cores}, "
+                f"cache={cache_kb} KB, bandwidth={bandwidth_gbps} GB/s"
+            )
+        profile = self._two_resource.memory_profile(workload.base, cache_kb)
+        core_cfg = self.platform.core
+        dram = replace(self.platform.dram, bandwidth_gbps=float(bandwidth_gbps))
+        speedup = amdahl_speedup(workload.parallel_fraction, cores)
+
+        aggregate = speedup * interval_ipc(
+            profile, core_cfg.ns_to_cycles(dram.access_ns), core_cfg
+        )
+        for _ in range(_MAX_ITERATIONS):
+            demand = (
+                aggregate * profile.l2_misses_per_instr * dram.line_bytes
+                * core_cfg.frequency_ghz
+            )
+            latency_cycles = core_cfg.ns_to_cycles(
+                loaded_latency(dram, demand / dram.bandwidth_gbps)
+            )
+            per_core = interval_ipc(profile, latency_cycles, core_cfg)
+            next_aggregate = min(
+                speedup * per_core, self._bandwidth_bound(profile, dram)
+            )
+            updated = aggregate + _DAMPING * (next_aggregate - aggregate)
+            if abs(updated - aggregate) <= _TOLERANCE:
+                aggregate = updated
+                break
+            aggregate = updated
+        return float(aggregate)
+
+    def _bandwidth_bound(self, profile, dram) -> float:
+        bytes_per_instr = profile.l2_misses_per_instr * dram.line_bytes
+        if bytes_per_instr == 0:
+            return float("inf")
+        return (
+            MAX_UTILIZATION * dram.bandwidth_gbps
+            / (bytes_per_instr * self.platform.core.frequency_ghz)
+        )
+
+    def sweep(
+        self,
+        workload: ParallelWorkload,
+        cores: Sequence[float] = None,
+        bandwidths_gbps: Sequence[float] = None,
+        cache_sizes_kb: Sequence[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Throughput over the (cores x bandwidth x cache) grid.
+
+        Returns ``(allocations, ipc)`` where each allocation row is
+        ``(cores, bandwidth_gbps, cache_kb)`` — ready for
+        :func:`repro.core.fitting.fit_cobb_douglas` with three
+        resources.
+        """
+        if cores is None:
+            cores = self.cores_sweep
+        if bandwidths_gbps is None:
+            bandwidths_gbps = self.platform.bandwidth_sweep_gbps
+        if cache_sizes_kb is None:
+            cache_sizes_kb = self.platform.l2_sweep_kb
+        points: List[Tuple[float, float, float]] = [
+            (float(n), float(bw), float(kb))
+            for n in cores
+            for bw in bandwidths_gbps
+            for kb in cache_sizes_kb
+        ]
+        ipc = np.array([self.ipc(workload, n, kb, bw) for n, bw, kb in points])
+        return np.asarray(points), ipc

@@ -1,0 +1,147 @@
+"""Out-of-order core performance model (interval analysis).
+
+Substitutes for the MARSSx86 core timing model.  We use the standard
+interval/CPI-stack decomposition: a core with enough ILP executes at a
+workload-specific base CPI, and long-latency L2 misses insert stall
+intervals whose cost is the loaded memory latency divided by the
+workload's memory-level parallelism (MLP).  L2 hits add their access
+latency weighted by how often the L1 misses.
+
+Because the loaded memory latency itself depends on how fast the core
+generates misses (bandwidth demand = IPC * misses-per-instruction *
+line size), IPC is the solution of a fixed point, computed by
+:func:`solve_ipc` with damped iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dram import MAX_UTILIZATION, loaded_latency
+from .platform import CoreConfig, DramConfig
+
+__all__ = ["MemoryProfile", "interval_ipc", "solve_ipc", "IpcSolution"]
+
+#: Fixed-point iteration parameters.
+_MAX_ITERATIONS = 200
+_TOLERANCE = 1e-10
+_DAMPING = 0.5
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Per-instruction memory behaviour of a workload on some platform.
+
+    Attributes
+    ----------
+    l2_accesses_per_instr:
+        L1 misses per instruction (each reaches the L2).
+    l2_misses_per_instr:
+        L2 misses per instruction (each reaches DRAM).
+    base_cpi:
+        Core-limited CPI with a perfect memory hierarchy.
+    mlp:
+        Average number of overlapping outstanding L2 misses; stall
+        cycles per miss are ``latency / mlp``.
+    l2_hit_latency_cycles:
+        L2 access latency charged to L1 misses that hit in L2.
+    l2_hit_overlap:
+        Fraction of L2 hit latency hidden by out-of-order execution.
+    """
+
+    l2_accesses_per_instr: float
+    l2_misses_per_instr: float
+    base_cpi: float
+    mlp: float
+    l2_hit_latency_cycles: float = 20.0
+    l2_hit_overlap: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.l2_accesses_per_instr < 0 or self.l2_misses_per_instr < 0:
+            raise ValueError("per-instruction access rates must be non-negative")
+        if self.l2_misses_per_instr > self.l2_accesses_per_instr + 1e-12:
+            raise ValueError("cannot miss in L2 more often than accessing it")
+        if self.base_cpi <= 0:
+            raise ValueError(f"base_cpi must be positive, got {self.base_cpi}")
+        if self.mlp < 1:
+            raise ValueError(f"mlp must be >= 1, got {self.mlp}")
+        if not 0 <= self.l2_hit_overlap <= 1:
+            raise ValueError(f"l2_hit_overlap must be in [0, 1], got {self.l2_hit_overlap}")
+
+
+def interval_ipc(profile: MemoryProfile, mem_latency_cycles: float, core: CoreConfig) -> float:
+    """IPC for a *fixed* loaded memory latency (one interval-model step).
+
+        CPI = base + hits * exposed_hit_latency + misses * latency / MLP
+    """
+    if mem_latency_cycles < 0:
+        raise ValueError(f"mem_latency_cycles must be non-negative, got {mem_latency_cycles}")
+    l2_hits_per_instr = profile.l2_accesses_per_instr - profile.l2_misses_per_instr
+    hit_cost = l2_hits_per_instr * profile.l2_hit_latency_cycles * (1.0 - profile.l2_hit_overlap)
+    miss_cost = profile.l2_misses_per_instr * mem_latency_cycles / profile.mlp
+    cpi = max(profile.base_cpi, 1.0 / core.issue_width) + hit_cost + miss_cost
+    return 1.0 / cpi
+
+
+@dataclass(frozen=True)
+class IpcSolution:
+    """Converged operating point of the core/memory fixed point."""
+
+    ipc: float
+    memory_latency_cycles: float
+    bandwidth_demand_gbps: float
+    utilization: float
+    iterations: int
+    converged: bool
+
+
+def solve_ipc(profile: MemoryProfile, core: CoreConfig, dram: DramConfig) -> IpcSolution:
+    """Solve the IPC / memory-latency fixed point with damped iteration.
+
+    At a candidate IPC, the DRAM channel sees traffic
+
+        demand [GB/s] = IPC * misses_per_instr * line_bytes * freq [GHz]
+
+    whose utilization of the allocated bandwidth sets the loaded latency
+    (:func:`repro.sim.dram.loaded_latency`), which in turn sets IPC via
+    the interval model.  Damped iteration converges quickly because the
+    map is monotone and bounded.
+    """
+    ipc = interval_ipc(profile, core.ns_to_cycles(dram.access_ns), core)
+    latency_cycles = core.ns_to_cycles(dram.access_ns)
+    converged = False
+    iterations = 0
+    for iterations in range(1, _MAX_ITERATIONS + 1):
+        demand = ipc * profile.l2_misses_per_instr * dram.line_bytes * core.frequency_ghz
+        utilization = demand / dram.bandwidth_gbps
+        latency_ns = loaded_latency(dram, utilization)
+        latency_cycles = core.ns_to_cycles(latency_ns)
+        next_ipc = interval_ipc(profile, latency_cycles, core)
+        # When demand exceeds what the channel can carry, IPC is
+        # bandwidth-bound: cap it at the sustainable rate.
+        max_ipc = _bandwidth_bound_ipc(profile, core, dram)
+        next_ipc = min(next_ipc, max_ipc)
+        new_ipc = ipc + _DAMPING * (next_ipc - ipc)
+        if abs(new_ipc - ipc) <= _TOLERANCE:
+            ipc = new_ipc
+            converged = True
+            break
+        ipc = new_ipc
+
+    demand = ipc * profile.l2_misses_per_instr * dram.line_bytes * core.frequency_ghz
+    return IpcSolution(
+        ipc=float(ipc),
+        memory_latency_cycles=float(latency_cycles),
+        bandwidth_demand_gbps=float(demand),
+        utilization=float(demand / dram.bandwidth_gbps),
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def _bandwidth_bound_ipc(profile: MemoryProfile, core: CoreConfig, dram: DramConfig) -> float:
+    """Highest IPC the allocated bandwidth can sustain."""
+    bytes_per_instr = profile.l2_misses_per_instr * dram.line_bytes
+    if bytes_per_instr == 0:
+        return float("inf")
+    return MAX_UTILIZATION * dram.bandwidth_gbps / (bytes_per_instr * core.frequency_ghz)

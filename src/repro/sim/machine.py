@@ -1,0 +1,149 @@
+"""Trace-driven machine: caches, DRAM channel and core coupled closed-loop.
+
+This is the detailed counterpart of the analytic machine — the stand-in
+for the MARSSx86 + DRAMSim2 stack of §5.1.  For one workload and one
+(cache, bandwidth) allocation it:
+
+1. synthesizes a reference trace from the workload's locality model,
+2. runs it through the two-level set-associative LRU hierarchy,
+3. replays execution on a closed-loop timing model: the core advances
+   at its non-DRAM CPI between L2 misses, each miss is scheduled on the
+   closed-page DRAM channel at the moment the core reaches it, and the
+   core is charged the *measured* loaded latency amortized over its
+   memory-level parallelism.
+
+Because arrivals are paced by core progress, the loop is
+self-stabilizing under bandwidth saturation: when the channel backs up,
+the core slows, and the offered load settles at what the allocated
+share can carry — the same operating point the analytic fixed point
+finds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cache import CacheHierarchy
+from .dram import DramChannel
+from .platform import PlatformConfig
+from .trace import generate_trace
+
+__all__ = ["TraceSimulationResult", "TraceMachine"]
+
+
+@dataclass(frozen=True)
+class TraceSimulationResult:
+    """Everything measured by one trace-driven simulation."""
+
+    workload_name: str
+    cache_kb: float
+    bandwidth_gbps: float
+    ipc: float
+    l1_miss_ratio: float
+    l2_miss_ratio_global: float
+    mean_memory_latency_ns: float
+    achieved_bandwidth_gbps: float
+    n_instructions: int
+    n_dram_requests: int
+    dram_row_hit_rate: float = 0.0
+
+
+class TraceMachine:
+    """Detailed trace-driven simulator for one platform.
+
+    Parameters
+    ----------
+    platform:
+        Geometry and timing (Table 1 defaults).
+    n_instructions:
+        Simulated instruction count per run.  The paper simulates 100M
+        instructions per configuration on a cycle-accurate simulator;
+        our synthetic workloads reach steady state much sooner, so the
+        default is sized for sub-second runs while keeping sampling
+        noise small.
+    """
+
+    def __init__(
+        self,
+        platform: Optional[PlatformConfig] = None,
+        n_instructions: int = 400_000,
+        warmup: bool = True,
+    ):
+        if n_instructions <= 0:
+            raise ValueError(f"n_instructions must be positive, got {n_instructions}")
+        self.platform = platform if platform is not None else PlatformConfig()
+        self.n_instructions = n_instructions
+        self.warmup = warmup
+
+    def simulate(
+        self,
+        workload,
+        cache_kb: float,
+        bandwidth_gbps: float,
+        seed: int = 12345,
+    ) -> TraceSimulationResult:
+        """Run one workload at one allocation; returns measured IPC etc."""
+        if cache_kb <= 0 or bandwidth_gbps <= 0:
+            raise ValueError(
+                f"allocations must be positive, got cache={cache_kb} KB, "
+                f"bandwidth={bandwidth_gbps} GB/s"
+            )
+        platform = self.platform.with_allocation(cache_kb, bandwidth_gbps)
+        n_accesses = max(int(self.n_instructions * workload.refs_per_instr), 1)
+        trace = generate_trace(workload.locality, n_accesses, seed=seed)
+
+        hierarchy = CacheHierarchy(platform.l1, platform.l2)
+        if self.warmup:
+            # Checkpoint-style warm-up: pre-load the steady-state working
+            # set (the most popular lines, up to L2 capacity) so a finite
+            # trace measures warm behaviour, as the paper's 100M-ROI
+            # simulations do.
+            hierarchy.warm(workload.locality.top_lines(platform.l2.n_lines))
+        miss_indices = hierarchy.dram_request_indices(trace)
+        l1_stats = hierarchy.l1.stats
+        l2_stats = hierarchy.l2.stats
+        l1_miss_ratio = l1_stats.miss_ratio
+        global_miss_ratio = l2_stats.misses / max(l1_stats.accesses, 1)
+
+        # Non-DRAM CPI: core-limited base plus exposed L2-hit latency.
+        core = platform.core
+        l2_hits_per_instr = workload.refs_per_instr * l1_miss_ratio - (
+            workload.refs_per_instr * global_miss_ratio
+        )
+        hit_cost_cpi = l2_hits_per_instr * platform.l2.latency_cycles * 0.3
+        core_cpi = max(workload.base_cpi, 1.0 / core.issue_width) + hit_cost_cpi
+        core_cpi_ns = core_cpi * core.cycle_ns
+
+        # Closed-loop replay: walk the miss stream, advancing core time
+        # by the instruction gap, issuing each miss when reached, and
+        # charging measured latency amortized over MLP.
+        channel = DramChannel(platform.dram)
+        instr_of_miss = miss_indices / workload.refs_per_instr
+        core_time_ns = 0.0
+        instr_done = 0.0
+        for access_index, instr_index in zip(miss_indices, instr_of_miss):
+            core_time_ns += (instr_index - instr_done) * core_cpi_ns
+            instr_done = instr_index
+            done = channel.service(core_time_ns, int(trace[access_index]))
+            core_time_ns += (done - core_time_ns) / workload.mlp
+        core_time_ns += (self.n_instructions - instr_done) * core_cpi_ns
+
+        total_cycles = core_time_ns * core.frequency_ghz
+        ipc = self.n_instructions / total_cycles if total_cycles > 0 else 0.0
+
+        return TraceSimulationResult(
+            workload_name=workload.name,
+            cache_kb=cache_kb,
+            bandwidth_gbps=bandwidth_gbps,
+            ipc=float(ipc),
+            l1_miss_ratio=float(l1_miss_ratio),
+            l2_miss_ratio_global=float(global_miss_ratio),
+            mean_memory_latency_ns=float(channel.mean_latency_ns),
+            achieved_bandwidth_gbps=float(channel.achieved_bandwidth_gbps),
+            n_instructions=self.n_instructions,
+            n_dram_requests=int(miss_indices.size),
+            dram_row_hit_rate=(
+                channel.row_hits / channel.n_requests if channel.n_requests else 0.0
+            ),
+        )

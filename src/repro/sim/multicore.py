@@ -1,0 +1,422 @@
+"""Shared-machine co-simulation: N agents under a chosen memory policy.
+
+The evaluation pipeline (§5) reasons about shared performance through
+fitted utilities.  This module closes the loop in the *simulator*: it
+runs all N agents of a workload mix concurrently on one machine with
+the last-level cache **way-partitioned** per agent and the DRAM channel
+arbitrated by a pluggable **memory-scheduling policy** — the §6 design
+space the paper positions itself within:
+
+* ``"fcfs"``   — first-come first-served, no fairness substrate at all
+  (the baseline prior work improves on);
+* ``"wfq"``    — weighted fair queueing on the data bus with the
+  agents' bandwidth shares as weights (Nesbit et al.'s fair-queueing
+  memory system; the enforcement §4.4 assumes).  Work-conserving:
+  agents receive *at least* their share;
+* ``"stfm"``   — a stall-time-fair scheduler in the spirit of Mutlu &
+  Moscibroda: always grant the request of the agent currently
+  suffering the largest estimated DRAM slowdown.
+
+Each agent executes its own reference trace closed-loop (core progress
+paces DRAM arrivals, measured latency is charged back at latency/MLP),
+so agents genuinely contend for banks and the bus.
+
+This is what lets the reproduction verify sharing incentives *in the
+machine* (``benchmarks/bench_enforced_si.py``) and compare memory
+policies on the prior-work unfairness index
+(``benchmarks/bench_memory_policies.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .cache import CacheHierarchy
+from .platform import PlatformConfig
+from .trace import generate_trace
+
+__all__ = ["AgentShare", "SharedRunResult", "SharedMachine", "MEMORY_POLICIES"]
+
+#: Valid DRAM arbitration policies.
+MEMORY_POLICIES = ("fcfs", "wfq", "stfm")
+
+
+@dataclass(frozen=True)
+class AgentShare:
+    """One agent's enforced resource share on the shared machine."""
+
+    name: str
+    workload: object
+    bandwidth_gbps: float
+    l2_ways: int
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth share must be positive, got {self.bandwidth_gbps}")
+        if self.l2_ways < 1:
+            raise ValueError(f"each agent needs at least one L2 way, got {self.l2_ways}")
+
+
+@dataclass(frozen=True)
+class SharedRunResult:
+    """Per-agent outcome of one shared-machine co-simulation."""
+
+    ipc: Dict[str, float]
+    dram_requests: Dict[str, int]
+    mean_latency_ns: Dict[str, float]
+    achieved_bandwidth_gbps: Dict[str, float]
+    makespan_ns: float
+    policy: str = "wfq"
+
+    def slowdowns(self, alone_ipc: Dict[str, float]) -> Dict[str, float]:
+        """Per-agent slowdown versus a solo (alone) run: alone / shared."""
+        return {name: alone_ipc[name] / self.ipc[name] for name in self.ipc}
+
+    @staticmethod
+    def unfairness_index(slowdowns: Dict[str, float]) -> float:
+        """Prior work's metric: max slowdown over min slowdown (§6)."""
+        values = list(slowdowns.values())
+        return max(values) / min(values)
+
+
+class _AgentState:
+    """Mutable per-agent replay state for the event loop."""
+
+    __slots__ = (
+        "miss_instrs",
+        "miss_addresses",
+        "cursor",
+        "core_time_ns",
+        "instr_done",
+        "core_cpi_ns",
+        "mlp",
+        "total_latency",
+        "unloaded_latency",
+        "last_completion",
+        "virtual_finish",
+        "instructions",
+    )
+
+    def __init__(self, miss_instrs, miss_addresses, core_cpi_ns, mlp, instructions=None):
+        self.miss_instrs = miss_instrs
+        self.miss_addresses = miss_addresses
+        self.cursor = 0
+        self.core_time_ns = 0.0
+        self.instr_done = 0.0
+        self.core_cpi_ns = core_cpi_ns
+        self.mlp = mlp
+        self.total_latency = 0.0
+        self.unloaded_latency = 0.0
+        self.last_completion = 0.0
+        self.virtual_finish = 0.0
+        self.instructions = instructions
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.miss_instrs)
+
+    def next_issue_time(self) -> float:
+        """When the core will reach its next miss (inf when done)."""
+        if self.done:
+            return float("inf")
+        gap_instr = self.miss_instrs[self.cursor] - self.instr_done
+        return self.core_time_ns + gap_instr * self.core_cpi_ns
+
+
+class SharedMachine:
+    """Co-simulates N agents sharing one L2 and one DRAM channel.
+
+    Parameters
+    ----------
+    platform:
+        Machine geometry/timing.  ``platform.l2`` describes the *total*
+        shared cache (its way count bounds the partition) and
+        ``platform.dram.channel_gbps`` the physical channel.
+    n_instructions:
+        Instructions each agent executes.
+    """
+
+    def __init__(self, platform: Optional[PlatformConfig] = None, n_instructions: int = 200_000):
+        if n_instructions <= 0:
+            raise ValueError(f"n_instructions must be positive, got {n_instructions}")
+        self.platform = platform if platform is not None else PlatformConfig()
+        self.n_instructions = n_instructions
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        shares: Sequence[AgentShare],
+        seed: int = 99,
+        policy: str = "wfq",
+        cache_mode: str = "partitioned",
+    ) -> SharedRunResult:
+        """Run all agents to completion under one memory policy.
+
+        Parameters
+        ----------
+        cache_mode:
+            ``"partitioned"`` (default) gives each agent its
+            ``l2_ways`` slice of the shared cache — the §4.4
+            enforcement.  ``"shared"`` runs everyone through one
+            *unpartitioned* L2: agents' lines evict one another, so a
+            streaming neighbour can destroy a cache-lover's hit rate —
+            the interference that motivates enforcement in the first
+            place (``benchmarks/bench_why_partition.py``).
+        """
+        shares = list(shares)
+        if not shares:
+            raise ValueError("at least one agent share is required")
+        if policy not in MEMORY_POLICIES:
+            raise ValueError(f"policy must be one of {MEMORY_POLICIES}, got {policy!r}")
+        if cache_mode not in ("partitioned", "shared"):
+            raise ValueError(
+                f"cache_mode must be 'partitioned' or 'shared', got {cache_mode!r}"
+            )
+        names = [share.name for share in shares]
+        if len(set(names)) != len(names):
+            raise ValueError(f"agent names must be unique, got {names}")
+        if cache_mode == "partitioned":
+            total_ways = sum(share.l2_ways for share in shares)
+            if total_ways > self.platform.l2.ways:
+                raise ValueError(
+                    f"partition uses {total_ways} ways but the shared L2 has "
+                    f"{self.platform.l2.ways}"
+                )
+            states = [
+                self._prepare_agent(index, share, seed)
+                for index, share in enumerate(shares)
+            ]
+        else:
+            states = self._prepare_shared_cache(shares, seed)
+        return self._interleave(shares, states, policy)
+
+    def run_alone(self, share: AgentShare, seed: int = 99) -> SharedRunResult:
+        """Run one agent with the machine to itself (same partition).
+
+        The baseline the slowdown/unfairness metrics divide by: the
+        agent keeps its cache partition but faces no DRAM contention.
+        """
+        return self.run([share], seed=seed, policy="fcfs")
+
+    # ------------------------------------------------------------------
+
+    def _prepare_agent(self, index: int, share: AgentShare, seed: int) -> _AgentState:
+        """Warm the agent's cache partition and extract its miss stream."""
+        workload = share.workload
+        hierarchy = CacheHierarchy(
+            self.platform.l1, self.platform.l2, l2_partition_ways=share.l2_ways
+        )
+        partition_lines = (
+            self.platform.l2.n_lines * share.l2_ways // self.platform.l2.ways
+        )
+        hierarchy.warm(workload.locality.top_lines(max(partition_lines, 1)))
+        n_accesses = max(int(self.n_instructions * workload.refs_per_instr), 1)
+        trace = generate_trace(workload.locality, n_accesses, seed=seed + index)
+        miss_indices = hierarchy.dram_request_indices(trace)
+
+        l1_miss = hierarchy.l1.stats.miss_ratio
+        global_miss = hierarchy.l2.stats.misses / max(hierarchy.l1.stats.accesses, 1)
+        core = self.platform.core
+        l2_hits_per_instr = workload.refs_per_instr * (l1_miss - global_miss)
+        core_cpi = (
+            max(workload.base_cpi, 1.0 / core.issue_width)
+            + l2_hits_per_instr * self.platform.l2.latency_cycles * 0.3
+        )
+        return _AgentState(
+            miss_instrs=miss_indices / workload.refs_per_instr,
+            miss_addresses=trace[miss_indices],
+            core_cpi_ns=core_cpi * core.cycle_ns,
+            mlp=workload.mlp,
+        )
+
+    def _prepare_shared_cache(self, shares: List[AgentShare], seed: int) -> List[_AgentState]:
+        """Interleave all agents through one *unpartitioned* L2.
+
+        Access streams merge in instruction order (instruction progress
+        approximated as uniform across agents — adequate for measuring
+        cache interference, which depends on interleaving density, not
+        exact timing).  The first 30% of the merged stream warms the
+        shared cache; statistics and miss streams come from the rest.
+        """
+        import heapq
+
+        from .cache import SetAssociativeCache
+
+        l2 = SetAssociativeCache(self.platform.l2)
+        l1s = [SetAssociativeCache(self.platform.l1) for _ in shares]
+        traces = []
+        instr_of = []
+        for index, share in enumerate(shares):
+            workload = share.workload
+            n_accesses = max(int(self.n_instructions * workload.refs_per_instr), 1)
+            trace = generate_trace(workload.locality, n_accesses, seed=seed + index)
+            traces.append(trace)
+            instr_of.append(np.arange(n_accesses) / workload.refs_per_instr)
+
+        # Merge by instruction index.
+        heap = [(instr_of[i][0], i, 0) for i in range(len(shares)) if len(traces[i])]
+        heapq.heapify(heap)
+        warm_until = int(0.3 * sum(len(t) for t in traces))
+        served = 0
+        miss_records: List[List] = [[] for _ in shares]
+        l1_misses = [0] * len(shares)
+        measured_accesses = [0] * len(shares)
+        while heap:
+            _, agent, pos = heapq.heappop(heap)
+            address = int(traces[agent][pos])
+            warming = served < warm_until
+            served += 1
+            if not warming:
+                measured_accesses[agent] += 1
+            if not l1s[agent].access(address):
+                if not warming:
+                    l1_misses[agent] += 1
+                if not l2.access(address) and not warming:
+                    miss_records[agent].append((instr_of[agent][pos], address))
+            next_pos = pos + 1
+            if next_pos < len(traces[agent]):
+                heapq.heappush(heap, (instr_of[agent][next_pos], agent, next_pos))
+
+        states = []
+        core = self.platform.core
+        for index, share in enumerate(shares):
+            workload = share.workload
+            accesses = max(measured_accesses[index], 1)
+            l1_miss_ratio = l1_misses[index] / accesses
+            global_miss_ratio = len(miss_records[index]) / accesses
+            l2_hits_per_instr = workload.refs_per_instr * (
+                l1_miss_ratio - global_miss_ratio
+            )
+            core_cpi = (
+                max(workload.base_cpi, 1.0 / core.issue_width)
+                + l2_hits_per_instr * self.platform.l2.latency_cycles * 0.3
+            )
+            if miss_records[index]:
+                miss_instrs = np.array([instr for instr, _ in miss_records[index]])
+                miss_addresses = np.array([addr for _, addr in miss_records[index]])
+                # Re-base instruction indices so replay starts at zero.
+                miss_instrs = miss_instrs - miss_instrs[0]
+            else:
+                miss_instrs = np.empty(0)
+                miss_addresses = np.empty(0, dtype=np.int64)
+            states.append(
+                _AgentState(
+                    miss_instrs=miss_instrs,
+                    miss_addresses=miss_addresses,
+                    core_cpi_ns=core_cpi * core.cycle_ns,
+                    mlp=workload.mlp,
+                    instructions=accesses / workload.refs_per_instr,
+                )
+            )
+        return states
+
+    def _pick(
+        self,
+        policy: str,
+        candidates: List[int],
+        states: List[_AgentState],
+    ) -> int:
+        """Arbitrate among agents whose requests are ready."""
+        if len(candidates) == 1:
+            return candidates[0]
+        if policy == "fcfs":
+            return min(candidates, key=lambda i: states[i].next_issue_time())
+        if policy == "wfq":
+            return min(candidates, key=lambda i: states[i].virtual_finish)
+        # stfm: serve the agent with the worst estimated DRAM slowdown.
+        def slowdown(i: int) -> float:
+            state = states[i]
+            if state.unloaded_latency == 0:
+                return 1.0
+            return state.total_latency / state.unloaded_latency
+
+        return max(candidates, key=slowdown)
+
+    def _interleave(
+        self, shares: List[AgentShare], states: List[_AgentState], policy: str
+    ) -> SharedRunResult:
+        """Serve agents' misses on the shared channel under the policy."""
+        dram = self.platform.dram
+        banks_per_channel = dram.n_ranks * dram.n_banks
+        bank_free = np.zeros(dram.n_channels * banks_per_channel)
+        bus_free = [0.0] * dram.n_channels
+        # Bandwidth shares act as WFQ weights (only ratios matter); the
+        # physical per-channel rate bounds each channel's service.
+        burst_ns = dram.line_bytes / dram.per_channel_gbps
+        weights = [share.bandwidth_gbps for share in shares]
+
+        pending = {i for i in range(len(states)) if not states[i].done}
+        while pending:
+            issues = {i: states[i].next_issue_time() for i in pending}
+            earliest = min(issues.values())
+            # Requests issued by the time a bus frees compete; if every
+            # bus is idle past every issue, the earliest goes alone.
+            horizon = max(min(bus_free), earliest)
+            candidates = [i for i in pending if issues[i] <= horizon]
+            chosen = self._pick(policy, candidates, states)
+            state = states[chosen]
+            issue = issues[chosen]
+            address = int(state.miss_addresses[state.cursor])
+            channel = address % dram.n_channels
+            bank = channel * banks_per_channel + (
+                (address // dram.n_channels) % banks_per_channel
+            )
+
+            start = max(issue, bank_free[bank])
+            data_start = max(start + dram.t_rcd_ns + dram.t_cl_ns, bus_free[channel])
+            done = data_start + burst_ns
+            bus_free[channel] = done
+            bank_free[bank] = done + dram.t_rp_ns
+            # Virtual time for WFQ: one line's worth of service divided
+            # by the agent's weight (start-time fair queueing flavour).
+            state.virtual_finish = (
+                max(state.virtual_finish, data_start) + dram.line_bytes / weights[chosen]
+            )
+
+            state.total_latency += done - issue
+            state.unloaded_latency += dram.t_rcd_ns + dram.t_cl_ns + burst_ns
+            state.last_completion = done
+            state.core_time_ns = issue + (done - issue) / state.mlp
+            state.instr_done = state.miss_instrs[state.cursor]
+            state.cursor += 1
+            if state.done:
+                pending.discard(chosen)
+
+        return self._collect(shares, states, policy)
+
+    def _collect(
+        self, shares: List[AgentShare], states: List[_AgentState], policy: str
+    ) -> SharedRunResult:
+        ipc: Dict[str, float] = {}
+        requests: Dict[str, int] = {}
+        latency: Dict[str, float] = {}
+        achieved: Dict[str, float] = {}
+        makespan = 0.0
+        core = self.platform.core
+        for share, state in zip(shares, states):
+            instructions = state.instructions or self.n_instructions
+            finish_ns = state.core_time_ns + (
+                (instructions - state.instr_done) * state.core_cpi_ns
+            )
+            finish_ns = max(finish_ns, state.last_completion)
+            cycles = finish_ns * core.frequency_ghz
+            ipc[share.name] = instructions / cycles if cycles > 0 else 0.0
+            n_requests = int(state.cursor)
+            requests[share.name] = n_requests
+            latency[share.name] = state.total_latency / n_requests if n_requests else 0.0
+            achieved[share.name] = (
+                n_requests * self.platform.dram.line_bytes / finish_ns if finish_ns else 0.0
+            )
+            makespan = max(makespan, finish_ns)
+        return SharedRunResult(
+            ipc=ipc,
+            dram_requests=requests,
+            mean_latency_ns=latency,
+            achieved_bandwidth_gbps=achieved,
+            makespan_ns=makespan,
+            policy=policy,
+        )

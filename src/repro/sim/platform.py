@@ -1,0 +1,193 @@
+"""Simulated platform configuration (Table 1).
+
+The paper characterizes application sensitivity by simulating 25
+architectures: five L2 (last-level) cache sizes crossed with five DRAM
+bandwidths, on a 3 GHz 4-wide out-of-order core with a 32 KB L1.  This
+module captures those parameters and the sweep grid; the simulators in
+:mod:`repro.sim` consume a :class:`PlatformConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Tuple
+
+__all__ = ["CacheConfig", "DramConfig", "CoreConfig", "PlatformConfig", "TABLE1_PLATFORM"]
+
+#: Cache line size used throughout the hierarchy (bytes).
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A set-associative cache level.
+
+    Table 1: L1 is 32 KB, 4-way, 64-byte blocks, 2-cycle latency; the L2
+    sweeps [128 KB .. 2 MB] at 8-way, 64-byte blocks, 20-cycle latency.
+    """
+
+    size_kb: int
+    ways: int
+    line_bytes: int = LINE_BYTES
+    latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"cache parameters must be positive: {self}")
+        if self.n_lines % self.ways != 0:
+            raise ValueError(
+                f"cache of {self.n_lines} lines is not divisible into {self.ways} ways"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_kb * 1024 // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.ways
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DRAM channel parameters (Table 1: closed-page, rank/bank RR).
+
+    ``bandwidth_gbps`` is the allocatable knob the mechanism divides: a
+    guaranteed *share* of the physical channel (``channel_gbps``),
+    enforced the way §4.4 enforces shares — by pacing a user's requests
+    (weighted fair queueing).  Individual line transfers therefore
+    always move at channel speed; what an allocation changes is the
+    sustained rate, and hence the queueing delay once the user's demand
+    approaches her share.
+
+    Timing parameters are representative DDR3-era values in
+    nanoseconds; the evaluation only depends on their relative effect
+    (queueing grows as the allocated share saturates).
+    """
+
+    bandwidth_gbps: float
+    channel_gbps: float = 12.8
+    n_channels: int = 1
+    n_ranks: int = 2
+    n_banks: int = 8
+    t_rcd_ns: float = 13.5
+    t_cl_ns: float = 13.5
+    t_rp_ns: float = 13.5
+    line_bytes: int = LINE_BYTES
+    page_policy: str = "closed"
+    row_lines: int = 128
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_gbps}")
+        if self.channel_gbps <= 0:
+            raise ValueError(f"channel bandwidth must be positive, got {self.channel_gbps}")
+        if self.n_channels <= 0:
+            raise ValueError(f"channel count must be positive, got {self.n_channels}")
+        if self.n_ranks <= 0 or self.n_banks <= 0:
+            raise ValueError(f"ranks and banks must be positive: {self}")
+        if self.page_policy not in ("closed", "open"):
+            raise ValueError(
+                f"page_policy must be 'closed' or 'open', got {self.page_policy!r}"
+            )
+        if self.row_lines <= 0:
+            raise ValueError(f"row_lines must be positive, got {self.row_lines}")
+
+    @property
+    def per_channel_gbps(self) -> float:
+        """One channel's physical rate; never below its slice of the share."""
+        return max(self.channel_gbps, self.bandwidth_gbps / self.n_channels)
+
+    @property
+    def effective_channel_gbps(self) -> float:
+        """Aggregate physical rate (all channels); never below the share."""
+        return self.per_channel_gbps * self.n_channels
+
+    @property
+    def burst_ns(self) -> float:
+        """Data-bus occupancy of one line transfer on its channel."""
+        return self.line_bytes / self.per_channel_gbps
+
+    @property
+    def service_ns(self) -> float:
+        """Pacing interval of the allocated share: one line per this time.
+
+        This is the M/D/1 service time the queueing model uses — the
+        reciprocal of the user's sustained line rate.
+        """
+        return self.line_bytes / self.bandwidth_gbps
+
+    @property
+    def access_ns(self) -> float:
+        """Unloaded closed-page access latency: activate + CAS + burst."""
+        return self.t_rcd_ns + self.t_cl_ns + self.burst_ns
+
+    @property
+    def cycle_ns(self) -> float:
+        """Bank-occupancy (row-cycle) time of one closed-page access."""
+        return self.t_rcd_ns + self.t_cl_ns + self.burst_ns + self.t_rp_ns
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table 1: 3 GHz, 4-wide)."""
+
+    frequency_ghz: float = 3.0
+    issue_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.issue_width <= 0:
+            raise ValueError(f"core parameters must be positive: {self}")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_ghz
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """The full simulated platform plus the Table 1 sweep grids."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_kb=32, ways=4, latency_cycles=2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_kb=2048, ways=8, latency_cycles=20)
+    )
+    dram: DramConfig = field(default_factory=lambda: DramConfig(bandwidth_gbps=12.8))
+    l2_sweep_kb: Tuple[int, ...] = (128, 256, 512, 1024, 2048)
+    bandwidth_sweep_gbps: Tuple[float, ...] = (0.8, 1.6, 3.2, 6.4, 12.8)
+
+    def with_allocation(self, cache_kb: float, bandwidth_gbps: float) -> "PlatformConfig":
+        """Platform seen by one agent given her (cache, bandwidth) slice.
+
+        Cache capacity is rounded down to a whole number of ways' worth
+        of sets (way-partitioning granularity is handled by
+        :mod:`repro.sched.partition`; here we accept fractional KB and
+        round to an integer line count inside the cache model).
+        """
+        l2 = replace(self.l2, size_kb=max(int(round(cache_kb)), 1))
+        dram = replace(self.dram, bandwidth_gbps=float(bandwidth_gbps))
+        return replace(self, l2=l2, dram=dram)
+
+    def sweep(self) -> Iterator[Tuple[float, float]]:
+        """The 25 (bandwidth GB/s, cache KB) points of Table 1.
+
+        Iterates bandwidth-major to match the x-axis ordering of
+        Figs. 8b/8c: ``(0.8, 128), (0.8, 256), ... (12.8, 2048)``.
+        """
+        for bandwidth in self.bandwidth_sweep_gbps:
+            for cache_kb in self.l2_sweep_kb:
+                yield bandwidth, float(cache_kb)
+
+    def sweep_points(self) -> List[Tuple[float, float]]:
+        """The sweep as a list (bandwidth GB/s, cache KB)."""
+        return list(self.sweep())
+
+
+#: The paper's Table 1 platform with default (maximum) L2 and bandwidth.
+TABLE1_PLATFORM = PlatformConfig()

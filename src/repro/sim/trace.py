@@ -1,0 +1,247 @@
+"""Synthetic memory reference streams with controllable locality.
+
+The paper profiles PARSEC / SPLASH-2x / Phoenix binaries; without those
+traces we synthesize reference streams whose *locality structure* is the
+tunable input.  A :class:`LocalityModel` mixes three components that
+span the behaviours §5.3 discusses:
+
+* a **hot working set** (uniform reuse over a small set of lines) —
+  data that fits in cache captures "exploitable locality";
+* a **Zipf-popular region** (power-law reuse over a large footprint) —
+  produces the smooth diminishing returns of cache sizing;
+* a **streaming** component (every access touches a fresh line) — the
+  facesim/streamcluster-style behaviour where "increasing the cache
+  size would only marginally increase performance".
+
+The same model yields both a concrete address trace (consumed by the
+set-associative cache simulator) and a closed-form LRU miss-ratio curve
+via Che's approximation, so the trace-driven and analytic machines are
+two views of one workload definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Optional
+
+import numpy as np
+from scipy.optimize import brentq
+
+__all__ = ["LocalityModel", "generate_trace"]
+
+#: Virtual line-address regions for the three components, kept disjoint so
+#: a trace's components never alias in the cache.
+_HOT_BASE = 0
+_ZIPF_BASE = 1 << 26
+_STREAM_BASE = 1 << 28
+
+
+@dataclass(frozen=True)
+class LocalityModel:
+    """A mixture locality model over cache-line addresses.
+
+    Parameters
+    ----------
+    hot_weight, hot_lines:
+        Probability mass and footprint (in 64-byte lines) of the
+        uniformly re-referenced hot working set.
+    zipf_weight, zipf_lines, zipf_exponent:
+        Probability mass, footprint and skew of the power-law region
+        (``P(line i) ~ i ** -zipf_exponent``).
+    stream_weight:
+        Probability that an access touches a never-before-seen line.
+
+    Weights must be non-negative and sum to one.
+    """
+
+    hot_weight: float
+    hot_lines: int
+    zipf_weight: float
+    zipf_lines: int
+    zipf_exponent: float
+    stream_weight: float
+
+    def __post_init__(self) -> None:
+        weights = (self.hot_weight, self.zipf_weight, self.stream_weight)
+        if any(w < 0 for w in weights):
+            raise ValueError(f"mixture weights must be non-negative: {weights}")
+        if not np.isclose(sum(weights), 1.0, atol=1e-9):
+            raise ValueError(f"mixture weights must sum to one, got {sum(weights)}")
+        if self.hot_weight > 0 and self.hot_lines <= 0:
+            raise ValueError("hot_lines must be positive when hot_weight > 0")
+        if self.zipf_weight > 0 and self.zipf_lines <= 0:
+            raise ValueError("zipf_lines must be positive when zipf_weight > 0")
+        if self.zipf_weight > 0 and self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive when zipf_weight > 0")
+
+    # ------------------------------------------------------------------
+    # Popularity distribution (independent reference model)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def _zipf_probabilities(self) -> np.ndarray:
+        """Per-line probabilities of the Zipf component (sum to one)."""
+        if self.zipf_weight == 0:
+            return np.empty(0)
+        ranks = np.arange(1, self.zipf_lines + 1, dtype=float)
+        raw = ranks ** -self.zipf_exponent
+        return raw / raw.sum()
+
+    @cached_property
+    def _zipf_cdf(self) -> np.ndarray:
+        return np.cumsum(self._zipf_probabilities)
+
+    @cached_property
+    def _line_rates(self) -> np.ndarray:
+        """Access rate of every *finite-footprint* line (hot then Zipf)."""
+        rates = []
+        if self.hot_weight > 0:
+            rates.append(np.full(self.hot_lines, self.hot_weight / self.hot_lines))
+        if self.zipf_weight > 0:
+            rates.append(self.zipf_weight * self._zipf_probabilities)
+        if not rates:
+            return np.empty(0)
+        return np.concatenate(rates)
+
+    # ------------------------------------------------------------------
+    # Analytic LRU miss ratio (Che's approximation)
+    # ------------------------------------------------------------------
+
+    def characteristic_time(self, cache_lines: int) -> float:
+        """Che's characteristic time ``T`` for an LRU cache of given size.
+
+        Solves ``sum_i (1 - exp(-rate_i * T)) + stream_weight * T = L``:
+        the expected number of distinct reusable lines touched in a
+        window of ``T`` accesses, plus the one-touch streaming lines that
+        pollute the cache during the window, equals the cache size.
+        """
+        if cache_lines <= 0:
+            raise ValueError(f"cache_lines must be positive, got {cache_lines}")
+        rates = self._line_rates
+
+        def occupancy(t: float) -> float:
+            fill = self.stream_weight * t
+            if rates.size:
+                fill += float(np.sum(-np.expm1(-rates * t)))
+            return fill - cache_lines
+
+        max_fill = rates.size + (np.inf if self.stream_weight > 0 else 0.0)
+        if max_fill <= cache_lines:
+            return np.inf  # everything reusable fits; cache never evicts
+        hi = 1.0
+        while occupancy(hi) < 0:
+            hi *= 2.0
+            if hi > 1e15:
+                return np.inf
+        return float(brentq(occupancy, 0.0, hi, xtol=1e-9, rtol=1e-12))
+
+    def miss_ratio(self, cache_lines: int) -> float:
+        """Expected LRU miss ratio for a cache of ``cache_lines`` lines.
+
+        Streaming accesses always miss; a reusable line of rate ``r``
+        hits with probability ``1 - exp(-r * T)`` (Che's approximation).
+        """
+        t = self.characteristic_time(cache_lines)
+        if np.isinf(t):
+            return float(self.stream_weight)
+        rates = self._line_rates
+        hit = float(np.sum(rates * -np.expm1(-rates * t))) if rates.size else 0.0
+        return float(np.clip(1.0 - hit, 0.0, 1.0))
+
+    @property
+    def footprint_lines(self) -> int:
+        """Total reusable footprint (hot + Zipf lines)."""
+        total = 0
+        if self.hot_weight > 0:
+            total += self.hot_lines
+        if self.zipf_weight > 0:
+            total += self.zipf_lines
+        return total
+
+    def top_lines(self, n: int) -> np.ndarray:
+        """The ``n`` most frequently re-referenced line addresses.
+
+        Used for checkpoint-style cache warm-up: an LRU cache in steady
+        state holds (approximately) the most popular lines, so touching
+        them before measurement removes the cold-start transient that a
+        finite trace cannot amortize.  Returned most-popular-last so
+        that sequential warm-up accesses leave the hottest lines MRU.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        rates: List[float] = []
+        addresses: List[int] = []
+        if self.hot_weight > 0:
+            rates.extend([self.hot_weight / self.hot_lines] * self.hot_lines)
+            addresses.extend(range(_HOT_BASE, _HOT_BASE + self.hot_lines))
+        if self.zipf_weight > 0:
+            zipf_rates = self.zipf_weight * self._zipf_probabilities
+            rates.extend(zipf_rates.tolist())
+            addresses.extend(range(_ZIPF_BASE, _ZIPF_BASE + self.zipf_lines))
+        if not rates:
+            return np.empty(0, dtype=np.int64)
+        order = np.argsort(np.asarray(rates))  # ascending: hottest last
+        selected = np.asarray(addresses, dtype=np.int64)[order]
+        return selected[-n:] if n < selected.size else selected
+
+    # ------------------------------------------------------------------
+    # Trace synthesis
+    # ------------------------------------------------------------------
+
+    def sample_lines(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` line addresses from the mixture (vectorized).
+
+        Streaming addresses are monotonically increasing and never
+        repeat; hot and Zipf addresses live in disjoint regions.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        component = rng.choice(
+            3, size=n, p=[self.hot_weight, self.zipf_weight, self.stream_weight]
+        )
+        addresses = np.empty(n, dtype=np.int64)
+
+        hot_mask = component == 0
+        n_hot = int(hot_mask.sum())
+        if n_hot:
+            addresses[hot_mask] = _HOT_BASE + rng.integers(0, self.hot_lines, size=n_hot)
+
+        zipf_mask = component == 1
+        n_zipf = int(zipf_mask.sum())
+        if n_zipf:
+            uniform = rng.random(n_zipf)
+            ranks = np.searchsorted(self._zipf_cdf, uniform, side="right")
+            addresses[zipf_mask] = _ZIPF_BASE + ranks
+
+        stream_mask = component == 2
+        n_stream = int(stream_mask.sum())
+        if n_stream:
+            addresses[stream_mask] = _STREAM_BASE + np.arange(n_stream)
+
+        return addresses
+
+
+def generate_trace(
+    model: LocalityModel,
+    n_accesses: int,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Generate a line-address trace of ``n_accesses`` references.
+
+    Parameters
+    ----------
+    model:
+        The locality mixture to draw from.
+    n_accesses:
+        Trace length in memory references.
+    seed / rng:
+        Either a seed (constructs a fresh generator) or an existing
+        generator; providing both is an error.
+    """
+    if rng is not None and seed is not None:
+        raise ValueError("pass either seed or rng, not both")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return model.sample_lines(n_accesses, rng)

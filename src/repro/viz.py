@@ -1,0 +1,180 @@
+"""Terminal renderings of the paper's figures (pure text, no deps).
+
+The benches regenerate each figure's *data*; this module draws it:
+
+* :func:`hbar_chart` — horizontal bars, one per label (Fig. 8a's R²
+  bars, Fig. 9's elasticity bars);
+* :func:`grouped_bars` — grouped series per category (Figs. 13-14's
+  four mechanisms per workload mix);
+* :func:`stacked_shares` — two-segment 100% bars (Fig. 9's
+  cache-vs-memory split; Figs. 10-12's allocation percentages);
+* :func:`line_plot` — a crude scatter/line canvas (Fig. 8b/8c's
+  simulated-vs-fitted IPC series).
+
+All functions return strings; nothing is printed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["hbar_chart", "grouped_bars", "stacked_shares", "line_plot"]
+
+#: Glyphs for successive series in grouped charts.
+_SERIES_GLYPHS = "█▓▒░#%*+"
+
+
+def _check_width(width: int) -> None:
+    if width < 10:
+        raise ValueError(f"width must be at least 10 columns, got {width}")
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    max_value: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart: one row per (label, value).
+
+    Parameters
+    ----------
+    values:
+        Ordered label -> non-negative value mapping.
+    width:
+        Bar width in columns at ``max_value``.
+    max_value:
+        Scale ceiling; defaults to the largest value.
+    fmt:
+        Format string for the numeric annotation.
+    """
+    _check_width(width)
+    if not values:
+        raise ValueError("at least one value is required")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("hbar_chart only draws non-negative values")
+    ceiling = max_value if max_value is not None else max(values.values())
+    if ceiling <= 0:
+        ceiling = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(min(value / ceiling, 1.0) * width))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{label:<{label_width}} |{bar}| " + fmt.format(value))
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    categories: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Grouped horizontal bars: each category shows every series.
+
+    The Figs. 13-14 shape: categories are workload mixes, series are
+    the four mechanisms.
+    """
+    _check_width(width)
+    if not categories or not series:
+        raise ValueError("categories and series must be non-empty")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    ceiling = max(max(values) for values in series.values())
+    if ceiling <= 0:
+        ceiling = 1.0
+    name_width = max(len(name) for name in series)
+    lines: List[str] = []
+    for index, category in enumerate(categories):
+        lines.append(str(category))
+        for glyph, (name, values) in zip(_SERIES_GLYPHS, series.items()):
+            value = values[index]
+            filled = int(round(min(value / ceiling, 1.0) * width))
+            bar = glyph * filled + "·" * (width - filled)
+            lines.append(f"  {name:<{name_width}} |{bar}| " + fmt.format(value))
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_SERIES_GLYPHS, series)
+    )
+    lines.append(f"[{legend}]")
+    return "\n".join(lines)
+
+
+def stacked_shares(
+    shares: Mapping[str, float],
+    width: int = 50,
+    left_label: str = "",
+    right_label: str = "",
+) -> str:
+    """100% stacked bars for fractions in [0, 1] (Fig. 9's split).
+
+    Each row draws ``share`` of the bar filled (the left quantity) and
+    the remainder hollow (the right quantity).
+    """
+    _check_width(width)
+    if not shares:
+        raise ValueError("at least one share is required")
+    if any(not 0 <= v <= 1 for v in shares.values()):
+        raise ValueError("shares must lie in [0, 1]")
+    label_width = max(len(label) for label in shares)
+    lines = []
+    if left_label or right_label:
+        lines.append(f"{'':<{label_width}}  {left_label} █ vs ░ {right_label}")
+    for label, share in shares.items():
+        filled = int(round(share * width))
+        bar = "█" * filled + "░" * (width - filled)
+        lines.append(f"{label:<{label_width}} |{bar}| {share:.2f}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 70,
+    height: int = 16,
+) -> str:
+    """A character-canvas plot of one or more y-series over shared x.
+
+    Good enough to eyeball the Fig. 8b/8c simulated-vs-fitted overlays
+    in a terminal; points from successive series use successive glyphs
+    and overwrite earlier ones when they collide.
+    """
+    _check_width(width)
+    if height < 4:
+        raise ValueError(f"height must be at least 4 rows, got {height}")
+    if not series:
+        raise ValueError("at least one series is required")
+    x = list(x)
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length does not match x")
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*st"
+    for glyph, (name, ys) in zip(glyphs, series.items()):
+        for xv, yv in zip(x, ys):
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y_hi - yv) / (y_hi - y_lo) * (height - 1)))
+            canvas[row][col] = glyph
+    lines = [f"{y_hi:9.3f} ┤" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append(" " * 9 + " │" + "".join(row))
+    lines.append(f"{y_lo:9.3f} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(
+        " " * 11 + f"{x_lo:<12.3g}" + " " * max(width - 24, 0) + f"{x_hi:>12.3g}"
+    )
+    legend = "  ".join(f"{glyph}={name}" for glyph, name in zip(glyphs, series))
+    lines.append(f"[{legend}]")
+    return "\n".join(lines)

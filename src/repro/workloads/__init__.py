@@ -1,0 +1,44 @@
+"""Workload models: benchmark specs (Fig. 8a/9), mixes (Table 2), problems."""
+
+from .mixes import EIGHT_CORE_MIXES, FOUR_CORE_MIXES, MIXES, WorkloadMix, get_mix
+from .problems import (
+    EIGHT_CORE_CAPACITIES,
+    FOUR_CORE_CAPACITIES,
+    RESOURCE_NAMES,
+    build_mix_problem,
+    default_capacities,
+    problem_from_fits,
+)
+from .spec import WorkloadSpec
+from .suites import BENCHMARK_ORDER, BENCHMARKS, get_workload, workloads_by_group
+from .synthetic import (
+    make_balanced,
+    make_cache_resident,
+    make_streaming,
+    make_workload,
+    random_workload,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "EIGHT_CORE_CAPACITIES",
+    "EIGHT_CORE_MIXES",
+    "FOUR_CORE_CAPACITIES",
+    "FOUR_CORE_MIXES",
+    "MIXES",
+    "RESOURCE_NAMES",
+    "WorkloadMix",
+    "WorkloadSpec",
+    "build_mix_problem",
+    "default_capacities",
+    "get_mix",
+    "get_workload",
+    "make_balanced",
+    "make_cache_resident",
+    "make_streaming",
+    "make_workload",
+    "problem_from_fits",
+    "random_workload",
+    "workloads_by_group",
+]

@@ -1,0 +1,164 @@
+"""Workload mixes WD1-WD10 (Table 2).
+
+The evaluation shares a 4-core system among the WD1-WD5 mixes (Fig. 13)
+and an 8-core system among WD6-WD10 (Fig. 14).  Mix labels record the
+paper's C/M composition (e.g. ``"3C-1M"``); duplicated benchmarks (the
+paper runs ``word_count`` twice in WD8, etc.) are kept as distinct
+agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .suites import BENCHMARKS, get_workload
+from .spec import WorkloadSpec
+
+__all__ = ["WorkloadMix", "MIXES", "FOUR_CORE_MIXES", "EIGHT_CORE_MIXES", "get_mix"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One Table 2 row: a named set of co-scheduled benchmarks."""
+
+    name: str
+    members: Tuple[str, ...]
+    characterization: str
+
+    def __post_init__(self) -> None:
+        for member in self.members:
+            if member not in BENCHMARKS:
+                raise ValueError(f"mix {self.name} references unknown benchmark {member!r}")
+
+    @property
+    def n_agents(self) -> int:
+        return len(self.members)
+
+    def agent_names(self) -> List[str]:
+        """Unique per-agent labels; duplicates get ``#2``, ``#3`` suffixes."""
+        seen: Dict[str, int] = {}
+        names = []
+        for member in self.members:
+            seen[member] = seen.get(member, 0) + 1
+            names.append(member if seen[member] == 1 else f"{member}#{seen[member]}")
+        return names
+
+    def workloads(self) -> List[WorkloadSpec]:
+        """The member specs, in mix order (duplicates repeated)."""
+        return [get_workload(member) for member in self.members]
+
+    def expected_counts(self) -> Tuple[int, int]:
+        """(n_cache_loving, n_memory_loving) per the Table 2 label."""
+        c_part, m_part = 0, 0
+        for token in self.characterization.split("-"):
+            if token.endswith("C"):
+                c_part = int(token[:-1])
+            elif token.endswith("M"):
+                m_part = int(token[:-1])
+            else:
+                raise ValueError(f"bad characterization token {token!r}")
+        return c_part, m_part
+
+
+# Table 2, verbatim.
+MIXES: Dict[str, WorkloadMix] = {
+    mix.name: mix
+    for mix in [
+        WorkloadMix(
+            "WD1",
+            ("histogram", "linear_regression", "water_nsquared", "bodytrack"),
+            "4C",
+        ),
+        WorkloadMix("WD2", ("radiosity", "fmm", "facesim", "string_match"), "2C-2M"),
+        WorkloadMix("WD3", ("lu_cb", "fluidanimate", "facesim", "dedup"), "4M"),
+        WorkloadMix("WD4", ("fft", "streamcluster", "canneal", "word_count"), "3C-1M"),
+        WorkloadMix(
+            "WD5", ("streamcluster", "facesim", "dedup", "string_match"), "1C-3M"
+        ),
+        WorkloadMix(
+            "WD6",
+            (
+                "histogram",
+                "linear_regression",
+                "water_nsquared",
+                "bodytrack",
+                "freqmine",
+                "word_count",
+                "x264",
+                "dedup",
+            ),
+            "7C-1M",
+        ),
+        WorkloadMix(
+            "WD7",
+            (
+                "histogram",
+                "canneal",
+                "rtview",
+                "bodytrack",
+                "radiosity",
+                "word_count",
+                "linear_regression",
+                "water_nsquared",
+            ),
+            "6C-2M",
+        ),
+        WorkloadMix(
+            "WD8",
+            (
+                "radiosity",
+                "word_count",
+                "word_count",
+                "canneal",
+                "rtview",
+                "freqmine",
+                "x264",
+                "dedup",
+            ),
+            "5C-3M",
+        ),
+        WorkloadMix(
+            "WD9",
+            (
+                "radiosity",
+                "radiosity",
+                "word_count",
+                "canneal",
+                "rtview",
+                "fmm",
+                "facesim",
+                "string_match",
+            ),
+            "4C-4M",
+        ),
+        WorkloadMix(
+            "WD10",
+            (
+                "water_nsquared",
+                "barnes",
+                "ferret",
+                "lu_cb",
+                "lu_cb",
+                "fluidanimate",
+                "facesim",
+                "dedup",
+            ),
+            "3C-5M",
+        ),
+    ]
+}
+
+#: Fig. 13's four-application mixes on the 4-core system.
+FOUR_CORE_MIXES: Tuple[str, ...] = ("WD1", "WD2", "WD3", "WD4", "WD5")
+
+#: Fig. 14's eight-application mixes on the 8-core system.
+EIGHT_CORE_MIXES: Tuple[str, ...] = ("WD6", "WD7", "WD8", "WD9", "WD10")
+
+
+def get_mix(name: str) -> WorkloadMix:
+    """Look up one Table 2 mix by name (``"WD1"`` .. ``"WD10"``)."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise KeyError(f"unknown mix {name!r}; known mixes: {', '.join(MIXES)}") from None

@@ -1,0 +1,97 @@
+"""Building allocation problems from workload mixes (Figs. 10-14 setups).
+
+Glue between the workload/profiling substrate and the core mechanism:
+profile every member of a Table 2 mix, fit utilities, and assemble the
+:class:`~repro.core.mechanism.AllocationProblem` the mechanisms consume.
+
+Default system capacities follow the paper's chip-multiprocessor
+example (§5.4): a four-core system shares 24 GB/s of memory bandwidth
+and 12 MB of last-level cache; the eight-core system doubles both.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..core.fitting import CobbDouglasFit
+from ..core.mechanism import Agent, AllocationProblem
+from .mixes import WorkloadMix, get_mix
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle broken at runtime
+    from ..profiling.offline import OfflineProfiler
+
+__all__ = [
+    "FOUR_CORE_CAPACITIES",
+    "EIGHT_CORE_CAPACITIES",
+    "RESOURCE_NAMES",
+    "default_capacities",
+    "problem_from_fits",
+    "build_mix_problem",
+]
+
+#: (memory bandwidth GB/s, cache KB) shared by four cores (§5.4).
+FOUR_CORE_CAPACITIES: Tuple[float, float] = (24.0, 12.0 * 1024)
+
+#: (memory bandwidth GB/s, cache KB) shared by eight cores.
+EIGHT_CORE_CAPACITIES: Tuple[float, float] = (48.0, 24.0 * 1024)
+
+#: Resource labels used throughout the evaluation.
+RESOURCE_NAMES: Tuple[str, str] = ("membw_gbps", "cache_kb")
+
+
+def default_capacities(n_agents: int) -> Tuple[float, float]:
+    """System capacities scaled to the core count (6 GB/s + 3 MB per core)."""
+    if n_agents <= 0:
+        raise ValueError(f"n_agents must be positive, got {n_agents}")
+    per_core_bw, per_core_kb = (
+        FOUR_CORE_CAPACITIES[0] / 4.0,
+        FOUR_CORE_CAPACITIES[1] / 4.0,
+    )
+    return per_core_bw * n_agents, per_core_kb * n_agents
+
+
+def problem_from_fits(
+    mix: WorkloadMix,
+    fits: Dict[str, CobbDouglasFit],
+    capacities: Optional[Tuple[float, float]] = None,
+) -> AllocationProblem:
+    """Assemble the allocation problem for a mix from fitted utilities.
+
+    Parameters
+    ----------
+    mix:
+        The Table 2 mix; duplicated members become distinct agents
+        (``word_count``, ``word_count#2``, ...) sharing one utility.
+    fits:
+        Fitted utilities keyed by benchmark name; must cover the mix.
+    capacities:
+        (bandwidth GB/s, cache KB); defaults by mix size.
+    """
+    missing = [m for m in set(mix.members) if m not in fits]
+    if missing:
+        raise KeyError(f"mix {mix.name} needs fits for: {sorted(missing)}")
+    if capacities is None:
+        capacities = default_capacities(mix.n_agents)
+    agents = [
+        Agent(name=agent_name, utility=fits[member].utility)
+        for agent_name, member in zip(mix.agent_names(), mix.members)
+    ]
+    return AllocationProblem(agents, capacities, RESOURCE_NAMES)
+
+
+def build_mix_problem(
+    mix_name: str,
+    profiler: Optional["OfflineProfiler"] = None,
+    capacities: Optional[Tuple[float, float]] = None,
+) -> AllocationProblem:
+    """Profile, fit and assemble one Table 2 mix end to end."""
+    # Imported here: profiling depends on workloads (specs), so the
+    # package-level import would be circular.
+    from ..profiling.offline import OfflineProfiler
+
+    mix = get_mix(mix_name)
+    if profiler is None:
+        profiler = OfflineProfiler()
+    fits = {member: profiler.fit(workload) for member, workload in
+            zip(mix.members, mix.workloads())}
+    return problem_from_fits(mix, fits, capacities)

@@ -1,0 +1,73 @@
+"""Workload specifications: the synthetic stand-ins for paper benchmarks.
+
+A :class:`WorkloadSpec` bundles everything the simulators need to
+produce IPC as a function of allocated cache and bandwidth:
+
+* a :class:`~repro.sim.trace.LocalityModel` describing how the workload
+  re-references memory (this determines cache sensitivity),
+* per-instruction memory intensity (this determines bandwidth
+  sensitivity),
+* core-side parameters (base CPI and memory-level parallelism).
+
+The named PARSEC / SPLASH-2x / Phoenix specs live in
+:mod:`repro.workloads.suites`; their parameters are calibrated so that
+the full pipeline reproduces each benchmark's published cache-vs-memory
+preference (Fig. 9 / Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.trace import LocalityModel
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A synthetic benchmark: locality structure plus core behaviour.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (matches the paper's figures, e.g. ``"canneal"``).
+    locality:
+        Mixture locality model of the post-L1-visible reference stream.
+    refs_per_instr:
+        Memory references per instruction presented to the L1.
+    base_cpi:
+        Core-limited CPI with a perfect memory hierarchy.
+    mlp:
+        Memory-level parallelism — average overlapping DRAM misses.
+    suite:
+        Originating suite label (``"PARSEC"``, ``"SPLASH-2x"``,
+        ``"Phoenix"``); informational.
+    expected_group:
+        The C/M classification the paper reports (Table 2 /
+        Fig. 9), used by calibration tests; ``None`` when the paper
+        does not pin one down.
+    """
+
+    name: str
+    locality: LocalityModel
+    refs_per_instr: float
+    base_cpi: float
+    mlp: float
+    suite: str = "synthetic"
+    expected_group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if not 0 < self.refs_per_instr <= 1.5:
+            raise ValueError(
+                f"refs_per_instr must be in (0, 1.5], got {self.refs_per_instr}"
+            )
+        if self.base_cpi <= 0:
+            raise ValueError(f"base_cpi must be positive, got {self.base_cpi}")
+        if self.mlp < 1:
+            raise ValueError(f"mlp must be >= 1, got {self.mlp}")
+        if self.expected_group not in (None, "C", "M"):
+            raise ValueError(f"expected_group must be 'C', 'M' or None, got {self.expected_group}")

@@ -1,0 +1,156 @@
+"""Named benchmark specifications (PARSEC, SPLASH-2x, Phoenix).
+
+The paper evaluates 24 PARSEC/SPLASH-2x benchmarks plus four Phoenix
+MapReduce applications (§5.1).  Each entry below is a synthetic stand-in
+whose locality mixture and memory intensity are calibrated so the full
+pipeline — machine model -> 5x5 Table-1 sweep -> Cobb-Douglas fit ->
+re-scaled elasticities — reproduces the benchmark's published resource
+preference (Fig. 9) and C/M group (Table 2).
+
+Parametrization.  Real workloads satisfy the vast majority of their
+references from an L1-resident hot set; what distinguishes them is the
+*post-L1* reference stream.  Each spec is therefore described by:
+
+* ``refs`` — L1 references per instruction (realistic 0.2-0.4),
+* ``p``    — the post-L1 probability mass (sets DRAM intensity),
+* ``s``    — the streaming share of that mass (sets the C-vs-M balance:
+  cache-reusable Zipf mass versus never-reused streaming mass),
+* the hot/Zipf footprints and skew, base CPI and MLP.
+
+``p`` and ``s`` were calibrated by bisection against the target
+re-scaled cache elasticities read off Fig. 9 (see DESIGN.md).  Group
+assignments follow Table 2, whose workload-mix C/M counts uniquely
+determine every member's class (including the ``streamcluster``
+prose/table inconsistency documented in DESIGN.md).
+
+Two benchmarks (``radiosity``, ``string_match``) are modeled with
+near-flat IPC surfaces: the paper singles them out as low-R² fits with
+"negligible variance and no trend for Cobb-Douglas to capture".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.trace import LocalityModel
+from .spec import WorkloadSpec
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "get_workload",
+    "workloads_by_group",
+]
+
+
+def _spec(
+    name: str,
+    suite: str,
+    group: str,
+    refs: float,
+    p: float,
+    s: float,
+    hot_lines: int,
+    zipf_lines: int,
+    zipf_exp: float,
+    base_cpi: float,
+    mlp: float,
+) -> WorkloadSpec:
+    """Build a spec from the (refs, p, s) parametrization.
+
+    The mixture weights are derived so they sum to one exactly:
+    ``hot = 1 - p``, ``zipf = p * (1 - s)``, ``stream = p - zipf``.
+    """
+    zipf_weight = p * (1.0 - s)
+    locality = LocalityModel(
+        hot_weight=1.0 - p,
+        hot_lines=hot_lines,
+        zipf_weight=zipf_weight,
+        zipf_lines=zipf_lines,
+        zipf_exponent=zipf_exp,
+        stream_weight=p - zipf_weight,
+    )
+    return WorkloadSpec(
+        name=name,
+        locality=locality,
+        refs_per_instr=refs,
+        base_cpi=base_cpi,
+        mlp=mlp,
+        suite=suite,
+        expected_group=group,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Group C: cache-capacity-loving workloads (re-scaled a_cache > 0.5),
+# ordered by decreasing cache elasticity as in Fig. 9.
+# Columns: refs | p (post-L1 mass) | s (stream share) | hot lines
+#          | zipf lines | zipf exp | base CPI | MLP
+# ---------------------------------------------------------------------------
+_GROUP_C: List[WorkloadSpec] = [
+    _spec("raytrace", "SPLASH-2x", "C", 0.28, 0.00188, 0.020, 420, 30_000, 0.35, 0.60, 1.6),
+    _spec("water_spatial", "SPLASH-2x", "C", 0.24, 0.00298, 0.020, 400, 26_000, 0.40, 0.55, 1.6),
+    _spec("histogram", "Phoenix", "C", 0.33, 0.00280, 0.020, 340, 24_000, 0.40, 0.55, 1.8),
+    _spec("lu_ncb", "SPLASH-2x", "C", 0.27, 0.00397, 0.020, 400, 28_000, 0.45, 0.60, 1.8),
+    _spec("linear_regression", "Phoenix", "C", 0.31, 0.00482, 0.020, 300, 20_000, 0.45, 0.50, 1.8),
+    _spec("freqmine", "PARSEC", "C", 0.26, 0.00777, 0.020, 460, 24_000, 0.50, 0.65, 1.7),
+    _spec("water_nsquared", "SPLASH-2x", "C", 0.22, 0.01183, 0.020, 400, 18_000, 0.50, 0.55, 1.7),
+    _spec("bodytrack", "PARSEC", "C", 0.25, 0.01413, 0.020, 380, 16_000, 0.50, 0.60, 1.9),
+    _spec("radiosity", "SPLASH-2x", "C", 0.18, 0.00500, 0.300, 300, 6_000, 0.60, 0.85, 2.0),
+    _spec("word_count", "Phoenix", "C", 0.30, 0.01437, 0.020, 330, 18_000, 0.55, 0.55, 2.0),
+    _spec("cholesky", "SPLASH-2x", "C", 0.26, 0.01454, 0.020, 400, 24_000, 0.55, 0.60, 2.0),
+    _spec("volrend", "SPLASH-2x", "C", 0.24, 0.04500, 0.069, 420, 14_000, 0.55, 0.65, 2.0),
+    _spec("swaptions", "PARSEC", "C", 0.20, 0.03500, 0.116, 320, 12_000, 0.55, 0.50, 2.0),
+    _spec("fmm", "SPLASH-2x", "C", 0.28, 0.05000, 0.048, 400, 20_000, 0.60, 0.60, 2.1),
+    _spec("barnes", "SPLASH-2x", "C", 0.30, 0.05500, 0.039, 380, 22_000, 0.60, 0.60, 2.1),
+    _spec("ferret", "PARSEC", "C", 0.34, 0.06000, 0.062, 420, 20_000, 0.60, 0.55, 2.2),
+    _spec("x264", "PARSEC", "C", 0.32, 0.06000, 0.092, 360, 16_000, 0.60, 0.55, 2.3),
+    _spec("blackscholes", "PARSEC", "C", 0.17, 0.03000, 0.219, 280, 9_000, 0.60, 0.48, 2.0),
+    _spec("fft", "SPLASH-2x", "C", 0.33, 0.06500, 0.053, 400, 24_000, 0.65, 0.55, 2.4),
+    _spec("streamcluster", "PARSEC", "C", 0.36, 0.07000, 0.078, 420, 20_000, 0.65, 0.55, 2.5),
+]
+
+# ---------------------------------------------------------------------------
+# Group M: memory-bandwidth-loving workloads (re-scaled a_mem > 0.5).
+# Heavy post-L1 intensity with large streaming shares: extra cache is of
+# limited use while DRAM pressure makes bandwidth precious.
+# ---------------------------------------------------------------------------
+_GROUP_M: List[WorkloadSpec] = [
+    _spec("canneal", "PARSEC", "M", 0.30, 0.130, 0.174, 340, 32_000, 0.45, 0.70, 2.8),
+    _spec("rtview", "PARSEC", "M", 0.28, 0.110, 0.137, 380, 32_000, 0.50, 0.70, 2.8),
+    _spec("lu_cb", "SPLASH-2x", "M", 0.30, 0.130, 0.152, 400, 30_000, 0.45, 0.65, 3.0),
+    _spec("fluidanimate", "PARSEC", "M", 0.32, 0.150, 0.208, 340, 30_000, 0.45, 0.65, 3.0),
+    _spec("facesim", "PARSEC", "M", 0.36, 0.180, 0.282, 320, 28_000, 0.40, 0.70, 3.2),
+    _spec("dedup", "PARSEC", "M", 0.38, 0.200, 0.341, 320, 26_000, 0.40, 0.65, 3.2),
+    _spec("string_match", "Phoenix", "M", 0.20, 0.012, 0.685, 200, 10_000, 0.50, 0.90, 2.5),
+    _spec("ocean_cp", "SPLASH-2x", "M", 0.40, 0.240, 0.515, 300, 24_000, 0.35, 0.70, 3.4),
+]
+
+#: All 28 benchmarks keyed by name, cache-elastic first (Fig. 9 order).
+BENCHMARKS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _GROUP_C + _GROUP_M}
+
+#: Canonical plotting/reporting order (matches Fig. 9's x-axis direction).
+BENCHMARK_ORDER: List[str] = list(BENCHMARKS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up one benchmark spec by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names when the benchmark is unknown.
+    """
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known benchmarks: {', '.join(BENCHMARKS)}"
+        ) from None
+
+
+def workloads_by_group(group: str) -> List[WorkloadSpec]:
+    """All benchmarks the paper assigns to group ``"C"`` or ``"M"``."""
+    if group not in ("C", "M"):
+        raise ValueError(f"group must be 'C' or 'M', got {group!r}")
+    return [spec for spec in BENCHMARKS.values() if spec.expected_group == group]

@@ -1,0 +1,140 @@
+"""Constructors for custom workload specs (beyond the named suite).
+
+Downstream users rarely want exactly our 28 calibrated benchmarks; they
+want "a streaming thing", "a cache-resident thing", or "twenty random
+tenants".  These helpers build valid :class:`WorkloadSpec` objects from
+the same (refs, p, s) parametrization the suite uses
+(see docs/workloads.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.trace import LocalityModel
+from .spec import WorkloadSpec
+
+__all__ = [
+    "make_workload",
+    "make_cache_resident",
+    "make_streaming",
+    "make_balanced",
+    "random_workload",
+]
+
+
+def make_workload(
+    name: str,
+    refs_per_instr: float = 0.3,
+    post_l1_mass: float = 0.03,
+    stream_share: float = 0.1,
+    hot_lines: int = 400,
+    zipf_lines: int = 20_000,
+    zipf_exponent: float = 0.5,
+    base_cpi: float = 0.6,
+    mlp: float = 2.0,
+    expected_group: Optional[str] = None,
+) -> WorkloadSpec:
+    """Build a spec from the (refs, p, s) parametrization.
+
+    Parameters
+    ----------
+    post_l1_mass:
+        Fraction of references escaping the hot set (``p``): sets DRAM
+        intensity and hence bandwidth elasticity.
+    stream_share:
+        Streaming share of the escaping mass (``s``): the cache-vs-
+        bandwidth balance knob.
+    """
+    if not 0 < post_l1_mass < 1:
+        raise ValueError(f"post_l1_mass must be in (0, 1), got {post_l1_mass}")
+    if not 0 <= stream_share <= 1:
+        raise ValueError(f"stream_share must be in [0, 1], got {stream_share}")
+    zipf_weight = post_l1_mass * (1.0 - stream_share)
+    locality = LocalityModel(
+        hot_weight=1.0 - post_l1_mass,
+        hot_lines=hot_lines,
+        zipf_weight=zipf_weight,
+        zipf_lines=zipf_lines,
+        zipf_exponent=zipf_exponent,
+        stream_weight=post_l1_mass - zipf_weight,
+    )
+    return WorkloadSpec(
+        name=name,
+        locality=locality,
+        refs_per_instr=refs_per_instr,
+        base_cpi=base_cpi,
+        mlp=mlp,
+        suite="custom",
+        expected_group=expected_group,
+    )
+
+
+def make_cache_resident(name: str, intensity: float = 0.005) -> WorkloadSpec:
+    """A strongly cache-elastic tenant (raytrace-like).
+
+    ``intensity`` is the post-L1 mass; keep it small so bandwidth
+    pressure stays low and cache dominates the fitted elasticities.
+    """
+    return make_workload(
+        name,
+        refs_per_instr=0.28,
+        post_l1_mass=intensity,
+        stream_share=0.02,
+        zipf_lines=28_000,
+        zipf_exponent=0.4,
+        base_cpi=0.6,
+        mlp=1.8,
+        expected_group="C",
+    )
+
+
+def make_streaming(name: str, intensity: float = 0.2) -> WorkloadSpec:
+    """A strongly bandwidth-elastic tenant (ocean_cp-like)."""
+    return make_workload(
+        name,
+        refs_per_instr=0.38,
+        post_l1_mass=intensity,
+        stream_share=0.5,
+        zipf_lines=24_000,
+        zipf_exponent=0.4,
+        base_cpi=0.7,
+        mlp=3.2,
+        expected_group="M",
+    )
+
+
+def make_balanced(name: str) -> WorkloadSpec:
+    """A tenant near the C/M boundary (streamcluster-like)."""
+    return make_workload(
+        name,
+        refs_per_instr=0.36,
+        post_l1_mass=0.07,
+        stream_share=0.08,
+        zipf_lines=20_000,
+        zipf_exponent=0.65,
+        base_cpi=0.55,
+        mlp=2.5,
+    )
+
+
+def random_workload(name: str, seed: int) -> WorkloadSpec:
+    """A random tenant spanning the calibrated suite's parameter ranges.
+
+    Deterministic per (name-independent) seed; useful for scale tests
+    and fuzzing the allocation pipeline.
+    """
+    rng = np.random.default_rng(seed)
+    return make_workload(
+        name,
+        refs_per_instr=float(rng.uniform(0.18, 0.40)),
+        post_l1_mass=float(rng.uniform(0.003, 0.2)),
+        stream_share=float(rng.uniform(0.02, 0.6)),
+        hot_lines=int(rng.integers(160, 460)),
+        zipf_lines=int(rng.integers(8_000, 32_000)),
+        zipf_exponent=float(rng.uniform(0.35, 0.65)),
+        base_cpi=float(rng.uniform(0.5, 0.9)),
+        mlp=float(rng.uniform(1.6, 3.4)),
+    )

@@ -1,0 +1,66 @@
+"""Tests for the Nash bargaining equivalence (§4.2, Eq. 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bargaining import nash_bargaining
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+
+
+def paper_problem():
+    return AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+    )
+
+
+class TestNashBargaining:
+    def test_converges(self):
+        solution = nash_bargaining(paper_problem())
+        assert solution.converged
+
+    def test_equals_ref_allocation(self):
+        # Eq. 14's equivalence: the numeric bargaining optimum is the
+        # closed-form proportional-elasticity allocation.
+        problem = paper_problem()
+        solution = nash_bargaining(problem)
+        ref = proportional_elasticity(problem)
+        assert np.allclose(solution.allocation.shares, ref.shares, rtol=1e-3)
+
+    def test_nash_product_matches_ref(self):
+        problem = paper_problem()
+        solution = nash_bargaining(problem)
+        rescaled = [agent.utility.rescaled() for agent in problem.agents]
+        ref = proportional_elasticity(problem)
+        ref_product = np.prod([u.value(ref.shares[i]) for i, u in enumerate(rescaled)])
+        assert solution.nash_product == pytest.approx(ref_product, rel=1e-4)
+
+    def test_three_agent_equivalence(self):
+        rng = np.random.default_rng(11)
+        agents = [
+            Agent(f"a{i}", CobbDouglasUtility(rng.uniform(0.1, 1.0, size=2)))
+            for i in range(3)
+        ]
+        problem = AllocationProblem(agents, (30.0, 15.0))
+        solution = nash_bargaining(problem)
+        ref = proportional_elasticity(problem)
+        assert np.allclose(solution.allocation.shares, ref.shares, rtol=5e-3)
+
+    def test_allocation_feasible(self):
+        solution = nash_bargaining(paper_problem())
+        assert solution.allocation.is_feasible(tol=1e-6)
+
+    def test_random_rivals_never_beat_it(self):
+        problem = paper_problem()
+        solution = nash_bargaining(problem)
+        rescaled = [agent.utility.rescaled() for agent in problem.agents]
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            raw = rng.uniform(0.01, 1.0, size=(2, 2))
+            rival = raw / raw.sum(axis=0) * problem.capacity_vector
+            product = np.prod([u.value(rival[i]) for i, u in enumerate(rescaled)])
+            assert product <= solution.nash_product * (1 + 1e-6)

@@ -1,0 +1,96 @@
+"""Tests for the CEEI market equivalence (§4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ceei import competitive_equilibrium
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+
+
+def paper_problem():
+    return AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+    )
+
+
+def random_problem(n_agents, n_resources, seed):
+    rng = np.random.default_rng(seed)
+    agents = [
+        Agent(f"a{i}", CobbDouglasUtility(rng.uniform(0.05, 2.0, size=n_resources)))
+        for i in range(n_agents)
+    ]
+    return AllocationProblem(agents, rng.uniform(1.0, 50.0, size=n_resources))
+
+
+class TestEquilibriumStructure:
+    def test_markets_clear(self):
+        eq = competitive_equilibrium(paper_problem())
+        assert eq.excess_demand() == pytest.approx([0.0, 0.0], abs=1e-12)
+
+    def test_budgets_exhausted(self):
+        eq = competitive_equilibrium(paper_problem())
+        assert eq.budget_spent() == pytest.approx([1.0, 1.0])
+
+    def test_is_equilibrium(self):
+        assert competitive_equilibrium(paper_problem()).is_equilibrium()
+
+    def test_paper_example_prices(self):
+        # p_r = sum_i a_ir / C_r: bandwidth (0.6+0.2)/24, cache (0.4+0.8)/12.
+        eq = competitive_equilibrium(paper_problem())
+        assert eq.prices == pytest.approx([0.8 / 24.0, 1.2 / 12.0])
+
+    def test_scarcer_demand_means_higher_price(self):
+        eq = competitive_equilibrium(paper_problem())
+        # Cache carries more total elasticity per unit of capacity.
+        assert eq.prices[1] > eq.prices[0]
+
+
+class TestRefEquivalence:
+    def test_equals_ref_on_paper_example(self):
+        problem = paper_problem()
+        eq = competitive_equilibrium(problem)
+        ref = proportional_elasticity(problem)
+        assert np.allclose(eq.allocation.shares, ref.shares)
+
+    @given(
+        n_agents=st.integers(min_value=1, max_value=8),
+        n_resources=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=50)
+    def test_ceei_equals_ref_always(self, n_agents, n_resources, seed):
+        # §4.2: "The CEEI solution picks precisely the same allocation
+        # of resources as the Nash bargaining solution", which is REF.
+        problem = random_problem(n_agents, n_resources, seed)
+        eq = competitive_equilibrium(problem)
+        ref = proportional_elasticity(problem)
+        assert np.allclose(eq.allocation.shares, ref.shares)
+        assert eq.is_equilibrium()
+
+
+class TestUnequalIncomes:
+    def test_richer_agent_gets_more(self):
+        problem = paper_problem()
+        eq = competitive_equilibrium(problem, incomes=[2.0, 1.0])
+        ref = proportional_elasticity(problem)
+        assert np.all(eq.allocation.shares[0] > ref.shares[0])
+        assert eq.is_equilibrium()
+
+    def test_proportional_incomes_scale_invariant(self):
+        problem = paper_problem()
+        a = competitive_equilibrium(problem, incomes=[1.0, 1.0])
+        b = competitive_equilibrium(problem, incomes=[5.0, 5.0])
+        assert np.allclose(a.allocation.shares, b.allocation.shares)
+
+    def test_rejects_bad_incomes(self):
+        with pytest.raises(ValueError, match="one entry per agent"):
+            competitive_equilibrium(paper_problem(), incomes=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            competitive_equilibrium(paper_problem(), incomes=[1.0, 0.0])

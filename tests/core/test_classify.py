@@ -1,0 +1,63 @@
+"""Tests for C/M workload classification (§5.3, Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import ResourceGroup, classify, classify_many
+from repro.core.fitting import fit_cobb_douglas
+from repro.core.utility import CobbDouglasUtility
+
+
+class TestClassify:
+    def test_cache_loving_workload(self):
+        # raytrace-like: cache elasticity dominates.
+        pref = classify("raytrace", CobbDouglasUtility((0.2, 0.8)))
+        assert pref.group is ResourceGroup.CACHE
+        assert pref.cache_elasticity == pytest.approx(0.8)
+
+    def test_memory_loving_workload(self):
+        pref = classify("dedup", CobbDouglasUtility((0.8, 0.2)))
+        assert pref.group is ResourceGroup.MEMORY
+        assert pref.memory_elasticity == pytest.approx(0.8)
+
+    def test_rescales_before_classifying(self):
+        # Raw elasticities (1.6, 0.4): cache share is 0.2 -> M.
+        pref = classify("x", CobbDouglasUtility((1.6, 0.4)))
+        assert pref.group is ResourceGroup.MEMORY
+        assert pref.memory_elasticity + pref.cache_elasticity == pytest.approx(1.0)
+
+    def test_exact_tie_classified_memory(self):
+        # a_cache > 0.5 defines C; the boundary falls to M.
+        pref = classify("tie", CobbDouglasUtility((0.5, 0.5)))
+        assert pref.group is ResourceGroup.MEMORY
+
+    def test_custom_resource_indices(self):
+        # (cache, bandwidth) ordering instead of the default.
+        pref = classify("flip", CobbDouglasUtility((0.8, 0.2)), memory_index=1, cache_index=0)
+        assert pref.group is ResourceGroup.CACHE
+
+    def test_dominant_elasticity(self):
+        pref = classify("x", CobbDouglasUtility((0.3, 0.7)))
+        assert pref.dominant_elasticity == pytest.approx(0.7)
+
+    def test_group_enum_values(self):
+        assert ResourceGroup.CACHE.value == "C"
+        assert ResourceGroup.MEMORY.value == "M"
+
+
+class TestClassifyMany:
+    def test_classifies_fits(self):
+        grid = np.array([[bw, kb] for bw in (1, 2, 4) for kb in (128, 512, 2048)], dtype=float)
+
+        def profile(ax, ay):
+            u = CobbDouglasUtility((ax, ay))
+            return np.array([u.value(row) for row in grid])
+
+        fits = {
+            "cachey": fit_cobb_douglas(grid, profile(0.2, 0.8)),
+            "memmy": fit_cobb_douglas(grid, profile(0.7, 0.3)),
+        }
+        prefs = classify_many(fits)
+        assert prefs["cachey"].group is ResourceGroup.CACHE
+        assert prefs["memmy"].group is ResourceGroup.MEMORY
+        assert list(prefs) == ["cachey", "memmy"]  # order preserved

@@ -1,0 +1,160 @@
+"""Tests for the Edgeworth-box analysis (Figs. 1-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.edgeworth import EdgeworthBox
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.properties import check_fairness
+from repro.core.utility import CobbDouglasUtility
+
+
+@pytest.fixture
+def paper_box():
+    problem = AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+    )
+    return EdgeworthBox(problem)
+
+
+class TestConstruction:
+    def test_rejects_three_agents(self):
+        agents = [Agent(f"a{i}", CobbDouglasUtility((0.5, 0.5))) for i in range(3)]
+        problem = AllocationProblem(agents, (1.0, 1.0))
+        with pytest.raises(ValueError, match="2 agents"):
+            EdgeworthBox(problem)
+
+    def test_rejects_three_resources(self):
+        agents = [
+            Agent("a", CobbDouglasUtility((0.3, 0.3, 0.4))),
+            Agent("b", CobbDouglasUtility((0.4, 0.3, 0.3))),
+        ]
+        problem = AllocationProblem(agents, (1.0, 1.0, 1.0))
+        with pytest.raises(ValueError, match="2 resources"):
+            EdgeworthBox(problem)
+
+
+class TestContractCurve:
+    def test_runs_origin_to_origin(self, paper_box):
+        assert paper_box.contract_curve_y(np.array(0.0)) == pytest.approx(0.0)
+        assert paper_box.contract_curve_y(np.array(24.0)) == pytest.approx(12.0)
+
+    def test_monotone_increasing(self, paper_box):
+        xs = np.linspace(0.0, 24.0, 100)
+        ys = paper_box.contract_curve_y(xs)
+        assert np.all(np.diff(ys) > 0)
+
+    def test_points_satisfy_eq10_tangency(self, paper_box):
+        # Eq. 10: (0.6/0.4)(y1/x1) == (0.2/0.8)(y2/x2).
+        for x1 in (3.0, 10.0, 20.0):
+            y1 = float(paper_box.contract_curve_y(np.asarray(x1)))
+            lhs = (0.6 / 0.4) * (y1 / x1)
+            rhs = (0.2 / 0.8) * ((12.0 - y1) / (24.0 - x1))
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_ref_allocation_on_contract_curve(self, paper_box):
+        allocation = proportional_elasticity(paper_box.problem)
+        x1, y1 = allocation.shares[0]
+        assert float(paper_box.contract_curve_y(np.asarray(x1))) == pytest.approx(y1)
+
+    def test_sampled_curve_shape(self, paper_box):
+        segment = paper_box.contract_curve(n_points=51)
+        assert segment.x.shape == (51,) and segment.y.shape == (51,)
+        assert segment.lo == 0.0 and segment.hi == 24.0
+
+
+class TestMargins:
+    def test_midpoint_is_envy_free_for_both(self, paper_box):
+        assert paper_box.envy_margin(0, 12.0, 6.0) == pytest.approx(0.0, abs=1e-12)
+        assert paper_box.envy_margin(1, 12.0, 6.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_corners_are_envy_free(self, paper_box):
+        # §3.2's two zero-utility corners.
+        for x, y in [(0.0, 12.0), (24.0, 0.0)]:
+            assert paper_box.envy_margin(0, x, y) >= 0
+            assert paper_box.envy_margin(1, x, y) >= 0
+
+    def test_rich_corner_not_envy_free_for_loser(self, paper_box):
+        # Agent 1 holding everything leaves agent 2 envious.
+        assert paper_box.envy_margin(1, 23.0, 11.0) < 0
+
+    def test_si_margin_zero_at_equal_split(self, paper_box):
+        assert paper_box.si_margin(0, 12.0, 6.0) == pytest.approx(0.0, abs=1e-12)
+        assert paper_box.si_margin(1, 12.0, 6.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_si_margin_negative_when_starved(self, paper_box):
+        assert paper_box.si_margin(0, 1.0, 0.5) < 0
+
+    def test_invalid_agent_index(self, paper_box):
+        with pytest.raises(ValueError, match="agent"):
+            paper_box.envy_margin(2, 1.0, 1.0)
+        with pytest.raises(ValueError, match="agent"):
+            paper_box.si_margin(-1, 1.0, 1.0)
+
+
+class TestRegions:
+    def test_region_masks_shapes(self, paper_box):
+        ef1, ef2, si1, si2, grid = paper_box.region_masks(n_grid=21)
+        assert ef1.shape == (21, 21) == ef2.shape == si1.shape == si2.shape
+        assert grid.shape == (2, 21, 21)
+
+    def test_midpoint_in_all_regions(self, paper_box):
+        ef1, ef2, si1, si2, grid = paper_box.region_masks(n_grid=21)
+        # Centre of the grid is the equal split.
+        centre = (10, 10)
+        assert ef1[centre] and ef2[centre] and si1[centre] and si2[centre]
+
+    def test_ef_regions_roughly_complementary(self, paper_box):
+        # User 1's EF region lives on her rich side of the box, user 2's
+        # on the opposite side; their union covers the box's diagonal.
+        ef1, ef2, _, _, _ = paper_box.region_masks(n_grid=21)
+        assert ef1[20, 20] and not ef1[0, 0]  # top-right rich for user 1
+        assert ef2[0, 0] and not ef2[20, 20]
+
+
+class TestFairSegment:
+    def test_segment_exists(self, paper_box):
+        segment = paper_box.fair_segment()
+        assert segment is not None
+        lo, hi = segment
+        assert 0 < lo < hi < 24.0
+
+    def test_si_shrinks_segment(self, paper_box):
+        # Fig. 7: adding SI further constrains the fair set.
+        ef_only = paper_box.fair_segment(include_si=False)
+        with_si = paper_box.fair_segment(include_si=True)
+        assert with_si[0] >= ef_only[0] - 1e-9
+        assert with_si[1] <= ef_only[1] + 1e-9
+
+    def test_ref_point_inside_si_segment(self, paper_box):
+        allocation = proportional_elasticity(paper_box.problem)
+        lo, hi = paper_box.fair_segment(include_si=True)
+        assert lo - 1e-6 <= allocation.shares[0, 0] <= hi + 1e-6
+
+    def test_fair_allocations_are_fair(self, paper_box):
+        allocations = paper_box.fair_allocations(include_si=True, n_points=7)
+        assert allocations
+        for allocation in allocations:
+            report = check_fairness(allocation)
+            assert report.is_fair, report.summary()
+
+    def test_fair_allocations_empty_when_segment_missing(self, paper_box, monkeypatch):
+        monkeypatch.setattr(paper_box, "fair_segment", lambda include_si=False: None)
+        assert paper_box.fair_allocations() == []
+
+
+class TestTriviallyEnvyFreePoints:
+    def test_three_canonical_points(self, paper_box):
+        points = paper_box.trivially_envy_free_points()
+        assert (12.0, 6.0) in points
+        assert (0.0, 12.0) in points
+        assert (24.0, 0.0) in points
+
+    def test_all_are_envy_free(self, paper_box):
+        for x, y in paper_box.trivially_envy_free_points():
+            assert paper_box.envy_margin(0, x, y) >= -1e-12
+            assert paper_box.envy_margin(1, x, y) >= -1e-12

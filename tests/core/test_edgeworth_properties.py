@@ -1,0 +1,81 @@
+"""Property-based tests over random Edgeworth boxes (Figs. 5-7 invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edgeworth import EdgeworthBox
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+
+alpha = st.floats(min_value=0.1, max_value=0.9)
+capacity = st.floats(min_value=2.0, max_value=100.0)
+
+
+def make_box(a1, a2, cx, cy):
+    problem = AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((a1, 1.0 - a1))),
+            Agent("user2", CobbDouglasUtility((a2, 1.0 - a2))),
+        ],
+        capacities=(cx, cy),
+    )
+    return EdgeworthBox(problem)
+
+
+class TestContractCurveProperties:
+    @given(a1=alpha, a2=alpha, cx=capacity, cy=capacity)
+    @settings(max_examples=40, deadline=None)
+    def test_curve_spans_origin_to_origin(self, a1, a2, cx, cy):
+        box = make_box(a1, a2, cx, cy)
+        assert float(box.contract_curve_y(np.asarray(0.0))) == pytest.approx(0.0)
+        assert float(box.contract_curve_y(np.asarray(cx))) == pytest.approx(cy)
+
+    @given(a1=alpha, a2=alpha, cx=capacity, cy=capacity)
+    @settings(max_examples=40, deadline=None)
+    def test_curve_monotone_and_inside_box(self, a1, a2, cx, cy):
+        box = make_box(a1, a2, cx, cy)
+        xs = np.linspace(0.0, cx, 50)
+        ys = box.contract_curve_y(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+        assert np.all(ys >= -1e-12) and np.all(ys <= cy + 1e-9)
+
+    @given(a1=alpha, a2=alpha, cx=capacity, cy=capacity)
+    @settings(max_examples=40, deadline=None)
+    def test_ref_lies_on_contract_curve(self, a1, a2, cx, cy):
+        box = make_box(a1, a2, cx, cy)
+        allocation = proportional_elasticity(box.problem)
+        x1, y1 = allocation.shares[0]
+        assert float(box.contract_curve_y(np.asarray(x1))) == pytest.approx(
+            y1, rel=1e-9
+        )
+
+
+class TestFairSegmentProperties:
+    @given(a1=alpha, a2=alpha, cx=capacity, cy=capacity)
+    @settings(max_examples=25, deadline=None)
+    def test_fair_segment_exists_and_contains_ref(self, a1, a2, cx, cy):
+        box = make_box(a1, a2, cx, cy)
+        segment = box.fair_segment(include_si=True, n_scan=601)
+        assert segment is not None
+        lo, hi = segment
+        ref_x = proportional_elasticity(box.problem).shares[0, 0]
+        assert lo - cx * 1e-5 <= ref_x <= hi + cx * 1e-5
+
+    @given(a1=alpha, a2=alpha, cx=capacity, cy=capacity)
+    @settings(max_examples=25, deadline=None)
+    def test_all_constraints_hold_on_segment_interior(self, a1, a2, cx, cy):
+        box = make_box(a1, a2, cx, cy)
+        lo, hi = box.fair_segment(include_si=True, n_scan=601)
+        mid = (lo + hi) / 2.0
+        assert box._fair_margin(mid, include_si=True) >= -1e-9
+
+
+class TestMarginSymmetry:
+    @given(a=alpha, cx=capacity, cy=capacity)
+    @settings(max_examples=30, deadline=None)
+    def test_identical_agents_midpoint_fair(self, a, cx, cy):
+        box = make_box(a, a, cx, cy)
+        assert box.envy_margin(0, cx / 2, cy / 2) == pytest.approx(0.0, abs=1e-9)
+        assert box.si_margin(1, cx / 2, cy / 2) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,157 @@
+"""Tests for log-linear Cobb-Douglas fitting (§4.4, Eq. 16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import MIN_ELASTICITY, fit_cobb_douglas
+from repro.core.utility import CobbDouglasUtility
+
+
+def synthetic_profile(alpha, scale, allocations):
+    """Exact Cobb-Douglas performance at the given allocations."""
+    utility = CobbDouglasUtility(alpha, scale=scale)
+    return np.array([utility.value(row) for row in allocations])
+
+
+GRID = np.array([[bw, kb] for bw in (0.8, 1.6, 3.2, 6.4, 12.8) for kb in (128, 256, 512, 1024, 2048)])
+
+
+class TestExactRecovery:
+    def test_recovers_known_elasticities(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        assert fit.elasticities == pytest.approx((0.6, 0.4), abs=1e-9)
+
+    def test_recovers_scale(self):
+        ipc = synthetic_profile((0.3, 0.5), 2.7, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        assert fit.utility.scale == pytest.approx(2.7, rel=1e-9)
+
+    def test_perfect_fit_has_unit_r_squared(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+        assert fit.r_squared_linear == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        ax=st.floats(min_value=0.05, max_value=1.5),
+        ay=st.floats(min_value=0.05, max_value=1.5),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=50)
+    def test_recovery_property(self, ax, ay, scale):
+        ipc = synthetic_profile((ax, ay), scale, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        assert fit.elasticities[0] == pytest.approx(ax, rel=1e-6)
+        assert fit.elasticities[1] == pytest.approx(ay, rel=1e-6)
+
+    def test_three_resources(self):
+        rng = np.random.default_rng(0)
+        allocations = rng.uniform(0.5, 20.0, size=(40, 3))
+        ipc = synthetic_profile((0.2, 0.5, 0.3), 1.5, allocations)
+        fit = fit_cobb_douglas(allocations, ipc)
+        assert fit.elasticities == pytest.approx((0.2, 0.5, 0.3), rel=1e-8)
+
+
+class TestNoisyFits:
+    def test_noise_reduces_r_squared(self):
+        rng = np.random.default_rng(1)
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        noisy = ipc * np.exp(rng.normal(0, 0.1, size=ipc.shape))
+        fit = fit_cobb_douglas(GRID, noisy)
+        assert 0.5 < fit.r_squared < 1.0
+
+    def test_flat_profile_low_r_squared_under_noise(self):
+        # The radiosity story: no trend + noise -> low R².
+        rng = np.random.default_rng(2)
+        flat = np.full(GRID.shape[0], 1.1) * np.exp(rng.normal(0, 0.02, GRID.shape[0]))
+        fit = fit_cobb_douglas(GRID, flat)
+        assert fit.r_squared < 0.5
+
+    def test_near_zero_elasticities_clamped(self):
+        flat = np.full(GRID.shape[0], 1.1)
+        fit = fit_cobb_douglas(GRID, flat)
+        assert all(a >= MIN_ELASTICITY for a in fit.elasticities)
+
+    def test_residuals_shape_and_zero_mean(self):
+        rng = np.random.default_rng(3)
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        noisy = ipc * np.exp(rng.normal(0, 0.05, size=ipc.shape))
+        fit = fit_cobb_douglas(GRID, noisy)
+        assert fit.residuals.shape == (GRID.shape[0],)
+        assert abs(fit.residuals.mean()) < 0.05
+
+
+class TestWeightedFit:
+    def test_weights_bias_toward_heavy_samples(self):
+        # Two inconsistent halves; heavy weights on the first half should
+        # pull the fit toward its elasticities.
+        ipc_a = synthetic_profile((0.9, 0.1), 1.0, GRID)
+        ipc_b = synthetic_profile((0.1, 0.9), 1.0, GRID)
+        allocations = np.vstack([GRID, GRID])
+        ipc = np.concatenate([ipc_a, ipc_b])
+        weights = np.concatenate([np.full(len(GRID), 100.0), np.full(len(GRID), 1.0)])
+        fit = fit_cobb_douglas(allocations, ipc, weights=weights)
+        assert fit.elasticities[0] > fit.elasticities[1]
+
+    def test_uniform_weights_match_unweighted(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        plain = fit_cobb_douglas(GRID, ipc)
+        weighted = fit_cobb_douglas(GRID, ipc, weights=np.ones(len(GRID)))
+        assert weighted.elasticities == pytest.approx(plain.elasticities)
+
+    def test_rejects_bad_weight_shape(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        with pytest.raises(ValueError, match="weights"):
+            fit_cobb_douglas(GRID, ipc, weights=np.ones(3))
+
+    def test_rejects_negative_weights(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        with pytest.raises(ValueError, match="non-negative"):
+            fit_cobb_douglas(GRID, ipc, weights=-np.ones(len(GRID)))
+
+
+class TestValidation:
+    def test_rejects_1d_allocations(self):
+        with pytest.raises(ValueError, match="2-D"):
+            fit_cobb_douglas(np.ones(5), np.ones(5))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="one entry per"):
+            fit_cobb_douglas(GRID, np.ones(3))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least"):
+            fit_cobb_douglas(np.array([[1.0, 2.0], [2.0, 3.0]]), np.array([1.0, 2.0]))
+
+    def test_rejects_non_positive_allocations(self):
+        bad = GRID.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(ValueError, match="strictly positive"):
+            fit_cobb_douglas(bad, np.ones(len(bad)))
+
+    def test_rejects_non_positive_performance(self):
+        ipc = np.ones(len(GRID))
+        ipc[3] = 0.0
+        with pytest.raises(ValueError, match="strictly positive"):
+            fit_cobb_douglas(GRID, ipc)
+
+
+class TestFitResultApi:
+    def test_predict_matches_utility(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.3, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        predictions = fit.predict(GRID[:4])
+        assert predictions == pytest.approx(ipc[:4], rel=1e-9)
+
+    def test_rescaled_elasticities_sum_to_one(self):
+        ipc = synthetic_profile((0.9, 0.3), 1.0, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        assert fit.rescaled_elasticities.sum() == pytest.approx(1.0)
+
+    def test_n_samples_recorded(self):
+        ipc = synthetic_profile((0.6, 0.4), 1.0, GRID)
+        fit = fit_cobb_douglas(GRID, ipc)
+        assert fit.n_samples == len(GRID)

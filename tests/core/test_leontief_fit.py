@@ -1,0 +1,88 @@
+"""Tests for the Leontief fitting comparison (§2's fitting argument)."""
+
+import numpy as np
+import pytest
+
+from repro.core.leontief_fit import fit_leontief
+from repro.core.utility import LeontiefUtility
+
+GRID = np.array(
+    [[bw, kb] for bw in (0.8, 1.6, 3.2, 6.4, 12.8) for kb in (1.0, 2.0, 4.0, 8.0, 16.0)]
+)
+
+
+def leontief_profile(ratio, scale=1.0, intercept=0.0):
+    return intercept + scale * np.minimum(GRID[:, 0], ratio * GRID[:, 1])
+
+
+class TestExactRecovery:
+    def test_recovers_true_leontief_surface(self):
+        u = leontief_profile(ratio=2.0, scale=0.5, intercept=0.1)
+        fit = fit_leontief(GRID, u)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-6)
+        # demands (1, 1/ratio): ratio recovered within grid resolution.
+        assert fit.utility.demands[1] == pytest.approx(0.5, rel=0.05)
+
+    def test_recovers_scale_and_intercept(self):
+        u = leontief_profile(ratio=1.0, scale=0.7, intercept=0.3)
+        fit = fit_leontief(GRID, u)
+        assert fit.scale == pytest.approx(0.7, rel=0.05)
+        assert fit.intercept == pytest.approx(0.3, abs=0.05)
+
+    def test_predict_matches_surface(self):
+        u = leontief_profile(ratio=2.0, scale=0.5)
+        fit = fit_leontief(GRID, u)
+        assert np.allclose(fit.predict(GRID), u, rtol=1e-3, atol=1e-6)
+
+
+class TestSearchBehaviour:
+    def test_counts_evaluations(self):
+        u = leontief_profile(ratio=1.5)
+        fit = fit_leontief(GRID, u, n_grid=50, n_refinements=2)
+        assert fit.n_evaluations == 3 * 50
+
+    def test_more_refinement_never_hurts(self):
+        u = leontief_profile(ratio=3.7, scale=0.4)
+        coarse = fit_leontief(GRID, u, n_grid=20, n_refinements=0)
+        fine = fit_leontief(GRID, u, n_grid=20, n_refinements=4)
+        assert fine.r_squared >= coarse.r_squared - 1e-12
+
+    def test_result_is_valid_leontief(self):
+        u = leontief_profile(ratio=2.0)
+        fit = fit_leontief(GRID, u)
+        assert isinstance(fit.utility, LeontiefUtility)
+        assert all(d > 0 for d in fit.utility.demands)
+
+
+class TestOnCobbDouglasData:
+    def test_substitutable_surface_fits_poorly(self):
+        # A genuinely substitutable (Cobb-Douglas) surface cannot be
+        # captured by perfect complements: R² gap vs the truth.
+        u = (GRID[:, 0] ** 0.5) * (GRID[:, 1] ** 0.5)
+        fit = fit_leontief(GRID, u)
+        assert fit.r_squared < 0.97  # cannot be perfect
+
+    def test_cost_far_exceeds_one_lstsq(self):
+        # §2's complexity point: hundreds of candidate solves versus
+        # Cobb-Douglas's single least-squares solve.
+        u = (GRID[:, 0] ** 0.5) * (GRID[:, 1] ** 0.5)
+        fit = fit_leontief(GRID, u)
+        assert fit.n_evaluations >= 200
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            fit_leontief(np.ones((5, 3)), np.ones(5))
+        with pytest.raises(ValueError, match="one entry per"):
+            fit_leontief(GRID, np.ones(3))
+
+    def test_rejects_non_positive(self):
+        bad = GRID.copy()
+        bad[0, 0] = 0.0
+        with pytest.raises(ValueError, match="strictly positive"):
+            fit_leontief(bad, np.ones(len(GRID)))
+
+    def test_rejects_bad_search_params(self):
+        with pytest.raises(ValueError, match="n_grid"):
+            fit_leontief(GRID, np.ones(len(GRID)), n_grid=2)

@@ -1,0 +1,104 @@
+"""Tests for strategy-proofness in the large (§4.3, Appendix A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanism import Agent, AllocationProblem
+from repro.core.spl import best_response, lying_utility, manipulation_gain, max_manipulation_gain
+from repro.core.utility import CobbDouglasUtility
+
+CAPS = np.array([24.0, 12.0])
+
+
+class TestLyingUtility:
+    def test_formula_by_hand(self):
+        # One resource, true alpha 1, report alpha', others sum S:
+        # u = (a' / (a' + S) * C) ** 1.
+        value = lying_utility([1.0], [0.5], [1.5], [10.0])
+        assert value == pytest.approx(0.5 / 2.0 * 10.0)
+
+    def test_truthful_report_matches_mechanism_share(self):
+        true = np.array([0.6, 0.4])
+        others = np.array([0.2, 0.8])
+        value = lying_utility(true, true, others, CAPS)
+        shares = true / (true + others) * CAPS
+        assert value == pytest.approx(np.prod(shares**true))
+
+
+class TestBestResponse:
+    def test_large_system_truthful(self):
+        # Appendix A: with sum of others' elasticities >> 1 the optimal
+        # report equals the truth.
+        true = np.array([0.6, 0.4])
+        others = np.array([40.0, 40.0])
+        response = best_response(true, others, CAPS)
+        assert response.deviation < 0.01
+        assert response.gain < 1e-4
+
+    def test_small_system_can_gain(self):
+        # With one opponent, shading the report pays.
+        true = np.array([0.9, 0.1])
+        others = np.array([0.1, 0.9])
+        response = best_response(true, others, CAPS)
+        assert response.gain > 0.001
+
+    def test_gain_never_negative(self):
+        true = np.array([0.5, 0.5])
+        others = np.array([1.0, 1.0])
+        response = best_response(true, others, CAPS)
+        assert response.gain >= 0.0
+
+    def test_reported_alpha_on_simplex(self):
+        response = best_response([0.7, 0.3], [0.5, 0.5], CAPS)
+        assert response.reported_alpha.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(response.reported_alpha > 0)
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError, match="align"):
+            best_response([0.5, 0.5], [1.0], CAPS)
+
+    def test_validates_positive_others(self):
+        with pytest.raises(ValueError, match="positive"):
+            best_response([0.5, 0.5], [0.0, 1.0], CAPS)
+
+    @given(
+        a=st.floats(min_value=0.1, max_value=0.9),
+        scale=st.floats(min_value=20.0, max_value=100.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_spl_property_in_large_systems(self, a, scale):
+        # The headline SPL claim: gains vanish as the system grows.
+        true = np.array([a, 1.0 - a])
+        others = np.array([scale, scale])
+        assert manipulation_gain(true, others, CAPS) < 1e-3
+
+    def test_gain_shrinks_with_system_size(self):
+        true = np.array([0.8, 0.2])
+        gains = []
+        for n_others in (1, 4, 16, 64):
+            others = np.full(2, 0.5 * n_others)
+            gains.append(manipulation_gain(true, others, CAPS))
+        assert gains[0] > gains[-1]
+        assert gains[-1] < 1e-3
+
+
+class TestMaxManipulationGain:
+    def _problem(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        agents = [
+            Agent(f"t{i}", CobbDouglasUtility(rng.uniform(0.05, 1.0, size=2)))
+            for i in range(n)
+        ]
+        return AllocationProblem(agents, CAPS)
+
+    def test_64_agent_system_is_spl(self):
+        # The §4.3 experiment: 64 tasks, uniform elasticities -> SPL.
+        problem = self._problem(64)
+        gain = max_manipulation_gain(problem, agent_indices=range(6))
+        assert gain < 5e-3
+
+    def test_two_agent_system_is_manipulable(self):
+        problem = self._problem(2, seed=3)
+        assert max_manipulation_gain(problem) > 1e-3

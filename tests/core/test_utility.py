@@ -1,0 +1,262 @@
+"""Tests for Cobb-Douglas and Leontief utilities (§3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utility import (
+    CobbDouglasUtility,
+    LeontiefUtility,
+    rescale_elasticities,
+)
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+positive_alpha = st.floats(min_value=0.05, max_value=3.0, allow_nan=False)
+alphas_2d = st.tuples(positive_alpha, positive_alpha)
+bundle_entry = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+bundles_2d = st.tuples(bundle_entry, bundle_entry)
+
+
+# ---------------------------------------------------------------------------
+# Construction and validation
+# ---------------------------------------------------------------------------
+
+
+class TestCobbDouglasConstruction:
+    def test_paper_example_utilities(self):
+        u1 = CobbDouglasUtility((0.6, 0.4))
+        u2 = CobbDouglasUtility((0.2, 0.8))
+        assert u1.n_resources == 2
+        assert u2.elasticities == (0.2, 0.8)
+
+    def test_rejects_empty_elasticities(self):
+        with pytest.raises(ValueError, match="at least one resource"):
+            CobbDouglasUtility(())
+
+    def test_rejects_zero_elasticity(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            CobbDouglasUtility((0.5, 0.0))
+
+    def test_rejects_negative_elasticity(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            CobbDouglasUtility((-0.1, 0.5))
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            CobbDouglasUtility((0.5, 0.5), scale=0.0)
+
+    def test_accepts_generator_input(self):
+        u = CobbDouglasUtility(a for a in [0.3, 0.7])
+        assert u.elasticities == (0.3, 0.7)
+
+    def test_frozen(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        with pytest.raises(Exception):
+            u.scale = 2.0
+
+
+class TestCobbDouglasValue:
+    def test_worked_example_value(self):
+        # §4.1: user 1 with u = x^0.6 y^0.4 at (18 GB/s, 4 MB).
+        u1 = CobbDouglasUtility((0.6, 0.4))
+        assert u1.value([18.0, 4.0]) == pytest.approx(18.0**0.6 * 4.0**0.4)
+
+    def test_scale_multiplies(self):
+        base = CobbDouglasUtility((0.6, 0.4))
+        scaled = CobbDouglasUtility((0.6, 0.4), scale=2.5)
+        assert scaled.value([3.0, 7.0]) == pytest.approx(2.5 * base.value([3.0, 7.0]))
+
+    def test_zero_allocation_gives_zero_utility(self):
+        # "utility is zero when either resource is unavailable" (§2).
+        u = CobbDouglasUtility((0.6, 0.4))
+        assert u.value([0.0, 5.0]) == 0.0
+        assert u.value([5.0, 0.0]) == 0.0
+
+    def test_callable_interface(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        assert u([4.0, 9.0]) == pytest.approx(6.0)
+
+    def test_rejects_wrong_dimension(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        with pytest.raises(ValueError, match="2 resources"):
+            u.value([1.0, 2.0, 3.0])
+
+    def test_rejects_negative_allocation(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        with pytest.raises(ValueError, match="non-negative"):
+            u.value([-1.0, 2.0])
+
+    def test_log_value_matches_log_of_value(self):
+        u = CobbDouglasUtility((0.3, 0.9), scale=1.7)
+        x = [2.0, 5.0]
+        assert u.log_value(x) == pytest.approx(math.log(u.value(x)))
+
+    def test_log_value_minus_infinity_at_boundary(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        assert u.log_value([0.0, 1.0]) == float("-inf")
+
+    @given(alpha=alphas_2d, x=bundles_2d, k=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=60)
+    def test_monotone_in_each_resource(self, alpha, x, k):
+        u = CobbDouglasUtility(alpha)
+        bigger = (x[0] * (1 + k), x[1])
+        assert u.value(bigger) > u.value(x)
+
+
+class TestPreferenceRelations:
+    def test_strict_preference(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        assert u.prefers([4.0, 4.0], [1.0, 1.0])
+        assert not u.prefers([1.0, 1.0], [4.0, 4.0])
+
+    def test_indifference_on_same_curve(self):
+        # u = x^0.5 y^0.5: (4, 1) and (1, 4) both give u = 2.
+        u = CobbDouglasUtility((0.5, 0.5))
+        assert u.indifferent([4.0, 1.0], [1.0, 4.0])
+
+    def test_weak_preference_includes_indifference(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        assert u.weakly_prefers([4.0, 1.0], [1.0, 4.0])
+        assert u.weakly_prefers([4.0, 4.0], [1.0, 1.0])
+        assert not u.weakly_prefers([1.0, 1.0], [4.0, 4.0])
+
+    @given(alpha=alphas_2d, x=bundles_2d, y=bundles_2d)
+    @settings(max_examples=60)
+    def test_preferences_are_complete(self, alpha, x, y):
+        u = CobbDouglasUtility(alpha)
+        assert u.weakly_prefers(x, y) or u.weakly_prefers(y, x)
+
+
+class TestRescaling:
+    def test_rescaled_sums_to_one(self):
+        u = CobbDouglasUtility((1.2, 0.3, 0.5), scale=4.0)
+        rescaled = u.rescaled()
+        assert sum(rescaled.elasticities) == pytest.approx(1.0)
+        assert rescaled.scale == 1.0
+
+    def test_rescale_preserves_ratios(self):
+        u = CobbDouglasUtility((1.2, 0.3))
+        rescaled = u.rescaled()
+        assert rescaled.elasticities[0] / rescaled.elasticities[1] == pytest.approx(4.0)
+
+    def test_is_rescaled(self):
+        assert CobbDouglasUtility((0.6, 0.4)).is_rescaled()
+        assert not CobbDouglasUtility((0.6, 0.6)).is_rescaled()
+        assert not CobbDouglasUtility((0.6, 0.4), scale=2.0).is_rescaled()
+
+    @given(alpha=alphas_2d, x=bundles_2d, y=bundles_2d)
+    @settings(max_examples=60)
+    def test_rescaling_preserves_preference_order(self, alpha, x, y):
+        u = CobbDouglasUtility(alpha, scale=3.0)
+        r = u.rescaled()
+        if u.prefers(x, y):
+            assert r.weakly_prefers(x, y)
+
+    @given(alpha=alphas_2d, x=bundles_2d, k=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=60)
+    def test_rescaled_utility_is_homogeneous_degree_one(self, alpha, x, k):
+        # §4.2: u(k x) = k u(x) after re-scaling — the CEEI prerequisite.
+        r = CobbDouglasUtility(alpha).rescaled()
+        scaled = (k * x[0], k * x[1])
+        assert r.value(scaled) == pytest.approx(k * r.value(x), rel=1e-9)
+
+    def test_rescale_elasticities_function(self):
+        assert rescale_elasticities([2.0, 2.0]) == pytest.approx([0.5, 0.5])
+
+    def test_rescale_elasticities_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            rescale_elasticities([1.0, 0.0])
+
+    def test_rescale_elasticities_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rescale_elasticities([])
+
+
+class TestMarginalRateOfSubstitution:
+    def test_eq9_formula(self):
+        # Eq. 9: MRS = (0.6 / 0.4) * (y / x).
+        u1 = CobbDouglasUtility((0.6, 0.4))
+        assert u1.marginal_rate_of_substitution([6.0, 4.0]) == pytest.approx(1.0)
+        assert u1.marginal_rate_of_substitution([6.0, 8.0]) == pytest.approx(2.0)
+
+    def test_mrs_undefined_at_zero(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        with pytest.raises(ZeroDivisionError):
+            u.marginal_rate_of_substitution([0.0, 1.0])
+
+    @given(alpha=alphas_2d, x=bundles_2d)
+    @settings(max_examples=60)
+    def test_mrs_is_slope_of_indifference_curve(self, alpha, x):
+        # Numerically: moving (dx, -MRS*dx) keeps utility constant to
+        # first order.
+        u = CobbDouglasUtility(alpha)
+        mrs = u.marginal_rate_of_substitution(x)
+        dx = 1e-7 * x[0]
+        moved = (x[0] + dx, x[1] - mrs * dx)
+        assert u.value(moved) == pytest.approx(u.value(x), rel=1e-8)
+
+    def test_indifference_curve_constant_utility(self):
+        u = CobbDouglasUtility((0.6, 0.4))
+        level = u.value([6.0, 6.0])
+        xs = np.linspace(2.0, 20.0, 15)
+        ys = u.indifference_curve(level, xs)
+        for x, y in zip(xs, ys):
+            assert u.value([x, y]) == pytest.approx(level, rel=1e-9)
+
+    def test_indifference_curve_requires_two_resources(self):
+        u = CobbDouglasUtility((0.3, 0.3, 0.4))
+        with pytest.raises(ValueError, match="two resources"):
+            u.indifference_curve(1.0, [1.0, 2.0])
+
+    def test_indifference_curve_rejects_bad_level(self):
+        u = CobbDouglasUtility((0.5, 0.5))
+        with pytest.raises(ValueError, match="utility_level"):
+            u.indifference_curve(0.0, [1.0])
+
+
+class TestLeontief:
+    def test_eq8_example(self):
+        # Eq. 8: u = min(x, 2y) — demand vector 2 GB/s per 1 MB.
+        u = LeontiefUtility((1.0, 0.5))
+        assert u.value([4.0, 2.0]) == pytest.approx(4.0)
+
+    def test_disproportional_resources_are_wasted(self):
+        # §3.3: (4, 2), (10, 2), (4, 10) all give the same utility.
+        u = LeontiefUtility((1.0, 0.5))
+        base = u.value([4.0, 2.0])
+        assert u.value([10.0, 2.0]) == pytest.approx(base)
+        assert u.value([4.0, 10.0]) == pytest.approx(base)
+
+    def test_rejects_non_positive_demands(self):
+        with pytest.raises(ValueError):
+            LeontiefUtility((1.0, 0.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LeontiefUtility(())
+
+    def test_mrs_zero_or_infinite(self):
+        # §3.3: "the MRS is either zero or infinity".
+        u = LeontiefUtility((1.0, 0.5))
+        assert u.marginal_rate_of_substitution([2.0, 10.0]) == float("inf")
+        assert u.marginal_rate_of_substitution([10.0, 2.0]) == 0.0
+
+    def test_mrs_undefined_at_kink(self):
+        u = LeontiefUtility((1.0, 0.5))
+        with pytest.raises(ValueError, match="kink"):
+            u.marginal_rate_of_substitution([4.0, 2.0])
+
+    @given(x=bundles_2d)
+    @settings(max_examples=40)
+    def test_no_substitution_no_gain(self, x):
+        # Extra of the non-binding resource never raises utility.
+        u = LeontiefUtility((1.0, 1.0))
+        binding = min(x)
+        more_nonbinding = (x[0] + 100.0, x[1]) if x[1] == binding else (x[0], x[1] + 100.0)
+        assert u.value(more_nonbinding) == pytest.approx(u.value(x))

@@ -1,0 +1,98 @@
+"""Tests for weighted utility and welfare metrics (§4.5, Eq. 17)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanism import Agent, Allocation, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+from repro.core.welfare import (
+    egalitarian_welfare,
+    nash_welfare,
+    weighted_system_throughput,
+    weighted_utilities,
+    weighted_utility,
+)
+
+
+def paper_problem():
+    return AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+    )
+
+
+class TestWeightedUtility:
+    def test_full_machine_gives_one(self):
+        problem = paper_problem()
+        assert weighted_utility(problem, 0, problem.capacity_vector) == pytest.approx(1.0)
+
+    def test_equal_split_of_rescaled_utility_gives_half(self):
+        # U is homogeneous degree one for re-scaled utilities, so C/N
+        # yields exactly 1/N.
+        problem = paper_problem()
+        for i in range(2):
+            assert weighted_utility(problem, i, problem.equal_split) == pytest.approx(0.5)
+
+    def test_scale_cancels(self):
+        scaled = AllocationProblem(
+            agents=[
+                Agent("user1", CobbDouglasUtility((0.6, 0.4), scale=7.0)),
+                Agent("user2", CobbDouglasUtility((0.2, 0.8), scale=0.2)),
+            ],
+            capacities=(24.0, 12.0),
+        )
+        plain = paper_problem()
+        bundle = [10.0, 3.0]
+        assert weighted_utility(scaled, 0, bundle) == pytest.approx(
+            weighted_utility(plain, 0, bundle)
+        )
+
+    @given(
+        x=st.floats(min_value=0.1, max_value=23.9),
+        y=st.floats(min_value=0.1, max_value=11.9),
+    )
+    @settings(max_examples=50)
+    def test_weighted_utility_in_unit_interval(self, x, y):
+        problem = paper_problem()
+        value = weighted_utility(problem, 0, [x, y])
+        assert 0.0 < value <= 1.0
+
+
+class TestSystemMetrics:
+    def test_throughput_is_sum_of_weighted_utilities(self):
+        allocation = proportional_elasticity(paper_problem())
+        expected = weighted_utilities(allocation).sum()
+        assert weighted_system_throughput(allocation) == pytest.approx(expected)
+
+    def test_throughput_bounded_by_n(self):
+        allocation = proportional_elasticity(paper_problem())
+        assert 0 < weighted_system_throughput(allocation) <= 2.0
+
+    def test_nash_welfare_is_product(self):
+        allocation = proportional_elasticity(paper_problem())
+        utilities = weighted_utilities(allocation)
+        assert nash_welfare(allocation) == pytest.approx(np.prod(utilities))
+
+    def test_egalitarian_welfare_is_min(self):
+        allocation = proportional_elasticity(paper_problem())
+        utilities = weighted_utilities(allocation)
+        assert egalitarian_welfare(allocation) == pytest.approx(utilities.min())
+
+    def test_equal_split_throughput_is_one(self):
+        # Two agents x U = 0.5 each (re-scaled utilities).
+        problem = paper_problem()
+        shares = np.tile(problem.equal_split, (2, 1))
+        allocation = Allocation(problem=problem, shares=shares)
+        assert weighted_system_throughput(allocation) == pytest.approx(1.0)
+
+    def test_ref_beats_equal_split_throughput(self):
+        # SI means every agent weakly gains, so total weighted
+        # throughput can only rise versus the equal split.
+        problem = paper_problem()
+        ref = proportional_elasticity(problem)
+        assert weighted_system_throughput(ref) >= 1.0

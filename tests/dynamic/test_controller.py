@@ -1,0 +1,115 @@
+"""Tests for the dynamic reallocation controller."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicAllocator, Phase, PhasedWorkload
+from repro.profiling import OfflineProfiler
+from repro.workloads import get_workload
+
+CAPACITIES = (12.8, 2048.0)
+
+
+def static_allocator(**kwargs):
+    defaults = dict(
+        workloads={
+            "freqmine": get_workload("freqmine"),
+            "dedup": get_workload("dedup"),
+        },
+        capacities=CAPACITIES,
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return DynamicAllocator(**defaults)
+
+
+class TestValidation:
+    def test_rejects_empty_workloads(self):
+        with pytest.raises(ValueError, match="at least one agent"):
+            DynamicAllocator({}, CAPACITIES)
+
+    def test_rejects_zero_exploration(self):
+        with pytest.raises(ValueError, match="exploration"):
+            static_allocator(exploration_samples=0)
+
+    def test_rejects_bad_capacities(self):
+        with pytest.raises(ValueError, match="capacities"):
+            DynamicAllocator({"a": get_workload("dedup")}, (0.0, 1.0))
+
+    def test_rejects_bad_epoch_count(self):
+        with pytest.raises(ValueError, match="n_epochs"):
+            static_allocator().run(0)
+
+
+class TestStaticConvergence:
+    def test_first_epoch_uses_naive_reports(self):
+        result = static_allocator().run(1)
+        for name in ("freqmine", "dedup"):
+            assert result.records[0].reported_alpha[name] == pytest.approx([0.5, 0.5])
+        # Naive equal reports -> equal split.
+        assert result.records[0].allocation["freqmine"] == pytest.approx(
+            [CAPACITIES[0] / 2, CAPACITIES[1] / 2]
+        )
+
+    def test_converges_toward_offline_fit(self):
+        result = static_allocator(decay=1.0).run(15)
+        offline = OfflineProfiler()
+        for name in ("freqmine", "dedup"):
+            truth = offline.fit(get_workload(name)).rescaled_elasticities
+            learned = result.records[-1].reported_alpha[name]
+            assert np.max(np.abs(learned - truth)) < 0.15, name
+
+    def test_allocations_track_reports(self):
+        result = static_allocator(decay=1.0).run(15)
+        # freqmine (C) should end up with most of the cache, dedup (M)
+        # with most of the bandwidth.
+        final = result.records[-1].allocation
+        assert final["freqmine"][1] > final["dedup"][1]
+        assert final["dedup"][0] > final["freqmine"][0]
+
+    def test_history_accessors(self):
+        result = static_allocator().run(5)
+        assert result.n_epochs == 5
+        assert result.reported_series("dedup", resource=0).shape == (5,)
+        assert result.allocation_series("dedup", 0).shape == (5,)
+        assert result.ipc_series("dedup").shape == (5,)
+
+    def test_deterministic_given_seed(self):
+        a = static_allocator(seed=3).run(6)
+        b = static_allocator(seed=3).run(6)
+        assert np.array_equal(a.ipc_series("dedup"), b.ipc_series("dedup"))
+
+
+class TestPhaseTracking:
+    def test_reports_follow_phase_change(self):
+        phased = PhasedWorkload(
+            "phasey",
+            [Phase(get_workload("freqmine"), 12), Phase(get_workload("dedup"), 12)],
+        )
+        allocator = DynamicAllocator(
+            {"phasey": phased, "steady": get_workload("canneal")},
+            capacities=CAPACITIES,
+            decay=0.75,
+            seed=1,
+        )
+        result = allocator.run(24)
+        cache_reports = result.reported_series("phasey", resource=1)
+        # End of cache-loving phase vs end of bandwidth-loving phase.
+        assert np.mean(cache_reports[8:12]) > 0.55
+        assert np.mean(cache_reports[20:24]) < 0.45
+
+    def test_measured_ipc_reflects_phase(self):
+        phased = PhasedWorkload(
+            "phasey",
+            [Phase(get_workload("raytrace"), 8), Phase(get_workload("ocean_cp"), 8)],
+        )
+        allocator = DynamicAllocator(
+            {"phasey": phased, "steady": get_workload("bodytrack")},
+            capacities=CAPACITIES,
+            decay=0.8,
+            seed=2,
+        )
+        result = allocator.run(16)
+        ipc = result.ipc_series("phasey")
+        # raytrace phase runs far faster than the ocean_cp phase.
+        assert np.mean(ipc[:8]) > 2 * np.mean(ipc[8:])

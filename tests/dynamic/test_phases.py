@@ -1,0 +1,56 @@
+"""Tests for phase-changing workload models."""
+
+import pytest
+
+from repro.dynamic.phases import Phase, PhasedWorkload
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def two_phase():
+    return PhasedWorkload(
+        "p",
+        [Phase(get_workload("freqmine"), 3), Phase(get_workload("dedup"), 2)],
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            Phase(get_workload("dedup"), 0)
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            PhasedWorkload("p", [])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            PhasedWorkload("", [Phase(get_workload("dedup"), 1)])
+
+    def test_rejects_negative_epoch(self, two_phase):
+        with pytest.raises(ValueError, match="epoch"):
+            two_phase.spec_at(-1)
+
+
+class TestSchedule:
+    def test_cycle_length(self, two_phase):
+        assert two_phase.cycle_epochs == 5
+
+    def test_phase_lookup(self, two_phase):
+        assert two_phase.spec_at(0).name == "freqmine"
+        assert two_phase.spec_at(2).name == "freqmine"
+        assert two_phase.spec_at(3).name == "dedup"
+        assert two_phase.spec_at(4).name == "dedup"
+
+    def test_cyclic_repetition(self, two_phase):
+        assert two_phase.spec_at(5).name == "freqmine"
+        assert two_phase.spec_at(8).name == "dedup"
+        assert two_phase.spec_at(10 * 5 + 3).name == "dedup"
+
+    def test_phase_boundaries(self, two_phase):
+        assert two_phase.phase_boundaries(11) == [3, 5, 8, 10]
+
+    def test_single_phase_never_changes(self):
+        workload = PhasedWorkload("s", [Phase(get_workload("canneal"), 2)])
+        assert workload.phase_boundaries(20) == []
+        assert workload.spec_at(17).name == "canneal"

@@ -1,0 +1,130 @@
+"""Tests pinning the paper's headline evaluation claims (§5.4-§5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    is_envy_free,
+    proportional_elasticity,
+    satisfies_sharing_incentives,
+    weighted_system_throughput,
+)
+from repro.core.welfare import weighted_utilities
+from repro.optimize import equal_slowdown, max_nash_welfare
+from repro.profiling import OfflineProfiler
+from repro.workloads import (
+    EIGHT_CORE_MIXES,
+    FOUR_CORE_MIXES,
+    build_mix_problem,
+    problem_from_fits,
+)
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OfflineProfiler()
+
+
+@pytest.fixture(scope="module")
+def fits(profiler):
+    return profiler.fit_suite()
+
+
+def pair_problem(fits, first, second, label, capacities=(24.0, 12.0 * 1024)):
+    from repro.workloads.mixes import WorkloadMix
+
+    pair = WorkloadMix(f"{first}+{second}", (first, second), label)
+    return problem_from_fits(pair, fits, capacities)
+
+
+class TestSection54Examples:
+    # The paper's three §5.4 phenomena all reproduce, though with
+    # different benchmark pairs playing each role: our fitted
+    # elasticities are not bit-identical to the authors', so which pair
+    # "happens to be fair" under equal slowdown shifts (documented in
+    # EXPERIMENTS.md).
+
+    def test_example1_equal_slowdown_happens_fair(self, fits):
+        # Fig. 10's phenomenon: for *some* C-M pair, equal slowdown
+        # happens to satisfy SI and EF (it just cannot guarantee them).
+        problem = pair_problem(fits, "histogram", "string_match", "1C-1M")
+        allocation = equal_slowdown(problem)
+        assert satisfies_sharing_incentives(allocation, rtol=1e-3)
+        assert is_envy_free(allocation, rtol=1e-3)
+
+    def test_example2_loser_below_half_of_both(self, fits):
+        # Fig. 11's phenomenon: equal slowdown hands one agent of a C-M
+        # pair less than half of *both* resources, violating SI and EF;
+        # REF satisfies both.
+        problem = pair_problem(fits, "histogram", "dedup", "1C-1M")
+        eq = equal_slowdown(problem)
+        fractions = eq.fractions()
+        assert bool(np.any(np.all(fractions < 0.5 - 1e-6, axis=1)))
+        assert not (
+            satisfies_sharing_incentives(eq, rtol=1e-4) and is_envy_free(eq, rtol=1e-4)
+        )
+        ref = proportional_elasticity(problem)
+        assert satisfies_sharing_incentives(ref) and is_envy_free(ref)
+
+    def test_example2_paper_pair_violates_fairness(self, fits):
+        # The paper's own Fig. 11 pair (barnes + canneal) also violates
+        # SI and EF under equal slowdown with our fits.
+        problem = pair_problem(fits, "barnes", "canneal", "1C-1M")
+        eq = equal_slowdown(problem)
+        assert not (
+            satisfies_sharing_incentives(eq, rtol=1e-4) and is_envy_free(eq, rtol=1e-4)
+        )
+        ref = proportional_elasticity(problem)
+        assert satisfies_sharing_incentives(ref) and is_envy_free(ref)
+
+    def test_example3_same_group_violation(self, fits):
+        # Fig. 12: freqmine (C) + linear_regression (C) — the lighter
+        # workload gets starved by equal slowdown; REF stays fair.
+        problem = pair_problem(fits, "freqmine", "linear_regression", "2C")
+        eq = equal_slowdown(problem)
+        assert not (
+            satisfies_sharing_incentives(eq, rtol=1e-4) and is_envy_free(eq, rtol=1e-4)
+        )
+        ref = proportional_elasticity(problem)
+        assert satisfies_sharing_incentives(ref) and is_envy_free(ref)
+
+    def test_equal_slowdown_equalizes_by_construction(self, fits):
+        problem = pair_problem(fits, "barnes", "canneal", "1C-1M")
+        utilities = weighted_utilities(equal_slowdown(problem))
+        assert utilities.max() / utilities.min() == pytest.approx(1.0, abs=1e-2)
+
+
+class TestSection55Penalties:
+    @pytest.mark.parametrize("mix_name", FOUR_CORE_MIXES + EIGHT_CORE_MIXES)
+    def test_fairness_penalty_modest(self, mix_name, profiler):
+        # Headline claim: game-theoretic fairness costs < 10% throughput
+        # versus the unfair welfare maximum.  We allow 15% slack for our
+        # substitute simulator.
+        problem = build_mix_problem(mix_name, profiler=profiler)
+        ref = proportional_elasticity(problem)
+        unfair = max_nash_welfare(problem, fair=False)
+        penalty = 1.0 - weighted_system_throughput(ref) / weighted_system_throughput(unfair)
+        assert penalty < 0.15, f"{mix_name}: penalty {penalty:.3f}"
+
+    @pytest.mark.parametrize("mix_name", FOUR_CORE_MIXES)
+    def test_ref_matches_fair_welfare_max(self, mix_name, profiler):
+        # "Among the two mechanisms that provide fairness ... we find no
+        # performance difference."
+        problem = build_mix_problem(mix_name, profiler=profiler)
+        ref = proportional_elasticity(problem)
+        fair = max_nash_welfare(problem, fair=True)
+        assert weighted_system_throughput(fair) == pytest.approx(
+            weighted_system_throughput(ref), rel=0.02
+        )
+
+    def test_eight_core_equal_slowdown_can_trail_ref(self, profiler):
+        # Fig. 14's observation: at eight agents, equal slowdown may
+        # underperform REF on at least some mixes.
+        trailing = 0
+        for mix_name in EIGHT_CORE_MIXES:
+            problem = build_mix_problem(mix_name, profiler=profiler)
+            ref = weighted_system_throughput(proportional_elasticity(problem))
+            eq = weighted_system_throughput(equal_slowdown(problem))
+            if eq < ref:
+                trailing += 1
+        assert trailing >= 1

@@ -1,0 +1,103 @@
+"""End-to-end pipeline tests: spec -> sweep -> fit -> classify -> allocate."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_fairness, classify, proportional_elasticity
+from repro.profiling import OfflineProfiler
+from repro.sim import AnalyticMachine, TraceMachine
+from repro.workloads import BENCHMARKS, MIXES, build_mix_problem, get_workload
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OfflineProfiler()
+
+
+@pytest.fixture(scope="module")
+def fits(profiler):
+    return profiler.fit_suite()
+
+
+class TestClassificationMatchesTable2:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmark_classified_as_paper_reports(self, name, fits):
+        # Fig. 9 / Table 2: the fitted, re-scaled elasticities put every
+        # benchmark into its published C/M group.
+        pref = classify(name, fits[name].utility)
+        assert pref.group.value == BENCHMARKS[name].expected_group
+
+    def test_fit_quality_mostly_high(self, fits):
+        # Fig. 8a: "most benchmarks are fitted with R-squared of 0.7-1.0".
+        r2 = np.array([fit.r_squared for fit in fits.values()])
+        assert np.mean(r2 >= 0.7) >= 0.8
+
+    def test_flat_benchmarks_have_low_r_squared(self, fits):
+        # The paper's radiosity observation.
+        assert fits["radiosity"].r_squared < 0.6
+
+
+class TestRefFairOnAllMixes:
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_ref_satisfies_all_properties(self, mix_name, profiler):
+        problem = build_mix_problem(mix_name, profiler=profiler)
+        allocation = proportional_elasticity(problem)
+        report = check_fairness(allocation)
+        assert report.is_fair, f"{mix_name}: {report.summary()}"
+
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    def test_capacity_fully_used(self, mix_name, profiler):
+        problem = build_mix_problem(mix_name, profiler=profiler)
+        allocation = proportional_elasticity(problem)
+        assert allocation.shares.sum(axis=0) == pytest.approx(problem.capacity_vector)
+
+
+class TestTraceValidatesAnalytic:
+    # The paper values "relative accuracy over absolute accuracy": the
+    # detailed trace-driven machine must reproduce the analytic model's
+    # IPC within a modest factor, and preserve its ordering of
+    # allocations.
+    CASES = [
+        ("raytrace", "C"),
+        ("bodytrack", "C"),
+        ("ferret", "C"),
+        ("canneal", "M"),
+        ("dedup", "M"),
+    ]
+
+    @pytest.mark.parametrize("name,group", CASES)
+    def test_pointwise_agreement(self, name, group):
+        trace = TraceMachine(n_instructions=200_000)
+        analytic = AnalyticMachine()
+        workload = get_workload(name)
+        for cache_kb, bandwidth in [(128, 0.8), (512, 3.2), (2048, 12.8)]:
+            detailed = trace.simulate(workload, cache_kb, bandwidth).ipc
+            fast = analytic.ipc(workload, cache_kb, bandwidth)
+            ratio = detailed / fast
+            assert 0.65 < ratio < 1.45, (name, cache_kb, bandwidth, ratio)
+
+    @pytest.mark.parametrize("name,group", CASES)
+    def test_rank_agreement_over_grid(self, name, group):
+        # Spearman-style: the two machines must order a spread of
+        # allocations the same way.
+        trace = TraceMachine(n_instructions=120_000)
+        analytic = AnalyticMachine()
+        workload = get_workload(name)
+        points = [(128, 0.8), (128, 12.8), (512, 3.2), (2048, 0.8), (2048, 12.8)]
+        detailed = np.array([trace.simulate(workload, kb, bw).ipc for kb, bw in points])
+        fast = np.array([analytic.ipc(workload, kb, bw) for kb, bw in points])
+        rank_detailed = np.argsort(np.argsort(detailed))
+        rank_fast = np.argsort(np.argsort(fast))
+        # Allow at most one adjacent swap.
+        assert np.sum(rank_detailed != rank_fast) <= 2, (name, detailed, fast)
+
+
+class TestWorkedExampleEndToEnd:
+    def test_canneal_freqmine_match_eq2_shape(self, fits):
+        # §3: the recurring example's utilities (0.6, 0.4) / (0.2, 0.8)
+        # "accurately model the relative cache and memory intensities
+        # for canneal and freqmine".  Check the fitted orderings.
+        canneal = fits["canneal"].rescaled_elasticities
+        freqmine = fits["freqmine"].rescaled_elasticities
+        assert canneal[0] > 0.5  # bandwidth-elastic, like u1's x^0.6
+        assert freqmine[1] > 0.5  # cache-elastic, like u2's y^0.8

@@ -1,0 +1,100 @@
+"""Failure injection: the numeric mechanisms must fail loudly, not wrongly."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Agent, AllocationProblem
+from repro.core.utility import CobbDouglasUtility
+from repro.optimize import MechanismError, equal_slowdown, max_nash_welfare, utilitarian_welfare
+from repro.optimize import logspace, mechanisms
+
+
+@pytest.fixture
+def problem():
+    return AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+    )
+
+
+def _always_failing_solve(monkeypatch):
+    def fake_solve(problem, objective, **kwargs):
+        n = problem.n_agents * problem.n_resources
+        from repro.core.mechanism import Allocation
+
+        shares = np.tile(problem.equal_split, (problem.n_agents, 1))
+        return logspace.LogSpaceSolution(
+            allocation=Allocation(problem=problem, shares=shares, mechanism="fake"),
+            objective_value=-np.inf,
+            success=False,
+            message="injected failure",
+            n_iterations=0,
+        )
+
+    monkeypatch.setattr(logspace, "solve", fake_solve)
+    monkeypatch.setattr(mechanisms.logspace, "solve", fake_solve)
+
+
+class TestSolverFailurePropagation:
+    def test_equal_slowdown_raises_mechanism_error(self, problem, monkeypatch):
+        _always_failing_solve(monkeypatch)
+        with pytest.raises(MechanismError, match="injected failure"):
+            equal_slowdown(problem)
+
+    def test_fair_nash_raises_mechanism_error(self, problem, monkeypatch):
+        _always_failing_solve(monkeypatch)
+        with pytest.raises(MechanismError, match="injected failure"):
+            max_nash_welfare(problem, fair=True)
+
+    def test_utilitarian_raises_mechanism_error(self, problem, monkeypatch):
+        _always_failing_solve(monkeypatch)
+        with pytest.raises(MechanismError, match="every starting point"):
+            utilitarian_welfare(problem, n_starts=2)
+
+    def test_unfair_closed_form_unaffected(self, problem, monkeypatch):
+        # The closed form never touches the solver.
+        _always_failing_solve(monkeypatch)
+        allocation = max_nash_welfare(problem, fair=False)
+        assert allocation.is_feasible()
+
+
+class TestExtremePopulations:
+    def test_tiny_elasticities(self):
+        agents = [
+            Agent("a", CobbDouglasUtility((1e-6, 1e-6))),
+            Agent("b", CobbDouglasUtility((1e-6, 1e-6))),
+        ]
+        problem = AllocationProblem(agents, (24.0, 12.0))
+        allocation = equal_slowdown(problem)
+        assert allocation.is_feasible(tol=1e-6)
+
+    def test_highly_skewed_elasticities(self):
+        agents = [
+            Agent("a", CobbDouglasUtility((0.999, 0.001))),
+            Agent("b", CobbDouglasUtility((0.001, 0.999))),
+        ]
+        problem = AllocationProblem(agents, (24.0, 12.0))
+        for mechanism in (equal_slowdown, lambda p: max_nash_welfare(p, fair=True)):
+            allocation = mechanism(problem)
+            assert allocation.is_feasible(tol=1e-6)
+            assert np.all(allocation.shares > 0)
+
+    def test_many_identical_agents(self):
+        agents = [Agent(f"a{i}", CobbDouglasUtility((0.5, 0.5))) for i in range(12)]
+        problem = AllocationProblem(agents, (24.0, 12.0))
+        allocation = equal_slowdown(problem)
+        # Symmetric population: everyone ends up at the equal split.
+        expected = np.tile(problem.equal_split, (12, 1))
+        assert np.allclose(allocation.shares, expected, rtol=0.05)
+
+    def test_wildly_different_capacities(self):
+        agents = [
+            Agent("a", CobbDouglasUtility((0.7, 0.3))),
+            Agent("b", CobbDouglasUtility((0.3, 0.7))),
+        ]
+        problem = AllocationProblem(agents, (1e6, 1e-3))
+        allocation = max_nash_welfare(problem, fair=True)
+        assert allocation.is_feasible(tol=1e-6)

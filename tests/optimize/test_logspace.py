@@ -1,0 +1,129 @@
+"""Tests for the log-space convex-program scaffolding (§5.5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+from repro.optimize import logspace
+
+
+@pytest.fixture
+def problem():
+    return AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 12.0),
+    )
+
+
+def z_of(problem, shares):
+    return np.log(np.asarray(shares, dtype=float)).ravel()
+
+
+class TestLogWeightedUtilities:
+    def test_full_machine_gives_zero_log(self, problem):
+        z = z_of(problem, [[24.0, 12.0], [24.0, 12.0]])
+        assert logspace.log_weighted_utilities(problem, z) == pytest.approx([0.0, 0.0])
+
+    def test_equal_split_gives_log_half(self, problem):
+        z = z_of(problem, [[12.0, 6.0], [12.0, 6.0]])
+        values = logspace.log_weighted_utilities(problem, z)
+        assert values == pytest.approx([np.log(0.5), np.log(0.5)])
+
+    def test_matches_direct_computation(self, problem):
+        shares = np.array([[18.0, 4.0], [6.0, 8.0]])
+        z = z_of(problem, shares)
+        values = logspace.log_weighted_utilities(problem, z)
+        for i, agent in enumerate(problem.agents):
+            expected = np.log(
+                agent.utility.value(shares[i]) / agent.utility.value([24.0, 12.0])
+            )
+            assert values[i] == pytest.approx(expected)
+
+
+class TestConstraintBuilders:
+    def test_capacity_constraints_satisfied_at_feasible_point(self, problem):
+        z = z_of(problem, [[12.0, 6.0], [12.0, 6.0]])
+        for constraint in logspace.capacity_constraints(problem):
+            assert constraint["fun"](z) >= -1e-9
+
+    def test_capacity_constraints_violated_when_oversubscribed(self, problem):
+        z = z_of(problem, [[20.0, 8.0], [20.0, 8.0]])
+        values = [c["fun"](z) for c in logspace.capacity_constraints(problem)]
+        assert min(values) < 0
+
+    def test_ef_constraints_nonnegative_at_ref_point(self, problem):
+        ref = proportional_elasticity(problem)
+        z = z_of(problem, ref.shares)
+        for constraint in logspace.envy_free_constraints(problem):
+            assert constraint["fun"](z) >= -1e-9
+
+    def test_ef_constraints_negative_when_envious(self, problem):
+        z = z_of(problem, [[1.0, 1.0], [23.0, 11.0]])
+        values = [c["fun"](z) for c in logspace.envy_free_constraints(problem)]
+        assert min(values) < 0
+
+    def test_ef_constraint_count(self, problem):
+        assert len(logspace.envy_free_constraints(problem)) == 2  # N(N-1)
+
+    def test_si_constraints_zero_at_equal_split(self, problem):
+        z = z_of(problem, np.tile(problem.equal_split, (2, 1)))
+        for constraint in logspace.sharing_incentive_constraints(problem):
+            assert constraint["fun"](z) == pytest.approx(0.0, abs=1e-12)
+
+    def test_si_constraints_negative_when_starved(self, problem):
+        z = z_of(problem, [[1.0, 0.5], [23.0, 11.5]])
+        values = [c["fun"](z) for c in logspace.sharing_incentive_constraints(problem)]
+        assert values[0] < 0
+
+    def test_pe_constraints_zero_on_contract_curve(self, problem):
+        ref = proportional_elasticity(problem)
+        z = z_of(problem, ref.shares)
+        for constraint in logspace.pareto_constraints(problem):
+            assert constraint["fun"](z) == pytest.approx(0.0, abs=1e-9)
+
+    def test_pe_constraints_nonzero_off_curve(self, problem):
+        z = z_of(problem, np.tile(problem.equal_split, (2, 1)))
+        values = [abs(c["fun"](z)) for c in logspace.pareto_constraints(problem)]
+        assert max(values) > 0.1
+
+    def test_pe_constraint_count(self, problem):
+        # (N - 1) * (R - 1) irredundant equalities.
+        assert len(logspace.pareto_constraints(problem)) == 1
+
+
+class TestSolve:
+    def test_maximizing_nash_matches_closed_form(self, problem):
+        def objective(v):
+            return float(logspace.log_weighted_utilities(problem, v[:4]).sum())
+
+        solution = logspace.solve(problem, objective, mechanism="test")
+        assert solution.success
+        alpha = problem.raw_alpha_matrix()
+        expected = alpha / alpha.sum(axis=0) * problem.capacity_vector
+        assert solution.allocation.shares == pytest.approx(expected, rel=1e-3)
+
+    def test_solution_is_feasible(self, problem):
+        def objective(v):
+            return float(logspace.log_weighted_utilities(problem, v[:4]).sum())
+
+        solution = logspace.solve(problem, objective)
+        assert solution.allocation.is_feasible(tol=1e-6)
+
+    def test_mechanism_label_recorded(self, problem):
+        def objective(v):
+            return float(logspace.log_weighted_utilities(problem, v[:4]).sum())
+
+        solution = logspace.solve(problem, objective, mechanism="custom_label")
+        assert solution.allocation.mechanism == "custom_label"
+
+    def test_warm_start_accepted(self, problem):
+        def objective(v):
+            return float(logspace.log_weighted_utilities(problem, v[:4]).sum())
+
+        warm = np.array([[18.0, 4.0], [6.0, 8.0]])
+        solution = logspace.solve(problem, objective, initial_shares=warm)
+        assert solution.success

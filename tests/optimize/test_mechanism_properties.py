@@ -1,0 +1,71 @@
+"""Property-based tests for the numeric mechanisms on random populations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mechanism import Agent, AllocationProblem
+from repro.core.properties import is_envy_free, satisfies_sharing_incentives
+from repro.core.utility import CobbDouglasUtility
+from repro.core.welfare import weighted_utilities
+from repro.optimize import equal_slowdown, max_nash_welfare
+
+
+def random_problem(n_agents, seed):
+    rng = np.random.default_rng(seed)
+    agents = [
+        Agent(f"a{i}", CobbDouglasUtility(rng.uniform(0.1, 1.2, size=2)))
+        for i in range(n_agents)
+    ]
+    return AllocationProblem(agents, rng.uniform(5.0, 60.0, size=2))
+
+
+class TestEqualSlowdownProperties:
+    @given(
+        n_agents=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_slowdowns_equalized(self, n_agents, seed):
+        problem = random_problem(n_agents, seed)
+        allocation = equal_slowdown(problem)
+        utilities = weighted_utilities(allocation)
+        assert utilities.max() / utilities.min() == pytest.approx(1.0, abs=2e-2)
+
+    @given(
+        n_agents=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_feasible_and_positive(self, n_agents, seed):
+        problem = random_problem(n_agents, seed)
+        allocation = equal_slowdown(problem)
+        assert allocation.is_feasible(tol=1e-6)
+        assert np.all(allocation.shares > 0)
+
+
+class TestFairNashProperties:
+    @given(
+        n_agents=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fair_variant_is_fair(self, n_agents, seed):
+        problem = random_problem(n_agents, seed)
+        allocation = max_nash_welfare(problem, fair=True)
+        assert satisfies_sharing_incentives(allocation, rtol=1e-3)
+        assert is_envy_free(allocation, rtol=1e-3)
+
+    @given(
+        n_agents=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_unfair_upper_bounds_fair(self, n_agents, seed):
+        from repro.core.welfare import nash_welfare
+
+        problem = random_problem(n_agents, seed)
+        unfair = nash_welfare(max_nash_welfare(problem, fair=False))
+        fair = nash_welfare(max_nash_welfare(problem, fair=True))
+        assert unfair >= fair * (1 - 1e-6)

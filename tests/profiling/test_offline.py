@@ -1,0 +1,85 @@
+"""Tests for the offline sweep profiler (§4.4, §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.offline import OfflineProfiler
+from repro.sim.platform import PlatformConfig
+from repro.workloads.suites import get_workload
+
+
+class TestProfiling:
+    def test_profile_covers_table1_grid(self):
+        profiler = OfflineProfiler()
+        profile = profiler.profile(get_workload("ferret"))
+        assert profile.n_samples == 25
+        assert profile.source == "analytic"
+
+    def test_profiles_cached(self):
+        profiler = OfflineProfiler()
+        first = profiler.profile(get_workload("ferret"))
+        second = profiler.profile(get_workload("ferret"))
+        assert first is second
+
+    def test_deterministic_across_instances(self):
+        a = OfflineProfiler().profile(get_workload("dedup"))
+        b = OfflineProfiler().profile(get_workload("dedup"))
+        assert np.array_equal(a.ipc, b.ipc)
+
+    def test_noise_streams_independent_per_workload(self):
+        profiler = OfflineProfiler()
+        ferret = profiler.profile(get_workload("ferret"))
+        fmm = profiler.profile(get_workload("fmm"))
+        ferret_noise = np.log(ferret.ipc) - np.log(OfflineProfiler(noise_sigma=0).profile(get_workload("ferret")).ipc)
+        fmm_noise = np.log(fmm.ipc) - np.log(OfflineProfiler(noise_sigma=0).profile(get_workload("fmm")).ipc)
+        assert not np.allclose(ferret_noise, fmm_noise)
+
+    def test_zero_noise_matches_analytic_machine(self):
+        profiler = OfflineProfiler(noise_sigma=0.0)
+        workload = get_workload("barnes")
+        profile = profiler.profile(workload)
+        direct = profiler._analytic.sweep(workload)
+        assert np.allclose(profile.ipc, direct.ipc)
+
+    def test_seed_changes_noise(self):
+        a = OfflineProfiler(seed=1).profile(get_workload("ferret"))
+        b = OfflineProfiler(seed=2).profile(get_workload("ferret"))
+        assert not np.array_equal(a.ipc, b.ipc)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            OfflineProfiler(noise_sigma=-0.1)
+
+
+class TestFitting:
+    def test_fit_returns_good_r_squared_for_trendy_workload(self):
+        fit = OfflineProfiler().fit(get_workload("dedup"))
+        assert fit.r_squared > 0.7
+
+    def test_flat_workload_low_r_squared(self):
+        # The paper's radiosity observation (§5.2).
+        fit = OfflineProfiler().fit(get_workload("radiosity"))
+        assert fit.r_squared < 0.6
+
+    def test_fit_suite_covers_all(self):
+        fits = OfflineProfiler().fit_suite()
+        assert len(fits) == 28
+
+    def test_fit_subset(self):
+        workloads = [get_workload("ferret"), get_workload("fmm")]
+        fits = OfflineProfiler().fit_suite(workloads)
+        assert set(fits) == {"ferret", "fmm"}
+
+
+class TestTraceBackend:
+    def test_trace_profile_on_reduced_grid(self):
+        platform = PlatformConfig(
+            l2_sweep_kb=(128, 2048), bandwidth_sweep_gbps=(0.8, 12.8)
+        )
+        profiler = OfflineProfiler(
+            platform=platform, use_trace_machine=True, trace_instructions=60_000
+        )
+        profile = profiler.profile(get_workload("ferret"))
+        assert profile.n_samples == 4
+        assert profile.source == "trace"
+        assert np.all(profile.ipc > 0)

@@ -1,0 +1,109 @@
+"""Tests for the on-line profiler (§4.4's adaptive naive user)."""
+
+import numpy as np
+import pytest
+
+from repro.core.utility import CobbDouglasUtility
+from repro.profiling.online import OnlineProfiler
+
+
+def feed_synthetic(profiler, alpha, n, seed=0, noise=0.0):
+    """Feed observations from an exact Cobb-Douglas surface."""
+    rng = np.random.default_rng(seed)
+    utility = CobbDouglasUtility(alpha)
+    for _ in range(n):
+        allocation = rng.uniform(0.5, 20.0, size=2)
+        ipc = utility.value(allocation)
+        if noise:
+            ipc *= float(np.exp(rng.normal(0, noise)))
+        profiler.observe(allocation, ipc)
+
+
+class TestNaivePrior:
+    def test_starts_with_equal_elasticities(self):
+        profiler = OnlineProfiler(n_resources=2)
+        assert profiler.utility.elasticities == (0.5, 0.5)
+        assert profiler.report_elasticities() == pytest.approx([0.5, 0.5])
+
+    def test_three_resource_prior(self):
+        profiler = OnlineProfiler(n_resources=3)
+        assert profiler.utility.elasticities == pytest.approx((1 / 3,) * 3)
+
+    def test_prior_until_min_samples(self):
+        profiler = OnlineProfiler(min_samples=6)
+        feed_synthetic(profiler, (0.8, 0.2), 5)
+        assert profiler.utility.elasticities == (0.5, 0.5)
+        assert profiler.last_fit is None
+
+
+class TestLearning:
+    def test_converges_to_truth(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.7, 0.3), 20)
+        assert profiler.utility.elasticities == pytest.approx((0.7, 0.3), rel=1e-6)
+
+    def test_report_is_rescaled(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (1.4, 0.6), 20)
+        assert profiler.report_elasticities() == pytest.approx([0.7, 0.3], rel=1e-6)
+
+    def test_noisy_convergence(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.6, 0.4), 200, noise=0.02)
+        assert profiler.report_elasticities() == pytest.approx([0.6, 0.4], abs=0.05)
+
+    def test_decay_tracks_phase_change(self):
+        # Switch the true utility mid-stream; with decay the recent
+        # phase dominates the fit.
+        profiler = OnlineProfiler(decay=0.8)
+        feed_synthetic(profiler, (0.9, 0.1), 30, seed=1)
+        feed_synthetic(profiler, (0.1, 0.9), 30, seed=2)
+        report = profiler.report_elasticities()
+        assert report[1] > 0.7
+
+    def test_no_decay_averages_phases(self):
+        profiler = OnlineProfiler(decay=1.0)
+        feed_synthetic(profiler, (0.9, 0.1), 30, seed=1)
+        feed_synthetic(profiler, (0.1, 0.9), 30, seed=2)
+        report = profiler.report_elasticities()
+        assert 0.3 < report[1] < 0.7
+
+    def test_no_refit_without_variation(self):
+        profiler = OnlineProfiler(min_samples=4)
+        for _ in range(6):
+            profiler.observe((2.0, 3.0), 1.5)
+        # All samples identical: rank-deficient, stays on the prior.
+        assert profiler.utility.elasticities == (0.5, 0.5)
+
+    def test_n_samples_counts(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.5, 0.5), 7)
+        assert profiler.n_samples == 7
+
+
+class TestValidation:
+    def test_rejects_bad_n_resources(self):
+        with pytest.raises(ValueError):
+            OnlineProfiler(n_resources=0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            OnlineProfiler(decay=0.0)
+        with pytest.raises(ValueError):
+            OnlineProfiler(decay=1.5)
+
+    def test_rejects_min_samples_below_parameters(self):
+        with pytest.raises(ValueError, match="min_samples"):
+            OnlineProfiler(n_resources=2, min_samples=2)
+
+    def test_rejects_wrong_allocation_shape(self):
+        profiler = OnlineProfiler()
+        with pytest.raises(ValueError, match="shape"):
+            profiler.observe((1.0, 2.0, 3.0), 1.0)
+
+    def test_rejects_non_positive_observation(self):
+        profiler = OnlineProfiler()
+        with pytest.raises(ValueError, match="strictly positive"):
+            profiler.observe((1.0, 2.0), 0.0)
+        with pytest.raises(ValueError, match="strictly positive"):
+            profiler.observe((0.0, 2.0), 1.0)

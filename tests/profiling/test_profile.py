@@ -1,0 +1,61 @@
+"""Tests for the Profile data container."""
+
+import numpy as np
+import pytest
+
+from repro.core.utility import CobbDouglasUtility
+from repro.profiling.profile import Profile
+
+GRID = np.array([[bw, kb] for bw in (1.0, 2.0, 4.0) for kb in (128.0, 512.0, 2048.0)])
+
+
+def make_profile(alpha=(0.4, 0.5)):
+    u = CobbDouglasUtility(alpha)
+    ipc = np.array([u.value(row) for row in GRID])
+    return Profile(workload_name="x", allocations=GRID, ipc=ipc)
+
+
+class TestValidation:
+    def test_rejects_wrong_allocation_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            Profile("x", np.ones((3, 3)), np.ones(3))
+
+    def test_rejects_mismatched_ipc(self):
+        with pytest.raises(ValueError, match="one entry per"):
+            Profile("x", GRID, np.ones(3))
+
+    def test_rejects_non_positive_data(self):
+        ipc = np.ones(len(GRID))
+        ipc[0] = 0.0
+        with pytest.raises(ValueError, match="strictly positive"):
+            Profile("x", GRID, ipc)
+
+
+class TestApi:
+    def test_n_samples(self):
+        assert make_profile().n_samples == len(GRID)
+
+    def test_fit_recovers_elasticities(self):
+        fit = make_profile(alpha=(0.4, 0.5)).fit()
+        assert fit.elasticities == pytest.approx((0.4, 0.5), rel=1e-8)
+
+    def test_extended_appends(self):
+        profile = make_profile()
+        bigger = profile.extended((3.0, 777.0), 1.23)
+        assert bigger.n_samples == profile.n_samples + 1
+        assert bigger.ipc[-1] == pytest.approx(1.23)
+        # Original untouched (immutability).
+        assert profile.n_samples == len(GRID)
+
+    def test_dict_roundtrip(self):
+        profile = make_profile()
+        clone = Profile.from_dict(profile.as_dict())
+        assert clone.workload_name == profile.workload_name
+        assert np.allclose(clone.allocations, profile.allocations)
+        assert np.allclose(clone.ipc, profile.ipc)
+        assert clone.source == profile.source
+
+    def test_from_dict_default_source(self):
+        data = make_profile().as_dict()
+        del data["source"]
+        assert Profile.from_dict(data).source == "analytic"

@@ -1,0 +1,92 @@
+"""Tests for the allocation-to-scheduler glue."""
+
+import pytest
+
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+from repro.sched.enforce import build_enforcement
+from repro.sched.wfq import WfqPacket
+from repro.sim.platform import CacheConfig
+
+L2 = CacheConfig(size_kb=2048, ways=8)
+
+
+@pytest.fixture
+def allocation():
+    problem = AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8))),
+        ],
+        capacities=(24.0, 2048.0),
+    )
+    return proportional_elasticity(problem)
+
+
+class TestBuildEnforcement:
+    def test_bandwidth_weights_match_shares(self, allocation):
+        plan = build_enforcement(allocation, L2)
+        assert plan.bandwidth_weights["user1"] == pytest.approx(18.0)
+        assert plan.bandwidth_weights["user2"] == pytest.approx(6.0)
+
+    def test_way_assignment_tracks_cache_shares(self, allocation):
+        # Cache shares are 1/3 and 2/3 of 8 ways.
+        plan = build_enforcement(allocation, L2)
+        assert plan.way_assignment == {"user1": 3, "user2": 5}
+
+    def test_quantization_error_reported(self, allocation):
+        plan = build_enforcement(allocation, L2)
+        assert 0 <= plan.cache_quantization_error <= 1.0 / L2.ways + 1e-9
+
+    def test_wfq_scheduler_enforces_weights(self, allocation):
+        plan = build_enforcement(allocation, L2)
+        scheduler = plan.wfq_scheduler(rate=24.0)
+        packets = [
+            WfqPacket(flow=name, size=64.0)
+            for _ in range(300)
+            for name in plan.bandwidth_weights
+        ]
+        records = scheduler.run(packets)
+        horizon = records[len(records) // 2].finish
+        served = scheduler.throughput_up_to(records, horizon)
+        total = sum(served.values())
+        assert served["user1"] / total == pytest.approx(0.75, abs=0.02)
+
+    def test_lottery_scheduler_uses_weights_as_tickets(self, allocation):
+        plan = build_enforcement(allocation, L2)
+        lottery = plan.lottery_scheduler(seed=0)
+        lottery.run(20_000)
+        assert lottery.achieved_shares()["user1"] == pytest.approx(0.75, abs=0.02)
+
+    def test_build_agent_shares_bridges_to_cosim(self, allocation):
+        from repro.sched.enforce import build_agent_shares
+        from repro.workloads import get_workload
+
+        workload_of = {
+            "user1": get_workload("freqmine"),
+            "user2": get_workload("dedup"),
+        }
+        shares = build_agent_shares(allocation, L2, workload_of)
+        assert [s.name for s in shares] == ["user1", "user2"]
+        assert shares[0].bandwidth_gbps == pytest.approx(18.0)
+        assert shares[0].l2_ways + shares[1].l2_ways == L2.ways
+
+    def test_build_agent_shares_missing_workload(self, allocation):
+        from repro.sched.enforce import build_agent_shares
+        from repro.workloads import get_workload
+
+        with pytest.raises(KeyError, match="no workload"):
+            build_agent_shares(allocation, L2, {"user1": get_workload("dedup")})
+
+    def test_custom_resource_indices(self, allocation):
+        # Treat column 1 as bandwidth and column 0 as cache.
+        flipped_problem = AllocationProblem(
+            agents=[
+                Agent("user1", CobbDouglasUtility((0.4, 0.6))),
+                Agent("user2", CobbDouglasUtility((0.8, 0.2))),
+            ],
+            capacities=(2048.0, 24.0),
+        )
+        flipped = proportional_elasticity(flipped_problem)
+        plan = build_enforcement(flipped, L2, bandwidth_resource=1, cache_resource=0)
+        assert plan.bandwidth_weights["user1"] == pytest.approx(18.0)

@@ -1,0 +1,62 @@
+"""Tests for lottery scheduling (§4.4 enforcement)."""
+
+import pytest
+
+from repro.sched.lottery import LotteryScheduler
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one client"):
+            LotteryScheduler({})
+
+    def test_rejects_non_positive_tickets(self):
+        with pytest.raises(ValueError, match="positive"):
+            LotteryScheduler({"a": -1.0})
+
+    def test_rejects_bad_quantum_count(self):
+        with pytest.raises(ValueError):
+            LotteryScheduler({"a": 1.0}).run(0)
+
+
+class TestLottery:
+    def test_deterministic_with_seed(self):
+        a = LotteryScheduler({"x": 1.0, "y": 2.0}, seed=5)
+        b = LotteryScheduler({"x": 1.0, "y": 2.0}, seed=5)
+        assert [d.winner for d in a.run(100)] == [d.winner for d in b.run(100)]
+
+    def test_expected_shares_are_ticket_fractions(self):
+        scheduler = LotteryScheduler({"x": 1.0, "y": 3.0})
+        assert scheduler.expected_shares() == {"x": pytest.approx(0.25), "y": pytest.approx(0.75)}
+
+    def test_achieved_shares_converge(self):
+        scheduler = LotteryScheduler({"x": 1.0, "y": 2.0, "z": 5.0}, seed=0)
+        scheduler.run(40_000)
+        assert scheduler.worst_share_error() < 0.01
+
+    def test_fractional_tickets_supported(self):
+        # REF shares are real-valued; only proportions matter.
+        scheduler = LotteryScheduler({"x": 0.125, "y": 0.375}, seed=1)
+        scheduler.run(20_000)
+        achieved = scheduler.achieved_shares()
+        assert achieved["y"] == pytest.approx(0.75, abs=0.02)
+
+    def test_quanta_counted(self):
+        scheduler = LotteryScheduler({"x": 1.0}, seed=2)
+        scheduler.run(10)
+        scheduler.draw()
+        assert scheduler.quanta == 11
+
+    def test_zero_quanta_shares(self):
+        scheduler = LotteryScheduler({"x": 1.0, "y": 1.0})
+        assert scheduler.achieved_shares() == {"x": 0.0, "y": 0.0}
+
+    def test_draw_records_winner(self):
+        scheduler = LotteryScheduler({"only": 1.0}, seed=3)
+        assert scheduler.draw() == "only"
+        assert scheduler.achieved_shares()["only"] == 1.0
+
+    def test_run_returns_sequential_quanta(self):
+        scheduler = LotteryScheduler({"x": 1.0, "y": 1.0}, seed=4)
+        draws = scheduler.run(5)
+        assert [d.quantum for d in draws] == [0, 1, 2, 3, 4]

@@ -1,0 +1,88 @@
+"""Tests for cache way partitioning."""
+
+import pytest
+
+from repro.sched.partition import (
+    build_partitioned_caches,
+    partition_ways,
+    quantization_error,
+)
+from repro.sim.platform import CacheConfig
+
+
+class TestPartitionWays:
+    def test_all_ways_assigned(self):
+        assignment = partition_ways({"a": 0.5, "b": 0.5}, n_ways=8)
+        assert sum(assignment.values()) == 8
+
+    def test_equal_shares_split_evenly(self):
+        assignment = partition_ways({"a": 0.5, "b": 0.5}, n_ways=8)
+        assert assignment == {"a": 4, "b": 4}
+
+    def test_proportional_to_shares(self):
+        assignment = partition_ways({"a": 0.75, "b": 0.25}, n_ways=8)
+        assert assignment == {"a": 6, "b": 2}
+
+    def test_one_way_floor(self):
+        # A tiny share still gets one way — zero ways means no progress.
+        assignment = partition_ways({"tiny": 0.01, "big": 0.99}, n_ways=8)
+        assert assignment["tiny"] == 1
+        assert assignment["big"] == 7
+
+    def test_largest_remainder_rounding(self):
+        assignment = partition_ways({"a": 0.40, "b": 0.35, "c": 0.25}, n_ways=8)
+        assert sum(assignment.values()) == 8
+        assert assignment["a"] >= assignment["b"] >= assignment["c"]
+
+    def test_shares_below_capacity_normalized(self):
+        # Shares summing to 0.5 still use the whole cache.
+        assignment = partition_ways({"a": 0.25, "b": 0.25}, n_ways=8)
+        assert sum(assignment.values()) == 8
+
+    def test_four_agents_eight_ways(self):
+        shares = {"w": 0.4, "x": 0.3, "y": 0.2, "z": 0.1}
+        assignment = partition_ways(shares, n_ways=8)
+        assert sum(assignment.values()) == 8
+        assert all(v >= 1 for v in assignment.values())
+
+    def test_rejects_more_agents_than_ways(self):
+        shares = {f"a{i}": 1 / 9 for i in range(9)}
+        with pytest.raises(ValueError, match="at least one way"):
+            partition_ways(shares, n_ways=8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one agent"):
+            partition_ways({}, n_ways=8)
+
+    def test_rejects_non_positive_share(self):
+        with pytest.raises(ValueError, match="positive"):
+            partition_ways({"a": 0.0, "b": 1.0}, n_ways=8)
+
+    def test_rejects_oversubscribed_shares(self):
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            partition_ways({"a": 0.8, "b": 0.8}, n_ways=8)
+
+
+class TestQuantizationError:
+    def test_zero_for_exact_split(self):
+        shares = {"a": 0.5, "b": 0.5}
+        assignment = partition_ways(shares, n_ways=8)
+        assert quantization_error(shares, assignment, 8) == pytest.approx(0.0)
+
+    def test_bounded_by_one_way(self):
+        shares = {"a": 0.57, "b": 0.43}
+        assignment = partition_ways(shares, n_ways=8)
+        assert quantization_error(shares, assignment, 8) <= 1.0 / 8 + 1e-9
+
+
+class TestBuildPartitionedCaches:
+    def test_builds_per_agent_caches(self):
+        config = CacheConfig(size_kb=2048, ways=8)
+        caches = build_partitioned_caches(config, {"a": 6, "b": 2})
+        assert caches["a"].effective_ways == 6
+        assert caches["b"].effective_size_kb == pytest.approx(512.0)
+
+    def test_rejects_overcommitted_assignment(self):
+        config = CacheConfig(size_kb=2048, ways=8)
+        with pytest.raises(ValueError, match="ways"):
+            build_partitioned_caches(config, {"a": 6, "b": 4})

@@ -1,0 +1,130 @@
+"""Tests for weighted fair queueing (§4.4 enforcement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.wfq import ServiceRecord, WfqPacket, WfqScheduler
+
+
+def backlogged_packets(flows, n_per_flow, size=64.0):
+    return [WfqPacket(flow=f, size=size) for _ in range(n_per_flow) for f in flows]
+
+
+class TestValidation:
+    def test_rejects_empty_flows(self):
+        with pytest.raises(ValueError, match="at least one flow"):
+            WfqScheduler({})
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError, match="positive"):
+            WfqScheduler({"a": 0.0})
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            WfqScheduler({"a": 1.0}, rate=0.0)
+
+    def test_rejects_unknown_flow(self):
+        scheduler = WfqScheduler({"a": 1.0})
+        with pytest.raises(KeyError, match="unknown flow"):
+            scheduler.enqueue(WfqPacket(flow="b", size=1.0))
+
+    def test_rejects_bad_packet(self):
+        with pytest.raises(ValueError, match="size"):
+            WfqPacket(flow="a", size=0.0)
+        with pytest.raises(ValueError, match="arrival"):
+            WfqPacket(flow="a", size=1.0, arrival=-1.0)
+
+
+class TestScheduling:
+    def test_serves_everything(self):
+        scheduler = WfqScheduler({"a": 1.0, "b": 1.0})
+        records = scheduler.run(backlogged_packets(["a", "b"], 10))
+        assert len(records) == 20
+        assert scheduler.backlog == 0
+
+    def test_equal_weights_interleave(self):
+        scheduler = WfqScheduler({"a": 1.0, "b": 1.0})
+        records = scheduler.run(backlogged_packets(["a", "b"], 50))
+        shares = WfqScheduler.service_shares(records[:20])
+        assert shares["a"] == pytest.approx(0.5, abs=0.1)
+
+    def test_shares_proportional_to_weights(self):
+        scheduler = WfqScheduler({"a": 3.0, "b": 1.0})
+        records = scheduler.run(backlogged_packets(["a", "b"], 200))
+        horizon = records[len(records) // 2].finish
+        served = scheduler.throughput_up_to(records, horizon)
+        total = sum(served.values())
+        assert served["a"] / total == pytest.approx(0.75, abs=0.02)
+        assert served["b"] / total == pytest.approx(0.25, abs=0.02)
+
+    def test_three_flow_shares(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 5.0}
+        scheduler = WfqScheduler(weights)
+        records = scheduler.run(backlogged_packets(list(weights), 300))
+        horizon = records[len(records) // 2].finish
+        served = scheduler.throughput_up_to(records, horizon)
+        total = sum(served.values())
+        for flow, weight in weights.items():
+            assert served[flow] / total == pytest.approx(weight / 8.0, abs=0.02)
+
+    def test_real_time_advances_by_service_time(self):
+        scheduler = WfqScheduler({"a": 1.0}, rate=2.0)
+        records = scheduler.run([WfqPacket("a", 64.0), WfqPacket("a", 64.0)])
+        assert records[0].finish == pytest.approx(32.0)
+        assert records[1].finish == pytest.approx(64.0)
+
+    def test_dequeue_empty_returns_none(self):
+        assert WfqScheduler({"a": 1.0}).dequeue() is None
+
+    def test_service_shares_empty(self):
+        assert WfqScheduler.service_shares([]) == {}
+
+    def test_single_flow_gets_everything(self):
+        scheduler = WfqScheduler({"only": 0.3})
+        records = scheduler.run(backlogged_packets(["only"], 5))
+        assert WfqScheduler.service_shares(records) == {"only": pytest.approx(1.0)}
+
+    def test_unequal_packet_sizes_fair_by_bytes(self):
+        # Flow a sends big packets, flow b small ones; byte shares still
+        # follow weights.
+        scheduler = WfqScheduler({"a": 1.0, "b": 1.0})
+        packets = []
+        for _ in range(200):
+            packets.append(WfqPacket("a", 128.0))
+            packets.append(WfqPacket("b", 32.0))
+            packets.append(WfqPacket("b", 32.0))
+            packets.append(WfqPacket("b", 32.0))
+            packets.append(WfqPacket("b", 32.0))
+        records = scheduler.run(packets)
+        horizon = records[len(records) // 2].finish
+        served = scheduler.throughput_up_to(records, horizon)
+        assert served["a"] == pytest.approx(served["b"], rel=0.05)
+
+    def test_records_are_service_records(self):
+        scheduler = WfqScheduler({"a": 1.0})
+        records = scheduler.run([WfqPacket("a", 64.0)])
+        assert isinstance(records[0], ServiceRecord)
+        assert records[0].start == 0.0
+
+
+class TestFairnessBoundProperty:
+    @given(
+        w_a=st.floats(min_value=0.2, max_value=5.0),
+        w_b=st.floats(min_value=0.2, max_value=5.0),
+        n=st.integers(min_value=50, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_backlogged_service_tracks_weights(self, w_a, w_b, n):
+        # The WFQ guarantee: over any backlogged prefix, each flow's
+        # byte share deviates from its weight share by at most roughly
+        # one packet's worth of service.
+        scheduler = WfqScheduler({"a": w_a, "b": w_b})
+        packets = [WfqPacket(f, 64.0) for _ in range(n) for f in ("a", "b")]
+        records = scheduler.run(packets)
+        horizon = records[len(records) // 2].finish
+        served = scheduler.throughput_up_to(records, horizon)
+        total = sum(served.values())
+        expected_a = w_a / (w_a + w_b)
+        tolerance = 2 * 64.0 / total  # two packets of slack
+        assert abs(served["a"] / total - expected_a) <= tolerance + 0.02

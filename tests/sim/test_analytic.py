@@ -1,0 +1,107 @@
+"""Tests for the analytic machine model (full-sweep IPC)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.analytic import AnalyticMachine, SweepResult
+from repro.workloads.suites import BENCHMARKS, get_workload
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return AnalyticMachine()
+
+
+class TestIpc:
+    def test_positive_everywhere(self, machine):
+        workload = get_workload("ferret")
+        for bw, kb in machine.platform.sweep():
+            assert machine.ipc(workload, kb, bw) > 0
+
+    def test_monotone_in_cache(self, machine):
+        workload = get_workload("freqmine")
+        ipcs = [machine.ipc(workload, kb, 3.2) for kb in (128, 256, 512, 1024, 2048)]
+        for a, b in zip(ipcs, ipcs[1:]):
+            assert b >= a - 1e-9
+
+    def test_monotone_in_bandwidth(self, machine):
+        workload = get_workload("dedup")
+        ipcs = [machine.ipc(workload, 512, bw) for bw in (0.8, 1.6, 3.2, 6.4, 12.8)]
+        for a, b in zip(ipcs, ipcs[1:]):
+            assert b >= a - 1e-9
+
+    def test_rejects_non_positive_allocation(self, machine):
+        workload = get_workload("ferret")
+        with pytest.raises(ValueError):
+            machine.ipc(workload, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            machine.ipc(workload, 128.0, -1.0)
+
+    def test_cache_loving_benefits_more_from_cache(self, machine):
+        # raytrace (strong C) vs ocean_cp (strong M): relative IPC gain
+        # from quadrupling cache should be larger for raytrace than its
+        # gain from quadrupling bandwidth, and vice versa for ocean_cp.
+        for name, expect_cache_dominant in (("raytrace", True), ("ocean_cp", False)):
+            workload = get_workload(name)
+            base = machine.ipc(workload, 256, 1.6)
+            more_cache = machine.ipc(workload, 1024, 1.6)
+            more_bandwidth = machine.ipc(workload, 256, 6.4)
+            cache_gain = more_cache / base
+            bandwidth_gain = more_bandwidth / base
+            assert (cache_gain > bandwidth_gain) == expect_cache_dominant, name
+
+
+class TestMemoryProfile:
+    def test_misses_bounded_by_accesses(self, machine):
+        workload = get_workload("canneal")
+        profile = machine.memory_profile(workload, cache_kb=512)
+        assert profile.l2_misses_per_instr <= profile.l2_accesses_per_instr
+
+    def test_larger_cache_fewer_misses(self, machine):
+        workload = get_workload("bodytrack")
+        small = machine.memory_profile(workload, cache_kb=128)
+        large = machine.memory_profile(workload, cache_kb=2048)
+        assert large.l2_misses_per_instr <= small.l2_misses_per_instr
+        # L1 traffic unchanged by L2 size.
+        assert large.l2_accesses_per_instr == pytest.approx(small.l2_accesses_per_instr)
+
+    def test_core_parameters_forwarded(self, machine):
+        workload = get_workload("ferret")
+        profile = machine.memory_profile(workload, cache_kb=512)
+        assert profile.base_cpi == workload.base_cpi
+        assert profile.mlp == workload.mlp
+
+
+class TestSweep:
+    def test_default_sweep_is_25_points(self, machine):
+        sweep = machine.sweep(get_workload("fmm"))
+        assert sweep.n_points == 25
+        assert sweep.allocations.shape == (25, 2)
+
+    def test_bandwidth_major_ordering(self, machine):
+        sweep = machine.sweep(get_workload("fmm"))
+        assert tuple(sweep.allocations[0]) == (0.8, 128.0)
+        assert tuple(sweep.allocations[5]) == (1.6, 128.0)
+
+    def test_custom_grids(self, machine):
+        sweep = machine.sweep(
+            get_workload("fmm"), bandwidths_gbps=(1.0, 2.0), cache_sizes_kb=(256, 512, 1024)
+        )
+        assert sweep.n_points == 6
+
+    def test_result_validation(self):
+        with pytest.raises(ValueError, match="matching"):
+            SweepResult("x", np.ones((3, 2)), np.ones(2))
+
+    def test_sweep_deterministic(self, machine):
+        a = machine.sweep(get_workload("barnes"))
+        b = machine.sweep(get_workload("barnes"))
+        assert np.array_equal(a.ipc, b.ipc)
+
+    def test_all_benchmarks_sweep_cleanly(self, machine):
+        # Every calibrated spec must produce a strictly positive, finite
+        # 25-point surface.
+        for name, workload in BENCHMARKS.items():
+            sweep = machine.sweep(workload)
+            assert np.all(np.isfinite(sweep.ipc)), name
+            assert np.all(sweep.ipc > 0), name

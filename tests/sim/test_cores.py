@@ -1,0 +1,128 @@
+"""Tests for the three-resource (cores) extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fit_cobb_douglas
+from repro.sim.cores import ParallelWorkload, ThreeResourceMachine, amdahl_speedup
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return ThreeResourceMachine()
+
+
+def parallel(name="ferret", fraction=0.9):
+    return ParallelWorkload(get_workload(name), fraction)
+
+
+class TestAmdahl:
+    def test_one_core_is_baseline(self):
+        assert amdahl_speedup(0.9, 1.0) == pytest.approx(1.0)
+
+    def test_fully_serial_never_speeds_up(self):
+        assert amdahl_speedup(0.0, 64.0) == pytest.approx(1.0)
+
+    def test_textbook_value(self):
+        # f = 0.5, n = 2 -> S = 1 / (0.5 + 0.25) = 4/3.
+        assert amdahl_speedup(0.5, 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_saturates_at_serial_bound(self):
+        assert amdahl_speedup(0.9, 1e9) == pytest.approx(10.0, rel=1e-6)
+
+    @given(
+        f=st.floats(min_value=0.0, max_value=0.99),
+        n=st.floats(min_value=1.0, max_value=64.0),
+    )
+    @settings(max_examples=50)
+    def test_speedup_in_valid_range(self, f, n):
+        s = amdahl_speedup(f, n)
+        assert 1.0 <= s <= n + 1e-9 or s == pytest.approx(1.0)
+
+    def test_monotone_in_cores(self):
+        speedups = [amdahl_speedup(0.8, n) for n in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.0, 4.0)
+        with pytest.raises(ValueError):
+            amdahl_speedup(-0.1, 4.0)
+
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0.0)
+
+
+class TestParallelWorkload:
+    def test_wraps_base(self):
+        workload = parallel("dedup", 0.8)
+        assert workload.name == "dedup"
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ParallelWorkload(get_workload("dedup"), 1.0)
+
+
+class TestThreeResourceMachine:
+    def test_monotone_in_cores(self, machine):
+        workload = parallel(fraction=0.9)
+        ipcs = [machine.ipc(workload, n, 512, 6.4) for n in (1, 2, 4, 8)]
+        for a, b in zip(ipcs, ipcs[1:]):
+            assert b >= a - 1e-9
+
+    def test_monotone_in_bandwidth(self, machine):
+        workload = parallel("dedup", 0.9)
+        ipcs = [machine.ipc(workload, 4, 512, bw) for bw in (0.8, 3.2, 12.8)]
+        assert ipcs[0] < ipcs[-1]
+
+    def test_monotone_in_cache(self, machine):
+        workload = parallel("freqmine", 0.6)
+        ipcs = [machine.ipc(workload, 4, kb, 6.4) for kb in (128, 512, 2048)]
+        assert ipcs[0] < ipcs[-1]
+
+    def test_serial_workload_ignores_cores(self, machine):
+        workload = parallel(fraction=0.0)
+        one = machine.ipc(workload, 1, 512, 6.4)
+        eight = machine.ipc(workload, 8, 512, 6.4)
+        assert eight == pytest.approx(one, rel=1e-9)
+
+    def test_one_core_matches_two_resource_machine(self, machine):
+        # With one core the extension must reduce to the base model.
+        workload = parallel("ferret", 0.9)
+        three = machine.ipc(workload, 1.0, 512, 3.2)
+        two = machine._two_resource.ipc(get_workload("ferret"), 512, 3.2)
+        assert three == pytest.approx(two, rel=1e-6)
+
+    def test_bandwidth_caps_parallel_scaling(self, machine):
+        # A memory hog cannot scale past its bandwidth bound no matter
+        # how many cores it gets.
+        workload = parallel("ocean_cp", 0.95)
+        ipc_8 = machine.ipc(workload, 8, 512, 0.8)
+        ipc_1 = machine.ipc(workload, 1, 512, 0.8)
+        assert ipc_8 / ipc_1 < 2.0  # far below the 8x core scaling
+
+    def test_rejects_bad_allocations(self, machine):
+        with pytest.raises(ValueError):
+            machine.ipc(parallel(), 0.0, 512, 3.2)
+
+    def test_sweep_shape(self, machine):
+        points, ipc = machine.sweep(parallel(), cores=(1, 4), bandwidths_gbps=(1.6, 6.4))
+        assert points.shape == (2 * 2 * 5, 3)
+        assert ipc.shape == (20,)
+
+    def test_three_resource_fit_quality(self, machine):
+        points, ipc = machine.sweep(parallel("ferret", 0.9))
+        fit = fit_cobb_douglas(points, ipc)
+        assert fit.r_squared > 0.7
+        assert len(fit.elasticities) == 3
+
+    def test_parallel_fraction_raises_core_elasticity(self, machine):
+        def core_elasticity(fraction):
+            points, ipc = machine.sweep(parallel("ferret", fraction))
+            return fit_cobb_douglas(points, ipc).rescaled_elasticities[0]
+
+        assert core_elasticity(0.95) > core_elasticity(0.3)

@@ -1,0 +1,119 @@
+"""Tests for the interval core model and the IPC fixed point."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cpu import MemoryProfile, interval_ipc, solve_ipc
+from repro.sim.platform import CoreConfig, DramConfig
+
+CORE = CoreConfig(frequency_ghz=3.0, issue_width=4)
+
+
+def profile(accesses=0.02, misses=0.01, cpi=0.5, mlp=2.0, **kwargs):
+    return MemoryProfile(
+        l2_accesses_per_instr=accesses,
+        l2_misses_per_instr=misses,
+        base_cpi=cpi,
+        mlp=mlp,
+        **kwargs,
+    )
+
+
+class TestMemoryProfileValidation:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            profile(accesses=-0.1)
+
+    def test_rejects_more_misses_than_accesses(self):
+        with pytest.raises(ValueError, match="miss"):
+            profile(accesses=0.01, misses=0.02)
+
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ValueError):
+            profile(cpi=0.0)
+
+    def test_rejects_mlp_below_one(self):
+        with pytest.raises(ValueError):
+            profile(mlp=0.5)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            profile(l2_hit_overlap=1.5)
+
+
+class TestIntervalModel:
+    def test_no_memory_activity_gives_base_ipc(self):
+        p = profile(accesses=0.0, misses=0.0, cpi=0.5)
+        assert interval_ipc(p, 100.0, CORE) == pytest.approx(2.0)
+
+    def test_issue_width_caps_ipc(self):
+        p = profile(accesses=0.0, misses=0.0, cpi=0.01)
+        assert interval_ipc(p, 0.0, CORE) == pytest.approx(CORE.issue_width)
+
+    def test_hand_computed_cpi(self):
+        # CPI = 0.5 + hits*20*0.3 + misses*120/2
+        p = profile(accesses=0.02, misses=0.01, cpi=0.5, mlp=2.0)
+        hits = 0.01
+        expected_cpi = 0.5 + hits * 20 * 0.3 + 0.01 * 120.0 / 2.0
+        assert interval_ipc(p, 120.0, CORE) == pytest.approx(1.0 / expected_cpi)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            interval_ipc(profile(), -1.0, CORE)
+
+    @given(lat=st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=40)
+    def test_ipc_decreases_with_latency(self, lat):
+        p = profile()
+        assert interval_ipc(p, lat + 10.0, CORE) < interval_ipc(p, lat, CORE)
+
+    def test_higher_mlp_hides_latency(self):
+        low = profile(mlp=1.0)
+        high = profile(mlp=4.0)
+        assert interval_ipc(high, 200.0, CORE) > interval_ipc(low, 200.0, CORE)
+
+
+class TestFixedPoint:
+    def test_converges(self):
+        solution = solve_ipc(profile(), CORE, DramConfig(bandwidth_gbps=3.2))
+        assert solution.converged
+        assert solution.ipc > 0
+
+    def test_more_bandwidth_never_hurts(self):
+        p = profile(misses=0.02, accesses=0.03)
+        ipcs = [
+            solve_ipc(p, CORE, DramConfig(bandwidth_gbps=bw)).ipc
+            for bw in (0.8, 1.6, 3.2, 6.4, 12.8)
+        ]
+        for a, b in zip(ipcs, ipcs[1:]):
+            assert b >= a - 1e-9
+
+    def test_fewer_misses_never_hurt(self):
+        dram = DramConfig(bandwidth_gbps=3.2)
+        heavy = solve_ipc(profile(accesses=0.04, misses=0.03), CORE, dram)
+        light = solve_ipc(profile(accesses=0.04, misses=0.005), CORE, dram)
+        assert light.ipc > heavy.ipc
+
+    def test_bandwidth_bound_operating_point(self):
+        # Demand far exceeding the share pins IPC at the sustainable rate.
+        p = profile(accesses=0.25, misses=0.2, cpi=0.3, mlp=8.0)
+        dram = DramConfig(bandwidth_gbps=0.8)
+        solution = solve_ipc(p, CORE, dram)
+        max_ipc = 0.96 * 0.8 / (0.2 * 64 * 3.0)
+        assert solution.ipc <= max_ipc * 1.01
+        assert solution.utilization <= 1.0
+
+    def test_demand_accounting(self):
+        solution = solve_ipc(profile(), CORE, DramConfig(bandwidth_gbps=3.2))
+        expected = solution.ipc * 0.01 * 64 * 3.0
+        assert solution.bandwidth_demand_gbps == pytest.approx(expected)
+
+    def test_zero_misses_is_core_bound(self):
+        p = profile(accesses=0.02, misses=0.0, cpi=0.5)
+        solution = solve_ipc(p, CORE, DramConfig(bandwidth_gbps=0.8))
+        # No DRAM traffic: bandwidth is irrelevant.
+        assert solution.bandwidth_demand_gbps == 0.0
+        assert solution.ipc == pytest.approx(
+            interval_ipc(p, solution.memory_latency_cycles, CORE)
+        )

@@ -1,0 +1,246 @@
+"""Tests for the DRAM controller models (event-driven and analytic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.dram import (
+    MAX_UTILIZATION,
+    DramChannel,
+    DramRequest,
+    DramSimulator,
+    loaded_latency,
+)
+from repro.sim.platform import DramConfig
+
+
+def config(bandwidth=3.2, **kwargs):
+    return DramConfig(bandwidth_gbps=bandwidth, **kwargs)
+
+
+def poisson_requests(rate_per_ns, n, seed=0, n_banks_total=16):
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_per_ns, size=n))
+    return [
+        DramRequest(arrival_ns=float(t), line_address=int(rng.integers(0, 1 << 20)))
+        for t in arrivals
+    ]
+
+
+class TestAnalyticLatency:
+    def test_unloaded_latency_is_access_time(self):
+        cfg = config()
+        assert loaded_latency(cfg, 0.0) == pytest.approx(cfg.access_ns)
+
+    def test_latency_increases_with_utilization(self):
+        cfg = config()
+        lows = [loaded_latency(cfg, u) for u in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(b > a for a, b in zip(lows, lows[1:]))
+
+    def test_utilization_clamped(self):
+        cfg = config()
+        assert loaded_latency(cfg, 5.0) == loaded_latency(cfg, MAX_UTILIZATION)
+
+    def test_rejects_negative_utilization(self):
+        with pytest.raises(ValueError):
+            loaded_latency(config(), -0.1)
+
+    def test_smaller_share_means_higher_loaded_latency(self):
+        # Same utilization, smaller allocated share -> longer service
+        # time -> more queueing.
+        small = loaded_latency(config(bandwidth=0.8), 0.5)
+        large = loaded_latency(config(bandwidth=12.8), 0.5)
+        assert small > large
+
+    @given(u=st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=30)
+    def test_latency_at_least_unloaded(self, u):
+        cfg = config()
+        assert loaded_latency(cfg, u) >= cfg.access_ns
+
+
+class TestDramSimulator:
+    def test_all_requests_served(self):
+        requests = poisson_requests(rate_per_ns=0.01, n=200)
+        result = DramSimulator(config()).simulate(requests)
+        assert result.n_requests == 200
+        assert result.bytes_transferred == 200 * 64
+
+    def test_single_request_latency_is_unloaded(self):
+        cfg = config()
+        result = DramSimulator(cfg).simulate([DramRequest(0.0, 5)])
+        assert result.mean_latency_ns == pytest.approx(cfg.access_ns)
+
+    def test_empty_request_list(self):
+        result = DramSimulator(config()).simulate([])
+        assert result.n_requests == 0
+        assert result.mean_latency_ns == 0.0
+        assert result.achieved_bandwidth_gbps == 0.0
+
+    def test_latency_grows_with_load(self):
+        cfg = config(bandwidth=1.6)
+        light = DramSimulator(cfg).simulate(poisson_requests(0.002, 300, seed=1))
+        heavy = DramSimulator(cfg).simulate(poisson_requests(0.05, 300, seed=1))
+        assert heavy.mean_latency_ns > light.mean_latency_ns
+
+    def test_achieved_bandwidth_capped_by_share(self):
+        cfg = config(bandwidth=1.6)
+        # Saturating offered load: throughput must respect the share.
+        result = DramSimulator(cfg).simulate(poisson_requests(1.0, 1000, seed=2))
+        assert result.achieved_bandwidth_gbps <= cfg.bandwidth_gbps * 1.05
+
+    def test_bank_conflicts_serialize(self):
+        cfg = config()
+        same_bank = [DramRequest(0.0, 0), DramRequest(0.0, 16), DramRequest(0.0, 32)]
+        different_banks = [DramRequest(0.0, 0), DramRequest(0.0, 1), DramRequest(0.0, 2)]
+        conflicted = DramSimulator(cfg).simulate(same_bank)
+        parallel = DramSimulator(cfg).simulate(different_banks)
+        assert conflicted.completion_ns > parallel.completion_ns
+
+    def test_round_robin_serves_all_banks(self):
+        cfg = config()
+        requests = [DramRequest(0.0, bank) for bank in range(16)]
+        result = DramSimulator(cfg).simulate(requests)
+        assert result.n_requests == 16
+
+
+class TestDramChannel:
+    def test_unloaded_service_latency(self):
+        cfg = config()
+        channel = DramChannel(cfg)
+        done = channel.service(100.0, 3)
+        assert done - 100.0 == pytest.approx(cfg.access_ns)
+
+    def test_pacing_enforces_share(self):
+        cfg = config(bandwidth=0.8)
+        channel = DramChannel(cfg)
+        for i in range(200):
+            channel.service(0.0, i)  # all issued at once
+        assert channel.achieved_bandwidth_gbps <= cfg.bandwidth_gbps * 1.05
+
+    def test_statistics_accumulate(self):
+        channel = DramChannel(config())
+        channel.service(0.0, 0)
+        channel.service(10.0, 1)
+        assert channel.n_requests == 2
+        assert channel.mean_latency_ns > 0
+        assert channel.last_completion_ns > 0
+
+    def test_matches_analytic_shape(self):
+        # Mean simulated latency under Poisson load should land within a
+        # factor of the M/D/1 curve across utilizations.
+        cfg = config(bandwidth=3.2)
+        for utilization in (0.2, 0.5, 0.8):
+            rate = utilization * cfg.bandwidth_gbps / cfg.line_bytes  # req/ns
+            rng = np.random.default_rng(int(utilization * 10))
+            channel = DramChannel(cfg)
+            t = 0.0
+            for _ in range(2000):
+                t += rng.exponential(1.0 / rate)
+                channel.service(t, int(rng.integers(0, 1 << 20)))
+            analytic = loaded_latency(cfg, utilization)
+            assert channel.mean_latency_ns == pytest.approx(analytic, rel=0.6)
+
+    def test_idle_channel_properties(self):
+        channel = DramChannel(config())
+        assert channel.mean_latency_ns == 0.0
+        assert channel.achieved_bandwidth_gbps == 0.0
+
+
+class TestPagePolicy:
+    def _sequential_latency(self, policy):
+        cfg = DramConfig(bandwidth_gbps=12.8, page_policy=policy)
+        channel = DramChannel(cfg)
+        # One bank, consecutive lines within one row: issue each after
+        # the last completes so only policy latency matters.
+        t = 0.0
+        for i in range(32):
+            address = i * 16  # same bank (addr % 16 == 0), same row region
+            t = channel.service(t, address)
+        return channel.mean_latency_ns, channel.row_hits
+
+    def test_open_page_rewards_sequential_streams(self):
+        closed_latency, _ = self._sequential_latency("closed")
+        open_latency, row_hits = self._sequential_latency("open")
+        assert open_latency < closed_latency
+        assert row_hits > 0
+
+    def test_row_conflicts_remove_open_page_benefit(self):
+        # Alternate between two rows of the same bank: every open-page
+        # access is a conflict (precharge + activate + CAS), so the
+        # policy's advantage disappears — dependent accesses cost the
+        # same as closed-page (which hides its precharge after the
+        # burst).
+        def ping_pong(policy):
+            cfg = DramConfig(bandwidth_gbps=12.8, page_policy=policy)
+            channel = DramChannel(cfg)
+            t = 0.0
+            stride = cfg.row_lines * 16  # jump a full row, same bank
+            for i in range(32):
+                t = channel.service(t, (i % 2) * stride)
+            return channel.mean_latency_ns, channel.row_hits
+
+        open_latency, row_hits = ping_pong("open")
+        closed_latency, _ = ping_pong("closed")
+        assert row_hits == 0
+        assert open_latency == pytest.approx(closed_latency, rel=0.05)
+
+    def test_closed_page_never_counts_row_hits(self):
+        cfg = DramConfig(bandwidth_gbps=12.8, page_policy="closed")
+        channel = DramChannel(cfg)
+        t = 0.0
+        for i in range(16):
+            t = channel.service(t, i * 16)
+        assert channel.row_hits == 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="page_policy"):
+            DramConfig(bandwidth_gbps=1.0, page_policy="lazy")
+
+    def test_invalid_row_lines_rejected(self):
+        with pytest.raises(ValueError, match="row_lines"):
+            DramConfig(bandwidth_gbps=1.0, row_lines=0)
+
+
+class TestDramRequest:
+    def test_bank_mapping(self):
+        request = DramRequest(0.0, 35)
+        assert request.bank_of(n_ranks=2, n_banks=8) == 35 % 16
+
+    def test_channel_interleaved_bank_mapping(self):
+        # Two channels: even lines on channel 0, odd on channel 1.
+        request = DramRequest(0.0, 5)
+        bank = request.bank_of(n_ranks=2, n_banks=8, n_channels=2)
+        assert bank == 16 + (5 // 2) % 16  # channel 1's bank block
+
+
+class TestMultiChannel:
+    def test_more_channels_lower_loaded_latency(self):
+        single = config(bandwidth=6.4)
+        quad = DramConfig(bandwidth_gbps=6.4, n_channels=4)
+        assert loaded_latency(quad, 0.8) < loaded_latency(single, 0.8)
+
+    def test_unloaded_latency_unchanged(self):
+        single = config(bandwidth=6.4)
+        quad = DramConfig(bandwidth_gbps=6.4, n_channels=4)
+        assert loaded_latency(quad, 0.0) == pytest.approx(loaded_latency(single, 0.0))
+
+    def test_channels_parallelize_bursts(self):
+        # Same-arrival requests to different channels complete sooner
+        # than on one channel.
+        single = DramSimulator(DramConfig(bandwidth_gbps=12.8, n_channels=1))
+        quad = DramSimulator(DramConfig(bandwidth_gbps=12.8, n_channels=4))
+        requests = [DramRequest(0.0, addr) for addr in range(8)]
+        assert quad.simulate(requests).completion_ns <= single.simulate(requests).completion_ns
+
+    def test_channel_config_validation(self):
+        with pytest.raises(ValueError, match="channel count"):
+            DramConfig(bandwidth_gbps=1.0, n_channels=0)
+
+    def test_per_channel_rate_floor(self):
+        # Allocating more than one channel's worth spreads over channels.
+        dram = DramConfig(bandwidth_gbps=40.0, channel_gbps=12.8, n_channels=4)
+        assert dram.per_channel_gbps == pytest.approx(12.8)
+        dram_tight = DramConfig(bandwidth_gbps=80.0, channel_gbps=12.8, n_channels=4)
+        assert dram_tight.per_channel_gbps == pytest.approx(20.0)

@@ -1,0 +1,67 @@
+"""Tests for the closed-loop trace-driven machine."""
+
+import pytest
+
+from repro.sim.machine import TraceMachine
+from repro.workloads.suites import get_workload
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return TraceMachine(n_instructions=150_000)
+
+
+class TestSimulate:
+    def test_returns_complete_result(self, machine):
+        result = machine.simulate(get_workload("ferret"), cache_kb=512, bandwidth_gbps=3.2)
+        assert result.ipc > 0
+        assert 0 <= result.l1_miss_ratio <= 1
+        assert 0 <= result.l2_miss_ratio_global <= result.l1_miss_ratio + 1e-12
+        assert result.n_instructions == 150_000
+        assert result.n_dram_requests >= 0
+
+    def test_deterministic_for_same_seed(self, machine):
+        a = machine.simulate(get_workload("dedup"), 512, 3.2, seed=9)
+        b = machine.simulate(get_workload("dedup"), 512, 3.2, seed=9)
+        assert a.ipc == b.ipc
+
+    def test_seed_changes_trace(self, machine):
+        a = machine.simulate(get_workload("dedup"), 512, 3.2, seed=1)
+        b = machine.simulate(get_workload("dedup"), 512, 3.2, seed=2)
+        assert a.ipc != b.ipc  # different sampled traces
+
+    def test_more_cache_helps_cache_lover(self, machine):
+        workload = get_workload("freqmine")
+        small = machine.simulate(workload, 128, 3.2)
+        large = machine.simulate(workload, 2048, 3.2)
+        assert large.ipc > small.ipc
+        assert large.l2_miss_ratio_global < small.l2_miss_ratio_global
+
+    def test_more_bandwidth_helps_memory_lover(self, machine):
+        workload = get_workload("ocean_cp")
+        slow = machine.simulate(workload, 512, 0.8)
+        fast = machine.simulate(workload, 512, 12.8)
+        assert fast.ipc > slow.ipc
+
+    def test_achieved_bandwidth_within_share(self, machine):
+        result = machine.simulate(get_workload("ocean_cp"), 128, 0.8)
+        assert result.achieved_bandwidth_gbps <= 0.8 * 1.05
+
+    def test_rejects_bad_allocations(self, machine):
+        with pytest.raises(ValueError):
+            machine.simulate(get_workload("ferret"), 0.0, 1.0)
+
+    def test_rejects_bad_instruction_count(self):
+        with pytest.raises(ValueError):
+            TraceMachine(n_instructions=0)
+
+
+class TestWarmup:
+    def test_warmup_lowers_measured_misses(self):
+        warm = TraceMachine(n_instructions=100_000, warmup=True)
+        cold = TraceMachine(n_instructions=100_000, warmup=False)
+        workload = get_workload("freqmine")
+        warm_result = warm.simulate(workload, 2048, 12.8)
+        cold_result = cold.simulate(workload, 2048, 12.8)
+        assert warm_result.l2_miss_ratio_global <= cold_result.l2_miss_ratio_global
+        assert warm_result.ipc >= cold_result.ipc

@@ -1,0 +1,196 @@
+"""Tests for the shared-machine co-simulation (enforced shares)."""
+
+import pytest
+
+from repro.sim import AgentShare, CacheConfig, PlatformConfig, SharedMachine
+from repro.workloads import get_workload
+
+
+def shared_platform(l2_kb=4096, ways=16):
+    return PlatformConfig(l2=CacheConfig(size_kb=l2_kb, ways=ways, latency_cycles=20))
+
+
+def make_shares(split=(8, 8), bandwidths=(6.4, 6.4), names=("freqmine", "dedup")):
+    return [
+        AgentShare(name, get_workload(name), bandwidth_gbps=bw, l2_ways=ways)
+        for name, bw, ways in zip(names, bandwidths, split)
+    ]
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return SharedMachine(shared_platform(), n_instructions=100_000)
+
+
+class TestSharedRunResultMetrics:
+    def test_slowdowns_are_alone_over_shared(self, machine):
+        shares = make_shares()
+        together = machine.run(shares)
+        alone = {s.name: machine.run_alone(s).ipc[s.name] for s in shares}
+        slowdowns = together.slowdowns(alone)
+        for name in alone:
+            assert slowdowns[name] == pytest.approx(alone[name] / together.ipc[name])
+            assert slowdowns[name] >= 0.99  # sharing never speeds you up
+
+    def test_unfairness_index_definition(self):
+        from repro.sim import SharedRunResult
+
+        index = SharedRunResult.unfairness_index({"a": 2.0, "b": 1.0, "c": 1.5})
+        assert index == pytest.approx(2.0)
+
+    def test_equal_slowdowns_give_unit_index(self):
+        from repro.sim import SharedRunResult
+
+        assert SharedRunResult.unfairness_index({"a": 1.3, "b": 1.3}) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_empty(self, machine):
+        with pytest.raises(ValueError, match="at least one agent"):
+            machine.run([])
+
+    def test_rejects_duplicate_names(self, machine):
+        shares = make_shares(names=("freqmine", "freqmine"))
+        with pytest.raises(ValueError, match="unique"):
+            machine.run(shares)
+
+    def test_rejects_overcommitted_ways(self, machine):
+        shares = make_shares(split=(12, 12))
+        with pytest.raises(ValueError, match="ways"):
+            machine.run(shares)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            AgentShare("x", get_workload("dedup"), bandwidth_gbps=0.0, l2_ways=4)
+        with pytest.raises(ValueError, match="way"):
+            AgentShare("x", get_workload("dedup"), bandwidth_gbps=1.0, l2_ways=0)
+
+    def test_rejects_bad_instruction_count(self):
+        with pytest.raises(ValueError):
+            SharedMachine(n_instructions=-1)
+
+
+class TestCoSimulation:
+    def test_all_agents_complete(self, machine):
+        result = machine.run(make_shares())
+        assert set(result.ipc) == {"freqmine", "dedup"}
+        assert all(value > 0 for value in result.ipc.values())
+        assert result.makespan_ns > 0
+
+    def test_deterministic(self, machine):
+        a = machine.run(make_shares(), seed=3)
+        b = machine.run(make_shares(), seed=3)
+        assert a.ipc == b.ipc
+
+    def test_more_cache_ways_help_cache_lover(self, machine):
+        rich = machine.run(make_shares(split=(12, 4)))
+        poor = machine.run(make_shares(split=(4, 12)))
+        assert rich.ipc["freqmine"] > poor.ipc["freqmine"]
+
+    def test_more_bandwidth_helps_memory_lover_under_saturation(self):
+        # Weights only matter when the channel is contended: saturate a
+        # slow channel with two memory hogs.
+        from repro.sim import DramConfig
+
+        platform = PlatformConfig(
+            l2=CacheConfig(size_kb=4096, ways=16, latency_cycles=20),
+            dram=DramConfig(bandwidth_gbps=3.2, channel_gbps=3.2),
+        )
+        machine = SharedMachine(platform, n_instructions=60_000)
+
+        def shares(b1, b2):
+            return [
+                AgentShare("ocean_cp", get_workload("ocean_cp"), b1, 8),
+                AgentShare("dedup", get_workload("dedup"), b2, 8),
+            ]
+
+        rich = machine.run(shares(0.8, 2.4))
+        poor = machine.run(shares(2.4, 0.8))
+        assert rich.ipc["dedup"] > poor.ipc["dedup"]
+
+    def test_wfq_weights_bias_contended_service(self, machine):
+        # Under WFQ the weights decide who wins bus conflicts: raising
+        # dedup's weight at freqmine's expense must shift latency in
+        # dedup's favour.
+        favoured = machine.run(make_shares(bandwidths=(1.0, 11.0)))
+        starved = machine.run(make_shares(bandwidths=(11.0, 1.0)))
+        assert favoured.mean_latency_ns["dedup"] <= starved.mean_latency_ns["dedup"]
+
+    def test_contention_hurts_versus_solo(self):
+        # dedup co-running with another memory hog sees higher latency
+        # than with a quiet partner, at equal shares.
+        machine = SharedMachine(shared_platform(), n_instructions=80_000)
+        with_hog = machine.run(make_shares(names=("ocean_cp", "dedup")))
+        with_quiet = machine.run(make_shares(names=("raytrace", "dedup")))
+        assert with_hog.mean_latency_ns["dedup"] >= with_quiet.mean_latency_ns["dedup"]
+
+    def test_policy_validation(self, machine):
+        with pytest.raises(ValueError, match="policy"):
+            machine.run(make_shares(), policy="magic")
+
+    def test_all_policies_complete(self, machine):
+        for policy in ("fcfs", "wfq", "stfm"):
+            result = machine.run(make_shares(), policy=policy)
+            assert result.policy == policy
+            assert all(v > 0 for v in result.ipc.values())
+
+    def test_run_alone_is_uncontended(self, machine):
+        shares = make_shares()
+        together = machine.run(shares)
+        alone = machine.run_alone(shares[1])
+        assert alone.ipc["dedup"] >= together.ipc["dedup"] - 1e-9
+
+    def test_stfm_reduces_unfairness_vs_fcfs(self):
+        # The §6 point of stall-time fair scheduling: equalize
+        # slowdowns that FCFS leaves skewed.
+        machine = SharedMachine(shared_platform(), n_instructions=80_000)
+        shares = make_shares(names=("ocean_cp", "swaptions"))
+        alone = {
+            s.name: machine.run_alone(s).ipc[s.name] for s in shares
+        }
+        fcfs = machine.run(shares, policy="fcfs")
+        stfm = machine.run(shares, policy="stfm")
+        unfair_fcfs = fcfs.unfairness_index(fcfs.slowdowns(alone))
+        unfair_stfm = stfm.unfairness_index(stfm.slowdowns(alone))
+        assert unfair_stfm <= unfair_fcfs + 0.05
+
+    def test_cache_mode_validation(self, machine):
+        with pytest.raises(ValueError, match="cache_mode"):
+            machine.run(make_shares(), cache_mode="communal")
+
+    def test_shared_cache_mode_runs(self, machine):
+        result = machine.run(make_shares(), cache_mode="shared")
+        assert all(v > 0 for v in result.ipc.values())
+
+    def test_shared_cache_interference_hurts_cache_lover(self):
+        # Unpartitioned: a streaming neighbour evicts the cache-lover's
+        # working set; partitioning isolates it.
+        machine = SharedMachine(shared_platform(), n_instructions=100_000)
+        shares = [
+            AgentShare("freqmine", get_workload("freqmine"), 6.4, 8),
+            AgentShare("ocean_cp", get_workload("ocean_cp"), 6.4, 8),
+        ]
+        partitioned = machine.run(shares, cache_mode="partitioned")
+        shared = machine.run(shares, cache_mode="shared")
+        assert shared.dram_requests["freqmine"] > partitioned.dram_requests["freqmine"]
+        assert shared.ipc["freqmine"] < partitioned.ipc["freqmine"]
+
+    def test_shared_mode_ignores_way_partition_limits(self):
+        # In shared mode the per-agent way counts are irrelevant and
+        # over-committed counts must not be rejected.
+        machine = SharedMachine(shared_platform(), n_instructions=40_000)
+        shares = make_shares(split=(12, 12))
+        result = machine.run(shares, cache_mode="shared")
+        assert set(result.ipc) == {"freqmine", "dedup"}
+
+    def test_four_agents(self):
+        machine = SharedMachine(shared_platform(l2_kb=8192, ways=16), n_instructions=60_000)
+        names = ("histogram", "freqmine", "canneal", "dedup")
+        shares = [
+            AgentShare(name, get_workload(name), bandwidth_gbps=3.2, l2_ways=4)
+            for name in names
+        ]
+        result = machine.run(shares)
+        assert set(result.ipc) == set(names)
+        assert all(v > 0 for v in result.ipc.values())
+        assert sum(result.dram_requests.values()) > 0

@@ -1,0 +1,111 @@
+"""Tests for the Table 1 platform configuration."""
+
+import pytest
+
+from repro.sim.platform import (
+    TABLE1_PLATFORM,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    PlatformConfig,
+)
+
+
+class TestCacheConfig:
+    def test_l1_geometry(self):
+        l1 = TABLE1_PLATFORM.l1
+        assert l1.size_kb == 32 and l1.ways == 4 and l1.line_bytes == 64
+        assert l1.n_lines == 512
+        assert l1.n_sets == 128
+        assert l1.latency_cycles == 2
+
+    def test_l2_geometry(self):
+        l2 = TABLE1_PLATFORM.l2
+        assert l2.ways == 8 and l2.latency_cycles == 20
+        assert l2.n_lines == 2048 * 16
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_kb=0, ways=4)
+
+    def test_rejects_indivisible_geometry(self):
+        # 1 KB = 16 lines, not divisible into 5 ways.
+        with pytest.raises(ValueError, match="divisible"):
+            CacheConfig(size_kb=1, ways=5)
+
+
+class TestDramConfig:
+    def test_burst_at_channel_speed(self):
+        dram = DramConfig(bandwidth_gbps=3.2, channel_gbps=12.8)
+        assert dram.burst_ns == pytest.approx(64 / 12.8)
+
+    def test_service_time_is_share_pacing(self):
+        dram = DramConfig(bandwidth_gbps=3.2)
+        assert dram.service_ns == pytest.approx(64 / 3.2)
+
+    def test_channel_never_slower_than_share(self):
+        dram = DramConfig(bandwidth_gbps=25.6, channel_gbps=12.8)
+        assert dram.effective_channel_gbps == 25.6
+
+    def test_access_latency_components(self):
+        dram = DramConfig(bandwidth_gbps=12.8)
+        assert dram.access_ns == pytest.approx(
+            dram.t_rcd_ns + dram.t_cl_ns + dram.burst_ns
+        )
+        assert dram.cycle_ns == pytest.approx(dram.access_ns + dram.t_rp_ns)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            DramConfig(bandwidth_gbps=0.0)
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            DramConfig(bandwidth_gbps=1.0, n_banks=0)
+
+
+class TestCoreConfig:
+    def test_table1_core(self):
+        core = TABLE1_PLATFORM.core
+        assert core.frequency_ghz == 3.0 and core.issue_width == 4
+
+    def test_ns_to_cycles(self):
+        core = CoreConfig(frequency_ghz=3.0)
+        assert core.ns_to_cycles(10.0) == pytest.approx(30.0)
+        assert core.cycle_ns == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            CoreConfig(frequency_ghz=-1.0)
+
+
+class TestPlatformSweep:
+    def test_25_sweep_points(self):
+        points = TABLE1_PLATFORM.sweep_points()
+        assert len(points) == 25
+
+    def test_sweep_grids_match_table1(self):
+        assert TABLE1_PLATFORM.l2_sweep_kb == (128, 256, 512, 1024, 2048)
+        assert TABLE1_PLATFORM.bandwidth_sweep_gbps == (0.8, 1.6, 3.2, 6.4, 12.8)
+
+    def test_sweep_is_bandwidth_major(self):
+        points = TABLE1_PLATFORM.sweep_points()
+        assert points[0] == (0.8, 128.0)
+        assert points[4] == (0.8, 2048.0)
+        assert points[5] == (1.6, 128.0)
+        assert points[-1] == (12.8, 2048.0)
+
+    def test_with_allocation_overrides_l2_and_dram(self):
+        platform = TABLE1_PLATFORM.with_allocation(cache_kb=512, bandwidth_gbps=3.2)
+        assert platform.l2.size_kb == 512
+        assert platform.dram.bandwidth_gbps == 3.2
+        # Everything else untouched.
+        assert platform.l1 == TABLE1_PLATFORM.l1
+        assert platform.core == TABLE1_PLATFORM.core
+
+    def test_with_allocation_rounds_cache(self):
+        platform = TABLE1_PLATFORM.with_allocation(cache_kb=511.7, bandwidth_gbps=1.0)
+        assert platform.l2.size_kb == 512
+
+    def test_with_allocation_floors_tiny_cache(self):
+        platform = TABLE1_PLATFORM.with_allocation(cache_kb=0.2, bandwidth_gbps=1.0)
+        assert platform.l2.size_kb == 1

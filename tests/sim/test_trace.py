@@ -1,0 +1,184 @@
+"""Tests for the locality model and trace synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import LocalityModel, generate_trace
+
+
+def hot_only(lines=1000):
+    return LocalityModel(
+        hot_weight=1.0, hot_lines=lines,
+        zipf_weight=0.0, zipf_lines=0, zipf_exponent=1.0,
+        stream_weight=0.0,
+    )
+
+
+def streaming_only():
+    return LocalityModel(
+        hot_weight=0.0, hot_lines=0,
+        zipf_weight=0.0, zipf_lines=0, zipf_exponent=1.0,
+        stream_weight=1.0,
+    )
+
+
+def mixture(hot=0.5, zipf=0.3, stream=0.2):
+    return LocalityModel(
+        hot_weight=hot, hot_lines=400,
+        zipf_weight=zipf, zipf_lines=20_000, zipf_exponent=0.6,
+        stream_weight=stream,
+    )
+
+
+class TestValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to one"):
+            LocalityModel(0.5, 100, 0.3, 100, 1.0, 0.1)
+
+    def test_weights_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LocalityModel(1.2, 100, 0.0, 0, 1.0, -0.2)
+
+    def test_hot_lines_required_with_hot_weight(self):
+        with pytest.raises(ValueError, match="hot_lines"):
+            LocalityModel(1.0, 0, 0.0, 0, 1.0, 0.0)
+
+    def test_zipf_params_required_with_zipf_weight(self):
+        with pytest.raises(ValueError, match="zipf_lines"):
+            LocalityModel(0.0, 0, 1.0, 0, 1.0, 0.0)
+        with pytest.raises(ValueError, match="zipf_exponent"):
+            LocalityModel(0.0, 0, 1.0, 100, 0.0, 0.0)
+
+
+class TestMissRatio:
+    def test_hot_set_fits_no_misses(self):
+        model = hot_only(lines=100)
+        assert model.miss_ratio(1000) == pytest.approx(0.0, abs=1e-9)
+
+    def test_streaming_always_misses(self):
+        model = streaming_only()
+        assert model.miss_ratio(10_000) == pytest.approx(1.0)
+
+    def test_miss_ratio_bounded(self):
+        model = mixture()
+        for lines in (64, 512, 4096, 65_536):
+            assert 0.0 <= model.miss_ratio(lines) <= 1.0
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_nonincreasing_in_capacity(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.dirichlet([2.0, 2.0, 1.0])
+        model = LocalityModel(
+            hot_weight=float(weights[0]), hot_lines=int(rng.integers(50, 1000)),
+            zipf_weight=float(weights[1]), zipf_lines=int(rng.integers(1000, 50_000)),
+            zipf_exponent=float(rng.uniform(0.3, 1.2)),
+            stream_weight=float(weights[2]),
+        )
+        sizes = [128, 512, 2048, 8192, 32_768]
+        ratios = [model.miss_ratio(s) for s in sizes]
+        for smaller, larger in zip(ratios, ratios[1:]):
+            assert larger <= smaller + 1e-9
+
+    def test_floor_is_stream_weight(self):
+        # Once everything reusable fits, only streaming misses remain.
+        model = mixture(hot=0.7, zipf=0.1, stream=0.2)
+        huge = model.footprint_lines * 4
+        assert model.miss_ratio(huge) == pytest.approx(0.2, abs=0.02)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            mixture().miss_ratio(0)
+
+    def test_characteristic_time_infinite_when_everything_fits(self):
+        model = hot_only(lines=100)
+        assert np.isinf(model.characteristic_time(200))
+
+    def test_characteristic_time_finite_under_pressure(self):
+        model = mixture()
+        t = model.characteristic_time(512)
+        assert np.isfinite(t) and t > 0
+
+    def test_footprint_lines(self):
+        assert mixture().footprint_lines == 400 + 20_000
+        assert streaming_only().footprint_lines == 0
+
+
+class TestTraceGeneration:
+    def test_deterministic_with_seed(self):
+        model = mixture()
+        a = generate_trace(model, 5000, seed=42)
+        b = generate_trace(model, 5000, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        model = mixture()
+        a = generate_trace(model, 5000, seed=1)
+        b = generate_trace(model, 5000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_seed_and_rng_together(self):
+        with pytest.raises(ValueError, match="not both"):
+            generate_trace(mixture(), 10, seed=1, rng=np.random.default_rng(2))
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(mixture(), 0, seed=1)
+
+    def test_streaming_addresses_never_repeat(self):
+        trace = generate_trace(streaming_only(), 10_000, seed=3)
+        assert len(np.unique(trace)) == 10_000
+
+    def test_hot_addresses_within_footprint(self):
+        trace = generate_trace(hot_only(lines=100), 10_000, seed=4)
+        assert trace.min() >= 0 and trace.max() < 100
+
+    def test_component_fractions_match_weights(self):
+        model = mixture(hot=0.6, zipf=0.2, stream=0.2)
+        trace = generate_trace(model, 50_000, seed=5)
+        from repro.sim.trace import _STREAM_BASE, _ZIPF_BASE
+
+        hot_frac = np.mean(trace < _ZIPF_BASE)
+        stream_frac = np.mean(trace >= _STREAM_BASE)
+        assert hot_frac == pytest.approx(0.6, abs=0.02)
+        assert stream_frac == pytest.approx(0.2, abs=0.02)
+
+    def test_zipf_head_is_most_popular(self):
+        model = LocalityModel(0.0, 0, 1.0, 10_000, 1.0, 0.0)
+        trace = generate_trace(model, 50_000, seed=6)
+        from repro.sim.trace import _ZIPF_BASE
+
+        ranks = trace - _ZIPF_BASE
+        head = np.mean(ranks < 10)
+        tail = np.mean(ranks >= 5000)
+        assert head > tail
+
+
+class TestTopLines:
+    def test_returns_requested_count(self):
+        model = mixture()
+        assert model.top_lines(100).shape == (100,)
+
+    def test_caps_at_footprint(self):
+        model = hot_only(lines=50)
+        assert model.top_lines(1000).shape == (50,)
+
+    def test_hottest_lines_last(self):
+        # Hot lines (uniform, high rate) should appear after cold Zipf
+        # tail lines so warm-up leaves them MRU.
+        model = mixture(hot=0.8, zipf=0.15, stream=0.05)
+        top = model.top_lines(model.footprint_lines)
+        from repro.sim.trace import _ZIPF_BASE
+
+        # The last entries should be dominated by hot-region addresses.
+        last_chunk = top[-400:]
+        assert np.mean(last_chunk < _ZIPF_BASE) > 0.9
+
+    def test_streaming_only_has_no_top_lines(self):
+        assert streaming_only().top_lines(10).size == 0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            mixture().top_lines(0)

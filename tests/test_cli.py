@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "doom"])
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate", "--mix", "WD1", "--mechanism", "magic"])
+
+
+class TestProfile:
+    def test_prints_json(self, capsys):
+        code, out = run_cli(capsys, "profile", "radiosity")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["workload_name"] == "radiosity"
+        assert len(payload["ipc"]) == 25
+
+    def test_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        code, out = run_cli(capsys, "profile", "radiosity", "-o", str(path))
+        assert code == 0
+        assert "wrote 25-point profile" in out
+        assert json.loads(path.read_text())["workload_name"] == "radiosity"
+
+
+class TestFit:
+    def test_fit_by_name(self, capsys):
+        code, out = run_cli(capsys, "fit", "--workload", "canneal")
+        assert code == 0
+        assert "R^2" in out and "a_mem" in out
+
+    def test_fit_json(self, capsys):
+        code, out = run_cli(capsys, "fit", "--workload", "canneal", "--json")
+        payload = json.loads(out)
+        assert payload["workload"] == "canneal"
+        assert 0 <= payload["r_squared"] <= 1
+
+    def test_fit_from_profile_file(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        run_cli(capsys, "profile", "dedup", "-o", str(path))
+        code, out = run_cli(capsys, "fit", "--profile", str(path), "--json")
+        assert code == 0
+        assert json.loads(out)["workload"] == "dedup"
+
+
+class TestClassify:
+    def test_table_lists_all_benchmarks(self, capsys):
+        code, out = run_cli(capsys, "classify")
+        assert code == 0
+        assert out.count("\n") >= 28
+
+    def test_json_groups(self, capsys):
+        code, out = run_cli(capsys, "classify", "--json")
+        payload = json.loads(out)
+        assert payload["dedup"]["group"] == "M"
+        assert payload["raytrace"]["group"] == "C"
+
+
+class TestAllocate:
+    def test_mix_ref(self, capsys):
+        code, out = run_cli(capsys, "allocate", "--mix", "WD1")
+        assert code == 0
+        assert "sharing incentives : PASS" in out
+
+    def test_adhoc_workloads_json(self, capsys):
+        code, out = run_cli(
+            capsys, "allocate", "--workloads", "barnes,canneal", "--json"
+        )
+        payload = json.loads(out)
+        assert payload["mechanism"] == "ref"
+        assert payload["sharing_incentives"] is True
+        assert set(payload["allocation"]) == {"barnes", "canneal"}
+
+    def test_custom_capacities(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "allocate",
+            "--workloads",
+            "barnes,canneal",
+            "--capacities",
+            "24,12288",
+            "--json",
+        )
+        payload = json.loads(out)
+        assert payload["capacities"]["membw_gbps"] == 24.0
+
+    def test_drf_mechanism(self, capsys):
+        code, out = run_cli(
+            capsys, "allocate", "--workloads", "barnes,canneal", "--mechanism", "drf"
+        )
+        assert code == 0
+
+    def test_unknown_adhoc_benchmark(self, capsys):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["allocate", "--workloads", "barnes,doom"])
+
+    def test_bad_capacities_format(self, capsys):
+        with pytest.raises(SystemExit, match="capacities"):
+            main(["allocate", "--mix", "WD1", "--capacities", "24"])
+
+
+class TestFitSuiteWorkflow:
+    def test_fit_suite_then_allocate(self, capsys, tmp_path):
+        path = tmp_path / "suite.json"
+        code, out = run_cli(capsys, "fit-suite", str(path))
+        assert code == 0 and "wrote 28 fits" in out
+        code, out = run_cli(
+            capsys, "allocate", "--mix", "WD1", "--fits", str(path), "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["sharing_incentives"] is True
+
+    def test_allocate_missing_fits_entries(self, capsys, tmp_path):
+        import repro.io as io
+
+        path = tmp_path / "partial.json"
+        io.save_json({}, path)
+        with pytest.raises(SystemExit, match="lacks entries"):
+            main(["allocate", "--mix", "WD1", "--fits", str(path)])
+
+
+class TestEvaluateAndSpl:
+    def test_evaluate_lists_four_mechanisms(self, capsys):
+        code, out = run_cli(capsys, "evaluate", "WD1")
+        assert code == 0
+        assert out.count("throughput") == 4
+
+    def test_spl_reports_gains(self, capsys):
+        code, out = run_cli(capsys, "spl", "--agents", "32", "--strategic", "2")
+        assert code == 0
+        assert "worst manipulation gain" in out
+
+
+class TestCosim:
+    def test_partitioned_wfq(self, capsys):
+        code, out = run_cli(capsys, "cosim", "WD2", "--instructions", "30000")
+        assert code == 0
+        assert "unfairness index" in out
+        assert "slowdown" in out
+
+    def test_shared_cache_mode(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "cosim",
+            "WD2",
+            "--cache-mode",
+            "shared",
+            "--policy",
+            "fcfs",
+            "--instructions",
+            "30000",
+        )
+        assert code == 0
+        assert "cache=shared" in out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["cosim", "WD2", "--policy", "magic"])
+
+
+class TestReproduce:
+    def test_list_enumerates_artifacts(self, capsys):
+        code, out = run_cli(capsys, "reproduce", "list")
+        assert code == 0
+        assert "fig13" in out and "table2" in out
+
+    def test_bare_reproduce_lists(self, capsys):
+        code, out = run_cli(capsys, "reproduce")
+        assert code == 0
+        assert "available experiments" in out
+
+    def test_runs_one_artifact(self, capsys):
+        code, out = run_cli(capsys, "reproduce", "table1")
+        assert code == 0
+        assert "Table 1: platform parameters" in out
+
+    def test_unknown_artifact(self, capsys):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["reproduce", "fig99"])

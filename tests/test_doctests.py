@@ -1,0 +1,16 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro.core.utility
+
+MODULES_WITH_DOCTESTS = [repro.core.utility]
+
+
+@pytest.mark.parametrize("module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} advertises doctests but has none"

@@ -1,0 +1,83 @@
+"""Tests for the experiment registry (paper artifacts as objects)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from repro.profiling import OfflineProfiler
+
+#: Fast experiments safe to execute wholesale in the unit suite.  The
+#: heavyweight ones (fig13/fig14: twenty convex programs; cost: timed
+#: solver runs) are exercised by the benchmark harness instead.
+FAST_EXPERIMENTS = ["fig1-7", "fig8a", "fig8b", "fig8c", "fig9", "table1", "table2"]
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OfflineProfiler()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig1-7", "fig8a", "fig8b", "fig8c", "fig9",
+            "fig10-12", "fig13", "fig14", "table1", "table2",
+            "spl", "cost",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_list_is_sorted(self):
+        assert list_experiments() == sorted(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.base import experiment
+
+        with pytest.raises(ValueError, match="duplicate"):
+            experiment("fig9")(lambda profiler=None: None)
+
+    def test_every_experiment_has_docstring(self):
+        for experiment_id, fn in EXPERIMENTS.items():
+            assert fn.__doc__, f"{experiment_id} lacks a docstring"
+
+
+class TestExecution:
+    @pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+    def test_runs_and_returns_result(self, experiment_id, profiler):
+        result = run_experiment(experiment_id, profiler=profiler)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.text.startswith("===")
+        assert result.title
+
+    def test_shared_profiler_reused(self, profiler):
+        # Two experiments sharing one profiler reuse its cache: the
+        # underlying Profile objects must be identical.
+        run_experiment("fig8a", profiler=profiler)
+        from repro.workloads import get_workload
+
+        first = profiler.profile(get_workload("ferret"))
+        run_experiment("fig9", profiler=profiler)
+        assert profiler.profile(get_workload("ferret")) is first
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ExperimentResult(experiment_id="x", title="x", text="   ")
+
+    def test_fig9_data_matches_expected_groups(self, profiler):
+        result = run_experiment("fig9", profiler=profiler)
+        assert result.data["mismatches"] == 0
+        assert result.data["groups"]["dedup"] == "M"
+
+    def test_fig1_7_fair_set_data(self):
+        result = run_experiment("fig1-7")
+        lo, hi = result.data["si_segment"]
+        assert 0 < lo < hi < 24.0
+        assert result.data["ref_inside_fair_set"]

@@ -1,0 +1,123 @@
+"""Tests for artifact serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import io
+from repro.core.fitting import fit_cobb_douglas
+from repro.core.mechanism import Agent, AllocationProblem, proportional_elasticity
+from repro.core.utility import CobbDouglasUtility
+
+GRID = np.array([[bw, kb] for bw in (1.0, 2.0, 4.0) for kb in (128.0, 512.0, 2048.0)])
+
+
+def make_fit(alpha=(0.4, 0.5), scale=1.3):
+    u = CobbDouglasUtility(alpha, scale=scale)
+    ipc = np.array([u.value(row) for row in GRID])
+    return fit_cobb_douglas(GRID, ipc)
+
+
+def make_problem():
+    return AllocationProblem(
+        agents=[
+            Agent("user1", CobbDouglasUtility((0.6, 0.4))),
+            Agent("user2", CobbDouglasUtility((0.2, 0.8), scale=2.0)),
+        ],
+        capacities=(24.0, 12.0),
+        resource_names=("membw", "cache"),
+    )
+
+
+class TestUtilityRoundtrip:
+    def test_roundtrip(self):
+        u = CobbDouglasUtility((0.3, 0.7), scale=1.5)
+        clone = io.utility_from_dict(io.utility_to_dict(u))
+        assert clone.elasticities == u.elasticities
+        assert clone.scale == u.scale
+
+    def test_default_scale(self):
+        clone = io.utility_from_dict({"elasticities": [0.5, 0.5]})
+        assert clone.scale == 1.0
+
+
+class TestFitRoundtrip:
+    def test_roundtrip_preserves_diagnostics(self):
+        fit = make_fit()
+        clone = io.fit_from_dict(io.fit_to_dict(fit))
+        assert clone.r_squared == pytest.approx(fit.r_squared)
+        assert clone.n_samples == fit.n_samples
+        assert np.allclose(clone.residuals, fit.residuals)
+        assert clone.utility.elasticities == pytest.approx(fit.utility.elasticities)
+
+    def test_suite_roundtrip(self):
+        suite = {"a": make_fit((0.4, 0.5)), "b": make_fit((0.8, 0.1))}
+        clone = io.suite_from_dict(io.suite_to_dict(suite))
+        assert set(clone) == {"a", "b"}
+        assert clone["b"].utility.elasticities == pytest.approx(
+            suite["b"].utility.elasticities
+        )
+
+
+class TestProblemAndAllocationRoundtrip:
+    def test_problem_roundtrip(self):
+        problem = make_problem()
+        clone = io.problem_from_dict(io.problem_to_dict(problem))
+        assert [a.name for a in clone.agents] == ["user1", "user2"]
+        assert clone.capacities == problem.capacities
+        assert clone.resource_names == problem.resource_names
+        assert clone.agents[1].utility.scale == 2.0
+
+    def test_allocation_roundtrip_preserves_shares(self):
+        allocation = proportional_elasticity(make_problem())
+        clone = io.allocation_from_dict(io.allocation_to_dict(allocation))
+        assert np.allclose(clone.shares, allocation.shares)
+        assert clone.mechanism == "proportional_elasticity"
+        # The clone is a fully working Allocation.
+        assert clone["user1"] == pytest.approx([18.0, 4.0])
+
+
+class TestPropertyRoundtrips:
+    @given(
+        ax=st.floats(min_value=0.01, max_value=3.0),
+        ay=st.floats(min_value=0.01, max_value=3.0),
+        scale=st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=40)
+    def test_utility_roundtrip_exact(self, ax, ay, scale):
+        u = CobbDouglasUtility((ax, ay), scale=scale)
+        clone = io.utility_from_dict(io.utility_to_dict(u))
+        assert clone.elasticities == u.elasticities
+        assert clone.scale == u.scale
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n_agents=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30)
+    def test_allocation_roundtrip_random_problems(self, seed, n_agents):
+        rng = np.random.default_rng(seed)
+        agents = [
+            Agent(f"a{i}", CobbDouglasUtility(rng.uniform(0.1, 2.0, size=2)))
+            for i in range(n_agents)
+        ]
+        problem = AllocationProblem(agents, rng.uniform(1.0, 50.0, size=2))
+        allocation = proportional_elasticity(problem)
+        clone = io.allocation_from_dict(io.allocation_to_dict(allocation))
+        assert np.allclose(clone.shares, allocation.shares)
+        assert np.allclose(clone.utilities(), allocation.utilities())
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        io.save_json({"hello": [1, 2, 3]}, path)
+        assert io.load_json(path) == {"hello": [1, 2, 3]}
+
+    def test_full_pipeline_via_files(self, tmp_path):
+        path = tmp_path / "suite.json"
+        suite = {"x": make_fit()}
+        io.save_json(io.suite_to_dict(suite), path)
+        loaded = io.suite_from_dict(io.load_json(path))
+        assert loaded["x"].r_squared == pytest.approx(suite["x"].r_squared)

@@ -1,0 +1,58 @@
+"""Public API integrity: everything advertised is importable and real."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.optimize",
+    "repro.sim",
+    "repro.workloads",
+    "repro.profiling",
+    "repro.sched",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must define __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} advertised but missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_reasonably(package_name):
+    package = importlib.import_module(package_name)
+    assert len(set(package.__all__)) == len(package.__all__), "duplicate __all__ entries"
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_workflow_symbols():
+    # The README quickstart must work from the bare top-level import.
+    for name in (
+        "Agent",
+        "AllocationProblem",
+        "CobbDouglasUtility",
+        "proportional_elasticity",
+        "check_fairness",
+        "fit_cobb_douglas",
+        "weighted_system_throughput",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_every_public_callable_has_docstring():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if callable(obj):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"

@@ -1,0 +1,95 @@
+"""Tests for the terminal figure renderer."""
+
+import pytest
+
+from repro.viz import grouped_bars, hbar_chart, line_plot, stacked_shares
+
+
+class TestHbarChart:
+    def test_renders_all_labels(self):
+        chart = hbar_chart({"alpha": 0.5, "beta": 1.0})
+        assert "alpha" in chart and "beta" in chart
+        assert chart.count("\n") == 1
+
+    def test_full_bar_at_max(self):
+        chart = hbar_chart({"x": 1.0}, width=10, max_value=1.0)
+        assert "█" * 10 in chart
+
+    def test_empty_bar_at_zero(self):
+        chart = hbar_chart({"x": 0.0, "y": 1.0}, width=10)
+        first_line = chart.splitlines()[0]
+        assert "█" not in first_line
+
+    def test_values_clamped_to_ceiling(self):
+        chart = hbar_chart({"x": 5.0}, width=10, max_value=1.0)
+        assert "█" * 10 in chart
+
+    def test_custom_format(self):
+        chart = hbar_chart({"x": 0.123456}, fmt="{:.1f}")
+        assert "0.1" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hbar_chart({})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hbar_chart({"x": -1.0})
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            hbar_chart({"x": 1.0}, width=3)
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        chart = grouped_bars(
+            ["WD1", "WD2"], {"REF": [1.0, 2.0], "equal": [1.5, 1.0]}
+        )
+        assert "WD1" in chart and "WD2" in chart
+        assert "REF" in chart and "equal" in chart
+        assert chart.splitlines()[-1].startswith("[")  # legend
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="values"):
+            grouped_bars(["a"], {"s": [1.0, 2.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grouped_bars([], {})
+
+
+class TestStackedShares:
+    def test_half_share_half_filled(self):
+        chart = stacked_shares({"x": 0.5}, width=10)
+        assert "█" * 5 + "░" * 5 in chart
+
+    def test_labels_shown(self):
+        chart = stacked_shares({"x": 0.5}, left_label="cache", right_label="mem")
+        assert "cache" in chart and "mem" in chart
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            stacked_shares({"x": 1.2})
+
+
+class TestLinePlot:
+    def test_axis_annotations(self):
+        plot = line_plot([0, 1, 2], {"y": [1.0, 3.0, 2.0]})
+        assert "3.000" in plot and "1.000" in plot
+
+    def test_legend_lists_series(self):
+        plot = line_plot([0, 1], {"sim": [1.0, 2.0], "est": [1.1, 1.9]})
+        assert "o=sim" in plot and "x=est" in plot
+
+    def test_constant_series_handled(self):
+        plot = line_plot([0, 1], {"flat": [1.0, 1.0]})
+        assert "flat" in plot
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            line_plot([0, 1], {"y": [1.0]})
+
+    def test_rejects_short_canvas(self):
+        with pytest.raises(ValueError, match="height"):
+            line_plot([0, 1], {"y": [1.0, 2.0]}, height=2)

@@ -1,0 +1,81 @@
+"""Tests for the Table 2 workload mixes."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    EIGHT_CORE_MIXES,
+    FOUR_CORE_MIXES,
+    MIXES,
+    WorkloadMix,
+    get_mix,
+)
+from repro.workloads.suites import BENCHMARKS
+
+
+class TestTable2Contents:
+    def test_ten_mixes(self):
+        assert set(MIXES) == {f"WD{i}" for i in range(1, 11)}
+
+    def test_four_core_mixes_have_four_members(self):
+        for name in FOUR_CORE_MIXES:
+            assert get_mix(name).n_agents == 4
+
+    def test_eight_core_mixes_have_eight_members(self):
+        for name in EIGHT_CORE_MIXES:
+            assert get_mix(name).n_agents == 8
+
+    @pytest.mark.parametrize("name", list(MIXES))
+    def test_characterization_matches_member_groups(self, name):
+        # Table 2's C/M counts must agree with each member's group.
+        mix = get_mix(name)
+        c_expected, m_expected = mix.expected_counts()
+        c_actual = sum(1 for m in mix.members if BENCHMARKS[m].expected_group == "C")
+        m_actual = sum(1 for m in mix.members if BENCHMARKS[m].expected_group == "M")
+        assert (c_actual, m_actual) == (c_expected, m_expected)
+
+    def test_wd1_verbatim(self):
+        assert get_mix("WD1").members == (
+            "histogram", "linear_regression", "water_nsquared", "bodytrack"
+        )
+
+    def test_wd8_duplicates_word_count(self):
+        assert get_mix("WD8").members.count("word_count") == 2
+
+    def test_wd9_duplicates_radiosity(self):
+        assert get_mix("WD9").members.count("radiosity") == 2
+
+    def test_wd10_duplicates_lu_cb(self):
+        assert get_mix("WD10").members.count("lu_cb") == 2
+
+
+class TestMixApi:
+    def test_agent_names_unique(self):
+        for mix in MIXES.values():
+            names = mix.agent_names()
+            assert len(set(names)) == len(names)
+
+    def test_duplicate_members_get_suffixes(self):
+        names = get_mix("WD8").agent_names()
+        assert "word_count" in names and "word_count#2" in names
+
+    def test_workloads_resolve(self):
+        workloads = get_mix("WD3").workloads()
+        assert [w.name for w in workloads] == list(get_mix("WD3").members)
+
+    def test_unknown_mix(self):
+        with pytest.raises(KeyError, match="unknown mix"):
+            get_mix("WD11")
+
+    def test_rejects_unknown_member(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            WorkloadMix("bad", ("nonexistent",), "1C")
+
+    def test_rejects_bad_characterization(self):
+        mix = WorkloadMix("odd", ("canneal",), "1X")
+        with pytest.raises(ValueError, match="characterization"):
+            mix.expected_counts()
+
+    def test_expected_counts_parsing(self):
+        assert get_mix("WD4").expected_counts() == (3, 1)
+        assert get_mix("WD1").expected_counts() == (4, 0)
+        assert get_mix("WD3").expected_counts() == (0, 4)

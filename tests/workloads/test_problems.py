@@ -1,0 +1,87 @@
+"""Tests for building allocation problems from mixes."""
+
+import pytest
+
+from repro.core.fitting import fit_cobb_douglas
+from repro.core.utility import CobbDouglasUtility
+from repro.profiling import OfflineProfiler
+from repro.workloads.mixes import get_mix
+from repro.workloads.problems import (
+    EIGHT_CORE_CAPACITIES,
+    FOUR_CORE_CAPACITIES,
+    build_mix_problem,
+    default_capacities,
+    problem_from_fits,
+)
+
+import numpy as np
+
+
+def fake_fits(names):
+    grid = np.array([[bw, kb] for bw in (1.0, 2.0, 4.0) for kb in (128, 512, 2048)])
+    fits = {}
+    for i, name in enumerate(sorted(set(names))):
+        alpha = (0.3 + 0.05 * i, 0.6 - 0.05 * i)
+        u = CobbDouglasUtility(alpha)
+        ipc = np.array([u.value(row) for row in grid])
+        fits[name] = fit_cobb_douglas(grid, ipc)
+    return fits
+
+
+class TestDefaultCapacities:
+    def test_four_core(self):
+        assert default_capacities(4) == FOUR_CORE_CAPACITIES
+
+    def test_eight_core(self):
+        assert default_capacities(8) == EIGHT_CORE_CAPACITIES
+
+    def test_scales_linearly(self):
+        bw, kb = default_capacities(2)
+        assert bw == pytest.approx(FOUR_CORE_CAPACITIES[0] / 2)
+        assert kb == pytest.approx(FOUR_CORE_CAPACITIES[1] / 2)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            default_capacities(0)
+
+
+class TestProblemFromFits:
+    def test_builds_agents_in_mix_order(self):
+        mix = get_mix("WD1")
+        problem = problem_from_fits(mix, fake_fits(mix.members))
+        assert [a.name for a in problem.agents] == list(mix.members)
+
+    def test_duplicates_become_distinct_agents(self):
+        mix = get_mix("WD8")
+        problem = problem_from_fits(mix, fake_fits(mix.members))
+        names = [a.name for a in problem.agents]
+        assert "word_count" in names and "word_count#2" in names
+        # Both duplicates share one utility.
+        u1 = problem.agents[names.index("word_count")].utility
+        u2 = problem.agents[names.index("word_count#2")].utility
+        assert u1.elasticities == u2.elasticities
+
+    def test_missing_fit_raises(self):
+        mix = get_mix("WD1")
+        fits = fake_fits(mix.members[:-1])
+        with pytest.raises(KeyError, match="needs fits"):
+            problem_from_fits(mix, fits)
+
+    def test_custom_capacities(self):
+        mix = get_mix("WD1")
+        problem = problem_from_fits(mix, fake_fits(mix.members), capacities=(10.0, 20.0))
+        assert problem.capacities == (10.0, 20.0)
+
+
+class TestBuildMixProblem:
+    def test_end_to_end(self):
+        profiler = OfflineProfiler()
+        problem = build_mix_problem("WD1", profiler=profiler)
+        assert problem.n_agents == 4
+        assert problem.capacities == FOUR_CORE_CAPACITIES
+        assert problem.resource_names == ("membw_gbps", "cache_kb")
+
+    def test_eight_core_default_capacities(self):
+        profiler = OfflineProfiler()
+        problem = build_mix_problem("WD6", profiler=profiler)
+        assert problem.capacities == EIGHT_CORE_CAPACITIES

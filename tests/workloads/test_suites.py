@@ -1,0 +1,105 @@
+"""Tests for the benchmark suite specifications (Fig. 8a / Fig. 9)."""
+
+import pytest
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suites import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    get_workload,
+    workloads_by_group,
+)
+from repro.sim.trace import LocalityModel
+
+
+class TestSuiteContents:
+    def test_28_benchmarks(self):
+        # 24 PARSEC/SPLASH-2x + 4 Phoenix (§5.1).
+        assert len(BENCHMARKS) == 28
+
+    def test_phoenix_apps_present(self):
+        phoenix = {n for n, w in BENCHMARKS.items() if w.suite == "Phoenix"}
+        assert phoenix == {"histogram", "linear_regression", "string_match", "word_count"}
+
+    def test_group_sizes(self):
+        assert len(workloads_by_group("C")) == 20
+        assert len(workloads_by_group("M")) == 8
+
+    def test_table2_group_assignments(self):
+        # The assignments forced by Table 2's mix characterizations
+        # (derivation in DESIGN.md).
+        expected_m = {
+            "canneal", "rtview", "lu_cb", "fluidanimate",
+            "facesim", "dedup", "string_match", "ocean_cp",
+        }
+        actual_m = {w.name for w in workloads_by_group("M")}
+        assert actual_m == expected_m
+
+    def test_paper_example_groups(self):
+        # §5.4's examples depend on these: histogram C, dedup M,
+        # barnes C, canneal M, freqmine C, linear_regression C.
+        assert BENCHMARKS["histogram"].expected_group == "C"
+        assert BENCHMARKS["dedup"].expected_group == "M"
+        assert BENCHMARKS["barnes"].expected_group == "C"
+        assert BENCHMARKS["canneal"].expected_group == "M"
+        assert BENCHMARKS["freqmine"].expected_group == "C"
+        assert BENCHMARKS["linear_regression"].expected_group == "C"
+
+    def test_order_matches_dict(self):
+        assert BENCHMARK_ORDER == list(BENCHMARKS)
+
+    def test_all_specs_valid(self):
+        for name, workload in BENCHMARKS.items():
+            assert workload.name == name
+            assert 0 < workload.refs_per_instr <= 1.5
+            assert workload.mlp >= 1
+            assert isinstance(workload.locality, LocalityModel)
+
+    def test_memory_group_is_more_intense(self):
+        # Group M needs DRAM pressure: post-L1 mass times refs should be
+        # clearly higher than group C on average.
+        def intensity(w):
+            post_l1 = w.locality.zipf_weight + w.locality.stream_weight
+            return w.refs_per_instr * post_l1
+
+        c_mean = sum(intensity(w) for w in workloads_by_group("C")) / 20
+        m_mean = sum(intensity(w) for w in workloads_by_group("M")) / 8
+        assert m_mean > 3 * c_mean
+
+
+class TestLookup:
+    def test_get_workload(self):
+        assert get_workload("canneal").suite == "PARSEC"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_workload("doom")
+
+    def test_bad_group(self):
+        with pytest.raises(ValueError, match="group"):
+            workloads_by_group("X")
+
+
+class TestSpecValidation:
+    def _locality(self):
+        return LocalityModel(0.9, 100, 0.05, 1000, 0.5, 0.05)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            WorkloadSpec("", self._locality(), 0.3, 0.5, 2.0)
+
+    def test_rejects_bad_refs(self):
+        with pytest.raises(ValueError, match="refs_per_instr"):
+            WorkloadSpec("x", self._locality(), 2.0, 0.5, 2.0)
+
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ValueError, match="base_cpi"):
+            WorkloadSpec("x", self._locality(), 0.3, 0.0, 2.0)
+
+    def test_rejects_bad_mlp(self):
+        with pytest.raises(ValueError, match="mlp"):
+            WorkloadSpec("x", self._locality(), 0.3, 0.5, 0.5)
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError, match="expected_group"):
+            WorkloadSpec("x", self._locality(), 0.3, 0.5, 2.0, expected_group="Z")

@@ -1,0 +1,87 @@
+"""Tests for the custom-workload constructors."""
+
+import pytest
+
+from repro.core import classify
+from repro.profiling import OfflineProfiler
+from repro.workloads.synthetic import (
+    make_balanced,
+    make_cache_resident,
+    make_streaming,
+    make_workload,
+    random_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OfflineProfiler()
+
+
+class TestMakeWorkload:
+    def test_weights_sum_to_one(self):
+        spec = make_workload("x", post_l1_mass=0.05, stream_share=0.3)
+        locality = spec.locality
+        total = locality.hot_weight + locality.zipf_weight + locality.stream_weight
+        assert total == pytest.approx(1.0)
+
+    def test_stream_share_partitions_post_l1_mass(self):
+        spec = make_workload("x", post_l1_mass=0.1, stream_share=0.25)
+        assert spec.locality.stream_weight == pytest.approx(0.025)
+        assert spec.locality.zipf_weight == pytest.approx(0.075)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ValueError, match="post_l1_mass"):
+            make_workload("x", post_l1_mass=0.0)
+        with pytest.raises(ValueError, match="post_l1_mass"):
+            make_workload("x", post_l1_mass=1.0)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError, match="stream_share"):
+            make_workload("x", stream_share=1.5)
+
+    def test_custom_suite_label(self):
+        assert make_workload("x").suite == "custom"
+
+
+class TestArchetypes:
+    def test_cache_resident_classifies_c(self, profiler):
+        spec = make_cache_resident("cachy")
+        pref = classify("cachy", profiler.fit(spec).utility)
+        assert pref.group.value == "C"
+        assert pref.cache_elasticity > 0.6
+
+    def test_streaming_classifies_m(self, profiler):
+        spec = make_streaming("streamy")
+        pref = classify("streamy", profiler.fit(spec).utility)
+        assert pref.group.value == "M"
+        assert pref.memory_elasticity > 0.6
+
+    def test_balanced_near_boundary(self, profiler):
+        spec = make_balanced("meh")
+        pref = classify("meh", profiler.fit(spec).utility)
+        assert 0.3 < pref.cache_elasticity < 0.7
+
+    def test_intensity_knob_shifts_bandwidth_pressure(self, profiler):
+        light = make_streaming("light", intensity=0.05)
+        heavy = make_streaming("heavy", intensity=0.25)
+        light_pref = classify("light", profiler.fit(light).utility)
+        heavy_pref = classify("heavy", profiler.fit(heavy).utility)
+        assert heavy_pref.memory_elasticity > light_pref.memory_elasticity
+
+
+class TestRandomWorkload:
+    def test_deterministic_per_seed(self):
+        a = random_workload("r", 5)
+        b = random_workload("r", 5)
+        assert a.locality == b.locality
+        assert a.refs_per_instr == b.refs_per_instr
+
+    def test_seeds_differ(self):
+        assert random_workload("r", 1).locality != random_workload("r", 2).locality
+
+    def test_always_valid_and_fittable(self, profiler):
+        for seed in range(6):
+            spec = random_workload(f"r{seed}", seed)
+            fit = profiler.fit(spec)
+            assert 0.0 <= fit.r_squared <= 1.0
