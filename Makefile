@@ -1,8 +1,11 @@
 # Convenience targets for the REF reproduction.
 
 PYTHON ?= python
+JOBS ?= 2
+SMOKE_CACHE := .repro-smoke-cache
+SMOKE_ARTIFACTS := fig8a fig9 table2
 
-.PHONY: install test bench examples reproduce lint clean
+.PHONY: install test bench examples reproduce lint smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -17,8 +20,33 @@ examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
 
 reproduce:
-	$(PYTHON) -m repro reproduce all
+	$(PYTHON) -m repro reproduce all --jobs $(JOBS)
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
+	$(PYTHON) -m ruff format --check src tests benchmarks examples
+
+# The CI smoke job, runnable locally: parallel profiling must be
+# bit-identical to the serial reference, and a warm second run must be
+# served entirely from the profile cache (zero simulator invocations).
+smoke:
+	rm -rf $(SMOKE_CACHE)
+	$(PYTHON) -m repro reproduce $(SMOKE_ARTIFACTS) > $(SMOKE_CACHE).serial.txt
+	$(PYTHON) -m repro reproduce $(SMOKE_ARTIFACTS) --jobs $(JOBS) \
+		--cache-dir $(SMOKE_CACHE) > $(SMOKE_CACHE).parallel.txt
+	diff $(SMOKE_CACHE).serial.txt $(SMOKE_CACHE).parallel.txt
+	$(PYTHON) -m repro reproduce $(SMOKE_ARTIFACTS) --jobs $(JOBS) \
+		--cache-dir $(SMOKE_CACHE) > $(SMOKE_CACHE).warm.txt 2> $(SMOKE_CACHE).stats.txt
+	diff $(SMOKE_CACHE).serial.txt $(SMOKE_CACHE).warm.txt
+	grep -q "simulated_points=0 " $(SMOKE_CACHE).stats.txt
+	@echo "smoke OK: parallel output identical to serial; warm run fully cached"
+
+# Mirrors .github/workflows/ci.yml locally.
+ci: lint
+	$(PYTHON) -m pytest -x -q
+	$(MAKE) smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
+	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,10 +5,18 @@ the same rows/series the paper reports, prints them, and appends them to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote measured
 values.  The expensive common inputs (the 28-benchmark profile sweep and
 Cobb-Douglas fits) are computed once per session.
+
+The shared profiler honours the parallel/cached pipeline knobs:
+
+* ``REPRO_BENCH_JOBS=N`` fans the profile sweep out over N worker
+  processes (profiles stay bit-identical to the serial path);
+* ``REPRO_BENCH_CACHE_DIR=DIR`` reuses the content-addressed on-disk
+  profile cache across sessions, so repeat bench runs skip simulation.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -17,11 +25,18 @@ from repro.profiling import OfflineProfiler
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Worker processes for the shared profile sweep (1 = serial).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: On-disk profile cache shared across bench sessions (unset = disabled).
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
 
 @pytest.fixture(scope="session")
 def profiler():
     """One shared offline profiler (profiles are cached inside it)."""
-    return OfflineProfiler()
+    with OfflineProfiler(jobs=BENCH_JOBS, cache_dir=BENCH_CACHE_DIR) as shared:
+        yield shared
 
 
 @pytest.fixture(scope="session")

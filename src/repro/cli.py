@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -61,6 +62,38 @@ CLI_MECHANISMS = {
 }
 
 
+def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+    """Profiling-pipeline knobs shared by every profiler-backed command."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for profiling sweeps (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk profile cache directory (default: $REPRO_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk profile cache",
+    )
+
+
+def _resolve_cache_dir(args) -> Optional[str]:
+    if args.no_cache:
+        return None
+    return args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _make_profiler(args) -> OfflineProfiler:
+    """Build the shared profiler from a command's pipeline flags."""
+    return OfflineProfiler(
+        noise_sigma=getattr(args, "noise", 0.01),
+        seed=getattr(args, "seed", 2014),
+        jobs=args.jobs,
+        cache_dir=_resolve_cache_dir(args),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -73,12 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--noise", type=float, default=0.01, help="log-space noise sigma")
     profile.add_argument("--seed", type=int, default=2014)
     profile.add_argument("--output", "-o", help="write profile JSON to this path")
+    _add_pipeline_flags(profile)
 
     fit = sub.add_parser("fit", help="fit a Cobb-Douglas utility")
     source = fit.add_mutually_exclusive_group(required=True)
     source.add_argument("--workload", choices=sorted(BENCHMARKS))
     source.add_argument("--profile", help="path to a profile JSON")
     fit.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_pipeline_flags(fit)
 
     fit_suite = sub.add_parser(
         "fit-suite", help="fit every benchmark and save the suite to JSON"
@@ -86,9 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     fit_suite.add_argument("output", help="path for the fitted-suite JSON")
     fit_suite.add_argument("--noise", type=float, default=0.01)
     fit_suite.add_argument("--seed", type=int, default=2014)
+    _add_pipeline_flags(fit_suite)
 
     classify = sub.add_parser("classify", help="Fig. 9 elasticity table for all benchmarks")
     classify.add_argument("--json", action="store_true")
+    _add_pipeline_flags(classify)
 
     allocate = sub.add_parser("allocate", help="allocate a mix with one mechanism")
     target = allocate.add_mutually_exclusive_group(required=True)
@@ -105,9 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fits", help="fitted-suite JSON from `fit-suite` (skips re-profiling)"
     )
     allocate.add_argument("--json", action="store_true")
+    _add_pipeline_flags(allocate)
 
     evaluate = sub.add_parser("evaluate", help="compare the four mechanisms on a mix")
     evaluate.add_argument("mix", choices=sorted(MIXES))
+    _add_pipeline_flags(evaluate)
 
     spl = sub.add_parser("spl", help="strategic (mis)reporting analysis")
     spl.add_argument("--agents", type=int, default=64)
@@ -131,13 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
     cosim.add_argument("--seed", type=int, default=99)
 
     reproduce = sub.add_parser(
-        "reproduce", help="regenerate a paper figure/table (or list them)"
+        "reproduce", help="regenerate paper figures/tables (or list them)"
     )
     reproduce.add_argument(
         "artifact",
-        nargs="?",
-        help="experiment id (e.g. fig13, table2); omit or pass 'list' to enumerate; 'all' runs everything",
+        nargs="*",
+        help=(
+            "experiment ids (e.g. fig13 table2); omit or pass 'list' to "
+            "enumerate; 'all' runs everything"
+        ),
     )
+    _add_pipeline_flags(reproduce)
 
     return parser
 
@@ -148,15 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_profile(args) -> int:
-    profiler = OfflineProfiler(noise_sigma=args.noise, seed=args.seed)
-    profile = profiler.profile(get_workload(args.workload))
-    payload = json.dumps(profile.as_dict(), indent=2)
+    from . import io
+
+    with _make_profiler(args) as profiler:
+        profile = profiler.profile(get_workload(args.workload))
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(payload + "\n")
+        io.save_profile(profile, args.output)
         print(f"wrote {profile.n_samples}-point profile to {args.output}")
     else:
-        print(payload)
+        print(json.dumps(profile.as_dict(), indent=2))
     return 0
 
 
@@ -166,8 +209,8 @@ def _cmd_fit(args) -> int:
             profile = Profile.from_dict(json.load(handle))
         name = profile.workload_name
     else:
-        profiler = OfflineProfiler()
-        profile = profiler.profile(get_workload(args.workload))
+        with _make_profiler(args) as profiler:
+            profile = profiler.profile(get_workload(args.workload))
         name = args.workload
     fit = profile.fit()
     alpha = fit.rescaled_elasticities
@@ -194,8 +237,8 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_classify(args) -> int:
-    profiler = OfflineProfiler()
-    prefs = classify_many(profiler.fit_suite())
+    with _make_profiler(args) as profiler:
+        prefs = classify_many(profiler.fit_suite())
     if args.json:
         print(
             json.dumps(
@@ -222,8 +265,8 @@ def _cmd_classify(args) -> int:
 def _cmd_fit_suite(args) -> int:
     from . import io
 
-    profiler = OfflineProfiler(noise_sigma=args.noise, seed=args.seed)
-    fits = profiler.fit_suite()
+    with _make_profiler(args) as profiler:
+        fits = profiler.fit_suite()
     io.save_json(io.suite_to_dict(fits), args.output)
     print(f"wrote {len(fits)} fits to {args.output}")
     return 0
@@ -255,8 +298,8 @@ def _build_problem(args) -> AllocationProblem:
             raise SystemExit(f"fits file lacks entries for: {sorted(missing)}")
         fits = {m: suite[m] for m in set(mix.members)}
     else:
-        profiler = OfflineProfiler()
-        fits = {m: profiler.fit(get_workload(m)) for m in set(mix.members)}
+        with _make_profiler(args) as profiler:
+            fits = profiler.fit_suite(get_workload(m) for m in set(mix.members))
     capacities = None
     if args.capacities:
         parts = args.capacities.split(",")
@@ -293,9 +336,9 @@ def _cmd_allocate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    profiler = OfflineProfiler()
     mix = get_mix(args.mix)
-    fits = {m: profiler.fit(get_workload(m)) for m in set(mix.members)}
+    with _make_profiler(args) as profiler:
+        fits = profiler.fit_suite(get_workload(m) for m in set(mix.members))
     problem = problem_from_fits(mix, fits)
     print(f"{args.mix} ({mix.characterization}), {problem.n_agents} agents")
     for name, mechanism in MECHANISMS.items():
@@ -378,23 +421,26 @@ def _cmd_cosim(args) -> int:
 
 
 def _cmd_reproduce(args) -> int:
-    from .experiments import list_experiments, run_experiment
+    from .experiments import list_experiments, run_experiment_batch
 
-    artifact = args.artifact or "list"
-    if artifact == "list":
+    artifacts = args.artifact or ["list"]
+    if artifacts == ["list"]:
         print("available experiments:")
         for experiment_id in list_experiments():
             print(f"  {experiment_id}")
         return 0
-    profiler = OfflineProfiler()
-    targets = list_experiments() if artifact == "all" else [artifact]
-    for experiment_id in targets:
+    targets = list_experiments() if "all" in artifacts else artifacts
+    with _make_profiler(args) as profiler:
         try:
-            result = run_experiment(experiment_id, profiler=profiler)
+            results = run_experiment_batch(targets, profiler=profiler)
         except KeyError as error:
             raise SystemExit(str(error)) from None
-        print(result.text)
-        print()
+        for experiment_id in targets:
+            print(results[experiment_id].text)
+            print()
+        # Greppable provenance line for CI cache assertions; stderr so
+        # stdout stays byte-comparable across serial/parallel/warm runs.
+        print(f"[profiler] {profiler.stats.summary()}", file=sys.stderr)
     return 0
 
 

@@ -18,7 +18,13 @@ from .properties import (
     sharing_incentive_margins,
     unfairness_index,
 )
-from .spl import BestResponse, best_response, lying_utility, manipulation_gain, max_manipulation_gain
+from .spl import (
+    BestResponse,
+    best_response,
+    lying_utility,
+    manipulation_gain,
+    max_manipulation_gain,
+)
 from .utility import CobbDouglasUtility, LeontiefUtility, Utility, rescale_elasticities
 from .welfare import (
     egalitarian_welfare,

@@ -18,11 +18,18 @@ from . import (  # noqa: F401  (imported for registration side effects)
     strategic,
     throughput,
 )
-from .base import EXPERIMENTS, ExperimentResult, list_experiments, run_experiment
+from .base import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+    run_experiment_batch,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "list_experiments",
     "run_experiment",
+    "run_experiment_batch",
 ]

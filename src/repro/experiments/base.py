@@ -19,9 +19,17 @@ Consumers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "experiment", "run_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "experiment",
+    "run_experiment",
+    "run_experiment_batch",
+    "list_experiments",
+]
 
 
 @dataclass(frozen=True)
@@ -69,3 +77,50 @@ def run_experiment(experiment_id: str, profiler=None) -> ExperimentResult:
 def list_experiments() -> List[str]:
     """All registered experiment ids, sorted."""
     return sorted(EXPERIMENTS)
+
+
+def run_experiment_batch(
+    experiment_ids: Optional[Iterable[str]] = None,
+    profiler=None,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run a set of experiments over one shared pool and profile cache.
+
+    The batch entry point behind ``repro reproduce``: one
+    :class:`~repro.profiling.OfflineProfiler` (with its process pool and
+    on-disk cache) serves every experiment.  When ``jobs > 1`` the whole
+    28-benchmark sweep is warmed in a single parallel fan-out up front,
+    so individual experiments only ever read memoized profiles.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Ids to run, in the order given (default: all registered,
+        sorted).  Unknown ids raise ``KeyError`` before anything runs.
+    profiler:
+        An existing profiler to reuse (its ``jobs``/``cache_dir`` win);
+        when omitted one is built from ``jobs``/``cache_dir`` and shut
+        down when the batch finishes.
+    """
+    from ..profiling import OfflineProfiler
+
+    ids = list_experiments() if experiment_ids is None else list(experiment_ids)
+    unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    owns_profiler = profiler is None
+    if owns_profiler:
+        profiler = OfflineProfiler(jobs=jobs, cache_dir=cache_dir)
+    try:
+        if profiler.jobs > 1:
+            profiler.profile_suite()  # one parallel fan-out warms every experiment
+        return {
+            experiment_id: run_experiment(experiment_id, profiler=profiler)
+            for experiment_id in ids
+        }
+    finally:
+        if owns_profiler:
+            profiler.close()

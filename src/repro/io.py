@@ -10,7 +10,7 @@ move between processes and sessions:
   ``fit-suite`` command produces and ``allocate --fits`` consumes.
 
 All functions are pure dict <-> object converters plus thin
-``save_json`` / ``load_json`` file helpers; nothing here imports the
+``save_json`` / ``load_json`` file helpers; nothing here runs the
 simulators.
 """
 
@@ -25,8 +25,11 @@ import numpy as np
 from .core.fitting import CobbDouglasFit
 from .core.mechanism import Agent, Allocation, AllocationProblem
 from .core.utility import CobbDouglasUtility
+from .profiling.profile import Profile
 
 __all__ = [
+    "save_profile",
+    "load_profile",
     "utility_to_dict",
     "utility_from_dict",
     "fit_to_dict",
@@ -42,6 +45,21 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+
+def save_profile(profile: Profile, path: PathLike) -> None:
+    """Write one profile to a JSON file (the CLI's ``profile -o`` format)."""
+    save_json(profile.as_dict(), path)
+
+
+def load_profile(path: PathLike) -> Profile:
+    """Inverse of :func:`save_profile`."""
+    return Profile.from_dict(load_json(path))
 
 
 # ---------------------------------------------------------------------------

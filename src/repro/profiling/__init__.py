@@ -1,7 +1,22 @@
-"""Profiling: offline allocation sweeps and on-line utility adaptation (§4.4)."""
+"""Profiling: offline allocation sweeps and on-line utility adaptation (§4.4).
 
-from .offline import OfflineProfiler
+The offline path scales out and memoizes: :class:`OfflineProfiler`
+accepts ``jobs=N`` (process-pool fan-out over workload x grid-point
+tasks) and ``cache_dir=...`` (content-addressed on-disk profile cache),
+both preserving bit-identical results versus the serial, uncached path.
+"""
+
+from .cache import CACHE_VERSION, ProfileCache, profile_cache_key
+from .offline import OfflineProfiler, ProfilerStats
 from .online import OnlineProfiler
 from .profile import Profile
 
-__all__ = ["OfflineProfiler", "OnlineProfiler", "Profile"]
+__all__ = [
+    "CACHE_VERSION",
+    "OfflineProfiler",
+    "OnlineProfiler",
+    "Profile",
+    "ProfileCache",
+    "ProfilerStats",
+    "profile_cache_key",
+]

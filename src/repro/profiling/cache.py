@@ -1,0 +1,160 @@
+"""Content-addressed on-disk cache for profiling sweeps.
+
+Profiling a workload over the Table 1 grid is a pure function of the
+workload spec, the platform, the machine model and the noise stream.
+This module memoizes that function on disk so repeated ``reproduce`` /
+benchmark runs skip simulation entirely:
+
+* :func:`profile_cache_key` hashes everything the sweep depends on —
+  the full workload spec (including its locality mixture), the platform
+  fingerprint (:meth:`repro.sim.platform.PlatformConfig.fingerprint`),
+  the machine kind (analytic vs trace), the trace length, and the noise
+  sigma/seed — into a content address;
+* :class:`ProfileCache` stores one JSON file per key under a two-level
+  directory fan-out, written atomically (temp file + rename) so a
+  killed run never leaves a half-written entry;
+* ``CACHE_VERSION`` is baked into every key and every stored entry:
+  bumping it after a substrate change invalidates all prior entries at
+  once.
+
+Corrupted or stale entries are treated as misses and evicted, never
+raised: the cache is an accelerator, not a source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import suppress
+from pathlib import Path
+from typing import Optional, Union
+
+from .profile import Profile
+
+__all__ = ["ProfileCache", "CACHE_VERSION", "profile_cache_key"]
+
+#: Bump to invalidate every previously written cache entry (e.g. after a
+#: change to the simulators or the noise scheme).
+CACHE_VERSION = 1
+
+
+def _canonical_json(payload) -> str:
+    """Deterministic serialization: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def profile_cache_key(
+    workload,
+    platform,
+    machine: str,
+    noise_sigma: float,
+    seed: int,
+    trace_instructions: Optional[int] = None,
+) -> str:
+    """Content address of one workload's sweep under one configuration.
+
+    Any input that can change the resulting :class:`Profile` — workload
+    parameters, platform geometry/timing/grids, machine model, trace
+    length, noise sigma or seed — feeds the hash, so a change in any of
+    them is a cache miss rather than a stale hit.
+    """
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "workload": dataclasses.asdict(workload),
+        "platform": platform.fingerprint(),
+        "machine": machine,
+        "noise_sigma": float(noise_sigma),
+        "seed": int(seed),
+    }
+    if machine == "trace":
+        payload["trace_instructions"] = int(trace_instructions or 0)
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ProfileCache:
+    """A directory of content-addressed profile JSON files.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory; created lazily on first write.  Entries live at
+        ``<cache_dir>/<key[:2]>/<key>.json``.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Profile]:
+        """The cached profile for ``key``, or ``None`` on any miss.
+
+        Unreadable JSON, a version mismatch, a key mismatch (e.g. a file
+        copied between stores) and malformed profile payloads all count
+        as misses; the offending file is evicted so the slot heals on
+        the next :meth:`put`.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self._evict(path)
+            return None
+        try:
+            if data["cache_version"] != CACHE_VERSION or data["key"] != key:
+                raise ValueError("stale cache entry")
+            return Profile.from_dict(data["profile"])
+        except (KeyError, TypeError, ValueError):
+            self._evict(path)
+            return None
+
+    def put(self, key: str, profile: Profile) -> Path:
+        """Store ``profile`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "profile": profile.as_dict(),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            with suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*/*.json"):
+                self._evict(path)
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        with suppress(OSError):
+            path.unlink()

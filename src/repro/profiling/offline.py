@@ -13,12 +13,28 @@ measurement noise, seeded per workload for reproducibility.  This is
 what gives the near-flat benchmarks (radiosity, string_match) their
 paper-matching low R² — "negligible variance and no trend for
 Cobb-Douglas to capture" — while leaving trendy workloads at high R².
+
+Two accelerators wrap the sweep without changing its results:
+
+* ``jobs=N`` fans (workload x grid-point) simulation tasks out over a
+  process pool; noise is applied in the parent from the per-workload
+  stream, so parallel profiles are bit-identical to serial ones;
+* ``cache_dir=...`` memoizes finished profiles on disk, content-
+  addressed by workload + platform + machine + noise configuration
+  (:mod:`repro.profiling.cache`), so repeated runs skip simulation.
+
+``profiler.stats`` counts simulated points and cache hits, which is how
+tests (and the CI smoke job) verify that a warm run performs zero
+simulator invocations.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Optional
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -28,13 +44,33 @@ from ..sim.machine import TraceMachine
 from ..sim.platform import PlatformConfig
 from ..workloads.spec import WorkloadSpec
 from ..workloads.suites import BENCHMARKS
+from .cache import ProfileCache, profile_cache_key
+from .parallel import SweepTask, simulate_task, split_points
 from .profile import Profile
 
-__all__ = ["OfflineProfiler"]
+__all__ = ["OfflineProfiler", "ProfilerStats"]
 
 #: Default multiplicative measurement-noise sigma (log-space).  About 1%
 #: run-to-run variation, typical of sampled cycle-accurate simulation.
 DEFAULT_NOISE_SIGMA = 0.01
+
+
+@dataclass
+class ProfilerStats:
+    """Where profiles came from: fresh simulation vs cache tiers."""
+
+    simulated_points: int = 0
+    simulated_workloads: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def summary(self) -> str:
+        """One-line machine-greppable report (used by the CI smoke job)."""
+        return (
+            f"simulated_points={self.simulated_points} "
+            f"simulated_workloads={self.simulated_workloads} "
+            f"memory_hits={self.memory_hits} disk_hits={self.disk_hits}"
+        )
 
 
 class OfflineProfiler:
@@ -54,6 +90,13 @@ class OfflineProfiler:
     use_trace_machine:
         Profile on the detailed trace-driven simulator instead of the
         analytic model (slower; used by validation tests/examples).
+    jobs:
+        Worker processes for sweeps.  1 (default) simulates inline;
+        ``N > 1`` distributes (workload x grid-point) tasks over a
+        process pool, producing bit-identical profiles.
+    cache_dir:
+        Root of the on-disk profile cache; ``None`` (default) disables
+        disk caching.  Profiles are still memoized in memory either way.
     """
 
     def __init__(
@@ -63,25 +106,106 @@ class OfflineProfiler:
         seed: int = 2014,
         use_trace_machine: bool = False,
         trace_instructions: int = 400_000,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         if noise_sigma < 0:
             raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.platform = platform if platform is not None else PlatformConfig()
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.use_trace_machine = use_trace_machine
+        self.jobs = int(jobs)
         self._analytic = AnalyticMachine(self.platform)
         self._trace = TraceMachine(self.platform, n_instructions=trace_instructions)
         self._cache: Dict[str, Profile] = {}
+        self.disk_cache = ProfileCache(cache_dir) if cache_dir is not None else None
+        self.stats = ProfilerStats()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool restarts on demand)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "OfflineProfiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def _machine_kind(self) -> str:
+        return "trace" if self.use_trace_machine else "analytic"
+
+    def cache_key(self, workload: WorkloadSpec) -> str:
+        """Content address of this workload's sweep under current settings."""
+        return profile_cache_key(
+            workload,
+            self.platform,
+            self._machine_kind,
+            self.noise_sigma,
+            self.seed,
+            trace_instructions=self._trace.n_instructions,
+        )
+
+    def _lookup(self, workload: WorkloadSpec) -> Optional[Profile]:
+        """Memory then disk; a disk hit is promoted into memory."""
+        cached = self._cache.get(workload.name)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(self.cache_key(workload))
+            if stored is not None:
+                self.stats.disk_hits += 1
+                self._cache[workload.name] = stored
+                return stored
+        return None
 
     def _workload_rng(self, name: str) -> np.random.Generator:
         """Deterministic per-workload noise stream."""
         return np.random.default_rng((self.seed, zlib.crc32(name.encode())))
 
-    def profile(self, workload: WorkloadSpec) -> Profile:
-        """Measure IPC at every Table 1 sweep point (cached per workload)."""
-        if workload.name in self._cache:
-            return self._cache[workload.name]
+    def _finalize(
+        self, workload: WorkloadSpec, allocations: np.ndarray, ipc: np.ndarray
+    ) -> Profile:
+        """Apply the seeded noise stream, memoize, and persist."""
+        if self.noise_sigma > 0:
+            rng = self._workload_rng(workload.name)
+            ipc = ipc * np.exp(rng.normal(0.0, self.noise_sigma, size=ipc.shape))
+        profile = Profile(
+            workload_name=workload.name,
+            allocations=allocations,
+            ipc=ipc,
+            source=self._machine_kind,
+        )
+        self._cache[workload.name] = profile
+        if self.disk_cache is not None:
+            self.disk_cache.put(self.cache_key(workload), profile)
+        return profile
+
+    # ------------------------------------------------------------------
+    # Simulation: serial and fanned-out paths
+    # ------------------------------------------------------------------
+
+    def _simulate_serial(self, workload: WorkloadSpec) -> Profile:
         if self.use_trace_machine:
             points = self.platform.sweep_points()
             ipc = np.array(
@@ -91,19 +215,63 @@ class OfflineProfiler:
                 ]
             )
             allocations = np.asarray(points)
-            source = "trace"
         else:
             sweep = self._analytic.sweep(workload)
             allocations, ipc = sweep.allocations, sweep.ipc
-            source = "analytic"
-        if self.noise_sigma > 0:
-            rng = self._workload_rng(workload.name)
-            ipc = ipc * np.exp(rng.normal(0.0, self.noise_sigma, size=ipc.shape))
-        profile = Profile(
-            workload_name=workload.name, allocations=allocations, ipc=ipc, source=source
-        )
-        self._cache[workload.name] = profile
-        return profile
+        self.stats.simulated_points += int(ipc.shape[0])
+        self.stats.simulated_workloads += 1
+        return self._finalize(workload, allocations, ipc)
+
+    def _simulate_parallel(self, pending: List[WorkloadSpec]) -> Dict[str, Profile]:
+        """Fan (workload x grid-point) tasks over the pool; reassemble in order.
+
+        With at least ``jobs`` workloads pending, one task per workload
+        keeps per-task overhead low; with fewer, each workload's grid is
+        split so every worker still gets a slice.
+        """
+        points = self.platform.sweep_points()
+        chunks_per_workload = 1 if len(pending) >= self.jobs else -(-self.jobs // len(pending))
+        tasks = [
+            SweepTask(
+                workload=workload,
+                points=chunk,
+                offset=offset,
+                machine=self._machine_kind,
+                platform=self.platform,
+                trace_instructions=self._trace.n_instructions,
+            )
+            for workload in pending
+            for offset, chunk in split_points(points, chunks_per_workload)
+        ]
+        raw_ipc = {workload.name: np.empty(len(points)) for workload in pending}
+        futures = {self._pool().submit(simulate_task, task): task for task in tasks}
+        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in done:
+            task = futures[future]
+            values = future.result()  # re-raises worker exceptions
+            raw_ipc[task.workload.name][task.offset : task.offset + len(values)] = values
+            self.stats.simulated_points += len(values)
+        allocations = np.asarray(points)
+        profiles = {}
+        for workload in pending:
+            self.stats.simulated_workloads += 1
+            profiles[workload.name] = self._finalize(
+                workload, allocations, raw_ipc[workload.name]
+            )
+        return profiles
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def profile(self, workload: WorkloadSpec) -> Profile:
+        """Measure IPC at every Table 1 sweep point (cached per workload)."""
+        cached = self._lookup(workload)
+        if cached is not None:
+            return cached
+        if self.jobs > 1:
+            return self._simulate_parallel([workload])[workload.name]
+        return self._simulate_serial(workload)
 
     def fit(self, workload: WorkloadSpec) -> CobbDouglasFit:
         """Profile then fit the workload's Cobb-Douglas utility."""
@@ -112,15 +280,35 @@ class OfflineProfiler:
     def profile_suite(
         self, workloads: Optional[Iterable[WorkloadSpec]] = None
     ) -> Dict[str, Profile]:
-        """Profiles for a set of workloads (default: all 28 benchmarks)."""
+        """Profiles for a set of workloads (default: all 28 benchmarks).
+
+        This is the batch entry point: with ``jobs > 1`` every uncached
+        workload's sweep is simulated concurrently in one fan-out.
+        """
         if workloads is None:
             workloads = BENCHMARKS.values()
-        return {workload.name: self.profile(workload) for workload in workloads}
+        workloads = list(workloads)
+        profiles: Dict[str, Profile] = {}
+        pending: List[WorkloadSpec] = []
+        for workload in workloads:
+            cached = self._lookup(workload)
+            if cached is not None:
+                profiles[workload.name] = cached
+            elif not any(w.name == workload.name for w in pending):
+                pending.append(workload)
+        if pending:
+            if self.jobs > 1:
+                profiles.update(self._simulate_parallel(pending))
+            else:
+                for workload in pending:
+                    profiles[workload.name] = self._simulate_serial(workload)
+        return {workload.name: profiles[workload.name] for workload in workloads}
 
     def fit_suite(
         self, workloads: Optional[Iterable[WorkloadSpec]] = None
     ) -> Dict[str, CobbDouglasFit]:
         """Fitted utilities for a set of workloads (default: all 28)."""
-        if workloads is None:
-            workloads = BENCHMARKS.values()
-        return {workload.name: self.fit(workload) for workload in workloads}
+        return {
+            name: profile.fit()
+            for name, profile in self.profile_suite(workloads).items()
+        }

@@ -1,0 +1,98 @@
+"""Pickle-safe work units for parallel profiling sweeps.
+
+The offline profiler fans (workload x grid-point) simulation work out
+over a :class:`concurrent.futures.ProcessPoolExecutor`.  Everything a
+worker needs crosses the process boundary as one small frozen
+dataclass (:class:`SweepTask`): the workload spec, the platform, the
+machine kind and a contiguous slice of sweep points.  The worker
+(:func:`simulate_task`) rebuilds the machine locally and returns raw
+(noise-free) IPC values; measurement noise is applied by the parent
+from the per-workload seeded stream, so parallel profiles are
+bit-identical to serial ones regardless of scheduling order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..sim.analytic import AnalyticMachine
+from ..sim.machine import TraceMachine
+from ..sim.platform import PlatformConfig
+from ..workloads.spec import WorkloadSpec
+
+__all__ = ["SweepTask", "simulate_task", "split_points"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of simulation work: a slice of one workload's sweep.
+
+    Attributes
+    ----------
+    workload:
+        The benchmark to simulate (picklable frozen dataclass).
+    points:
+        ``(bandwidth_gbps, cache_kb)`` grid points, in sweep order.
+    offset:
+        Index of ``points[0]`` within the workload's full sweep — the
+        reassembly key, so results land in grid order no matter which
+        worker finishes first.
+    machine:
+        ``"analytic"`` (closed-form) or ``"trace"`` (trace-driven).
+    platform:
+        Platform configuration the machine is built from.
+    trace_instructions:
+        Simulated instruction count per point (trace machine only).
+    """
+
+    workload: WorkloadSpec
+    points: Tuple[Tuple[float, float], ...]
+    offset: int
+    machine: str
+    platform: PlatformConfig
+    trace_instructions: int = 400_000
+
+    def __post_init__(self) -> None:
+        if self.machine not in ("analytic", "trace"):
+            raise ValueError(f"machine must be 'analytic' or 'trace', got {self.machine!r}")
+        if not self.points:
+            raise ValueError("a sweep task needs at least one grid point")
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+
+
+def simulate_task(task: SweepTask) -> List[float]:
+    """Execute one task; returns raw IPC per point, in task order.
+
+    Runs in a worker process (but is equally valid inline): machines
+    are rebuilt from the pickled platform, and both machine models are
+    deterministic, so results match the serial path bit for bit.
+    """
+    if task.machine == "trace":
+        trace = TraceMachine(task.platform, n_instructions=task.trace_instructions)
+        return [
+            trace.simulate(task.workload, cache_kb=kb, bandwidth_gbps=bw).ipc
+            for bw, kb in task.points
+        ]
+    analytic = AnalyticMachine(task.platform)
+    return [analytic.ipc(task.workload, kb, bw) for bw, kb in task.points]
+
+
+def split_points(
+    points: Sequence[Tuple[float, float]], n_chunks: int
+) -> List[Tuple[int, Tuple[Tuple[float, float], ...]]]:
+    """Split sweep points into up to ``n_chunks`` contiguous slices.
+
+    Returns ``(offset, slice)`` pairs covering ``points`` exactly once,
+    each slice non-empty and sized within one point of the others.
+    """
+    n_chunks = max(1, min(int(n_chunks), len(points)))
+    base, extra = divmod(len(points), n_chunks)
+    chunks: List[Tuple[int, Tuple[Tuple[float, float], ...]]] = []
+    offset = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append((offset, tuple(points[offset : offset + size])))
+        offset += size
+    return chunks

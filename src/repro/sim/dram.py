@@ -128,7 +128,8 @@ class DramSimulator:
                 ]
                 if index < len(pending):
                     events.append(pending[index].arrival_ns)
-                now = min(t for t in events if t > now) if any(t > now for t in events) else now + config.cycle_ns
+                future = [t for t in events if t > now]
+                now = min(future) if future else now + config.cycle_ns
                 continue
             ready.remove(chosen)
             bank = chosen.bank_of(config.n_ranks, config.n_banks, config.n_channels)

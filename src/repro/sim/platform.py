@@ -9,8 +9,8 @@ module captures those parameters and the sweep grid; the simulators in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Iterator, List, Tuple
 
 __all__ = ["CacheConfig", "DramConfig", "CoreConfig", "PlatformConfig", "TABLE1_PLATFORM"]
 
@@ -187,6 +187,15 @@ class PlatformConfig:
     def sweep_points(self) -> List[Tuple[float, float]]:
         """The sweep as a list (bandwidth GB/s, cache KB)."""
         return list(self.sweep())
+
+    def fingerprint(self) -> Dict:
+        """Stable, JSON-serializable identity of every platform parameter.
+
+        Used to key the on-disk profile cache: any change to the core,
+        cache hierarchy, DRAM timing or sweep grids yields a different
+        fingerprint and therefore a cache miss.
+        """
+        return asdict(self)
 
 
 #: The paper's Table 1 platform with default (maximum) L2 and bandwidth.

@@ -15,7 +15,9 @@ def synthetic_profile(alpha, scale, allocations):
     return np.array([utility.value(row) for row in allocations])
 
 
-GRID = np.array([[bw, kb] for bw in (0.8, 1.6, 3.2, 6.4, 12.8) for kb in (128, 256, 512, 1024, 2048)])
+GRID = np.array(
+    [[bw, kb] for bw in (0.8, 1.6, 3.2, 6.4, 12.8) for kb in (128, 256, 512, 1024, 2048)]
+)
 
 
 class TestExactRecovery:

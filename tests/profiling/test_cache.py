@@ -1,0 +1,169 @@
+"""Tests for the content-addressed on-disk profile cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.profiling import OfflineProfiler, Profile, ProfileCache, profile_cache_key
+from repro.profiling import cache as cache_module
+from repro.sim.platform import PlatformConfig
+from repro.workloads.suites import get_workload
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ProfileCache(tmp_path / "profiles")
+
+
+def make_profile(name="ferret"):
+    allocations = np.array([[0.8, 128.0], [12.8, 2048.0]])
+    return Profile(workload_name=name, allocations=allocations, ipc=np.array([0.5, 1.5]))
+
+
+class TestKey:
+    def test_deterministic(self):
+        workload, platform = get_workload("ferret"), PlatformConfig()
+        a = profile_cache_key(workload, platform, "analytic", 0.01, 2014)
+        b = profile_cache_key(workload, platform, "analytic", 0.01, 2014)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"noise_sigma": 0.02},
+            {"seed": 7},
+            {"machine": "trace"},
+            {"workload": "fmm"},
+            {"platform": PlatformConfig(l2_sweep_kb=(128, 2048))},
+        ],
+    )
+    def test_any_input_changes_key(self, kwargs):
+        base = dict(
+            workload=get_workload("ferret"),
+            platform=PlatformConfig(),
+            machine="analytic",
+            noise_sigma=0.01,
+            seed=2014,
+        )
+        changed = dict(base)
+        for field, value in kwargs.items():
+            changed[field] = get_workload(value) if field == "workload" else value
+        assert profile_cache_key(**base) != profile_cache_key(**changed)
+
+    def test_trace_instructions_only_affect_trace_keys(self):
+        base = dict(
+            workload=get_workload("ferret"),
+            platform=PlatformConfig(),
+            noise_sigma=0.01,
+            seed=2014,
+        )
+        analytic_a = profile_cache_key(machine="analytic", trace_instructions=100, **base)
+        analytic_b = profile_cache_key(machine="analytic", trace_instructions=200, **base)
+        trace_a = profile_cache_key(machine="trace", trace_instructions=100, **base)
+        trace_b = profile_cache_key(machine="trace", trace_instructions=200, **base)
+        assert analytic_a == analytic_b
+        assert trace_a != trace_b
+
+
+class TestStore:
+    def test_roundtrip(self, store):
+        profile = make_profile()
+        store.put("a" * 64, profile)
+        loaded = store.get("a" * 64)
+        assert loaded.workload_name == profile.workload_name
+        assert np.array_equal(loaded.ipc, profile.ipc)
+        assert np.array_equal(loaded.allocations, profile.allocations)
+
+    def test_miss_on_empty(self, store):
+        assert store.get("b" * 64) is None
+
+    def test_len_contains_clear(self, store):
+        assert len(store) == 0
+        store.put("a" * 64, make_profile())
+        store.put("b" * 64, make_profile("fmm"))
+        assert len(store) == 2
+        assert "a" * 64 in store
+        assert "c" * 64 not in store
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_corrupted_file_is_a_miss_and_evicted(self, store):
+        key = "a" * 64
+        store.put(key, make_profile())
+        store.path_for(key).write_text("{ not json")
+        assert store.get(key) is None
+        assert not store.path_for(key).exists()
+
+    def test_malformed_payload_is_a_miss(self, store):
+        key = "a" * 64
+        store.put(key, make_profile())
+        path = store.path_for(key)
+        data = json.loads(path.read_text())
+        data["profile"]["ipc"] = [-1.0, -2.0]  # violates Profile invariants
+        path.write_text(json.dumps(data))
+        assert store.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, store):
+        store.put("a" * 64, make_profile())
+        moved = store.path_for("b" * 64)
+        moved.parent.mkdir(parents=True, exist_ok=True)
+        moved.write_text(store.path_for("a" * 64).read_text())
+        assert store.get("b" * 64) is None
+
+    def test_version_bump_invalidates(self, store, monkeypatch):
+        key = "a" * 64
+        store.put(key, make_profile())
+        monkeypatch.setattr(cache_module, "CACHE_VERSION", cache_module.CACHE_VERSION + 1)
+        assert store.get(key) is None
+
+
+class TestProfilerIntegration:
+    def test_second_profiler_hits_disk(self, tmp_path):
+        workload = get_workload("ferret")
+        first = OfflineProfiler(cache_dir=tmp_path)
+        profile = first.profile(workload)
+        assert first.stats.simulated_points == 25
+
+        second = OfflineProfiler(cache_dir=tmp_path)
+        warm = second.profile(workload)
+        assert second.stats.simulated_points == 0
+        assert second.stats.disk_hits == 1
+        assert np.array_equal(warm.ipc, profile.ipc)
+
+    def test_config_change_misses(self, tmp_path):
+        workload = get_workload("ferret")
+        OfflineProfiler(cache_dir=tmp_path).profile(workload)
+        reseeded = OfflineProfiler(cache_dir=tmp_path, seed=1)
+        reseeded.profile(workload)
+        assert reseeded.stats.disk_hits == 0
+        assert reseeded.stats.simulated_points == 25
+
+    def test_corrupted_entry_recovers_by_resimulating(self, tmp_path):
+        workload = get_workload("ferret")
+        first = OfflineProfiler(cache_dir=tmp_path)
+        reference = first.profile(workload)
+        key = first.cache_key(workload)
+        first.disk_cache.path_for(key).write_text("garbage")
+
+        recovered = OfflineProfiler(cache_dir=tmp_path)
+        profile = recovered.profile(workload)
+        assert recovered.stats.simulated_points == 25  # re-simulated, no crash
+        assert np.array_equal(profile.ipc, reference.ipc)
+        # The slot healed: a third run is a disk hit again.
+        third = OfflineProfiler(cache_dir=tmp_path)
+        third.profile(workload)
+        assert third.stats.disk_hits == 1
+
+    def test_cache_survives_across_suite_runs(self, tmp_path):
+        names = ["ferret", "fmm", "dedup"]
+        workloads = [get_workload(name) for name in names]
+        cold = OfflineProfiler(cache_dir=tmp_path)
+        cold.profile_suite(workloads)
+        assert cold.stats.simulated_workloads == 3
+
+        warm = OfflineProfiler(cache_dir=tmp_path)
+        profiles = warm.profile_suite(workloads)
+        assert warm.stats.simulated_points == 0
+        assert warm.stats.disk_hits == 3
+        assert set(profiles) == set(names)

@@ -30,8 +30,9 @@ class TestProfiling:
         profiler = OfflineProfiler()
         ferret = profiler.profile(get_workload("ferret"))
         fmm = profiler.profile(get_workload("fmm"))
-        ferret_noise = np.log(ferret.ipc) - np.log(OfflineProfiler(noise_sigma=0).profile(get_workload("ferret")).ipc)
-        fmm_noise = np.log(fmm.ipc) - np.log(OfflineProfiler(noise_sigma=0).profile(get_workload("fmm")).ipc)
+        clean = OfflineProfiler(noise_sigma=0)
+        ferret_noise = np.log(ferret.ipc) - np.log(clean.profile(get_workload("ferret")).ipc)
+        fmm_noise = np.log(fmm.ipc) - np.log(clean.profile(get_workload("fmm")).ipc)
         assert not np.allclose(ferret_noise, fmm_noise)
 
     def test_zero_noise_matches_analytic_machine(self):

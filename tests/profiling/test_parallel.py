@@ -1,0 +1,159 @@
+"""Tests for the parallel profiling fan-out (serial/parallel parity)."""
+
+import numpy as np
+import pytest
+
+from repro.profiling import OfflineProfiler
+from repro.profiling.parallel import SweepTask, simulate_task, split_points
+from repro.sim.analytic import AnalyticMachine
+from repro.sim.platform import PlatformConfig
+from repro.workloads.suites import get_workload
+
+SUBSET = ["ferret", "fmm", "dedup", "radiosity"]
+
+
+class TestSplitPoints:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 5, 25, 100])
+    def test_covers_points_exactly_once_in_order(self, n_chunks):
+        points = PlatformConfig().sweep_points()
+        chunks = split_points(points, n_chunks)
+        flattened = [point for _, chunk in chunks for point in chunk]
+        assert flattened == points
+        offsets = [offset for offset, _ in chunks]
+        assert offsets == sorted(offsets)
+        assert all(chunk for _, chunk in chunks)
+
+    def test_balanced(self):
+        chunks = split_points(PlatformConfig().sweep_points(), 4)
+        sizes = [len(chunk) for _, chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSweepTask:
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(ValueError, match="machine"):
+            SweepTask(
+                workload=get_workload("ferret"),
+                points=((0.8, 128.0),),
+                offset=0,
+                machine="quantum",
+                platform=PlatformConfig(),
+            )
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError, match="grid point"):
+            SweepTask(
+                workload=get_workload("ferret"),
+                points=(),
+                offset=0,
+                machine="analytic",
+                platform=PlatformConfig(),
+            )
+
+    def test_inline_execution_matches_analytic_machine(self):
+        platform = PlatformConfig()
+        points = tuple(platform.sweep_points()[:5])
+        task = SweepTask(
+            workload=get_workload("ferret"),
+            points=points,
+            offset=0,
+            machine="analytic",
+            platform=platform,
+        )
+        machine = AnalyticMachine(platform)
+        expected = [machine.ipc(get_workload("ferret"), kb, bw) for bw, kb in points]
+        assert simulate_task(task) == expected
+
+
+class TestParity:
+    def test_parallel_suite_bit_identical_to_serial(self):
+        workloads = [get_workload(name) for name in SUBSET]
+        serial = OfflineProfiler().profile_suite(workloads)
+        with OfflineProfiler(jobs=2) as profiler:
+            parallel = profiler.profile_suite(workloads)
+        for name in SUBSET:
+            assert np.array_equal(serial[name].ipc, parallel[name].ipc)
+            assert np.array_equal(serial[name].allocations, parallel[name].allocations)
+            assert serial[name].source == parallel[name].source
+
+    def test_parallel_fits_identical_to_serial(self):
+        workloads = [get_workload(name) for name in SUBSET]
+        serial = OfflineProfiler().fit_suite(workloads)
+        with OfflineProfiler(jobs=2) as profiler:
+            parallel = profiler.fit_suite(workloads)
+        for name in SUBSET:
+            assert serial[name].r_squared == parallel[name].r_squared
+            assert np.array_equal(
+                serial[name].utility.elasticities, parallel[name].utility.elasticities
+            )
+            assert serial[name].utility.scale == parallel[name].utility.scale
+
+    def test_single_workload_parallel_profile(self):
+        # More workers than workloads: the grid itself is split.
+        serial = OfflineProfiler().profile(get_workload("canneal"))
+        with OfflineProfiler(jobs=3) as profiler:
+            parallel = profiler.profile(get_workload("canneal"))
+        assert np.array_equal(serial.ipc, parallel.ipc)
+
+    def test_trace_machine_parallel_parity(self):
+        platform = PlatformConfig(l2_sweep_kb=(128, 2048), bandwidth_sweep_gbps=(0.8, 12.8))
+        kwargs = dict(
+            platform=platform, use_trace_machine=True, trace_instructions=40_000
+        )
+        serial = OfflineProfiler(**kwargs).profile(get_workload("ferret"))
+        with OfflineProfiler(jobs=2, **kwargs) as profiler:
+            parallel = profiler.profile(get_workload("ferret"))
+        assert parallel.source == "trace"
+        assert np.array_equal(serial.ipc, parallel.ipc)
+
+
+class TestStats:
+    def test_counts_simulated_points_serial(self):
+        profiler = OfflineProfiler()
+        profiler.profile(get_workload("ferret"))
+        assert profiler.stats.simulated_points == 25
+        assert profiler.stats.simulated_workloads == 1
+        profiler.profile(get_workload("ferret"))
+        assert profiler.stats.simulated_points == 25  # memoized, not re-simulated
+        assert profiler.stats.memory_hits == 1
+
+    def test_counts_simulated_points_parallel(self):
+        workloads = [get_workload(name) for name in SUBSET]
+        with OfflineProfiler(jobs=2) as profiler:
+            profiler.profile_suite(workloads)
+            assert profiler.stats.simulated_points == 25 * len(SUBSET)
+            profiler.profile_suite(workloads)
+            assert profiler.stats.simulated_points == 25 * len(SUBSET)
+            assert profiler.stats.memory_hits == len(SUBSET)
+
+    def test_warm_disk_cache_means_zero_simulator_invocations(self, tmp_path):
+        # The acceptance criterion: a second run of the same sweep is
+        # served entirely from the on-disk cache.
+        workloads = [get_workload(name) for name in SUBSET]
+        with OfflineProfiler(jobs=2, cache_dir=tmp_path) as cold:
+            cold.profile_suite(workloads)
+            assert cold.stats.simulated_points == 25 * len(SUBSET)
+        with OfflineProfiler(jobs=2, cache_dir=tmp_path) as warm:
+            warm.profile_suite(workloads)
+            assert warm.stats.simulated_points == 0
+            assert warm.stats.disk_hits == len(SUBSET)
+
+    def test_summary_is_greppable(self):
+        profiler = OfflineProfiler()
+        profiler.profile(get_workload("ferret"))
+        assert "simulated_points=25" in profiler.stats.summary()
+
+
+class TestLifecycle:
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            OfflineProfiler(jobs=0)
+
+    def test_close_is_idempotent_and_pool_restarts(self):
+        profiler = OfflineProfiler(jobs=2)
+        profiler.profile(get_workload("ferret"))
+        profiler.close()
+        profiler.close()
+        profile = profiler.profile(get_workload("fmm"))  # pool restarts on demand
+        assert profile.n_samples == 25
+        profiler.close()

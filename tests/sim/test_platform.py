@@ -109,3 +109,18 @@ class TestPlatformSweep:
     def test_with_allocation_floors_tiny_cache(self):
         platform = TABLE1_PLATFORM.with_allocation(cache_kb=0.2, bandwidth_gbps=1.0)
         assert platform.l2.size_kb == 1
+
+    def test_fingerprint_is_stable_and_complete(self):
+        a = PlatformConfig().fingerprint()
+        b = PlatformConfig().fingerprint()
+        assert a == b
+        assert set(a) == {
+            "core", "l1", "l2", "dram", "l2_sweep_kb", "bandwidth_sweep_gbps"
+        }
+
+    def test_fingerprint_reflects_every_knob(self):
+        base = PlatformConfig().fingerprint()
+        assert PlatformConfig(l2_sweep_kb=(128, 2048)).fingerprint() != base
+        assert (
+            PlatformConfig(dram=DramConfig(bandwidth_gbps=6.4)).fingerprint() != base
+        )

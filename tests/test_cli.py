@@ -197,3 +197,51 @@ class TestReproduce:
     def test_unknown_artifact(self, capsys):
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["reproduce", "fig99"])
+
+    def test_runs_multiple_artifacts(self, capsys):
+        code, out = run_cli(capsys, "reproduce", "table1", "fig8a")
+        assert code == 0
+        assert "Table 1: platform parameters" in out
+        assert "Fig. 8a" in out
+
+
+class TestPipelineFlags:
+    def test_parallel_profile_matches_serial(self, capsys):
+        _, serial = run_cli(capsys, "profile", "ferret")
+        _, parallel = run_cli(capsys, "profile", "ferret", "--jobs", "2")
+        assert json.loads(serial) == json.loads(parallel)
+
+    def test_profile_cache_roundtrip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        _, cold = run_cli(capsys, "profile", "ferret", "--cache-dir", cache_dir)
+        assert list((tmp_path / "cache").glob("*/*.json"))  # entry written
+        _, warm = run_cli(capsys, "profile", "ferret", "--cache-dir", cache_dir)
+        assert json.loads(cold) == json.loads(warm)
+
+    def test_no_cache_wins_over_env(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        code, _ = run_cli(capsys, "profile", "ferret", "--no-cache")
+        assert code == 0
+        assert not (tmp_path / "env-cache").exists()
+
+    def test_env_cache_dir_respected(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        code, _ = run_cli(capsys, "profile", "ferret")
+        assert code == 0
+        assert list((tmp_path / "env-cache").glob("*/*.json"))
+
+    def test_reproduce_parallel_output_identical(self, capsys):
+        _, serial = run_cli(capsys, "reproduce", "fig8a")
+        _, parallel = run_cli(capsys, "reproduce", "fig8a", "--jobs", "2")
+        assert serial == parallel
+
+    def test_reproduce_warm_cache_skips_simulation(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["reproduce", "fig8a", "--jobs", "2", "--cache-dir", cache_dir])
+        cold_stats = capsys.readouterr().err
+        assert "simulated_points=700" in cold_stats  # 28 workloads x 25 points
+        code = main(["reproduce", "fig8a", "--jobs", "2", "--cache-dir", cache_dir])
+        warm_stats = capsys.readouterr().err
+        assert code == 0
+        assert "simulated_points=0" in warm_stats
+        assert "disk_hits=28" in warm_stats

@@ -7,6 +7,7 @@ from repro.experiments import (
     ExperimentResult,
     list_experiments,
     run_experiment,
+    run_experiment_batch,
 )
 from repro.profiling import OfflineProfiler
 
@@ -81,3 +82,35 @@ class TestExecution:
         lo, hi = result.data["si_segment"]
         assert 0 < lo < hi < 24.0
         assert result.data["ref_inside_fair_set"]
+
+
+class TestBatch:
+    def test_batch_matches_individual_runs(self, profiler):
+        ids = ["fig8a", "fig9"]
+        batch = run_experiment_batch(ids, jobs=2)
+        for experiment_id in ids:
+            assert batch[experiment_id].text == run_experiment(
+                experiment_id, profiler=profiler
+            ).text
+
+    def test_unknown_id_rejected_before_running(self):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiment_batch(["fig8a", "fig99"])
+
+    def test_reuses_caller_profiler_without_closing_it(self, profiler):
+        results = run_experiment_batch(["table1"], profiler=profiler)
+        assert set(results) == {"table1"}
+        # Caller's profiler is still usable afterwards.
+        from repro.workloads import get_workload
+
+        assert profiler.profile(get_workload("ferret")).n_samples == 25
+
+    def test_batch_shares_one_profile_cache(self, tmp_path):
+        run_experiment_batch(["fig8a"], jobs=2, cache_dir=tmp_path)
+        warm = OfflineProfiler(jobs=2, cache_dir=tmp_path)
+        try:
+            results = run_experiment_batch(["fig8a"], profiler=warm)
+            assert warm.stats.simulated_points == 0  # served from disk
+            assert results["fig8a"].text
+        finally:
+            warm.close()
