@@ -5,7 +5,7 @@ JOBS ?= 2
 SMOKE_CACHE := .repro-smoke-cache
 SMOKE_ARTIFACTS := fig8a fig9 table2
 
-.PHONY: install test bench examples reproduce lint smoke ci clean
+.PHONY: install test bench examples reproduce lint smoke dynamic-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -41,10 +41,22 @@ smoke:
 	grep -q "simulated_points=0 " $(SMOKE_CACHE).stats.txt
 	@echo "smoke OK: parallel output identical to serial; warm run fully cached"
 
+# The CI dynamic-smoke job, runnable locally: 200 epochs of the
+# allocation service with churn and ~10% injected faults must finish
+# crash-free with a feasible allocation at every epoch.
+dynamic-smoke:
+	$(PYTHON) -m repro dynamic --epochs 200 --seed 2014 \
+		--fault-drop 0.04 --fault-non-positive 0.03 --fault-outlier 0.03 \
+		--churn 40:add:late=canneal --churn 120:remove:late \
+		| tee $(SMOKE_CACHE).dynamic.txt
+	grep -q "feasible=True" $(SMOKE_CACHE).dynamic.txt
+	@echo "dynamic-smoke OK: 200 faulty, churning epochs; all feasible"
+
 # Mirrors .github/workflows/ci.yml locally.
 ci: lint
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) smoke
+	$(MAKE) dynamic-smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results

@@ -16,6 +16,9 @@ Subcommands (``python -m repro <command> --help`` for details):
   (consumed by ``allocate --fits``).
 * ``cosim``    — co-simulate a mix on the shared machine under enforced
   shares (choose the mechanism, DRAM policy and cache mode).
+* ``dynamic`` — run the fault-tolerant closed-loop reallocation service
+  (§4.4) with agent churn and injected measurement faults; prints the
+  event log counters and the final enforced allocation.
 * ``reproduce`` — regenerate any paper figure/table by id.
 """
 
@@ -168,6 +171,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cosim.add_argument("--instructions", type=int, default=80_000)
     cosim.add_argument("--seed", type=int, default=99)
+
+    dynamic = sub.add_parser(
+        "dynamic",
+        help="fault-tolerant closed-loop reallocation service (§4.4)",
+    )
+    dynamic.add_argument(
+        "--workloads",
+        default="freqmine,dedup",
+        help="comma-separated benchmark names (repeats get numeric suffixes)",
+    )
+    dynamic.add_argument("--epochs", type=int, default=50)
+    dynamic.add_argument(
+        "--capacities",
+        help="bandwidth_gbps,cache_kb (default: 6.4,1024 per agent)",
+    )
+    dynamic.add_argument("--decay", type=float, default=0.85)
+    dynamic.add_argument("--exploration", type=int, default=2, metavar="N")
+    dynamic.add_argument("--noise", type=float, default=0.01)
+    dynamic.add_argument("--seed", type=int, default=0)
+    dynamic.add_argument(
+        "--fault-drop", type=float, default=0.0, metavar="P",
+        help="probability a measurement is dropped (retried, then skipped)",
+    )
+    dynamic.add_argument(
+        "--fault-non-positive", type=float, default=0.0, metavar="P",
+        help="probability a measurement comes back non-positive",
+    )
+    dynamic.add_argument(
+        "--fault-outlier", type=float, default=0.0, metavar="P",
+        help="probability a measurement is wildly scaled",
+    )
+    dynamic.add_argument(
+        "--outlier-scale", type=float, default=50.0,
+        help="multiplicative distortion of outlier faults",
+    )
+    dynamic.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retry budget per measurement for detectable faults",
+    )
+    dynamic.add_argument(
+        "--churn", action="append", default=[], metavar="SPEC",
+        help=(
+            "membership change, repeatable: EPOCH:add:NAME=BENCHMARK or "
+            "EPOCH:remove:NAME"
+        ),
+    )
+    dynamic.add_argument(
+        "--events", type=int, default=0, metavar="N",
+        help="also print the last N event-log entries",
+    )
+    dynamic.add_argument("--json", action="store_true")
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate paper figures/tables (or list them)"
@@ -420,6 +474,122 @@ def _cmd_cosim(args) -> int:
     return 0
 
 
+def _parse_churn_specs(specs, lookup_workload):
+    """Parse ``EPOCH:add:NAME=BENCH`` / ``EPOCH:remove:NAME`` flags."""
+    from .dynamic import ChurnEvent, ChurnSchedule
+
+    events = []
+    for spec in specs:
+        parts = spec.split(":", 2)
+        if len(parts) != 3:
+            raise SystemExit(
+                f"bad --churn spec {spec!r}: expected EPOCH:add:NAME=BENCHMARK "
+                f"or EPOCH:remove:NAME"
+            )
+        epoch_text, action, rest = parts
+        try:
+            epoch = int(epoch_text)
+        except ValueError:
+            raise SystemExit(f"bad --churn epoch {epoch_text!r}") from None
+        if action == "add":
+            if "=" not in rest:
+                raise SystemExit(
+                    f"bad --churn spec {spec!r}: add needs NAME=BENCHMARK"
+                )
+            name, benchmark = rest.split("=", 1)
+            events.append(ChurnEvent(epoch, "add", name, lookup_workload(benchmark)))
+        elif action == "remove":
+            events.append(ChurnEvent(epoch, "remove", rest))
+        else:
+            raise SystemExit(f"bad --churn action {action!r}: expected add or remove")
+    return ChurnSchedule(events)
+
+
+def _cmd_dynamic(args) -> int:
+    from .dynamic import DynamicAllocator, FaultSpec
+
+    def lookup(benchmark: str):
+        if benchmark not in BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {benchmark!r}")
+        return get_workload(benchmark)
+
+    members = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    if not members:
+        raise SystemExit("--workloads needs at least one benchmark")
+    workloads = {}
+    for member in members:
+        workload = lookup(member)
+        name = member
+        suffix = 2
+        while name in workloads:
+            name = f"{member}_{suffix}"
+            suffix += 1
+        workloads[name] = workload
+    if args.capacities:
+        parts = args.capacities.split(",")
+        if len(parts) != 2:
+            raise SystemExit("--capacities expects 'bandwidth_gbps,cache_kb'")
+        capacities = (float(parts[0]), float(parts[1]))
+    else:
+        capacities = (6.4 * len(workloads), 1024.0 * len(workloads))
+    faults = FaultSpec(
+        drop=args.fault_drop,
+        non_positive=args.fault_non_positive,
+        outlier=args.fault_outlier,
+        outlier_scale=args.outlier_scale,
+        max_retries=args.max_retries,
+    )
+    allocator = DynamicAllocator(
+        workloads,
+        capacities=capacities,
+        decay=args.decay,
+        exploration_samples=args.exploration,
+        noise_sigma=args.noise,
+        seed=args.seed,
+        faults=faults if faults.is_active else None,
+    )
+    churn = _parse_churn_specs(args.churn, lookup)
+    result = allocator.run(args.epochs, churn=churn if churn.events else None)
+    feasible = result.all_feasible()
+    counters = result.counters
+    if args.json:
+        final = result.records[-1]
+        print(
+            json.dumps(
+                {
+                    "epochs": result.n_epochs,
+                    "feasible": feasible,
+                    "agents": list(result.agent_names),
+                    "counters": counters,
+                    "final_allocation": (final.enforced or final.allocation).as_dict(),
+                }
+            )
+        )
+    else:
+        print(result.summary())
+        print()
+        print("final enforced allocation:")
+        final = result.records[-1]
+        print((final.enforced or final.allocation).summary())
+        if args.events:
+            print()
+            print(f"last {min(args.events, len(result.events))} events:")
+            for event in result.events[-args.events:]:
+                print(f"  {event}")
+        # Greppable health line for CI smoke jobs.
+        rejected = counters.get("sample_rejected_non_positive", 0) + counters.get(
+            "sample_rejected_outlier", 0
+        )
+        fallbacks = counters.get("fit_fallback", 0) + counters.get("allocation_fallback", 0)
+        print(
+            f"dynamic-service: epochs={result.n_epochs} feasible={feasible} "
+            f"retries={counters.get('measurement_retry', 0)} "
+            f"skipped={counters.get('measurement_skipped', 0)} "
+            f"rejected={rejected} fallbacks={fallbacks}"
+        )
+    return 0 if feasible else 1
+
+
 def _cmd_reproduce(args) -> int:
     from .experiments import list_experiments, run_experiment_batch
 
@@ -449,6 +619,7 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "fit-suite": _cmd_fit_suite,
     "cosim": _cmd_cosim,
+    "dynamic": _cmd_dynamic,
     "reproduce": _cmd_reproduce,
     "classify": _cmd_classify,
     "allocate": _cmd_allocate,

@@ -51,6 +51,11 @@ class CobbDouglasFit:
         Log-space residuals, one per profile sample.
     n_samples:
         Number of profile points used for the fit.
+    condition_number:
+        Condition number of the (weighted) log-space design matrix.  A
+        large value flags a nearly collinear sample set whose fitted
+        elasticities are numerically meaningless; consumers such as the
+        on-line profiler use it to reject degenerate fits.
     """
 
     utility: CobbDouglasUtility
@@ -58,6 +63,7 @@ class CobbDouglasFit:
     r_squared_linear: float
     residuals: np.ndarray = field(repr=False)
     n_samples: int
+    condition_number: float = float("nan")
 
     @property
     def elasticities(self) -> Tuple[float, ...]:
@@ -153,8 +159,12 @@ def fit_cobb_douglas(
         design = design * sqrt_w[:, None]
         target = target * sqrt_w
 
-    coef, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    coef, _, _, singular_values = np.linalg.lstsq(design, target, rcond=None)
     log_scale, alpha = coef[0], coef[1:]
+    smallest = float(singular_values.min()) if singular_values.size else 0.0
+    condition = (
+        float(singular_values.max()) / smallest if smallest > 0 else float("inf")
+    )
 
     # Clamp into the Cobb-Douglas domain (strictly positive exponents).
     alpha = np.maximum(alpha, MIN_ELASTICITY)
@@ -173,4 +183,5 @@ def fit_cobb_douglas(
         r_squared_linear=_r_squared(u, np.exp(log_pred)),
         residuals=residuals,
         n_samples=n_samples,
+        condition_number=condition,
     )

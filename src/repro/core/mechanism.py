@@ -28,6 +28,8 @@ __all__ = [
     "AllocationProblem",
     "Allocation",
     "proportional_elasticity",
+    "project_to_floors",
+    "apply_allocation_floors",
 ]
 
 
@@ -144,6 +146,11 @@ class Allocation:
         expected = (self.problem.n_agents, self.problem.n_resources)
         if shares.shape != expected:
             raise ValueError(f"shares must have shape {expected}, got {shares.shape}")
+        if not np.all(np.isfinite(shares)):
+            raise ValueError(
+                "shares must be finite; a NaN/inf share means an upstream "
+                "fit or mechanism produced a degenerate allocation"
+            )
         if np.any(shares < -1e-12):
             raise ValueError("shares must be non-negative")
         object.__setattr__(self, "shares", shares)
@@ -237,6 +244,111 @@ def proportional_elasticity(
             raise ValueError("weights must be strictly positive")
         alpha = alpha * w[:, None]
     denom = alpha.sum(axis=0)
-    shares = alpha / denom * problem.capacity_vector
+    # Degenerate columns — every agent's (weighted, re-scaled) elasticity
+    # for a resource is zero, or some report is non-finite — would turn
+    # Eq. 13 into 0/0 = NaN.  Nobody expressed a preference for such a
+    # resource, so equal-splitting it is the unique symmetric choice (and
+    # keeps SI/EF trivially for that column).
+    degenerate = ~np.isfinite(denom) | (denom <= 0.0)
+    safe_denom = np.where(degenerate, 1.0, denom)
+    shares = alpha / safe_denom * problem.capacity_vector
+    if np.any(degenerate):
+        equal = problem.capacity_vector / problem.n_agents
+        shares[:, degenerate] = equal[degenerate]
     mechanism = "proportional_elasticity" if weights is None else "weighted_proportional_elasticity"
     return Allocation(problem=problem, shares=shares, mechanism=mechanism)
+
+
+def project_to_floors(
+    shares: np.ndarray, capacities: Sequence[float], floors: Sequence[float]
+) -> np.ndarray:
+    """Project per-resource shares onto the floor-constrained simplex.
+
+    For every resource ``r`` the returned column satisfies
+    ``y_ir >= floors[r]`` and ``sum_i y_ir <= capacities[r]`` while
+    staying proportional to the input shares among agents that are not
+    pinned at the floor.  This is the *feasible* way to impose minimum
+    allocations: naively clamping starved agents up to a floor without
+    taking the excess from anyone else over-commits the resource.
+
+    When the floors themselves are infeasible (``N * floors[r]`` exceeds
+    ``capacities[r]``) the column degrades to an equal split — the
+    closest uniform point, still capacity-feasible.
+
+    Parameters
+    ----------
+    shares:
+        ``(N, R)`` non-negative share matrix (need not be feasible).
+    capacities:
+        Total capacity per resource.
+    floors:
+        Per-resource minimum each agent must receive.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(N, R)`` matrix with every column summing to exactly its
+        capacity and every entry at or above its (feasible) floor.
+    """
+    x = np.asarray(shares, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"shares must be 2-D (agents x resources), got shape {x.shape}")
+    n_agents, n_resources = x.shape
+    caps = np.asarray(capacities, dtype=float)
+    mins = np.asarray(floors, dtype=float)
+    if caps.shape != (n_resources,) or mins.shape != (n_resources,):
+        raise ValueError(
+            f"capacities and floors must have one entry per resource "
+            f"({n_resources}), got {caps.shape} and {mins.shape}"
+        )
+    if np.any(caps <= 0):
+        raise ValueError(f"capacities must be strictly positive, got {caps.tolist()}")
+    if np.any(mins < 0):
+        raise ValueError(f"floors must be non-negative, got {mins.tolist()}")
+
+    out = np.empty_like(x)
+    for r in range(n_resources):
+        capacity, floor = float(caps[r]), float(mins[r])
+        column = np.nan_to_num(x[:, r], nan=0.0, posinf=0.0, neginf=0.0)
+        column = np.maximum(column, 0.0)
+        if n_agents * floor >= capacity:
+            # Floors are infeasible; equal split is the best uniform point.
+            out[:, r] = capacity / n_agents
+            continue
+        # Iteratively pin at the floor every agent whose proportional
+        # share of the remaining capacity falls below it; at most N
+        # rounds since the pinned set only grows.
+        pinned = np.zeros(n_agents, dtype=bool)
+        while True:
+            free = ~pinned
+            budget = capacity - floor * int(pinned.sum())
+            total = float(column[free].sum())
+            scaled = np.empty(n_agents)
+            if total > 0:
+                scaled[free] = column[free] / total * budget
+            else:
+                scaled[free] = budget / max(int(free.sum()), 1)
+            newly = free & (scaled < floor)
+            if not newly.any():
+                out[:, r] = np.where(pinned, floor, scaled)
+                break
+            pinned |= newly
+    return out
+
+
+def apply_allocation_floors(
+    allocation: Allocation, floors: Sequence[float]
+) -> Allocation:
+    """Return a feasible copy of an allocation with per-resource floors.
+
+    The projection (:func:`project_to_floors`) redistributes rather than
+    clamps, so the result always satisfies :meth:`Allocation.is_feasible`.
+    """
+    shares = project_to_floors(
+        allocation.shares, allocation.problem.capacity_vector, floors
+    )
+    return Allocation(
+        problem=allocation.problem,
+        shares=shares,
+        mechanism=f"{allocation.mechanism}+floors",
+    )

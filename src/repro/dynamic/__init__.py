@@ -1,12 +1,18 @@
-"""Dynamic reallocation: on-line profiling driving per-epoch REF (§4.4)."""
+"""Dynamic reallocation: a fault-tolerant on-line REF service (§4.4)."""
 
-from .controller import ControllerResult, DynamicAllocator, EpochRecord
-from .phases import Phase, PhasedWorkload
+from .controller import ControllerResult, DynamicAllocator, EpochEvent, EpochRecord
+from .faults import FaultInjector, FaultSpec
+from .phases import ChurnEvent, ChurnSchedule, Phase, PhasedWorkload
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
     "ControllerResult",
     "DynamicAllocator",
+    "EpochEvent",
     "EpochRecord",
+    "FaultInjector",
+    "FaultSpec",
     "Phase",
     "PhasedWorkload",
 ]

@@ -1,4 +1,4 @@
-"""Epoch-based dynamic reallocation: on-line profiling driving REF.
+"""Epoch-based dynamic reallocation: a fault-tolerant §4.4 service.
 
 Implements the loop §4.4 sketches: "As the system allocates for this
 utility, the user profiles software performance.  And as profiles are
@@ -10,44 +10,99 @@ Every epoch the controller
 1. collects each agent's currently reported elasticities (naive
    ``x^0.5 y^0.5`` until the on-line profiler has enough samples),
 2. computes the REF allocation for the reports (closed form, so the
-   per-epoch control cost is negligible),
-3. lets each agent run one epoch at its allocation — measured on the
-   analytic machine with optional noise — plus a configurable number of
-   log-uniform exploration measurements, and
-4. feeds the observations back into the agents' profilers.
+   per-epoch control cost is negligible), falling back to an equal
+   split if the mechanism cannot produce a valid allocation,
+3. projects the allocation onto the floor-constrained simplex — the
+   *enforced* allocation is always capacity-feasible and keeps every
+   agent inside the profiled operating regime,
+4. lets each agent run one epoch at its enforced bundle — measured on
+   the analytic machine with optional noise and optional injected
+   measurement faults — plus a configurable number of log-uniform
+   exploration measurements, retrying failed measurements with bounded
+   backoff and skipping (and counting) samples whose retries exhaust,
+5. feeds the observations back into the agents' profilers, which
+   themselves reject non-positive samples and ill-conditioned fits.
+
+Between epochs agents may arrive (:meth:`DynamicAllocator.add_agent`)
+or depart (:meth:`DynamicAllocator.remove_agent`) — directly or through
+a :class:`~repro.dynamic.phases.ChurnSchedule` passed to ``run`` — and
+the allocation problem is rebuilt each step for whoever is present.
 
 With per-sample weight decay the controller tracks *phase changes*
 (:class:`~repro.dynamic.phases.PhasedWorkload`), re-converging to each
-phase's fair allocation a few epochs after every switch.
+phase's fair allocation a few epochs after every switch.  Everything
+that goes wrong along the way is recorded as structured
+:class:`EpochEvent` entries and aggregated into counters on
+:class:`ControllerResult`.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.mechanism import Agent, Allocation, AllocationProblem, proportional_elasticity
+from ..core.mechanism import (
+    Agent,
+    Allocation,
+    AllocationProblem,
+    apply_allocation_floors,
+    proportional_elasticity,
+)
 from ..profiling.online import OnlineProfiler
 from ..sim.analytic import AnalyticMachine
+from .faults import FaultInjector, FaultSpec
+from .phases import ChurnSchedule
 
-__all__ = ["EpochRecord", "ControllerResult", "DynamicAllocator"]
+__all__ = [
+    "EpochEvent",
+    "EpochRecord",
+    "ControllerResult",
+    "DynamicAllocator",
+]
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """One structured entry in the service's per-epoch event log."""
+
+    epoch: int
+    kind: str
+    agent: Optional[str] = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        who = f" agent={self.agent}" if self.agent else ""
+        what = f" ({self.detail})" if self.detail else ""
+        return f"[epoch {self.epoch}] {self.kind}{who}{what}"
 
 
 @dataclass(frozen=True)
 class EpochRecord:
-    """Everything observed during one epoch."""
+    """Everything observed during one epoch.
+
+    ``allocation`` is the raw mechanism output for the epoch's reports;
+    ``enforced`` is the floor-projected allocation the agents actually
+    ran at — always feasible, every share at or above the floors.
+    ``measured_ipc`` holds only the agents whose measurement succeeded
+    this epoch (skipped measurements are recorded as events).
+    """
 
     epoch: int
     reported_alpha: Dict[str, np.ndarray]
     allocation: Allocation
     measured_ipc: Dict[str, float]
+    enforced: Optional[Allocation] = None
+    agents: Tuple[str, ...] = ()
+    events: Tuple[EpochEvent, ...] = ()
+    fit_condition: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
 class ControllerResult:
-    """The full run history."""
+    """The full run history plus the service's health telemetry."""
 
     records: Tuple[EpochRecord, ...] = field(repr=False)
 
@@ -55,22 +110,95 @@ class ControllerResult:
     def n_epochs(self) -> int:
         return len(self.records)
 
-    def reported_series(self, agent: str, resource: int = 1) -> np.ndarray:
-        """One agent's reported elasticity for a resource, per epoch."""
-        return np.array([record.reported_alpha[agent][resource] for record in self.records])
+    @property
+    def events(self) -> Tuple[EpochEvent, ...]:
+        """The structured event log, flattened across epochs."""
+        return tuple(event for record in self.records for event in record.events)
 
-    def allocation_series(self, agent: str, resource: int) -> np.ndarray:
-        """One agent's allocated amount of a resource, per epoch."""
-        return np.array(
-            [record.allocation[agent][resource] for record in self.records]
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Event counts by kind (retries, rejections, fallbacks, churn...)."""
+        return dict(Counter(event.kind for event in self.events))
+
+    @property
+    def agent_names(self) -> Tuple[str, ...]:
+        """Every agent that participated in at least one epoch."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            for name in record.agents or record.reported_alpha:
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+    def all_feasible(self, tol: float = 1e-9) -> bool:
+        """True when every epoch's enforced allocation is feasible."""
+        return all(
+            (record.enforced or record.allocation).is_feasible(tol)
+            for record in self.records
         )
 
+    def reported_series(self, agent: str, resource: int = 1) -> np.ndarray:
+        """One agent's reported elasticity for a resource, per epoch.
+
+        Epochs the agent was absent from are NaN-filled.
+        """
+        return np.array(
+            [
+                record.reported_alpha[agent][resource]
+                if agent in record.reported_alpha
+                else np.nan
+                for record in self.records
+            ]
+        )
+
+    def allocation_series(self, agent: str, resource: int) -> np.ndarray:
+        """One agent's allocated amount of a resource, per epoch (NaN when absent)."""
+        return self._share_series(agent, resource, enforced=False)
+
+    def enforced_series(self, agent: str, resource: int) -> np.ndarray:
+        """One agent's *enforced* amount of a resource, per epoch (NaN when absent)."""
+        return self._share_series(agent, resource, enforced=True)
+
+    def _share_series(self, agent: str, resource: int, enforced: bool) -> np.ndarray:
+        values = []
+        for record in self.records:
+            allocation = (record.enforced or record.allocation) if enforced else record.allocation
+            try:
+                values.append(allocation[agent][resource])
+            except KeyError:
+                values.append(np.nan)
+        return np.array(values)
+
     def ipc_series(self, agent: str) -> np.ndarray:
-        return np.array([record.measured_ipc[agent] for record in self.records])
+        """Measured IPC per epoch; NaN when absent or measurement skipped."""
+        return np.array(
+            [record.measured_ipc.get(agent, np.nan) for record in self.records]
+        )
+
+    def condition_series(self, agent: str) -> np.ndarray:
+        """The agent's most recent fit condition number, per epoch."""
+        return np.array(
+            [record.fit_condition.get(agent, np.nan) for record in self.records]
+        )
+
+    def summary(self) -> str:
+        """Human-readable service health report."""
+        lines = [
+            f"epochs run:        {self.n_epochs}",
+            f"agents seen:       {', '.join(self.agent_names)}",
+            f"all feasible:      {self.all_feasible()}",
+        ]
+        counters = self.counters
+        if counters:
+            lines.append("event counters:")
+            for kind in sorted(counters):
+                lines.append(f"  {kind:<28} {counters[kind]}")
+        else:
+            lines.append("event counters:    (none — a clean run)")
+        return "\n".join(lines)
 
 
 class DynamicAllocator:
-    """Closed-loop on-line profiling + REF reallocation.
+    """Closed-loop on-line profiling + REF reallocation, hardened.
 
     Parameters
     ----------
@@ -82,7 +210,8 @@ class DynamicAllocator:
         (bandwidth GB/s, cache KB) shared by the agents.
     decay:
         On-line profiler sample decay; < 1 makes the controller track
-        phase changes (old evidence ages out).
+        phase changes (old evidence ages out) and bounds each
+        profiler's sample history.
     exploration_samples:
         Extra log-uniform measurements per agent per epoch; at least
         one is needed for the regression to stay identified.
@@ -91,9 +220,23 @@ class DynamicAllocator:
     machine:
         Performance model used as ground truth; defaults to the
         analytic machine.
+    faults:
+        Optional :class:`~repro.dynamic.faults.FaultSpec` describing an
+        imperfect measurement pipeline.  Detectable faults (drops,
+        non-positive readings) are retried with bounded backoff and
+        skipped when retries exhaust; outlier faults are left to the
+        profilers' outlier gate.
+    outlier_log_threshold:
+        Passed to each agent's profiler; samples whose log-residual
+        against the current fit exceeds it are rejected (a sustained
+        run is re-admitted as a phase change).  Defaults to on (2.5)
+        when fault injection is active, off otherwise.
+    max_condition:
+        Fit condition-number bound; ill-conditioned re-fits are
+        discarded and the last good utility kept.
     """
 
-    #: Lower bounds keeping exploration inside the profiled regime.
+    #: Lower bounds keeping every agent inside the profiled regime.
     MIN_BANDWIDTH_GBPS = 0.4
     MIN_CACHE_KB = 64.0
 
@@ -106,6 +249,9 @@ class DynamicAllocator:
         noise_sigma: float = 0.01,
         machine: Optional[AnalyticMachine] = None,
         seed: int = 0,
+        faults: Optional[FaultSpec] = None,
+        outlier_log_threshold: Optional[float] = None,
+        max_condition: Optional[float] = 1e8,
     ):
         if not workloads:
             raise ValueError("at least one agent is required")
@@ -118,25 +264,123 @@ class DynamicAllocator:
         self.exploration_samples = exploration_samples
         self.noise_sigma = noise_sigma
         self.machine = machine if machine is not None else AnalyticMachine()
+        self.faults = faults
+        if outlier_log_threshold is None and faults is not None and faults.is_active:
+            outlier_log_threshold = 2.5
+        self._outlier_log_threshold = outlier_log_threshold
+        self._max_condition = max_condition
+        self._decay = decay
         self._rng = np.random.default_rng(seed)
-        self._profilers = {
-            name: OnlineProfiler(n_resources=2, decay=decay) for name in self.workloads
-        }
+        self._injector = (
+            FaultInjector(faults, seed=seed) if faults is not None and faults.is_active else None
+        )
+        self._profilers = {name: self._new_profiler() for name in self.workloads}
+        self._next_epoch = 0
 
     # ------------------------------------------------------------------
+    # Agent churn
+
+    def add_agent(self, name: str, workload: object) -> None:
+        """Admit a new agent; it participates from the next stepped epoch.
+
+        The arrival starts from the naive prior and profiles online like
+        everyone else; the allocation problem is rebuilt each epoch, so
+        no restart is needed.
+        """
+        if name in self.workloads:
+            raise ValueError(f"agent {name!r} already exists")
+        self.workloads[name] = workload
+        self._profilers[name] = self._new_profiler()
+
+    def remove_agent(self, name: str) -> None:
+        """Retire an agent; capacity is re-divided from the next epoch."""
+        if name not in self.workloads:
+            raise ValueError(f"no agent named {name!r}")
+        if len(self.workloads) == 1:
+            raise ValueError("cannot remove the last agent")
+        del self.workloads[name]
+        del self._profilers[name]
+
+    @property
+    def agent_names(self) -> Tuple[str, ...]:
+        return tuple(self.workloads)
+
+    def _new_profiler(self) -> OnlineProfiler:
+        return OnlineProfiler(
+            n_resources=2,
+            decay=self._decay,
+            outlier_log_threshold=self._outlier_log_threshold,
+            max_condition=self._max_condition,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement (with fault injection and bounded retry)
 
     def _spec_at(self, workload, epoch: int):
         """Resolve phased workloads to the epoch's active behaviour."""
         spec_at = getattr(workload, "spec_at", None)
         return spec_at(epoch) if callable(spec_at) else workload
 
-    def _measure(self, spec, bandwidth: float, cache_kb: float) -> float:
+    def _measure(self, spec, bandwidth: float, cache_kb: float) -> Optional[float]:
+        """One measurement as delivered by the (possibly faulty) pipeline."""
         ipc = self.machine.ipc(spec, cache_kb, bandwidth)
         if self.noise_sigma > 0:
             ipc *= float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
-        return float(ipc)
+        ipc = float(ipc)
+        if self._injector is not None:
+            return self._injector.corrupt(ipc)
+        return ipc
 
-    def _explore(self, spec, profiler: OnlineProfiler) -> None:
+    def _measure_with_retry(
+        self,
+        spec,
+        bandwidth: float,
+        cache_kb: float,
+        epoch: int,
+        agent: str,
+        events: List[EpochEvent],
+    ) -> Optional[float]:
+        """Measure, retrying detectable faults with bounded backoff.
+
+        Returns ``None`` — and logs a ``measurement_skipped`` event —
+        when the retry budget is exhausted; the caller then proceeds
+        without this sample instead of crashing the loop.
+        """
+        max_retries = self.faults.max_retries if self.faults is not None else 0
+        attempt = 0
+        while True:
+            value = self._measure(spec, bandwidth, cache_kb)
+            if value is not None and np.isfinite(value) and value > 0:
+                return value
+            if attempt >= max_retries:
+                events.append(
+                    EpochEvent(
+                        epoch,
+                        "measurement_skipped",
+                        agent,
+                        f"retries exhausted after {attempt} attempt(s)",
+                    )
+                )
+                return None
+            backoff = self.faults.backoff(attempt)
+            events.append(
+                EpochEvent(
+                    epoch,
+                    "measurement_retry",
+                    agent,
+                    f"attempt {attempt + 1}, backoff {backoff:.2f}s",
+                )
+            )
+            attempt += 1
+
+    def _explore(
+        self,
+        spec,
+        profiler: OnlineProfiler,
+        epoch: int,
+        agent: str,
+        events: List[EpochEvent],
+    ) -> None:
         for _ in range(self.exploration_samples):
             bandwidth = float(
                 np.exp(
@@ -150,46 +394,132 @@ class DynamicAllocator:
                     self._rng.uniform(np.log(self.MIN_CACHE_KB), np.log(self.capacities[1]))
                 )
             )
-            profiler.observe((bandwidth, cache_kb), self._measure(spec, bandwidth, cache_kb))
+            value = self._measure_with_retry(
+                spec, bandwidth, cache_kb, epoch, agent, events
+            )
+            if value is not None:
+                profiler.observe((bandwidth, cache_kb), value)
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+
+    def _allocate(self, epoch: int, events: List[EpochEvent]) -> Allocation:
+        """REF on current reports; equal split if the mechanism fails."""
+        agents = [Agent(name, self._profilers[name].utility) for name in self.workloads]
+        problem = AllocationProblem(agents, self.capacities, ("membw_gbps", "cache_kb"))
+        try:
+            return proportional_elasticity(problem)
+        except (ValueError, FloatingPointError) as error:
+            events.append(
+                EpochEvent(epoch, "allocation_fallback", detail=str(error)[:80])
+            )
+            equal = np.tile(problem.equal_split, (problem.n_agents, 1))
+            return Allocation(problem=problem, shares=equal, mechanism="equal_split_fallback")
 
     def step(self, epoch: int) -> EpochRecord:
-        """Run one epoch: allocate on current reports, measure, update."""
-        agents = [
-            Agent(name, self._profilers[name].utility) for name in self.workloads
-        ]
-        problem = AllocationProblem(
-            agents, self.capacities, ("membw_gbps", "cache_kb")
-        )
-        allocation = proportional_elasticity(problem)
+        """Run one epoch: allocate on current reports, enforce floors,
+
+        measure under fault injection, and update the profilers."""
+        events: List[EpochEvent] = []
+        names = list(self.workloads)
+        allocation = self._allocate(epoch, events)
+        floors = (self.MIN_BANDWIDTH_GBPS, self.MIN_CACHE_KB)
+        # Feasible floor enforcement: transient mis-fits can starve an
+        # agent toward a zero share, and log-space leverage points there
+        # would poison the regression (a feedback spiral).  Projection
+        # takes the excess from richer agents, so — unlike a per-agent
+        # clamp — the enforced bundles never exceed capacity.
+        enforced = apply_allocation_floors(allocation, floors)
+        if not np.allclose(enforced.shares, allocation.shares, rtol=1e-9, atol=1e-12):
+            lifted = int(np.sum(np.any(allocation.shares < enforced.shares - 1e-12, axis=1)))
+            events.append(
+                EpochEvent(
+                    epoch,
+                    "floor_projection",
+                    detail=f"{lifted} agent(s) lifted to the floor",
+                )
+            )
 
         measured: Dict[str, float] = {}
         reported: Dict[str, np.ndarray] = {}
-        for index, (name, workload) in enumerate(self.workloads.items()):
-            spec = self._spec_at(workload, epoch)
-            bandwidth, cache_kb = allocation.shares[index]
-            # Clamp the observed operating point to the model's valid
-            # region: transient mis-fits can starve an agent toward a
-            # zero share, and log-space leverage points there would
-            # poison the regression (a feedback spiral).  Real systems
-            # enforce minimum allocations for the same reason.
-            bandwidth = max(bandwidth, self.MIN_BANDWIDTH_GBPS)
-            cache_kb = max(cache_kb, self.MIN_CACHE_KB)
-            ipc = self._measure(spec, bandwidth, cache_kb)
-            measured[name] = ipc
+        conditions: Dict[str, float] = {}
+        for index, name in enumerate(names):
+            spec = self._spec_at(self.workloads[name], epoch)
+            bandwidth, cache_kb = enforced.shares[index]
             profiler = self._profilers[name]
             reported[name] = profiler.report_elasticities().copy()
-            profiler.observe((bandwidth, cache_kb), ipc)
-            self._explore(spec, profiler)
+            before = profiler.counters
+            value = self._measure_with_retry(
+                spec, bandwidth, cache_kb, epoch, name, events
+            )
+            if value is not None:
+                measured[name] = value
+                profiler.observe((bandwidth, cache_kb), value)
+            self._explore(spec, profiler, epoch, name, events)
+            after = profiler.counters
+            for counter_key, kind in (
+                ("rejected_non_positive", "sample_rejected_non_positive"),
+                ("rejected_outliers", "sample_rejected_outlier"),
+                ("fit_fallbacks", "fit_fallback"),
+            ):
+                delta = after[counter_key] - before[counter_key]
+                if delta > 0:
+                    events.append(
+                        EpochEvent(epoch, kind, name, f"{delta} this epoch")
+                    )
+            conditions[name] = profiler.last_condition_number
         return EpochRecord(
             epoch=epoch,
             reported_alpha=reported,
             allocation=allocation,
             measured_ipc=measured,
+            enforced=enforced,
+            agents=tuple(names),
+            events=tuple(events),
+            fit_condition=conditions,
         )
 
-    def run(self, n_epochs: int) -> ControllerResult:
-        """Run the closed loop for ``n_epochs``; returns the history."""
+    def _apply_churn(
+        self, schedule: ChurnSchedule, epoch: int, events: List[EpochEvent]
+    ) -> None:
+        for event in schedule.at(epoch):
+            if event.action == "add":
+                self.add_agent(event.agent, event.workload)
+                events.append(EpochEvent(epoch, "agent_added", event.agent))
+            else:
+                self.remove_agent(event.agent)
+                events.append(EpochEvent(epoch, "agent_removed", event.agent))
+
+    def run(
+        self, n_epochs: int, churn: Optional[ChurnSchedule] = None
+    ) -> ControllerResult:
+        """Run the closed loop for ``n_epochs``; returns the history.
+
+        Repeated calls continue from where the previous run stopped, so
+        a service can be driven in bursts.  ``churn`` events scheduled
+        at epoch ``e`` are applied just before epoch ``e`` is stepped
+        and logged into that epoch's record.
+        """
         if n_epochs <= 0:
             raise ValueError(f"n_epochs must be positive, got {n_epochs}")
-        records = [self.step(epoch) for epoch in range(n_epochs)]
+        records = []
+        start = self._next_epoch
+        for epoch in range(start, start + n_epochs):
+            churn_events: List[EpochEvent] = []
+            if churn is not None:
+                self._apply_churn(churn, epoch, churn_events)
+            record = self.step(epoch)
+            if churn_events:
+                record = EpochRecord(
+                    epoch=record.epoch,
+                    reported_alpha=record.reported_alpha,
+                    allocation=record.allocation,
+                    measured_ipc=record.measured_ipc,
+                    enforced=record.enforced,
+                    agents=record.agents,
+                    events=tuple(churn_events) + record.events,
+                    fit_condition=record.fit_condition,
+                )
+            records.append(record)
+            self._next_epoch = epoch + 1
         return ControllerResult(records=tuple(records))

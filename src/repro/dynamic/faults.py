@@ -1,0 +1,123 @@
+"""Measurement-fault injection for the dynamic allocation service.
+
+The §4.4 closed loop assumes every epoch yields a clean IPC sample.  A
+real monitoring pipeline does not: counters get dropped, readings come
+back zero or negative after a counter wrap, and interference spikes
+produce wildly outlying values.  :class:`FaultSpec` describes such a
+pipeline's failure distribution and :class:`FaultInjector` applies it to
+ground-truth measurements, so the controller's retry / reject / fallback
+machinery can be exercised (and CI can prove the loop survives it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure distribution of the measurement pipeline.
+
+    Each measurement independently fails in at most one mode:
+
+    Attributes
+    ----------
+    drop:
+        Probability the measurement is lost entirely (sensor timeout);
+        surfaces to the controller as ``None``.
+    non_positive:
+        Probability the measurement comes back non-positive (counter
+        wrap / underflow garbage).
+    outlier:
+        Probability the measurement is wildly scaled (interference
+        spike) by ``outlier_scale`` or ``1 / outlier_scale``.
+    outlier_scale:
+        Multiplicative distortion applied to outlier faults; > 1.
+    max_retries:
+        Bounded retries the controller may spend per measurement on
+        *detectable* faults (drops and non-positive readings) before
+        skipping the sample.  Outliers are positive and thus not
+        detectable at measurement time; the profiler's outlier gate
+        handles them instead.
+    backoff_base:
+        First retry's (simulated) backoff in seconds.
+    backoff_factor:
+        Multiplier applied to the backoff after each failed retry.
+    """
+
+    drop: float = 0.0
+    non_positive: float = 0.0
+    outlier: float = 0.0
+    outlier_scale: float = 50.0
+    max_retries: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("drop", "non_positive", "outlier"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be a probability, got {value}")
+        if self.total_rate > 1.0:
+            raise ValueError(
+                f"fault probabilities must sum to at most 1, got {self.total_rate}"
+            )
+        if self.outlier_scale <= 1.0:
+            raise ValueError(f"outlier_scale must exceed 1, got {self.outlier_scale}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be non-negative, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    @property
+    def total_rate(self) -> float:
+        """Probability an individual measurement is faulty."""
+        return self.drop + self.non_positive + self.outlier
+
+    @property
+    def is_active(self) -> bool:
+        return self.total_rate > 0.0
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated backoff (seconds) before retry ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_factor**attempt
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSpec` to ground-truth measurements.
+
+    Draws from its own RNG stream so enabling/disabling injection does
+    not perturb the controller's measurement-noise stream.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0):
+        self.spec = spec
+        self._rng = np.random.default_rng([int(seed), 0xFA017])
+        self.injected = {"drop": 0, "non_positive": 0, "outlier": 0}
+
+    def corrupt(self, true_value: float) -> Optional[float]:
+        """Return the measurement the pipeline would deliver.
+
+        ``None`` models a dropped measurement; otherwise the returned
+        value may be non-positive or wildly scaled per the spec.
+        """
+        draw = float(self._rng.uniform())
+        spec = self.spec
+        if draw < spec.drop:
+            self.injected["drop"] += 1
+            return None
+        if draw < spec.drop + spec.non_positive:
+            self.injected["non_positive"] += 1
+            return -abs(true_value) if self._rng.uniform() < 0.5 else 0.0
+        if draw < spec.total_rate:
+            self.injected["outlier"] += 1
+            scale = spec.outlier_scale
+            return true_value * (scale if self._rng.uniform() < 0.5 else 1.0 / scale)
+        return true_value

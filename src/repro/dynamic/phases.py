@@ -1,4 +1,4 @@
-"""Phase-changing workloads: the setting on-line profiling exists for.
+"""Phase-changing workloads and agent churn: what the service adapts to.
 
 §4.4's on-line profiler is motivated by software whose resource
 preferences are unknown — and, in practice, change: applications move
@@ -7,14 +7,20 @@ phase that lives in cache).  A :class:`PhasedWorkload` strings together
 existing :class:`~repro.workloads.spec.WorkloadSpec` behaviours with
 epoch-granularity durations, giving the dynamic allocation controller
 something real to chase.
+
+A second kind of temporal structure is *membership* change: on a shared
+machine users arrive and leave mid-run.  A :class:`ChurnSchedule` lists
+:class:`ChurnEvent` arrivals/departures at epoch granularity; the
+controller applies them between epochs and rebuilds the allocation
+problem for the surviving population.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["Phase", "PhasedWorkload"]
+__all__ = ["Phase", "PhasedWorkload", "ChurnEvent", "ChurnSchedule"]
 
 
 @dataclass(frozen=True)
@@ -76,3 +82,52 @@ class PhasedWorkload:
                 boundaries.append(epoch)
                 previous = current
         return boundaries
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: an agent arriving at or leaving an epoch."""
+
+    epoch: int
+    action: str  # "add" | "remove"
+    agent: str
+    workload: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {self.epoch}")
+        if self.action not in ("add", "remove"):
+            raise ValueError(f"action must be 'add' or 'remove', got {self.action!r}")
+        if not self.agent:
+            raise ValueError("agent name must be non-empty")
+        if self.action == "add" and self.workload is None:
+            raise ValueError(f"adding agent {self.agent!r} requires a workload")
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """An epoch-ordered list of arrivals and departures.
+
+    Events at epoch ``e`` take effect *before* epoch ``e`` is stepped,
+    so an agent added at epoch 10 participates in epoch 10's allocation
+    and an agent removed at epoch 10 does not.
+    """
+
+    events: Tuple[ChurnEvent, ...] = field(default=())
+
+    def __init__(self, events: Sequence[ChurnEvent] = ()):
+        ordered = tuple(sorted(events, key=lambda e: e.epoch))
+        object.__setattr__(self, "events", ordered)
+
+    def at(self, epoch: int) -> Tuple[ChurnEvent, ...]:
+        """Events taking effect at the given epoch (add events first,
+
+        so a same-epoch swap of one agent for another never empties the
+        population)."""
+        todays = [e for e in self.events if e.epoch == epoch]
+        return tuple(sorted(todays, key=lambda e: 0 if e.action == "add" else 1))
+
+    @property
+    def last_epoch(self) -> int:
+        """The latest epoch with a scheduled event (-1 when empty)."""
+        return self.events[-1].epoch if self.events else -1

@@ -85,6 +85,10 @@ def fit_to_dict(fit: CobbDouglasFit) -> Dict:
         "r_squared_linear": fit.r_squared_linear,
         "residuals": fit.residuals.tolist(),
         "n_samples": fit.n_samples,
+        # JSON has no inf/nan literals; serialize as None and restore.
+        "condition_number": (
+            fit.condition_number if np.isfinite(fit.condition_number) else None
+        ),
     }
 
 
@@ -96,6 +100,11 @@ def fit_from_dict(data: Mapping) -> CobbDouglasFit:
         r_squared_linear=float(data["r_squared_linear"]),
         residuals=np.asarray(data["residuals"], dtype=float),
         n_samples=int(data["n_samples"]),
+        condition_number=(
+            float(data["condition_number"])
+            if data.get("condition_number") is not None
+            else float("nan")
+        ),
     )
 
 

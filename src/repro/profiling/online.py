@@ -10,11 +10,28 @@ varied allocations, the user adapts its utility function."
 equal-elasticity report, records (allocation, IPC) observations, and
 re-fits once enough linearly-independent samples accumulate, optionally
 weighting recent samples more heavily (software phases change).
+
+The profiler is built to survive a *long-running* closed loop fed by an
+imperfect measurement pipeline:
+
+* non-positive or non-finite samples are **rejected** (skipped and
+  counted), never raised — one bad sensor reading must not kill the
+  service;
+* an optional outlier gate rejects samples wildly inconsistent with the
+  current fit, while re-admitting a *run* of consistent "outliers"
+  (a genuine phase change looks like one);
+* with ``decay < 1`` the sample history is bounded: samples whose weight
+  has decayed below ``weight_floor`` are dropped, so memory and re-fit
+  cost stay O(1) over thousands of epochs;
+* ill-conditioned or non-finite re-fits are discarded and the last good
+  fit (or the naive prior) is kept — degenerate fits are counted, not
+  propagated.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import math
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,9 +55,35 @@ class OnlineProfiler:
     decay:
         Per-step multiplicative weight decay in (0, 1]; 1.0 weights all
         history equally, smaller values emphasize recent samples.
+    weight_floor:
+        With ``decay < 1``, samples whose weight has decayed below this
+        threshold are dropped from the history (bounding its length at
+        ``log(weight_floor) / log(decay)`` samples).  Ignored when
+        ``decay == 1``.
+    max_condition:
+        Re-fits whose design-matrix condition number exceeds this bound
+        are considered degenerate and discarded (the previous fit is
+        kept).  ``None`` disables the check.
+    outlier_log_threshold:
+        When set, a sample whose log-space residual against the current
+        fit exceeds this value is rejected as an outlier.  After
+        ``max_consecutive_outliers`` rejections in a row the gate yields
+        and accepts the sample — a sustained shift is a phase change,
+        not a fault.  ``None`` (the default) disables the gate.
+    max_consecutive_outliers:
+        See ``outlier_log_threshold``.
     """
 
-    def __init__(self, n_resources: int = 2, min_samples: Optional[int] = None, decay: float = 1.0):
+    def __init__(
+        self,
+        n_resources: int = 2,
+        min_samples: Optional[int] = None,
+        decay: float = 1.0,
+        weight_floor: float = 1e-6,
+        max_condition: Optional[float] = 1e8,
+        outlier_log_threshold: Optional[float] = None,
+        max_consecutive_outliers: int = 3,
+    ):
         if n_resources < 1:
             raise ValueError(f"n_resources must be >= 1, got {n_resources}")
         if not 0 < decay <= 1:
@@ -52,16 +95,58 @@ class OnlineProfiler:
             raise ValueError(
                 f"min_samples must be >= n_resources + 1 = {minimum_viable}, got {min_samples}"
             )
+        if not 0 < weight_floor < 1:
+            raise ValueError(f"weight_floor must be in (0, 1), got {weight_floor}")
+        if max_condition is not None and max_condition <= 1:
+            raise ValueError(f"max_condition must exceed 1, got {max_condition}")
+        if outlier_log_threshold is not None and outlier_log_threshold <= 0:
+            raise ValueError(
+                f"outlier_log_threshold must be positive, got {outlier_log_threshold}"
+            )
+        if max_consecutive_outliers < 1:
+            raise ValueError(
+                f"max_consecutive_outliers must be >= 1, got {max_consecutive_outliers}"
+            )
         self.n_resources = n_resources
         self.min_samples = min_samples
         self.decay = decay
+        self.weight_floor = weight_floor
+        self.max_condition = max_condition
+        self.outlier_log_threshold = outlier_log_threshold
+        self.max_consecutive_outliers = max_consecutive_outliers
+        # The fit keeps at least min_samples even if decay would age
+        # them all out; identification beats forgetting.
+        if decay < 1.0:
+            self.max_history = max(
+                int(math.ceil(math.log(weight_floor) / math.log(decay))), min_samples
+            )
+        else:
+            self.max_history = None
         self._allocations: List[np.ndarray] = []
         self._performance: List[float] = []
         self._fit: Optional[CobbDouglasFit] = None
+        self._last_condition = float("nan")
+        self._consecutive_outliers = 0
+        self._counters: Dict[str, int] = {
+            "rejected_non_positive": 0,
+            "rejected_outliers": 0,
+            "fit_fallbacks": 0,
+            "trimmed_samples": 0,
+        }
 
     @property
     def n_samples(self) -> int:
         return len(self._performance)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Fault-handling counters accumulated over the profiler's life."""
+        return dict(self._counters)
+
+    @property
+    def last_condition_number(self) -> float:
+        """Condition number of the most recent *attempted* re-fit."""
+        return self._last_condition
 
     @property
     def naive_utility(self) -> CobbDouglasUtility:
@@ -77,7 +162,7 @@ class OnlineProfiler:
 
     @property
     def last_fit(self) -> Optional[CobbDouglasFit]:
-        """Diagnostics of the most recent re-fit, or None before it."""
+        """Diagnostics of the most recent *accepted* re-fit, or None."""
         return self._fit
 
     def report_elasticities(self) -> np.ndarray:
@@ -88,24 +173,89 @@ class OnlineProfiler:
         """Record one (allocation, measured IPC) sample and maybe re-fit.
 
         Returns the (possibly updated) utility estimate.  Samples with
-        non-positive entries are rejected — the log transform needs
-        strictly positive data.
+        non-positive or non-finite entries are rejected — skipped and
+        counted under ``counters["rejected_non_positive"]`` — because the
+        log transform needs strictly positive data and a long-running
+        loop must survive a bad measurement.  Only a wrong *shape* (a
+        caller bug, not a measurement fault) still raises.
         """
         arr = np.asarray(allocation, dtype=float)
         if arr.shape != (self.n_resources,):
             raise ValueError(
                 f"allocation must have shape ({self.n_resources},), got {arr.shape}"
             )
-        if np.any(arr <= 0) or performance <= 0:
-            raise ValueError("allocation and performance must be strictly positive")
+        if (
+            np.any(arr <= 0)
+            or not np.all(np.isfinite(arr))
+            or not np.isfinite(performance)
+            or performance <= 0
+        ):
+            self._counters["rejected_non_positive"] += 1
+            return self.utility
+        if self._is_outlier(arr, float(performance)):
+            self._counters["rejected_outliers"] += 1
+            return self.utility
+        self._consecutive_outliers = 0
         self._allocations.append(arr)
         self._performance.append(float(performance))
+        self._trim_history()
         if self.n_samples >= self.min_samples and self._has_variation():
-            weights = self._sample_weights()
-            self._fit = fit_cobb_douglas(
-                np.vstack(self._allocations), np.asarray(self._performance), weights=weights
-            )
+            self._refit()
         return self.utility
+
+    # ------------------------------------------------------------------
+
+    def _is_outlier(self, allocation: np.ndarray, performance: float) -> bool:
+        """Fit-relative outlier gate with a consecutive-run escape hatch."""
+        if self.outlier_log_threshold is None or self._fit is None:
+            return False
+        predicted = self._fit.utility.value(allocation)
+        if predicted <= 0 or not np.isfinite(predicted):
+            return False
+        residual = abs(math.log(performance) - math.log(predicted))
+        if residual <= self.outlier_log_threshold:
+            return False
+        self._consecutive_outliers += 1
+        if self._consecutive_outliers >= self.max_consecutive_outliers:
+            # A run of consistent "outliers" is a regime change: yield.
+            self._consecutive_outliers = 0
+            return False
+        return True
+
+    def _trim_history(self) -> None:
+        if self.max_history is None:
+            return
+        excess = self.n_samples - self.max_history
+        if excess > 0:
+            del self._allocations[:excess]
+            del self._performance[:excess]
+            self._counters["trimmed_samples"] += excess
+
+    def _refit(self) -> None:
+        """Attempt a re-fit; keep the previous fit if the new one is degenerate."""
+        weights = self._sample_weights()
+        try:
+            fit = fit_cobb_douglas(
+                np.vstack(self._allocations),
+                np.asarray(self._performance),
+                weights=weights,
+            )
+        except (ValueError, np.linalg.LinAlgError):
+            self._last_condition = float("inf")
+            self._counters["fit_fallbacks"] += 1
+            return
+        self._last_condition = fit.condition_number
+        alpha_ok = np.all(np.isfinite(fit.utility.alpha)) and np.isfinite(
+            fit.utility.scale
+        )
+        condition_ok = self.max_condition is None or (
+            np.isfinite(fit.condition_number)
+            and fit.condition_number <= self.max_condition
+        )
+        if alpha_ok and condition_ok:
+            self._fit = fit
+        else:
+            self._counters["fit_fallbacks"] += 1
 
     def _sample_weights(self) -> Optional[np.ndarray]:
         if self.decay == 1.0:

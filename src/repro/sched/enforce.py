@@ -15,9 +15,9 @@ error the discrete hardware introduces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
-from ..core.mechanism import Allocation
+from ..core.mechanism import Allocation, apply_allocation_floors
 from ..sim.multicore import AgentShare
 from ..sim.platform import CacheConfig
 from .lottery import LotteryScheduler
@@ -60,6 +60,7 @@ def build_enforcement(
     cache_config: CacheConfig,
     bandwidth_resource: int = 0,
     cache_resource: int = 1,
+    floors: Optional[Sequence[float]] = None,
 ) -> EnforcementPlan:
     """Derive schedulers' configuration from a two-resource allocation.
 
@@ -71,7 +72,16 @@ def build_enforcement(
         The physical shared cache (its way count bounds partitioning).
     bandwidth_resource / cache_resource:
         Column indices of the two resources within the allocation.
+    floors:
+        Optional per-resource minimum allocations (in the allocation's
+        column order).  The allocation is first projected onto the
+        floor-constrained simplex — redistributed, not clamped — so the
+        derived plan stays capacity-feasible and every agent receives a
+        schedulable (strictly positive) share.  A degenerate allocation
+        with a zero share would otherwise make way partitioning fail.
     """
+    if floors is not None:
+        allocation = apply_allocation_floors(allocation, floors)
     problem = allocation.problem
     names = [agent.name for agent in problem.agents]
     bandwidth_weights = {

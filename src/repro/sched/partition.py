@@ -27,6 +27,12 @@ def partition_ways(shares: Dict[str, float], n_ways: int) -> Dict[str, int]:
     all), the rest go by share, and leftover ways flow to the largest
     fractional remainders.
 
+    The assignment is a pure function of the ``{agent: share}`` mapping:
+    ties (equal shares, equal remainders) are broken by agent name, so
+    the result does not depend on dict insertion order — reallocation
+    services rebuild this mapping every epoch and must not flap between
+    equivalent assignments.
+
     Parameters
     ----------
     shares:
@@ -52,22 +58,24 @@ def partition_ways(shares: Dict[str, float], n_ways: int) -> Dict[str, int]:
             f"{n_ways} ways cannot give each of {len(shares)} agents at least one way"
         )
 
-    # Normalize so all ways get used even if shares sum below 1.
-    agents = list(shares)
+    # Normalize so all ways get used even if shares sum below 1.  Agents
+    # are walked in sorted-name order so tie-breaks are deterministic
+    # regardless of the mapping's insertion order.
+    agents = sorted(shares)
     ideal = {agent: shares[agent] / total * n_ways for agent in agents}
     assignment = {agent: max(int(ideal[agent]), 1) for agent in agents}
     # The one-way floor can over-commit; shave from the largest holders.
     while sum(assignment.values()) > n_ways:
-        richest = max(agents, key=lambda a: (assignment[a], ideal[a]))
+        richest = max(agents, key=lambda a: (assignment[a], ideal[a], a))
         if assignment[richest] == 1:
             raise ValueError(f"cannot fit {len(agents)} agents into {n_ways} ways")
         assignment[richest] -= 1
     remainders = {agent: ideal[agent] - assignment[agent] for agent in agents}
     while sum(assignment.values()) < n_ways:
-        neediest = max(agents, key=lambda a: remainders[a])
+        neediest = max(agents, key=lambda a: (remainders[a], a))
         assignment[neediest] += 1
         remainders[neediest] -= 1.0
-    return assignment
+    return {agent: assignment[agent] for agent in shares}
 
 
 def quantization_error(shares: Dict[str, float], assignment: Dict[str, int], n_ways: int) -> float:

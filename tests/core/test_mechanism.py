@@ -256,3 +256,115 @@ class TestAllocationApi:
     def test_summary_mentions_agents_and_resources(self):
         summary = proportional_elasticity(two_user_problem()).summary()
         assert "user1" in summary and "membw" in summary and "cache" in summary
+
+
+class _DegenerateReportProblem(AllocationProblem):
+    """A problem whose reported elasticity matrix is injected verbatim.
+
+    Models a broken upstream fit pipeline (the mechanism itself must not
+    crash on what it is handed)."""
+
+    def with_reports(self, matrix):
+        object.__setattr__(self, "_matrix", np.asarray(matrix, dtype=float))
+        return self
+
+    def rescaled_alpha_matrix(self):
+        return self._matrix.copy()
+
+
+class TestDegenerateReports:
+    """Regression: a zero (or non-finite) elasticity column must not
+
+    produce NaN shares — the resource nobody wants is equal-split."""
+
+    def _problem(self, matrix):
+        return _DegenerateReportProblem(
+            agents=[
+                Agent("a", CobbDouglasUtility((0.5, 0.5))),
+                Agent("b", CobbDouglasUtility((0.5, 0.5))),
+            ],
+            capacities=(24.0, 12.0),
+        ).with_reports(matrix)
+
+    def test_zero_column_equal_split(self):
+        allocation = proportional_elasticity(self._problem([[1.0, 0.0], [1.0, 0.0]]))
+        assert np.all(np.isfinite(allocation.shares))
+        # Resource 1 had denom == 0: equal split.
+        assert allocation.shares[:, 1] == pytest.approx([6.0, 6.0])
+        # Resource 0 still allocated proportionally.
+        assert allocation.shares[:, 0] == pytest.approx([12.0, 12.0])
+        assert allocation.is_feasible()
+
+    def test_nan_reports_equal_split_that_resource(self):
+        allocation = proportional_elasticity(
+            self._problem([[0.7, float("nan")], [0.3, 0.5]])
+        )
+        assert np.all(np.isfinite(allocation.shares))
+        assert allocation.shares[:, 1] == pytest.approx([6.0, 6.0])
+        assert allocation.is_feasible()
+
+    def test_all_zero_reports_give_equal_split(self):
+        allocation = proportional_elasticity(self._problem(np.zeros((2, 2))))
+        assert allocation.shares[0] == pytest.approx([12.0, 6.0])
+        assert allocation.shares[1] == pytest.approx([12.0, 6.0])
+
+    def test_allocation_rejects_non_finite_shares(self):
+        problem = two_user_problem()
+        shares = np.array([[np.nan, 4.0], [6.0, 8.0]])
+        with pytest.raises(ValueError, match="finite"):
+            Allocation(problem=problem, shares=shares)
+
+
+class TestFloorProjection:
+    def test_identity_when_floors_slack(self):
+        from repro.core.mechanism import apply_allocation_floors
+
+        allocation = proportional_elasticity(two_user_problem())
+        floored = apply_allocation_floors(allocation, (0.1, 0.1))
+        assert floored.shares == pytest.approx(allocation.shares)
+        assert floored.mechanism.endswith("+floors")
+
+    def test_starved_agent_lifted_feasibly(self):
+        from repro.core.mechanism import project_to_floors
+
+        shares = np.array([[23.9, 6.0], [0.1, 6.0]])
+        projected = project_to_floors(shares, (24.0, 12.0), (2.0, 1.0))
+        assert projected[1, 0] == pytest.approx(2.0)
+        # The excess came out of the rich agent, not out of thin air.
+        assert projected[:, 0].sum() == pytest.approx(24.0)
+        assert projected[0, 0] == pytest.approx(22.0)
+
+    def test_never_exceeds_capacity_unlike_clamping(self):
+        from repro.core.mechanism import apply_allocation_floors
+
+        problem = AllocationProblem(
+            agents=[
+                Agent(f"a{i}", CobbDouglasUtility((0.5, 0.5))) for i in range(4)
+            ],
+            capacities=(24.0, 12.0),
+        )
+        # Extremely skewed shares: three agents near zero bandwidth.
+        shares = np.array(
+            [[23.7, 3.0], [0.1, 3.0], [0.1, 3.0], [0.1, 3.0]]
+        )
+        allocation = Allocation(problem=problem, shares=shares)
+        floored = apply_allocation_floors(allocation, (2.0, 1.0))
+        assert floored.is_feasible()
+        assert np.all(floored.shares[:, 0] >= 2.0 - 1e-12)
+
+    def test_infeasible_floors_degrade_to_equal_split(self):
+        from repro.core.mechanism import project_to_floors
+
+        shares = np.array([[3.0, 1.0], [1.0, 1.0], [1.0, 1.0]])
+        projected = project_to_floors(shares, (5.0, 3.0), (2.0, 0.0))
+        assert projected[:, 0] == pytest.approx([5.0 / 3] * 3)
+
+    def test_cascading_pins_converge(self):
+        from repro.core.mechanism import project_to_floors
+
+        # Redistribution pushes mid agents below the floor in a second
+        # round: the iteration must pin them too and still sum to C.
+        shares = np.array([[90.0], [6.0], [2.0], [2.0]])
+        projected = project_to_floors(shares, (20.0,), (3.0,))
+        assert projected[:, 0].sum() == pytest.approx(20.0)
+        assert np.all(projected[:, 0] >= 3.0 - 1e-12)

@@ -113,3 +113,217 @@ class TestPhaseTracking:
         ipc = result.ipc_series("phasey")
         # raytrace phase runs far faster than the ocean_cp phase.
         assert np.mean(ipc[:8]) > 2 * np.mean(ipc[8:])
+
+
+class TestAgentChurn:
+    def test_add_agent_joins_next_epoch(self):
+        allocator = static_allocator()
+        allocator.run(3)
+        allocator.add_agent("late", get_workload("canneal"))
+        result = allocator.run(3)
+        assert "late" in result.records[0].agents
+        assert result.records[0].epoch == 3  # continues from prior run
+        assert result.records[0].reported_alpha["late"] == pytest.approx([0.5, 0.5])
+
+    def test_remove_agent_frees_capacity(self):
+        allocator = static_allocator()
+        first = allocator.run(2)
+        allocator.remove_agent("dedup")
+        second = allocator.run(2)
+        assert second.records[-1].agents == ("freqmine",)
+        # The survivor now holds the whole machine.
+        assert second.records[-1].enforced["freqmine"] == pytest.approx(
+            list(CAPACITIES)
+        )
+        assert "dedup" not in second.records[-1].reported_alpha
+        assert first.records[-1].agents == ("freqmine", "dedup")
+
+    def test_add_duplicate_rejected(self):
+        allocator = static_allocator()
+        with pytest.raises(ValueError, match="already exists"):
+            allocator.add_agent("dedup", get_workload("dedup"))
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError, match="no agent"):
+            static_allocator().remove_agent("ghost")
+
+    def test_remove_last_agent_rejected(self):
+        allocator = static_allocator()
+        allocator.remove_agent("dedup")
+        with pytest.raises(ValueError, match="last agent"):
+            allocator.remove_agent("freqmine")
+
+    def test_churn_schedule_applied_and_logged(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+
+        churn = ChurnSchedule(
+            [
+                ChurnEvent(2, "add", "late", get_workload("canneal")),
+                ChurnEvent(5, "remove", "late"),
+            ]
+        )
+        result = static_allocator().run(8, churn=churn)
+        assert "late" not in result.records[1].agents
+        assert "late" in result.records[2].agents
+        assert "late" not in result.records[5].agents
+        counters = result.counters
+        assert counters["agent_added"] == 1
+        assert counters["agent_removed"] == 1
+
+    def test_series_nan_filled_for_absent_agents(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+
+        churn = ChurnSchedule([ChurnEvent(3, "add", "late", get_workload("canneal"))])
+        result = static_allocator().run(6, churn=churn)
+        ipc = result.ipc_series("late")
+        assert np.all(np.isnan(ipc[:3]))
+        assert np.all(~np.isnan(ipc[3:]))
+        assert np.all(np.isnan(result.reported_series("late", 0)[:3]))
+        assert np.all(np.isnan(result.allocation_series("late", 0)[:3]))
+
+    def test_agent_names_lists_everyone_seen(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+
+        churn = ChurnSchedule([ChurnEvent(1, "add", "late", get_workload("canneal"))])
+        result = static_allocator().run(3, churn=churn)
+        assert result.agent_names == ("freqmine", "dedup", "late")
+
+
+class TestEnforcedFloors:
+    def test_enforced_allocation_recorded_and_feasible(self):
+        result = static_allocator().run(5)
+        for record in result.records:
+            assert record.enforced is not None
+            assert record.enforced.is_feasible()
+            totals = record.enforced.shares.sum(axis=0)
+            assert totals[0] == pytest.approx(CAPACITIES[0])
+            assert totals[1] == pytest.approx(CAPACITIES[1])
+
+    def test_floors_bind_feasibly_with_many_agents(self):
+        # Capacity barely above N * floor: the old per-agent clamp would
+        # have exceeded capacity; the projection must never.
+        names = ["freqmine", "dedup", "canneal", "raytrace"]
+        allocator = DynamicAllocator(
+            {name: get_workload(name) for name in names},
+            capacities=(2.0, 300.0),
+            seed=11,
+        )
+        result = allocator.run(12)
+        assert result.all_feasible()
+        for record in result.records:
+            assert np.all(record.enforced.shares[:, 0] >= 0.0)
+            assert record.enforced.shares.sum(axis=0)[0] <= 2.0 * (1 + 1e-9)
+
+    def test_measurements_taken_at_enforced_bundle(self):
+        result = static_allocator(noise_sigma=0.0).run(1)
+        record = result.records[0]
+        machine = static_allocator().machine
+        for index, name in enumerate(record.agents):
+            bandwidth, cache_kb = record.enforced.shares[index]
+            expected = machine.ipc(get_workload(name), cache_kb, bandwidth)
+            assert record.measured_ipc[name] == pytest.approx(expected)
+
+
+class TestFaultTolerance:
+    def fault_allocator(self, **kwargs):
+        from repro.dynamic import FaultSpec
+
+        defaults = dict(
+            workloads={
+                "freqmine": get_workload("freqmine"),
+                "dedup": get_workload("dedup"),
+            },
+            capacities=CAPACITIES,
+            seed=13,
+            faults=FaultSpec(drop=0.05, non_positive=0.03, outlier=0.02),
+        )
+        defaults.update(kwargs)
+        return DynamicAllocator(**defaults)
+
+    def test_faulty_run_completes_and_counts(self):
+        result = self.fault_allocator().run(40)
+        assert result.n_epochs == 40
+        counters = result.counters
+        assert counters.get("measurement_retry", 0) > 0
+        assert result.all_feasible()
+
+    def test_all_measurements_dropped_still_no_crash(self):
+        from repro.dynamic import FaultSpec
+
+        allocator = self.fault_allocator(
+            faults=FaultSpec(drop=1.0, max_retries=2)
+        )
+        result = allocator.run(5)
+        counters = result.counters
+        # Every measurement skipped after retries; nothing measured.
+        assert counters["measurement_skipped"] == 5 * 2 * 3  # epochs*agents*(1+expl)
+        assert counters["measurement_retry"] == counters["measurement_skipped"] * 2
+        assert all(not record.measured_ipc for record in result.records)
+        # Reports stay on the naive prior; allocations stay feasible.
+        assert result.records[-1].reported_alpha["dedup"] == pytest.approx([0.5, 0.5])
+        assert result.all_feasible()
+
+    def test_outlier_faults_gated(self):
+        from repro.dynamic import FaultSpec
+
+        result = self.fault_allocator(
+            faults=FaultSpec(outlier=0.15, outlier_scale=100.0)
+        ).run(40)
+        assert result.counters.get("sample_rejected_outlier", 0) > 0
+        # Despite the spikes the fits stay close to the clean run's.
+        clean = static_allocator(seed=13).run(40)
+        noisy_report = result.records[-1].reported_alpha["dedup"]
+        clean_report = clean.records[-1].reported_alpha["dedup"]
+        assert np.max(np.abs(noisy_report - clean_report)) < 0.2
+
+    def test_fit_condition_numbers_recorded(self):
+        result = static_allocator().run(8)
+        conditions = result.condition_series("dedup")
+        assert np.any(np.isfinite(conditions))
+        assert np.all(conditions[np.isfinite(conditions)] >= 1.0)
+
+    def test_event_log_ordering(self):
+        result = self.fault_allocator().run(10)
+        epochs = [event.epoch for event in result.events]
+        assert epochs == sorted(epochs)
+
+
+class TestAcceptance:
+    def test_200_epoch_churn_fault_run(self):
+        """ISSUE 2 acceptance: 200 epochs, churn, 10% faults, zero
+
+        crashes, every enforced allocation feasible, counters present."""
+        from repro.dynamic import ChurnEvent, ChurnSchedule, FaultSpec
+
+        churn = ChurnSchedule(
+            [
+                ChurnEvent(40, "add", "late1", get_workload("canneal")),
+                ChurnEvent(90, "add", "late2", get_workload("raytrace")),
+                ChurnEvent(120, "remove", "late1"),
+                ChurnEvent(160, "remove", "dedup"),
+            ]
+        )
+        allocator = DynamicAllocator(
+            {
+                "freqmine": get_workload("freqmine"),
+                "dedup": get_workload("dedup"),
+            },
+            capacities=CAPACITIES,
+            seed=2014,
+            faults=FaultSpec(drop=0.04, non_positive=0.03, outlier=0.03),
+        )
+        result = allocator.run(200, churn=churn)
+        assert result.n_epochs == 200
+        for record in result.records:
+            assert record.enforced.is_feasible()
+        counters = result.counters
+        assert counters["agent_added"] == 2
+        assert counters["agent_removed"] == 2
+        assert counters.get("measurement_retry", 0) > 0
+        assert counters.get("sample_rejected_outlier", 0) > 0
+        # The survivors still learned sensible (finite, normalized) reports.
+        final = result.records[-1]
+        for name in final.agents:
+            report = final.reported_alpha[name]
+            assert np.all(np.isfinite(report))
+            assert report.sum() == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Tests for the measurement-fault injection layer."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.faults import FaultInjector, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_defaults_are_inactive(self):
+        spec = FaultSpec()
+        assert not spec.is_active
+        assert spec.total_rate == 0.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="drop"):
+            FaultSpec(drop=1.5)
+        with pytest.raises(ValueError, match="non_positive"):
+            FaultSpec(non_positive=-0.1)
+
+    def test_rejects_rates_summing_above_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultSpec(drop=0.5, non_positive=0.4, outlier=0.2)
+
+    def test_rejects_bad_outlier_scale(self):
+        with pytest.raises(ValueError, match="outlier_scale"):
+            FaultSpec(outlier_scale=0.5)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultSpec(max_retries=-1)
+
+    def test_backoff_schedule_grows(self):
+        spec = FaultSpec(backoff_base=0.5, backoff_factor=2.0)
+        assert spec.backoff(0) == pytest.approx(0.5)
+        assert spec.backoff(2) == pytest.approx(2.0)
+
+
+class TestFaultInjector:
+    def test_inactive_spec_passes_through(self):
+        injector = FaultInjector(FaultSpec(), seed=1)
+        assert all(injector.corrupt(2.5) == 2.5 for _ in range(100))
+
+    def test_fault_rates_roughly_respected(self):
+        spec = FaultSpec(drop=0.1, non_positive=0.1, outlier=0.1)
+        injector = FaultInjector(spec, seed=42)
+        n = 10_000
+        for _ in range(n):
+            injector.corrupt(1.0)
+        for mode in ("drop", "non_positive", "outlier"):
+            assert injector.injected[mode] == pytest.approx(0.1 * n, rel=0.15)
+
+    def test_drop_returns_none(self):
+        injector = FaultInjector(FaultSpec(drop=1.0), seed=0)
+        assert injector.corrupt(1.0) is None
+
+    def test_non_positive_faults_are_non_positive(self):
+        injector = FaultInjector(FaultSpec(non_positive=1.0), seed=0)
+        values = [injector.corrupt(3.0) for _ in range(50)]
+        assert all(v <= 0 for v in values)
+
+    def test_outlier_faults_are_wildly_scaled(self):
+        injector = FaultInjector(FaultSpec(outlier=1.0, outlier_scale=50.0), seed=0)
+        values = [injector.corrupt(1.0) for _ in range(50)]
+        assert all(
+            value == pytest.approx(50.0) or value == pytest.approx(0.02)
+            for value in values
+        )
+        assert {round(v, 6) for v in values} == {50.0, 0.02}
+
+    def test_deterministic_given_seed(self):
+        spec = FaultSpec(drop=0.3, outlier=0.3)
+        a = FaultInjector(spec, seed=5)
+        b = FaultInjector(spec, seed=5)
+        sequence_a = [a.corrupt(1.0) for _ in range(200)]
+        sequence_b = [b.corrupt(1.0) for _ in range(200)]
+        assert sequence_a == sequence_b

@@ -54,3 +54,51 @@ class TestSchedule:
         workload = PhasedWorkload("s", [Phase(get_workload("canneal"), 2)])
         assert workload.phase_boundaries(20) == []
         assert workload.spec_at(17).name == "canneal"
+
+
+class TestChurnSchedule:
+    def test_events_sorted_by_epoch(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+        from repro.workloads import get_workload
+
+        schedule = ChurnSchedule(
+            [
+                ChurnEvent(9, "remove", "b"),
+                ChurnEvent(2, "add", "a", get_workload("dedup")),
+            ]
+        )
+        assert [event.epoch for event in schedule.events] == [2, 9]
+        assert schedule.last_epoch == 9
+
+    def test_at_returns_adds_before_removes(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+        from repro.workloads import get_workload
+
+        schedule = ChurnSchedule(
+            [
+                ChurnEvent(4, "remove", "old"),
+                ChurnEvent(4, "add", "new", get_workload("dedup")),
+            ]
+        )
+        actions = [event.action for event in schedule.at(4)]
+        assert actions == ["add", "remove"]
+        assert schedule.at(3) == ()
+
+    def test_add_requires_workload(self):
+        from repro.dynamic import ChurnEvent
+
+        with pytest.raises(ValueError, match="workload"):
+            ChurnEvent(0, "add", "a")
+
+    def test_bad_action_rejected(self):
+        from repro.dynamic import ChurnEvent
+
+        with pytest.raises(ValueError, match="action"):
+            ChurnEvent(0, "swap", "a")
+
+    def test_empty_schedule(self):
+        from repro.dynamic import ChurnSchedule
+
+        schedule = ChurnSchedule()
+        assert schedule.last_epoch == -1
+        assert schedule.at(0) == ()

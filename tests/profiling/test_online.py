@@ -101,9 +101,129 @@ class TestValidation:
         with pytest.raises(ValueError, match="shape"):
             profiler.observe((1.0, 2.0, 3.0), 1.0)
 
-    def test_rejects_non_positive_observation(self):
+    def test_rejects_bad_weight_floor(self):
+        with pytest.raises(ValueError, match="weight_floor"):
+            OnlineProfiler(weight_floor=0.0)
+
+    def test_rejects_bad_outlier_threshold(self):
+        with pytest.raises(ValueError, match="outlier_log_threshold"):
+            OnlineProfiler(outlier_log_threshold=-1.0)
+
+
+class TestSampleRejection:
+    """Non-positive / non-finite samples are skipped, not raised (§4.4 loop
+
+    must survive a bad measurement)."""
+
+    def test_non_positive_samples_skipped_and_counted(self):
         profiler = OnlineProfiler()
-        with pytest.raises(ValueError, match="strictly positive"):
-            profiler.observe((1.0, 2.0), 0.0)
-        with pytest.raises(ValueError, match="strictly positive"):
-            profiler.observe((0.0, 2.0), 1.0)
+        for bad in [((1.0, 2.0), 0.0), ((0.0, 2.0), 1.0), ((1.0, 2.0), -3.0)]:
+            utility = profiler.observe(*bad)
+            assert utility.elasticities == (0.5, 0.5)
+        assert profiler.n_samples == 0
+        assert profiler.counters["rejected_non_positive"] == 3
+
+    def test_non_finite_samples_skipped_and_counted(self):
+        profiler = OnlineProfiler()
+        profiler.observe((1.0, 2.0), float("nan"))
+        profiler.observe((float("inf"), 2.0), 1.0)
+        assert profiler.n_samples == 0
+        assert profiler.counters["rejected_non_positive"] == 2
+
+    def test_rejection_does_not_poison_convergence(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.7, 0.3), 10)
+        profiler.observe((1.0, 2.0), -1.0)
+        feed_synthetic(profiler, (0.7, 0.3), 10, seed=5)
+        assert profiler.utility.elasticities == pytest.approx((0.7, 0.3), rel=1e-6)
+
+
+class TestBoundedHistory:
+    def test_history_bounded_with_decay(self):
+        profiler = OnlineProfiler(decay=0.5, weight_floor=1e-6)
+        feed_synthetic(profiler, (0.6, 0.4), 200)
+        # log(1e-6)/log(0.5) ~ 19.9 -> at most 20 samples retained.
+        assert profiler.n_samples <= 20
+        assert profiler.counters["trimmed_samples"] >= 180
+
+    def test_history_unbounded_without_decay(self):
+        profiler = OnlineProfiler(decay=1.0)
+        feed_synthetic(profiler, (0.6, 0.4), 200)
+        assert profiler.n_samples == 200
+
+    def test_trimming_leaves_fit_unchanged_within_tolerance(self):
+        # Dropped samples carry weight < weight_floor, so the bounded
+        # profiler's fit must match the unbounded reference closely.
+        bounded = OnlineProfiler(decay=0.8, weight_floor=1e-9)
+        reference = OnlineProfiler(decay=0.8, weight_floor=1e-300)
+        feed_synthetic(bounded, (0.7, 0.3), 300, noise=0.02)
+        feed_synthetic(reference, (0.7, 0.3), 300, noise=0.02)
+        assert bounded.n_samples < reference.n_samples
+        assert bounded.report_elasticities() == pytest.approx(
+            reference.report_elasticities(), abs=1e-4
+        )
+
+
+class TestDegenerateFitGuard:
+    def test_condition_number_exposed(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.6, 0.4), 10)
+        assert np.isfinite(profiler.last_condition_number)
+        assert profiler.last_condition_number >= 1.0
+
+    def test_ill_conditioned_fit_falls_back_to_last_good(self):
+        profiler = OnlineProfiler(max_condition=50.0, min_samples=4, decay=0.5)
+        feed_synthetic(profiler, (0.7, 0.3), 12)
+        good = profiler.utility
+        # Collinear follow-up samples (x == y) age the informative ones
+        # out of the bounded history and make the design degenerate; the
+        # profiler must keep the last good fit.
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            base = rng.uniform(1.0, 8.0)
+            profiler.observe((base, base), base + rng.normal(0, 1e-9))
+        assert profiler.counters["fit_fallbacks"] > 0
+        assert profiler.utility.elasticities == pytest.approx(
+            good.elasticities, rel=1e-6
+        )
+
+    def test_fallback_to_naive_prior_when_never_fit(self):
+        profiler = OnlineProfiler(max_condition=1.0 + 1e-12, min_samples=4)
+        feed_synthetic(profiler, (0.7, 0.3), 12)
+        # Every fit is "too ill-conditioned": the naive prior survives.
+        assert profiler.utility.elasticities == (0.5, 0.5)
+        assert profiler.counters["fit_fallbacks"] > 0
+
+
+class TestOutlierGate:
+    def test_outliers_rejected_once_fit_exists(self):
+        profiler = OnlineProfiler(outlier_log_threshold=2.0)
+        feed_synthetic(profiler, (0.6, 0.4), 20)
+        before = profiler.n_samples
+        profiler.observe((2.0, 2.0), 1e6)
+        assert profiler.n_samples == before
+        assert profiler.counters["rejected_outliers"] == 1
+
+    def test_gate_disabled_by_default(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.6, 0.4), 20)
+        before = profiler.n_samples
+        profiler.observe((2.0, 2.0), 1e6)
+        assert profiler.n_samples == before + 1
+
+    def test_sustained_shift_admitted_as_phase_change(self):
+        profiler = OnlineProfiler(
+            outlier_log_threshold=1.0, max_consecutive_outliers=3, decay=0.7
+        )
+        feed_synthetic(profiler, (0.6, 0.4), 20)
+        # A persistent 100x IPC jump: the first two samples are gated,
+        # the third is admitted (regime change), and the fit recovers.
+        utility = CobbDouglasUtility((0.6, 0.4), scale=100.0)
+        rng = np.random.default_rng(9)
+        accepted_before = profiler.n_samples
+        for _ in range(30):
+            allocation = rng.uniform(0.5, 20.0, size=2)
+            profiler.observe(allocation, utility.value(allocation))
+        assert profiler.counters["rejected_outliers"] >= 2
+        assert profiler.n_samples > accepted_before
+        assert profiler.last_fit.utility.scale == pytest.approx(100.0, rel=0.3)

@@ -90,3 +90,40 @@ class TestBuildEnforcement:
         flipped = proportional_elasticity(flipped_problem)
         plan = build_enforcement(flipped, L2, bandwidth_resource=1, cache_resource=0)
         assert plan.bandwidth_weights["user1"] == pytest.approx(18.0)
+
+
+class TestEnforcementFloors:
+    def _starved_allocation(self):
+        problem = AllocationProblem(
+            agents=[
+                Agent("rich", CobbDouglasUtility((0.5, 0.5))),
+                Agent("poor", CobbDouglasUtility((0.5, 0.5))),
+            ],
+            capacities=(24.0, 2048.0),
+        )
+        import numpy as np
+
+        shares = np.array([[24.0, 2048.0], [0.0, 0.0]])
+        from repro.core.mechanism import Allocation
+
+        return Allocation(problem=problem, shares=shares)
+
+    def test_zero_share_crashes_without_floors(self):
+        with pytest.raises(ValueError, match="positive"):
+            build_enforcement(self._starved_allocation(), L2)
+
+    def test_floors_make_degenerate_allocation_schedulable(self):
+        plan = build_enforcement(
+            self._starved_allocation(), L2, floors=(0.4, 64.0)
+        )
+        assert plan.bandwidth_weights["poor"] == pytest.approx(0.4)
+        assert plan.way_assignment["poor"] >= 1
+        assert sum(plan.way_assignment.values()) == L2.ways
+        # The rich agent paid for the floor; totals stay within capacity.
+        assert sum(plan.bandwidth_weights.values()) == pytest.approx(24.0)
+
+    def test_floors_are_noop_for_healthy_allocations(self, allocation):
+        plain = build_enforcement(allocation, L2)
+        floored = build_enforcement(allocation, L2, floors=(0.4, 64.0))
+        assert floored.bandwidth_weights == pytest.approx(plain.bandwidth_weights)
+        assert floored.way_assignment == plain.way_assignment

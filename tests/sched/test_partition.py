@@ -86,3 +86,53 @@ class TestBuildPartitionedCaches:
         config = CacheConfig(size_kb=2048, ways=8)
         with pytest.raises(ValueError, match="ways"):
             build_partitioned_caches(config, {"a": 6, "b": 4})
+
+
+class TestPartitionEdgeCases:
+    """Degenerate corners a reallocation service hits every epoch."""
+
+    def test_as_many_ways_as_agents(self):
+        shares = {"a": 0.7, "b": 0.2, "c": 0.08, "d": 0.02}
+        assignment = partition_ways(shares, n_ways=4)
+        assert assignment == {"a": 1, "b": 1, "c": 1, "d": 1}
+
+    def test_one_way_floor_shaving_with_many_tiny_shares(self):
+        # Seven dust shares force the floor to claim 7 of 8 ways; the
+        # dominant agent is shaved all the way down to the last one.
+        shares = {"big": 0.93}
+        shares.update({f"t{i}": 0.01 for i in range(7)})
+        assignment = partition_ways(shares, n_ways=8)
+        assert sum(assignment.values()) == 8
+        assert all(v >= 1 for v in assignment.values())
+        assert assignment["big"] == 1
+
+    def test_remainder_ties_are_deterministic(self):
+        # Ideal ways 3, 1.5, 1.5: the spare way must go to the same
+        # agent on every call.
+        shares = {"a": 0.5, "b": 0.25, "c": 0.25}
+        first = partition_ways(shares, n_ways=6)
+        assert sum(first.values()) == 6
+        for _ in range(10):
+            assert partition_ways(shares, n_ways=6) == first
+
+    def test_insertion_order_does_not_change_assignment(self):
+        import itertools
+
+        shares = {"a": 0.4, "b": 0.25, "c": 0.2, "d": 0.15}
+        reference = partition_ways(shares, n_ways=7)
+        for order in itertools.permutations(shares):
+            shuffled = {name: shares[name] for name in order}
+            assert partition_ways(shuffled, n_ways=7) == reference
+
+    def test_insertion_order_determinism_with_equal_shares(self):
+        import itertools
+
+        shares = {name: 0.25 for name in ("w", "x", "y", "z")}
+        reference = partition_ways(shares, n_ways=6)
+        for order in itertools.permutations(shares):
+            shuffled = {name: shares[name] for name in order}
+            assert partition_ways(shuffled, n_ways=6) == reference
+
+    def test_result_preserves_input_key_order(self):
+        shares = {"z": 0.5, "a": 0.5}
+        assert list(partition_ways(shares, n_ways=4)) == ["z", "a"]

@@ -245,3 +245,59 @@ class TestPipelineFlags:
         assert code == 0
         assert "simulated_points=0" in warm_stats
         assert "disk_hits=28" in warm_stats
+
+
+class TestDynamic:
+    def test_clean_run_summary(self, capsys):
+        code, out = run_cli(
+            capsys, "dynamic", "--epochs", "5", "--workloads", "freqmine,dedup"
+        )
+        assert code == 0
+        assert "epochs run:        5" in out
+        assert "final enforced allocation" in out
+        assert "dynamic-service: epochs=5 feasible=True" in out
+
+    def test_fault_injection_and_churn(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "dynamic",
+            "--epochs", "30",
+            "--fault-drop", "0.05",
+            "--fault-non-positive", "0.03",
+            "--fault-outlier", "0.02",
+            "--churn", "10:add:late=canneal",
+            "--churn", "20:remove:late",
+            "--events", "3",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "agent_added" in out
+        assert "agent_removed" in out
+        assert "feasible=True" in out
+        assert "last 3 events:" in out
+
+    def test_json_output(self, capsys):
+        code, out = run_cli(
+            capsys, "dynamic", "--epochs", "4", "--json", "--fault-drop", "0.1"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["epochs"] == 4
+        assert payload["feasible"] is True
+        assert set(payload["final_allocation"]) == {"freqmine", "dedup"}
+
+    def test_duplicate_workloads_get_suffixes(self, capsys):
+        code, out = run_cli(
+            capsys, "dynamic", "--epochs", "2", "--workloads", "dedup,dedup", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload["agents"]) == {"dedup", "dedup_2"}
+
+    def test_bad_churn_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamic", "--churn", "nonsense"])
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["dynamic", "--workloads", "doom"])
