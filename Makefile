@@ -5,7 +5,7 @@ JOBS ?= 2
 SMOKE_CACHE := .repro-smoke-cache
 SMOKE_ARTIFACTS := fig8a fig9 table2
 
-.PHONY: install test bench examples reproduce lint smoke dynamic-smoke ci clean
+.PHONY: install test bench examples reproduce lint smoke dynamic-smoke metrics-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -52,13 +52,30 @@ dynamic-smoke:
 	grep -q "feasible=True" $(SMOKE_CACHE).dynamic.txt
 	@echo "dynamic-smoke OK: 200 faulty, churning epochs; all feasible"
 
+# The metrics leg of the CI dynamic-smoke job, runnable locally: a
+# 50-epoch dynamic run must export a metrics file whose epoch-latency
+# histogram covers every epoch, and the Prometheus rendering must pass
+# the bundled strict exposition-format parser.
+metrics-smoke:
+	$(PYTHON) -m repro dynamic --epochs 50 --seed 2014 \
+		--metrics-out $(SMOKE_CACHE).metrics.json
+	$(PYTHON) -c "import json; from repro.obs import MetricsRegistry; \
+		r = MetricsRegistry.from_dict(json.load(open('$(SMOKE_CACHE).metrics.json'))); \
+		h = r.get('repro_dynamic_epoch_latency_seconds'); \
+		assert h is not None and h.count == 50, h"
+	$(PYTHON) -m repro metrics $(SMOKE_CACHE).metrics.json --format prometheus \
+		| $(PYTHON) -c "import sys; from repro.obs import parse_prometheus_text; \
+		print(len(parse_prometheus_text(sys.stdin.read())), 'samples parse OK')"
+	@echo "metrics-smoke OK: 50 epochs exported, covered and scrapeable"
+
 # Mirrors .github/workflows/ci.yml locally.
 ci: lint
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) smoke
 	$(MAKE) dynamic-smoke
+	$(MAKE) metrics-smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
-	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt
+	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt $(SMOKE_CACHE).*.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -20,6 +20,11 @@ Subcommands (``python -m repro <command> --help`` for details):
   (§4.4) with agent churn and injected measurement faults; prints the
   event log counters and the final enforced allocation.
 * ``reproduce`` — regenerate any paper figure/table by id.
+* ``metrics`` — render a ``--metrics-out`` JSON file (or the live
+  registry) as a table, JSON, or Prometheus text exposition.
+
+Every profiler-backed command and ``dynamic`` accept
+``--metrics-out FILE`` to dump the run's collected metrics as JSON.
 """
 
 from __future__ import annotations
@@ -41,6 +46,14 @@ from .core import (
 from .core.mechanism import Agent, AllocationProblem
 from .core.spl import best_response
 from .core.utility import CobbDouglasUtility
+from .obs import (
+    MetricsRegistry,
+    global_registry,
+    render_table,
+    to_json,
+    to_prometheus,
+    write_json,
+)
 from .optimize import MECHANISMS, drf_allocation, equal_slowdown, max_nash_welfare
 from .profiling import OfflineProfiler, Profile
 from .workloads import (
@@ -79,6 +92,10 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk profile cache",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the run's collected metrics as JSON to this path",
+    )
 
 
 def _resolve_cache_dir(args) -> Optional[str]:
@@ -88,13 +105,31 @@ def _resolve_cache_dir(args) -> Optional[str]:
 
 
 def _make_profiler(args) -> OfflineProfiler:
-    """Build the shared profiler from a command's pipeline flags."""
+    """Build the shared profiler from a command's pipeline flags.
+
+    Profiler metrics land on the process-global registry, alongside the
+    solver metrics, so one ``--metrics-out`` file captures the run.
+    """
     return OfflineProfiler(
         noise_sigma=getattr(args, "noise", 0.01),
         seed=getattr(args, "seed", 2014),
         jobs=args.jobs,
         cache_dir=_resolve_cache_dir(args),
+        metrics=global_registry(),
     )
+
+
+def _export_metrics(args, *registries: MetricsRegistry, spans=None) -> None:
+    """Write the merged global + per-component registries to --metrics-out."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    merged = MetricsRegistry()
+    merged.merge(global_registry())
+    for registry in registries:
+        merged.merge(registry)
+    write_json(merged, path, spans=spans)
+    print(f"wrote metrics to {path}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the last N event-log entries",
     )
     dynamic.add_argument("--json", action="store_true")
+    dynamic.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the service's metrics (and epoch span trees) as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render collected metrics as a table, JSON, or Prometheus text",
+    )
+    metrics.add_argument(
+        "file",
+        nargs="?",
+        help="metrics JSON written by --metrics-out (default: live registry)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["table", "json", "prometheus"],
+        default="table",
+        help="output format (default: table)",
+    )
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate paper figures/tables (or list them)"
@@ -254,6 +309,7 @@ def _cmd_profile(args) -> int:
         print(f"wrote {profile.n_samples}-point profile to {args.output}")
     else:
         print(json.dumps(profile.as_dict(), indent=2))
+    _export_metrics(args)
     return 0
 
 
@@ -287,12 +343,14 @@ def _cmd_fit(args) -> int:
         )
         print(f"re-scaled: a_mem = {alpha[0]:.3f}, a_cache = {alpha[1]:.3f}")
         print(f"R^2 = {fit.r_squared:.3f} over {fit.n_samples} samples")
+    _export_metrics(args)
     return 0
 
 
 def _cmd_classify(args) -> int:
     with _make_profiler(args) as profiler:
         prefs = classify_many(profiler.fit_suite())
+    _export_metrics(args)
     if args.json:
         print(
             json.dumps(
@@ -323,6 +381,7 @@ def _cmd_fit_suite(args) -> int:
         fits = profiler.fit_suite()
     io.save_json(io.suite_to_dict(fits), args.output)
     print(f"wrote {len(fits)} fits to {args.output}")
+    _export_metrics(args)
     return 0
 
 
@@ -367,6 +426,7 @@ def _cmd_allocate(args) -> int:
     problem = _build_problem(args)
     allocation = CLI_MECHANISMS[args.mechanism](problem)
     report = check_fairness(allocation, pe_rtol=1e-2)
+    _export_metrics(args)
     if args.json:
         print(
             json.dumps(
@@ -402,6 +462,7 @@ def _cmd_evaluate(args) -> int:
             f"{name:<38} throughput {weighted_system_throughput(allocation):7.4f}  "
             f"SI={report.sharing_incentives} EF={report.envy_free}"
         )
+    _export_metrics(args)
     return 0
 
 
@@ -552,6 +613,9 @@ def _cmd_dynamic(args) -> int:
     result = allocator.run(args.epochs, churn=churn if churn.events else None)
     feasible = result.all_feasible()
     counters = result.counters
+    _export_metrics(
+        args, allocator.metrics, spans=allocator.tracer.spans_as_dicts()
+    )
     if args.json:
         final = result.records[-1]
         print(
@@ -590,6 +654,28 @@ def _cmd_dynamic(args) -> int:
     return 0 if feasible else 1
 
 
+def _cmd_metrics(args) -> int:
+    if args.file:
+        with open(args.file) as handle:
+            registry = MetricsRegistry.from_dict(json.load(handle))
+    else:
+        registry = global_registry()
+        # Keep the no-file view non-empty (and scrapeable) even in a
+        # fresh process: expose the package version as build info.
+        from . import __version__
+
+        registry.gauge(
+            "repro_build_info", help="Package build metadata.", version=__version__
+        ).set(1.0)
+    if args.format == "json":
+        print(to_json(registry))
+    elif args.format == "prometheus":
+        print(to_prometheus(registry), end="")
+    else:
+        print(render_table(registry))
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from .experiments import list_experiments, run_experiment_batch
 
@@ -611,6 +697,7 @@ def _cmd_reproduce(args) -> int:
         # Greppable provenance line for CI cache assertions; stderr so
         # stdout stays byte-comparable across serial/parallel/warm runs.
         print(f"[profiler] {profiler.stats.summary()}", file=sys.stderr)
+    _export_metrics(args)
     return 0
 
 
@@ -620,6 +707,7 @@ _COMMANDS = {
     "fit-suite": _cmd_fit_suite,
     "cosim": _cmd_cosim,
     "dynamic": _cmd_dynamic,
+    "metrics": _cmd_metrics,
     "reproduce": _cmd_reproduce,
     "classify": _cmd_classify,
     "allocate": _cmd_allocate,
@@ -631,7 +719,13 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; point the fd at
+        # /dev/null so interpreter shutdown doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -51,6 +51,7 @@ from ..core.mechanism import (
     apply_allocation_floors,
     proportional_elasticity,
 )
+from ..obs import MetricsRegistry, Tracer, timed
 from ..profiling.online import OnlineProfiler
 from ..sim.analytic import AnalyticMachine
 from .faults import FaultInjector, FaultSpec
@@ -234,6 +235,12 @@ class DynamicAllocator:
     max_condition:
         Fit condition-number bound; ill-conditioned re-fits are
         discarded and the last good utility kept.
+    metrics:
+        :class:`~repro.obs.MetricsRegistry` receiving the controller's
+        telemetry (epoch latency histogram, per-kind event counters,
+        per-agent profiler counters).  ``None`` (default) creates a
+        private registry, exposed as ``allocator.metrics``; its event
+        counters therefore match ``ControllerResult.counters`` exactly.
     """
 
     #: Lower bounds keeping every agent inside the profiled regime.
@@ -252,6 +259,7 @@ class DynamicAllocator:
         faults: Optional[FaultSpec] = None,
         outlier_log_threshold: Optional[float] = None,
         max_condition: Optional[float] = 1e8,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not workloads:
             raise ValueError("at least one agent is required")
@@ -274,7 +282,9 @@ class DynamicAllocator:
         self._injector = (
             FaultInjector(faults, seed=seed) if faults is not None and faults.is_active else None
         )
-        self._profilers = {name: self._new_profiler() for name in self.workloads}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer(metrics=self.metrics)
+        self._profilers = {name: self._new_profiler(name) for name in self.workloads}
         self._next_epoch = 0
 
     # ------------------------------------------------------------------
@@ -290,7 +300,7 @@ class DynamicAllocator:
         if name in self.workloads:
             raise ValueError(f"agent {name!r} already exists")
         self.workloads[name] = workload
-        self._profilers[name] = self._new_profiler()
+        self._profilers[name] = self._new_profiler(name)
 
     def remove_agent(self, name: str) -> None:
         """Retire an agent; capacity is re-divided from the next epoch."""
@@ -305,13 +315,24 @@ class DynamicAllocator:
     def agent_names(self) -> Tuple[str, ...]:
         return tuple(self.workloads)
 
-    def _new_profiler(self) -> OnlineProfiler:
+    def _new_profiler(self, name: str) -> OnlineProfiler:
         return OnlineProfiler(
             n_resources=2,
             decay=self._decay,
             outlier_log_threshold=self._outlier_log_threshold,
             max_condition=self._max_condition,
+            metrics=self.metrics,
+            metric_labels={"agent": name},
         )
+
+    def _record_events(self, events) -> None:
+        """Mirror structured events into per-kind counters."""
+        for event in events:
+            self.metrics.counter(
+                "repro_dynamic_events_total",
+                help="Structured controller events by kind.",
+                kind=event.kind,
+            ).inc()
 
     # ------------------------------------------------------------------
     # Measurement (with fault injection and bounded retry)
@@ -420,16 +441,31 @@ class DynamicAllocator:
         """Run one epoch: allocate on current reports, enforce floors,
 
         measure under fault injection, and update the profilers."""
+        with timed(self.metrics, "repro_dynamic_epoch_latency_seconds"):
+            with self.tracer.span("epoch", epoch=epoch):
+                record = self._step(epoch)
+        self.metrics.counter(
+            "repro_dynamic_epochs_total", help="Epochs stepped by the controller."
+        ).inc()
+        self.metrics.gauge(
+            "repro_dynamic_agents", help="Agents present in the last stepped epoch."
+        ).set(len(record.agents))
+        self._record_events(record.events)
+        return record
+
+    def _step(self, epoch: int) -> EpochRecord:
         events: List[EpochEvent] = []
         names = list(self.workloads)
-        allocation = self._allocate(epoch, events)
+        with self.tracer.span("allocate"):
+            allocation = self._allocate(epoch, events)
         floors = (self.MIN_BANDWIDTH_GBPS, self.MIN_CACHE_KB)
         # Feasible floor enforcement: transient mis-fits can starve an
         # agent toward a zero share, and log-space leverage points there
         # would poison the regression (a feedback spiral).  Projection
         # takes the excess from richer agents, so — unlike a per-agent
         # clamp — the enforced bundles never exceed capacity.
-        enforced = apply_allocation_floors(allocation, floors)
+        with self.tracer.span("enforce"):
+            enforced = apply_allocation_floors(allocation, floors)
         if not np.allclose(enforced.shares, allocation.shares, rtol=1e-9, atol=1e-12):
             lifted = int(np.sum(np.any(allocation.shares < enforced.shares - 1e-12, axis=1)))
             events.append(
@@ -443,31 +479,32 @@ class DynamicAllocator:
         measured: Dict[str, float] = {}
         reported: Dict[str, np.ndarray] = {}
         conditions: Dict[str, float] = {}
-        for index, name in enumerate(names):
-            spec = self._spec_at(self.workloads[name], epoch)
-            bandwidth, cache_kb = enforced.shares[index]
-            profiler = self._profilers[name]
-            reported[name] = profiler.report_elasticities().copy()
-            before = profiler.counters
-            value = self._measure_with_retry(
-                spec, bandwidth, cache_kb, epoch, name, events
-            )
-            if value is not None:
-                measured[name] = value
-                profiler.observe((bandwidth, cache_kb), value)
-            self._explore(spec, profiler, epoch, name, events)
-            after = profiler.counters
-            for counter_key, kind in (
-                ("rejected_non_positive", "sample_rejected_non_positive"),
-                ("rejected_outliers", "sample_rejected_outlier"),
-                ("fit_fallbacks", "fit_fallback"),
-            ):
-                delta = after[counter_key] - before[counter_key]
-                if delta > 0:
-                    events.append(
-                        EpochEvent(epoch, kind, name, f"{delta} this epoch")
-                    )
-            conditions[name] = profiler.last_condition_number
+        with self.tracer.span("measure"):
+            for index, name in enumerate(names):
+                spec = self._spec_at(self.workloads[name], epoch)
+                bandwidth, cache_kb = enforced.shares[index]
+                profiler = self._profilers[name]
+                reported[name] = profiler.report_elasticities().copy()
+                before = profiler.counters
+                value = self._measure_with_retry(
+                    spec, bandwidth, cache_kb, epoch, name, events
+                )
+                if value is not None:
+                    measured[name] = value
+                    profiler.observe((bandwidth, cache_kb), value)
+                self._explore(spec, profiler, epoch, name, events)
+                after = profiler.counters
+                for counter_key, kind in (
+                    ("rejected_non_positive", "sample_rejected_non_positive"),
+                    ("rejected_outliers", "sample_rejected_outlier"),
+                    ("fit_fallbacks", "fit_fallback"),
+                ):
+                    delta = after[counter_key] - before[counter_key]
+                    if delta > 0:
+                        events.append(
+                            EpochEvent(epoch, kind, name, f"{delta} this epoch")
+                        )
+                conditions[name] = profiler.last_condition_number
         return EpochRecord(
             epoch=epoch,
             reported_alpha=reported,
@@ -508,6 +545,7 @@ class DynamicAllocator:
             churn_events: List[EpochEvent] = []
             if churn is not None:
                 self._apply_churn(churn, epoch, churn_events)
+                self._record_events(churn_events)
             record = self.step(epoch)
             if churn_events:
                 record = EpochRecord(

@@ -1,0 +1,57 @@
+"""Observability: metrics, tracing and exporters for the REF service.
+
+A dependency-free (stdlib + nothing) telemetry layer shared by every
+hot path in the reproduction:
+
+* :class:`MetricsRegistry` — named counters, gauges and histograms
+  (fixed Prometheus-style buckets plus a bounded sample reservoir for
+  quantiles), with labels, JSON round-trips and registry merging;
+* :class:`Tracer` / :func:`timed` — ``with``-block tracing producing
+  hierarchical :class:`SpanRecord` trees and latency histograms;
+* :mod:`repro.obs.export` — JSON and Prometheus text-format exporters
+  (plus a strict text-format parser used by tests and CI).
+
+Producers either accept an explicit registry (``OfflineProfiler``,
+``OnlineProfiler``, ``DynamicAllocator``) or fall back to the
+process-global registry (:func:`global_registry`) when none can be
+threaded through, as in :func:`repro.optimize.logspace.solve`.
+
+See ``docs/observability.md`` for the metric catalogue and span
+semantics.
+"""
+
+from .export import (
+    parse_prometheus_text,
+    render_table,
+    to_json,
+    to_prometheus,
+    write_json,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    set_global_registry,
+)
+from .spans import SpanRecord, Tracer, timed
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "global_registry",
+    "parse_prometheus_text",
+    "render_table",
+    "set_global_registry",
+    "timed",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+]

@@ -1,0 +1,227 @@
+"""Exporters: registry → JSON file / Prometheus text format / table.
+
+The JSON form is ``MetricsRegistry.as_dict()`` plus an optional
+``"spans"`` key (the dynamic service's per-epoch span trees); it
+round-trips through ``MetricsRegistry.from_dict`` and is what
+``--metrics-out`` writes and ``python -m repro metrics FILE`` reads.
+
+The Prometheus form follows the text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` comments, escaped label values,
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  :func:`parse_prometheus_text` is a strict
+parser for that grammar, used by tests and the CI smoke job to prove
+the output is scrapeable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .registry import MetricsRegistry
+from .spans import SpanRecord
+
+__all__ = [
+    "parse_prometheus_text",
+    "render_table",
+    "to_json",
+    "to_prometheus",
+    "write_json",
+]
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus-legal rendering of a float."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in labels)
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.children):
+            child = family.children[key]
+            if family.kind in ("counter", "gauge"):
+                lines.append(
+                    f"{family.name}{_render_labels(key)} {_format_value(child.value)}"
+                )
+            else:
+                cumulative = 0
+                for bound, bucket_count in zip(child.buckets, child.bucket_counts):
+                    cumulative += bucket_count
+                    labels = key + (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{family.name}_bucket{_render_labels(labels)} {cumulative}"
+                    )
+                labels = key + (("le", "+Inf"),)
+                lines.append(f"{family.name}_bucket{_render_labels(labels)} {child.count}")
+                lines.append(
+                    f"{family.name}_sum{_render_labels(key)} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_render_labels(key)} {child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(
+    registry: MetricsRegistry,
+    spans: Optional[Sequence[Union[SpanRecord, Dict[str, object]]]] = None,
+    indent: int = 2,
+) -> str:
+    """Serialize a registry (and optional span trees) to a JSON string."""
+    payload = registry.as_dict()
+    if spans is not None:
+        payload["spans"] = [
+            span.as_dict() if isinstance(span, SpanRecord) else span for span in spans
+        ]
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def write_json(
+    registry: MetricsRegistry,
+    path: str,
+    spans: Optional[Sequence[Union[SpanRecord, Dict[str, object]]]] = None,
+) -> None:
+    """Write :func:`to_json` output to ``path`` (the ``--metrics-out`` file)."""
+    with open(path, "w") as handle:
+        handle.write(to_json(registry, spans=spans))
+        handle.write("\n")
+
+
+def render_table(registry: MetricsRegistry) -> str:
+    """Human-readable summary table (the default ``repro metrics`` view)."""
+    rows: List[Tuple[str, str, str]] = []
+    for family in registry.families():
+        for key in sorted(family.children):
+            child = family.children[key]
+            name = f"{family.name}{_render_labels(key)}"
+            if family.kind == "histogram":
+                if child.count:
+                    detail = (
+                        f"count={child.count} mean={child.mean():.6g} "
+                        f"min={child.min:.6g} max={child.max:.6g} "
+                        f"p50={child.quantile(0.5):.6g} p99={child.quantile(0.99):.6g}"
+                    )
+                else:
+                    detail = "count=0"
+                rows.append((name, family.kind, detail))
+            else:
+                rows.append((name, family.kind, _format_value(child.value)))
+    if not rows:
+        return "(no metrics recorded)"
+    name_width = max(len(name) for name, _, _ in rows)
+    kind_width = max(len(kind) for _, kind, _ in rows)
+    return "\n".join(
+        f"{name:<{name_width}}  {kind:<{kind_width}}  {detail}"
+        for name, kind, detail in rows
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format parser (for tests and CI assertions)
+# ---------------------------------------------------------------------------
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALUE_RE = re.compile(r"^[+-]?(?:Inf|NaN|(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def parse_prometheus_text(text: str) -> List[Dict[str, object]]:
+    """Parse Prometheus text-format exposition; raises ``ValueError`` on
+    any line that does not conform to the grammar.
+
+    Returns the samples as ``{"name", "labels", "value"}`` dicts.
+    Intentionally strict: the CI smoke job feeds ``repro metrics
+    --format prometheus`` through this to guarantee scrapeability.
+    """
+    samples: List[Dict[str, object]] = []
+    typed: Dict[str, str] = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _METRIC_RE.match(parts[2]):
+                    raise ValueError(f"line {line_number}: malformed {parts[1]} comment: {raw_line!r}")
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                        "summary",
+                        "untyped",
+                    ):
+                        raise ValueError(f"line {line_number}: bad TYPE: {raw_line!r}")
+                    if parts[2] in typed:
+                        raise ValueError(
+                            f"line {line_number}: duplicate TYPE for {parts[2]!r}"
+                        )
+                    typed[parts[2]] = parts[3]
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_number}: not a valid sample line: {raw_line!r}")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text is not None and label_text.strip():
+            position = 0
+            while position < len(label_text):
+                pair = _LABEL_PAIR_RE.match(label_text, position)
+                if not pair:
+                    raise ValueError(
+                        f"line {line_number}: malformed labels: {label_text!r}"
+                    )
+                labels[pair.group("name")] = (
+                    pair.group("value")
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                position = pair.end()
+        value_text = match.group("value")
+        if not _VALUE_RE.match(value_text):
+            raise ValueError(f"line {line_number}: bad sample value {value_text!r}")
+        samples.append(
+            {
+                "name": match.group("name"),
+                "labels": labels,
+                "value": float(value_text.replace("Inf", "inf").replace("NaN", "nan")),
+            }
+        )
+    return samples

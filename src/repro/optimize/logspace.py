@@ -16,6 +16,7 @@ mechanisms live in :mod:`repro.optimize.mechanisms`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -23,6 +24,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from ..core.mechanism import Allocation, AllocationProblem
+from ..obs import MetricsRegistry, global_registry
 
 __all__ = [
     "LogSpaceSolution",
@@ -37,16 +39,34 @@ __all__ = [
 #: Floor applied inside exp/log transforms to keep the solver in-domain.
 _Z_FLOOR = -30.0
 
+#: Relative per-resource capacity overshoot beyond which an SLSQP
+#: iterate is treated as infeasible rather than numerically sloppy.
+CAPACITY_TOLERANCE = 1e-6
+
+#: Iteration-count buckets for the solver histogram.
+_ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+
 
 @dataclass(frozen=True)
 class LogSpaceSolution:
-    """A solved allocation plus solver diagnostics."""
+    """A solved allocation plus solver diagnostics.
+
+    ``success`` is the solver's own convergence flag *and* the
+    capacity check: an iterate that over-commits any resource by more
+    than :data:`CAPACITY_TOLERANCE` (relative) is reported as a
+    failure even when SLSQP claims convergence.  ``allocation`` is
+    always capacity-feasible — over-committed iterates are projected
+    back onto the capacity simplex (``projected`` is then True) and
+    the pre-projection overshoot is kept in ``constraint_violation``.
+    """
 
     allocation: Allocation
     objective_value: float
     success: bool
     message: str
     n_iterations: int
+    constraint_violation: float = 0.0
+    projected: bool = False
 
 
 def log_weighted_utilities(problem: AllocationProblem, z: np.ndarray) -> np.ndarray:
@@ -129,10 +149,29 @@ def pareto_constraints(problem: AllocationProblem) -> List[Dict]:
     i.e. agent ``i``'s MRS between resources ``r`` and ``0`` equals agent
     0's.  Pinning everything to agent 0 / resource 0 gives an
     irredundant set of ``(N - 1) * (R - 1)`` equalities.
+
+    Zero (or non-finite) elasticities make an MRS undefined — the log
+    offset would be ``-inf``/``nan`` and poison every SLSQP iterate —
+    so constraints touching one are *skipped*: an agent with zero
+    elasticity for a resource has zero marginal utility there, and no
+    MRS equality can (or needs to) hold for it.  Agent 0's pivot
+    elasticity ``alpha[0, 0]`` appears in every offset; if it is zero
+    there is no valid reference MRS at all and a ``ValueError`` is
+    raised — reorder the agents or drop the degenerate one.
     """
     n, R = problem.n_agents, problem.n_resources
     alpha = problem.raw_alpha_matrix()
+    if not np.isfinite(alpha[0, 0]) or alpha[0, 0] <= 0:
+        raise ValueError(
+            "pareto_constraints pins every MRS to agent 0's trade-off against "
+            f"resource 0, but agent {problem.agents[0].name!r} has a zero (or "
+            "non-finite) pivot elasticity there; reorder the agents so agent 0 "
+            "values resource 0, or drop the degenerate agent"
+        )
     constraints: List[Dict] = []
+
+    def usable(value: float) -> bool:
+        return bool(np.isfinite(value)) and value > 0
 
     def make(i: int, r: int) -> Callable[[np.ndarray], float]:
         offset = float(np.log(alpha[i, r] / alpha[i, 0]) - np.log(alpha[0, r] / alpha[0, 0]))
@@ -147,6 +186,8 @@ def pareto_constraints(problem: AllocationProblem) -> List[Dict]:
 
     for i in range(1, n):
         for r in range(1, R):
+            if not all(usable(v) for v in (alpha[i, r], alpha[i, 0], alpha[0, r])):
+                continue  # MRS undefined at a zero elasticity: no constraint
             constraints.append({"type": "eq", "fun": make(i, r)})
     return constraints
 
@@ -160,6 +201,7 @@ def solve(
     mechanism: str = "logspace",
     maxiter: int = 1000,
     initial_shares: Optional[np.ndarray] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> LogSpaceSolution:
     """Maximize ``objective(vars)`` over log-allocations with SLSQP.
 
@@ -182,7 +224,20 @@ def solve(
     initial_shares:
         Optional ``(N, R)`` warm-start shares; defaults to the equal
         split.
+    metrics:
+        Registry for solver telemetry (runs, iterations, wall time,
+        infeasible iterates); defaults to the process-global registry.
+
+    Returns
+    -------
+    LogSpaceSolution
+        The returned allocation is always capacity-feasible: iterates
+        that over-commit a resource are projected back onto the
+        capacity simplex, with the overshoot reported in
+        ``constraint_violation`` and ``success`` forced False when it
+        exceeds :data:`CAPACITY_TOLERANCE`.
     """
+    registry = metrics if metrics is not None else global_registry()
     n, R = problem.n_agents, problem.n_resources
     if initial_shares is None:
         z0 = np.log(np.tile(problem.equal_split, (n, 1))).ravel()
@@ -198,6 +253,7 @@ def solve(
         for r in range(R)
     ] + [(None, None)] * extra_variables
 
+    start_time = time.perf_counter()
     result = minimize(
         lambda v: -objective(v),
         x0,
@@ -206,13 +262,63 @@ def solve(
         constraints=constraints,
         options={"maxiter": maxiter, "ftol": 1e-12},
     )
+    wall_seconds = time.perf_counter() - start_time
     z_matrix = result.x[: n * R].reshape(n, R)
     shares = np.exp(z_matrix)
+
+    # SLSQP's final iterate can violate the (nonlinear) capacity
+    # constraints — slightly on a sloppy convergence, grossly on an
+    # outright failure.  Returning such shares as an Allocation would
+    # propagate infeasibility downstream, so project each over-committed
+    # resource column back onto the capacity simplex (uniform rescale
+    # preserves the agents' relative shares) and surface the overshoot.
+    caps = problem.capacity_vector
+    totals = shares.sum(axis=0)
+    violation = float(np.max((totals - caps) / caps))
+    violation = max(violation, 0.0)
+    projected = False
+    over = totals > caps
+    if np.any(over):
+        shares = shares.copy()
+        shares[:, over] *= caps[over] / totals[over]
+        projected = True
+
+    success = bool(result.success) and violation <= CAPACITY_TOLERANCE
+    message = str(result.message)
+    if bool(result.success) and not success:
+        message += f" (capacity violated by {violation:.3e} relative; projected)"
+
+    registry.counter(
+        "repro_solver_runs_total",
+        help="SLSQP runs by mechanism and outcome.",
+        mechanism=mechanism,
+        outcome="success" if success else "failure",
+    ).inc()
+    if violation > CAPACITY_TOLERANCE:
+        registry.counter(
+            "repro_solver_infeasible_total",
+            help="SLSQP iterates that over-committed capacity beyond tolerance.",
+            mechanism=mechanism,
+        ).inc()
+    registry.histogram(
+        "repro_solver_iterations",
+        help="SLSQP iteration counts per run.",
+        buckets=_ITERATION_BUCKETS,
+        mechanism=mechanism,
+    ).observe(int(result.nit))
+    registry.histogram(
+        "repro_solver_wall_seconds",
+        help="SLSQP wall time per run.",
+        mechanism=mechanism,
+    ).observe(wall_seconds)
+
     allocation = Allocation(problem=problem, shares=shares, mechanism=mechanism)
     return LogSpaceSolution(
         allocation=allocation,
         objective_value=float(objective(result.x)),
-        success=bool(result.success),
-        message=str(result.message),
+        success=success,
+        message=message,
         n_iterations=int(result.nit),
+        constraint_violation=violation,
+        projected=projected,
     )

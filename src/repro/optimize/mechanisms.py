@@ -22,11 +22,13 @@ convex function), so it is multi-start local search and clearly labeled.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core.mechanism import Allocation, AllocationProblem, proportional_elasticity
+from ..obs import global_registry
 from . import logspace
 
 __all__ = [
@@ -40,7 +42,33 @@ __all__ = [
 
 
 class MechanismError(RuntimeError):
-    """Raised when a numeric mechanism fails to converge."""
+    """A numeric mechanism failed to converge.
+
+    Retained for backward compatibility and for callers that opt back
+    into raising; since 1.3.0 the numeric mechanisms no longer raise it
+    by default — an unconverged (or capacity-infeasible) solve falls
+    back to the equal split, mirroring ``DynamicAllocator``'s
+    mechanism-failure path, so infeasible shares are never propagated.
+    """
+
+
+def _equal_split_fallback(problem: AllocationProblem, label: str, failures) -> Allocation:
+    """The always-feasible last resort when every solver start fails."""
+    global_registry().counter(
+        "repro_mechanism_fallbacks_total",
+        help="Numeric-mechanism solves that fell back to the equal split.",
+        mechanism=label,
+    ).inc()
+    warnings.warn(
+        f"{label} solver failed from every start ({failures}); "
+        "falling back to the equal split",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    shares = np.tile(problem.equal_split, (problem.n_agents, 1))
+    return Allocation(
+        problem=problem, shares=shares, mechanism=f"{label}_equal_split_fallback"
+    )
 
 
 def _solve_with_restarts(
@@ -56,7 +84,10 @@ def _solve_with_restarts(
 
     SLSQP occasionally reports "positive directional derivative" on
     tightly-constrained log-space programs; restarting from a different
-    strictly feasible interior point almost always recovers.
+    strictly feasible interior point almost always recovers.  When no
+    start converges to a capacity-feasible solution, the equal split is
+    returned (with a ``RuntimeWarning`` and a fallback counter) instead
+    of propagating an infeasible iterate.
     """
     best: Optional[Allocation] = None
     best_value = -np.inf
@@ -77,23 +108,34 @@ def _solve_with_restarts(
         elif not solution.success:
             failures.append(solution.message)
     if best is None:
-        raise MechanismError(f"{label} solver failed from every start: {failures}")
+        return _equal_split_fallback(problem, label, failures)
     return best
 
 
 def _default_starts(problem: AllocationProblem, seed: int = 0) -> List[Optional[np.ndarray]]:
     """Warm starts: REF (feasible for every fairness constraint), the
-    equal split, the unfair Nash optimum, and jittered variants."""
-    starts: List[Optional[np.ndarray]] = [
-        proportional_elasticity(problem).shares,
-        None,
-        max_nash_welfare(problem, fair=False).shares,
-    ]
+    equal split, the unfair Nash optimum, and jittered variants.
+
+    Degenerate problems (e.g. a zero elasticity column) can make a
+    candidate start uncomputable; such starts are skipped rather than
+    letting a warm-start heuristic kill the solve."""
+    starts: List[Optional[np.ndarray]] = []
+    try:
+        starts.append(proportional_elasticity(problem).shares)
+    except (ValueError, FloatingPointError):
+        pass
+    starts.append(None)  # the equal split
+    try:
+        starts.append(max_nash_welfare(problem, fair=False).shares)
+    except (ValueError, FloatingPointError):
+        pass
     rng = np.random.default_rng(seed)
-    for base in (starts[0], starts[2]):
+    for base in [s for s in starts if s is not None]:
         noise = rng.uniform(0.8, 1.2, size=base.shape)
         jittered = base * noise
-        starts.append(jittered / jittered.sum(axis=0) * problem.capacity_vector)
+        column_totals = jittered.sum(axis=0)
+        if np.all(column_totals > 0):
+            starts.append(jittered / column_totals * problem.capacity_vector)
     return starts
 
 
@@ -194,7 +236,8 @@ def utilitarian_welfare(
     The exact problem is intractable (§4.5): the objective is convex in
     log space, so maximizing it is non-convex.  We run multi-start local
     search (perturbed equal-split starting points) and return the best
-    local optimum found.
+    local optimum found; if every start fails, the equal split is
+    returned (never an infeasible iterate).
     """
     nz = _nz(problem)
     rng = np.random.default_rng(seed)
@@ -230,7 +273,7 @@ def utilitarian_welfare(
         if solution.success and solution.objective_value > best_value:
             best, best_value = solution.allocation, solution.objective_value
     if best is None:
-        raise MechanismError("utilitarian solver failed from every starting point")
+        return _equal_split_fallback(problem, label, "every starting point failed")
     return best
 
 

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, List, Optional, Union
 import numpy as np
 
 from ..core.fitting import CobbDouglasFit
+from ..obs import MetricsRegistry, timed
 from ..sim.analytic import AnalyticMachine
 from ..sim.machine import TraceMachine
 from ..sim.platform import PlatformConfig
@@ -97,6 +98,11 @@ class OfflineProfiler:
     cache_dir:
         Root of the on-disk profile cache; ``None`` (default) disables
         disk caching.  Profiles are still memoized in memory either way.
+    metrics:
+        :class:`~repro.obs.MetricsRegistry` to mirror ``stats`` into
+        (``repro_profiler_*`` counters plus a per-workload sweep-latency
+        histogram).  ``None`` (default) creates a private registry,
+        exposed as ``profiler.metrics``.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class OfflineProfiler:
         trace_instructions: int = 400_000,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if noise_sigma < 0:
             raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
@@ -123,7 +130,22 @@ class OfflineProfiler:
         self._cache: Dict[str, Profile] = {}
         self.disk_cache = ProfileCache(cache_dir) if cache_dir is not None else None
         self.stats = ProfilerStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _bump(self, stat: str, n: int = 1) -> None:
+        """Increment one ProfilerStats field and its metric mirror together."""
+        setattr(self.stats, stat, getattr(self.stats, stat) + n)
+        name, labels = self._STAT_METRICS[stat]
+        self.metrics.counter(name, **labels).inc(n)
+
+    #: ProfilerStats field -> (metric name, labels) mirror map.
+    _STAT_METRICS = {
+        "simulated_points": ("repro_profiler_simulated_points_total", {}),
+        "simulated_workloads": ("repro_profiler_simulated_workloads_total", {}),
+        "memory_hits": ("repro_profiler_cache_hits_total", {"tier": "memory"}),
+        "disk_hits": ("repro_profiler_cache_hits_total", {"tier": "disk"}),
+    }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -169,12 +191,12 @@ class OfflineProfiler:
         """Memory then disk; a disk hit is promoted into memory."""
         cached = self._cache.get(workload.name)
         if cached is not None:
-            self.stats.memory_hits += 1
+            self._bump("memory_hits")
             return cached
         if self.disk_cache is not None:
             stored = self.disk_cache.get(self.cache_key(workload))
             if stored is not None:
-                self.stats.disk_hits += 1
+                self._bump("disk_hits")
                 self._cache[workload.name] = stored
                 return stored
         return None
@@ -206,21 +228,24 @@ class OfflineProfiler:
     # ------------------------------------------------------------------
 
     def _simulate_serial(self, workload: WorkloadSpec) -> Profile:
-        if self.use_trace_machine:
-            points = self.platform.sweep_points()
-            ipc = np.array(
-                [
-                    self._trace.simulate(workload, cache_kb=kb, bandwidth_gbps=bw).ipc
-                    for bw, kb in points
-                ]
-            )
-            allocations = np.asarray(points)
-        else:
-            sweep = self._analytic.sweep(workload)
-            allocations, ipc = sweep.allocations, sweep.ipc
-        self.stats.simulated_points += int(ipc.shape[0])
-        self.stats.simulated_workloads += 1
-        return self._finalize(workload, allocations, ipc)
+        with timed(
+            self.metrics, "repro_profiler_sweep_seconds", workload=workload.name
+        ):
+            if self.use_trace_machine:
+                points = self.platform.sweep_points()
+                ipc = np.array(
+                    [
+                        self._trace.simulate(workload, cache_kb=kb, bandwidth_gbps=bw).ipc
+                        for bw, kb in points
+                    ]
+                )
+                allocations = np.asarray(points)
+            else:
+                sweep = self._analytic.sweep(workload)
+                allocations, ipc = sweep.allocations, sweep.ipc
+            self._bump("simulated_points", int(ipc.shape[0]))
+            self._bump("simulated_workloads")
+            return self._finalize(workload, allocations, ipc)
 
     def _simulate_parallel(self, pending: List[WorkloadSpec]) -> Dict[str, Profile]:
         """Fan (workload x grid-point) tasks over the pool; reassemble in order.
@@ -229,36 +254,43 @@ class OfflineProfiler:
         keeps per-task overhead low; with fewer, each workload's grid is
         split so every worker still gets a slice.
         """
-        points = self.platform.sweep_points()
-        chunks_per_workload = 1 if len(pending) >= self.jobs else -(-self.jobs // len(pending))
-        tasks = [
-            SweepTask(
-                workload=workload,
-                points=chunk,
-                offset=offset,
-                machine=self._machine_kind,
-                platform=self.platform,
-                trace_instructions=self._trace.n_instructions,
-            )
-            for workload in pending
-            for offset, chunk in split_points(points, chunks_per_workload)
-        ]
-        raw_ipc = {workload.name: np.empty(len(points)) for workload in pending}
-        futures = {self._pool().submit(simulate_task, task): task for task in tasks}
-        done, _ = wait(futures, return_when=FIRST_EXCEPTION)
-        for future in done:
-            task = futures[future]
-            values = future.result()  # re-raises worker exceptions
-            raw_ipc[task.workload.name][task.offset : task.offset + len(values)] = values
-            self.stats.simulated_points += len(values)
-        allocations = np.asarray(points)
-        profiles = {}
-        for workload in pending:
-            self.stats.simulated_workloads += 1
-            profiles[workload.name] = self._finalize(
-                workload, allocations, raw_ipc[workload.name]
-            )
-        return profiles
+        # Workloads interleave across the pool, so the batch is timed as
+        # one sweep rather than attributing wall time per workload.
+        with timed(
+            self.metrics, "repro_profiler_sweep_seconds", workload="__parallel_batch__"
+        ):
+            points = self.platform.sweep_points()
+            chunks = 1 if len(pending) >= self.jobs else -(-self.jobs // len(pending))
+            tasks = [
+                SweepTask(
+                    workload=workload,
+                    points=chunk,
+                    offset=offset,
+                    machine=self._machine_kind,
+                    platform=self.platform,
+                    trace_instructions=self._trace.n_instructions,
+                )
+                for workload in pending
+                for offset, chunk in split_points(points, chunks)
+            ]
+            raw_ipc = {workload.name: np.empty(len(points)) for workload in pending}
+            futures = {self._pool().submit(simulate_task, task): task for task in tasks}
+            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in done:
+                task = futures[future]
+                values = future.result()  # re-raises worker exceptions
+                raw_ipc[task.workload.name][task.offset : task.offset + len(values)] = (
+                    values
+                )
+                self._bump("simulated_points", len(values))
+            allocations = np.asarray(points)
+            profiles = {}
+            for workload in pending:
+                self._bump("simulated_workloads")
+                profiles[workload.name] = self._finalize(
+                    workload, allocations, raw_ipc[workload.name]
+                )
+            return profiles
 
     # ------------------------------------------------------------------
     # Public API

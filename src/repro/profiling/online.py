@@ -31,12 +31,13 @@ imperfect measurement pipeline:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..core.fitting import CobbDouglasFit, fit_cobb_douglas
 from ..core.utility import CobbDouglasUtility
+from ..obs import MetricsRegistry
 
 __all__ = ["OnlineProfiler"]
 
@@ -72,7 +73,30 @@ class OnlineProfiler:
         not a fault.  ``None`` (the default) disables the gate.
     max_consecutive_outliers:
         See ``outlier_log_threshold``.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
+        rejection/fallback counters are mirrored into it
+        (``repro_online_*`` metrics) and every attempted re-fit's
+        condition number is exposed as a gauge.  ``None`` (default)
+        keeps the profiler metric-free.
+    metric_labels:
+        Labels attached to every mirrored metric (e.g.
+        ``{"agent": name}`` when one registry serves many profilers).
     """
+
+    #: Internal counter key -> (metric name, extra labels) mirror map.
+    _COUNTER_METRICS = {
+        "rejected_non_positive": (
+            "repro_online_samples_rejected_total",
+            {"reason": "non_positive"},
+        ),
+        "rejected_outliers": (
+            "repro_online_samples_rejected_total",
+            {"reason": "outlier"},
+        ),
+        "fit_fallbacks": ("repro_online_fit_fallbacks_total", {}),
+        "trimmed_samples": ("repro_online_samples_trimmed_total", {}),
+    }
 
     def __init__(
         self,
@@ -83,6 +107,8 @@ class OnlineProfiler:
         max_condition: Optional[float] = 1e8,
         outlier_log_threshold: Optional[float] = None,
         max_consecutive_outliers: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[Mapping[str, str]] = None,
     ):
         if n_resources < 1:
             raise ValueError(f"n_resources must be >= 1, got {n_resources}")
@@ -127,12 +153,21 @@ class OnlineProfiler:
         self._fit: Optional[CobbDouglasFit] = None
         self._last_condition = float("nan")
         self._consecutive_outliers = 0
+        self._metrics = metrics
+        self._metric_labels = dict(metric_labels or {})
         self._counters: Dict[str, int] = {
             "rejected_non_positive": 0,
             "rejected_outliers": 0,
             "fit_fallbacks": 0,
             "trimmed_samples": 0,
         }
+
+    def _count(self, key: str, n: int = 1) -> None:
+        """Bump an internal counter and its metric mirror (if any)."""
+        self._counters[key] += n
+        if self._metrics is not None:
+            name, extra = self._COUNTER_METRICS[key]
+            self._metrics.counter(name, **{**self._metric_labels, **extra}).inc(n)
 
     @property
     def n_samples(self) -> int:
@@ -190,10 +225,10 @@ class OnlineProfiler:
             or not np.isfinite(performance)
             or performance <= 0
         ):
-            self._counters["rejected_non_positive"] += 1
+            self._count("rejected_non_positive")
             return self.utility
         if self._is_outlier(arr, float(performance)):
-            self._counters["rejected_outliers"] += 1
+            self._count("rejected_outliers")
             return self.utility
         self._consecutive_outliers = 0
         self._allocations.append(arr)
@@ -229,7 +264,7 @@ class OnlineProfiler:
         if excess > 0:
             del self._allocations[:excess]
             del self._performance[:excess]
-            self._counters["trimmed_samples"] += excess
+            self._count("trimmed_samples", excess)
 
     def _refit(self) -> None:
         """Attempt a re-fit; keep the previous fit if the new one is degenerate."""
@@ -242,9 +277,11 @@ class OnlineProfiler:
             )
         except (ValueError, np.linalg.LinAlgError):
             self._last_condition = float("inf")
-            self._counters["fit_fallbacks"] += 1
+            self._count("fit_fallbacks")
+            self._record_condition()
             return
         self._last_condition = fit.condition_number
+        self._record_condition()
         alpha_ok = np.all(np.isfinite(fit.utility.alpha)) and np.isfinite(
             fit.utility.scale
         )
@@ -254,8 +291,18 @@ class OnlineProfiler:
         )
         if alpha_ok and condition_ok:
             self._fit = fit
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "repro_online_refits_total", **self._metric_labels
+                ).inc()
         else:
-            self._counters["fit_fallbacks"] += 1
+            self._count("fit_fallbacks")
+
+    def _record_condition(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(
+                "repro_online_fit_condition_number", **self._metric_labels
+            ).set(self._last_condition)
 
     def _sample_weights(self) -> Optional[np.ndarray]:
         if self.decay == 1.0:

@@ -97,19 +97,32 @@ class WfqScheduler:
         return packet
 
     def run(self, packets: List[WfqPacket]) -> List[ServiceRecord]:
-        """Enqueue everything, then serve to empty; returns the schedule.
+        """Arrival-aware simulation: serve to empty, returns the schedule.
 
-        Models a persistently-backlogged channel: real time advances by
-        ``size / rate`` per served packet.
+        Packets join the queue only once their ``arrival`` time has been
+        reached; when the queue drains with arrivals still outstanding
+        the link idles until the next arrival.  Real time advances by
+        ``size / rate`` per served packet (service is non-preemptive:
+        a packet arriving mid-transfer waits for the next decision
+        point).  With all-zero arrivals every packet is backlogged from
+        the start and the schedule degenerates to the classic
+        persistently-backlogged case.
         """
-        for packet in packets:
-            self.enqueue(packet)
+        # Stable sort: packets sharing an arrival time keep list order,
+        # so all-zero-arrival inputs enqueue exactly as they used to.
+        pending = sorted(packets, key=lambda packet: packet.arrival)
         records: List[ServiceRecord] = []
         clock = 0.0
-        while True:
+        index = 0
+        while index < len(pending) or self._queue:
+            while index < len(pending) and pending[index].arrival <= clock + 1e-12:
+                self.enqueue(pending[index])
+                index += 1
+            if not self._queue:
+                # Idle the link until the next arrival.
+                clock = max(clock, pending[index].arrival)
+                continue
             packet = self.dequeue()
-            if packet is None:
-                break
             start = clock
             clock += packet.size / self.rate
             records.append(ServiceRecord(packet=packet, start=start, finish=clock))

@@ -327,3 +327,95 @@ class TestAcceptance:
             report = final.reported_alpha[name]
             assert np.all(np.isfinite(report))
             assert report.sum() == pytest.approx(1.0)
+
+
+class TestMetricsCoverage:
+    """The controller's registry must mirror the run's history exactly."""
+
+    def _event_metric_counts(self, allocator):
+        counts = {}
+        for family in allocator.metrics.families():
+            if family.name == "repro_dynamic_events_total":
+                for key, child in family.children.items():
+                    counts[dict(key)["kind"]] = int(child.value)
+        return counts
+
+    def test_epoch_latency_histogram_counts_every_epoch(self):
+        allocator = static_allocator()
+        allocator.run(25)
+        hist = allocator.metrics.get("repro_dynamic_epoch_latency_seconds")
+        assert hist is not None and hist.count == 25
+        epochs = allocator.metrics.get("repro_dynamic_epochs_total")
+        assert epochs.value == 25
+        assert allocator.metrics.get("repro_dynamic_agents").value == 2
+
+    def test_event_counters_match_result_counters_exactly(self):
+        from repro.dynamic import FaultSpec
+
+        allocator = static_allocator(
+            faults=FaultSpec(drop=0.15, non_positive=0.1, max_retries=2)
+        )
+        result = allocator.run(40)
+        assert self._event_metric_counts(allocator) == result.counters
+        assert result.counters  # faults guarantee a non-trivial comparison
+
+    def test_churn_events_are_counted(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+
+        allocator = static_allocator()
+        churn = ChurnSchedule(
+            [
+                ChurnEvent(2, "add", "late", get_workload("canneal")),
+                ChurnEvent(4, "remove", "late"),
+            ]
+        )
+        result = allocator.run(6, churn=churn)
+        counts = self._event_metric_counts(allocator)
+        assert counts.get("agent_added") == 1
+        assert counts.get("agent_removed") == 1
+        assert counts == result.counters
+
+    def test_span_tree_per_epoch(self):
+        allocator = static_allocator()
+        allocator.run(3)
+        assert len(allocator.tracer.roots) == 3
+        for root in allocator.tracer.roots:
+            assert root.name == "epoch"
+            assert [child.name for child in root.children] == [
+                "allocate",
+                "enforce",
+                "measure",
+            ]
+        mirrored = allocator.metrics.get("repro_span_seconds", span="epoch")
+        assert mirrored.count == 3
+
+    def test_online_profiler_metrics_labeled_per_agent(self):
+        # Outlier faults are undetectable by the retry loop, so they
+        # reach the profilers' outlier gate and its mirrored counter.
+        from repro.dynamic import FaultSpec
+
+        allocator = static_allocator(
+            faults=FaultSpec(outlier=0.25, outlier_scale=100.0)
+        )
+        allocator.run(30)
+        total = 0
+        for name in allocator.agent_names:
+            counter = allocator.metrics.get(
+                "repro_online_samples_rejected_total", agent=name, reason="outlier"
+            )
+            if counter is not None:
+                total += int(counter.value)
+        rejected = sum(
+            profiler.counters["rejected_outliers"]
+            for profiler in allocator._profilers.values()
+        )
+        assert total == rejected > 0
+
+    def test_custom_registry_is_used(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        allocator = static_allocator(metrics=registry)
+        allocator.run(2)
+        assert allocator.metrics is registry
+        assert registry.get("repro_dynamic_epoch_latency_seconds").count == 2

@@ -1,0 +1,136 @@
+"""Tests for the exporters and the strict Prometheus text parser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    parse_prometheus_text,
+    render_table,
+    to_json,
+    to_prometheus,
+    write_json,
+)
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("runs_total", help="Total runs.", mechanism="ref").inc(3)
+    registry.gauge("agents", help="Active agents.").set(2.0)
+    hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusExport:
+    def test_help_type_and_samples(self):
+        text = to_prometheus(populated_registry())
+        assert "# HELP runs_total Total runs." in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{mechanism="ref"} 3' in text
+        assert "# TYPE agents gauge" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(populated_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='say "hi"\nthere\\x').inc()
+        text = to_prometheus(registry)
+        assert 'path="say \\"hi\\"\\nthere\\\\x"' in text
+
+    def test_empty_registry_exports_empty_string(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_output_parses_under_own_grammar(self):
+        samples = parse_prometheus_text(to_prometheus(populated_registry()))
+        names = {sample["name"] for sample in samples}
+        assert {
+            "runs_total",
+            "agents",
+            "latency_seconds_bucket",
+            "latency_seconds_sum",
+            "latency_seconds_count",
+        } <= names
+
+
+class TestJsonExport:
+    def test_round_trip_through_file(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "metrics.json"
+        write_json(registry, str(path))
+        rebuilt = MetricsRegistry.from_dict(json.loads(path.read_text()))
+        assert rebuilt.as_dict() == registry.as_dict()
+
+    def test_spans_embedded(self, tmp_path):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with tracer.span("epoch"):
+            pass
+        path = tmp_path / "metrics.json"
+        write_json(registry, str(path), spans=tracer.spans_as_dicts())
+        payload = json.loads(path.read_text())
+        assert payload["spans"][0]["name"] == "epoch"
+        # from_dict ignores the spans key.
+        MetricsRegistry.from_dict(payload)
+
+    def test_to_json_accepts_span_records(self):
+        tracer = Tracer()
+        with tracer.span("epoch"):
+            pass
+        payload = json.loads(to_json(MetricsRegistry(), spans=tracer.roots))
+        assert payload["spans"][0]["name"] == "epoch"
+
+
+class TestRenderTable:
+    def test_empty_placeholder(self):
+        assert render_table(MetricsRegistry()) == "(no metrics recorded)"
+
+    def test_rows_for_each_child(self):
+        table = render_table(populated_registry())
+        assert 'runs_total{mechanism="ref"}' in table
+        assert "count=3" in table
+        assert "p50=" in table
+
+
+class TestPrometheusParser:
+    def test_parses_values_and_labels(self):
+        samples = parse_prometheus_text(
+            'a_total{x="1",y="two"} 5\nb 2.5\nc NaN\nd +Inf\n'
+        )
+        assert samples[0] == {"name": "a_total", "labels": {"x": "1", "y": "two"}, "value": 5.0}
+        assert samples[1]["value"] == pytest.approx(2.5)
+        assert math.isnan(samples[2]["value"])
+        assert math.isinf(samples[3]["value"])
+
+    def test_unescapes_label_values(self):
+        samples = parse_prometheus_text('a{m="line\\nbreak \\"q\\" \\\\"} 1\n')
+        assert samples[0]["labels"]["m"] == 'line\nbreak "q" \\'
+
+    def test_rejects_malformed_lines(self):
+        for bad in (
+            "not a sample",
+            "name{unclosed 1",
+            'name{label="x"} not_a_number',
+            "# TYPE metric bogus_kind",
+            "# TYPE 1bad counter",
+        ):
+            with pytest.raises(ValueError):
+                parse_prometheus_text(bad + "\n")
+
+    def test_rejects_duplicate_type_comment(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text("# TYPE a counter\n# TYPE a counter\n")
+
+    def test_ignores_freeform_comments_and_blank_lines(self):
+        samples = parse_prometheus_text("# just a comment\n\na 1\n")
+        assert len(samples) == 1

@@ -1,11 +1,12 @@
-"""Failure injection: the numeric mechanisms must fail loudly, not wrongly."""
+"""Failure injection: the numeric mechanisms must degrade safely, not wrongly."""
 
 import numpy as np
 import pytest
 
 from repro.core.mechanism import Agent, AllocationProblem
 from repro.core.utility import CobbDouglasUtility
-from repro.optimize import MechanismError, equal_slowdown, max_nash_welfare, utilitarian_welfare
+from repro.obs import MetricsRegistry, set_global_registry
+from repro.optimize import equal_slowdown, max_nash_welfare, utilitarian_welfare
 from repro.optimize import logspace, mechanisms
 
 
@@ -38,21 +39,47 @@ def _always_failing_solve(monkeypatch):
     monkeypatch.setattr(mechanisms.logspace, "solve", fake_solve)
 
 
-class TestSolverFailurePropagation:
-    def test_equal_slowdown_raises_mechanism_error(self, problem, monkeypatch):
-        _always_failing_solve(monkeypatch)
-        with pytest.raises(MechanismError, match="injected failure"):
-            equal_slowdown(problem)
+class TestSolverFailureFallback:
+    """Total solver failure degrades to the equal split, never raises and
+    never propagates infeasible shares (mirrors DynamicAllocator)."""
 
-    def test_fair_nash_raises_mechanism_error(self, problem, monkeypatch):
-        _always_failing_solve(monkeypatch)
-        with pytest.raises(MechanismError, match="injected failure"):
-            max_nash_welfare(problem, fair=True)
+    def _assert_equal_split_fallback(self, problem, allocation, label):
+        expected = np.tile(problem.equal_split, (problem.n_agents, 1))
+        assert allocation.mechanism == f"{label}_equal_split_fallback"
+        assert np.allclose(allocation.shares, expected)
+        assert allocation.is_feasible()
 
-    def test_utilitarian_raises_mechanism_error(self, problem, monkeypatch):
+    def test_equal_slowdown_falls_back_to_equal_split(self, problem, monkeypatch):
         _always_failing_solve(monkeypatch)
-        with pytest.raises(MechanismError, match="every starting point"):
-            utilitarian_welfare(problem, n_starts=2)
+        with pytest.warns(RuntimeWarning, match="injected failure"):
+            allocation = equal_slowdown(problem)
+        self._assert_equal_split_fallback(problem, allocation, "equal_slowdown")
+
+    def test_fair_nash_falls_back_to_equal_split(self, problem, monkeypatch):
+        _always_failing_solve(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="injected failure"):
+            allocation = max_nash_welfare(problem, fair=True)
+        self._assert_equal_split_fallback(problem, allocation, "max_welfare_fair")
+
+    def test_utilitarian_falls_back_to_equal_split(self, problem, monkeypatch):
+        _always_failing_solve(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="every starting point"):
+            allocation = utilitarian_welfare(problem, n_starts=2)
+        self._assert_equal_split_fallback(problem, allocation, "utilitarian_unfair")
+
+    def test_fallback_is_counted(self, problem, monkeypatch):
+        _always_failing_solve(monkeypatch)
+        registry = MetricsRegistry()
+        previous = set_global_registry(registry)
+        try:
+            with pytest.warns(RuntimeWarning):
+                equal_slowdown(problem)
+        finally:
+            set_global_registry(previous)
+        counter = registry.get(
+            "repro_mechanism_fallbacks_total", mechanism="equal_slowdown"
+        )
+        assert counter is not None and counter.value == 1
 
     def test_unfair_closed_form_unaffected(self, problem, monkeypatch):
         # The closed form never touches the solver.

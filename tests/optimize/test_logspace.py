@@ -127,3 +127,121 @@ class TestSolve:
         warm = np.array([[18.0, 4.0], [6.0, 8.0]])
         solution = logspace.solve(problem, objective, initial_shares=warm)
         assert solution.success
+
+
+class _StubUtility:
+    """Minimal utility stand-in letting tests inject zero elasticities
+    (CobbDouglasUtility itself rejects them at construction)."""
+
+    def __init__(self, alpha):
+        self.alpha = np.asarray(alpha, dtype=float)
+
+    @property
+    def n_resources(self):
+        return self.alpha.size
+
+
+def _stub_problem(alphas, capacities=(24.0, 12.0)):
+    agents = [Agent(f"u{i}", _StubUtility(a)) for i, a in enumerate(alphas)]
+    return AllocationProblem(agents, capacities)
+
+
+class TestZeroElasticityParetoConstraints:
+    """Regression: zero elasticities used to produce -inf/nan offsets."""
+
+    def test_constraint_touching_zero_elasticity_is_skipped(self):
+        problem = _stub_problem([(0.6, 0.4), (0.5, 0.0)])
+        assert logspace.pareto_constraints(problem) == []
+
+    def test_remaining_constraints_are_finite(self):
+        problem = _stub_problem([(0.6, 0.4), (0.5, 0.0), (0.3, 0.7)])
+        constraints = logspace.pareto_constraints(problem)
+        assert len(constraints) == 1
+        z = np.log(np.tile(problem.equal_split, (3, 1))).ravel()
+        for constraint in constraints:
+            assert np.isfinite(constraint["fun"](z))
+
+    def test_zero_agent0_resource_elasticity_skips_that_column(self):
+        # alpha[0, 1] == 0: every agent's MRS against resource 1 is
+        # pinned to an undefined reference, so those rows are skipped.
+        problem = _stub_problem([(0.6, 0.0), (0.5, 0.5), (0.3, 0.7)])
+        assert logspace.pareto_constraints(problem) == []
+
+    def test_zero_pivot_elasticity_raises_clear_error(self):
+        problem = _stub_problem([(0.0, 1.0), (0.5, 0.5)])
+        with pytest.raises(ValueError, match="pivot"):
+            logspace.pareto_constraints(problem)
+
+    def test_nan_pivot_elasticity_raises(self):
+        problem = _stub_problem([(float("nan"), 1.0), (0.5, 0.5)])
+        with pytest.raises(ValueError, match="pivot"):
+            logspace.pareto_constraints(problem)
+
+    def test_all_positive_elasticities_unchanged(self, problem):
+        assert len(logspace.pareto_constraints(problem)) == 1
+
+
+class TestSolveCapacityGuard:
+    """Regression: solve() used to return SLSQP's iterate verbatim, even
+    when the solver failed or the iterate over-committed capacity."""
+
+    @staticmethod
+    def _nash(problem):
+        def objective(v):
+            return float(logspace.log_weighted_utilities(problem, v).sum())
+
+        return objective
+
+    def test_overcommitted_iterate_is_projected(self, problem, monkeypatch):
+        from types import SimpleNamespace
+
+        # Every agent "gets" the full machine: 2x over-committed.
+        shares = np.tile(problem.capacity_vector, (problem.n_agents, 1))
+        fake = SimpleNamespace(
+            x=np.log(shares).ravel(), success=True, message="fake", nit=5
+        )
+        monkeypatch.setattr(logspace, "minimize", lambda *a, **k: fake)
+        solution = logspace.solve(problem, lambda v: 0.0)
+        assert solution.projected
+        assert not solution.success
+        assert solution.constraint_violation == pytest.approx(1.0)
+        assert "capacity violated" in solution.message
+        assert solution.allocation.is_feasible(tol=1e-9)
+        totals = solution.allocation.shares.sum(axis=0)
+        assert totals == pytest.approx(problem.capacity_vector)
+
+    def test_projection_preserves_relative_shares(self, problem, monkeypatch):
+        from types import SimpleNamespace
+
+        shares = np.array([[30.0, 9.0], [10.0, 9.0]])  # r0 over, r1 over
+        fake = SimpleNamespace(
+            x=np.log(shares).ravel(), success=True, message="fake", nit=5
+        )
+        monkeypatch.setattr(logspace, "minimize", lambda *a, **k: fake)
+        solution = logspace.solve(problem, lambda v: 0.0)
+        projected = solution.allocation.shares
+        assert projected[0, 0] / projected[1, 0] == pytest.approx(3.0)
+        assert projected[0, 1] / projected[1, 1] == pytest.approx(1.0)
+
+    def test_successful_solve_not_marked_projected(self, problem):
+        solution = logspace.solve(problem, self._nash(problem))
+        assert solution.success
+        assert solution.constraint_violation <= logspace.CAPACITY_TOLERANCE
+        assert solution.allocation.is_feasible(tol=1e-6)
+
+    def test_solver_metrics_recorded(self, problem):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        solution = logspace.solve(
+            problem, self._nash(problem), mechanism="test_mech", metrics=registry
+        )
+        outcome = "success" if solution.success else "failure"
+        runs = registry.get(
+            "repro_solver_runs_total", mechanism="test_mech", outcome=outcome
+        )
+        assert runs is not None and runs.value == 1
+        iterations = registry.get("repro_solver_iterations", mechanism="test_mech")
+        assert iterations is not None and iterations.count == 1
+        wall = registry.get("repro_solver_wall_seconds", mechanism="test_mech")
+        assert wall is not None and wall.count == 1

@@ -84,3 +84,52 @@ class TestTraceBackend:
         assert profile.n_samples == 4
         assert profile.source == "trace"
         assert np.all(profile.ipc > 0)
+
+
+class TestMetricsMirror:
+    """profiler.stats and the metrics registry must move in lockstep."""
+
+    def test_simulation_and_cache_counters_mirrored(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        profiler = OfflineProfiler(cache_dir=tmp_path, metrics=registry)
+        workload = get_workload("ferret")
+        profiler.profile(workload)   # cold: simulates
+        profiler.profile(workload)   # warm: memory hit
+        assert registry.get("repro_profiler_simulated_points_total").value == 25
+        assert registry.get("repro_profiler_simulated_workloads_total").value == 1
+        assert registry.get("repro_profiler_cache_hits_total", tier="memory").value == 1
+
+        # A fresh profiler over the same cache dir gets a disk hit.
+        second_registry = MetricsRegistry()
+        second = OfflineProfiler(cache_dir=tmp_path, metrics=second_registry)
+        second.profile(workload)
+        assert second_registry.get("repro_profiler_cache_hits_total", tier="disk").value == 1
+        assert second_registry.get("repro_profiler_simulated_points_total") is None
+
+    def test_sweep_latency_histogram_per_workload(self):
+        profiler = OfflineProfiler()
+        profiler.profile(get_workload("ferret"))
+        hist = profiler.metrics.get("repro_profiler_sweep_seconds", workload="ferret")
+        assert hist is not None and hist.count == 1
+
+    def test_default_private_registry(self):
+        a, b = OfflineProfiler(), OfflineProfiler()
+        assert a.metrics is not b.metrics
+
+    def test_stats_match_metrics_after_suite(self):
+        from repro.workloads.suites import BENCHMARKS
+
+        profiler = OfflineProfiler()
+        names = sorted(BENCHMARKS)[:3]
+        profiler.profile_suite([get_workload(name) for name in names])
+        assert (
+            profiler.metrics.get("repro_profiler_simulated_workloads_total").value
+            == profiler.stats.simulated_workloads
+            == 3
+        )
+        assert (
+            profiler.metrics.get("repro_profiler_simulated_points_total").value
+            == profiler.stats.simulated_points
+        )

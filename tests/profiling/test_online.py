@@ -227,3 +227,46 @@ class TestOutlierGate:
         assert profiler.counters["rejected_outliers"] >= 2
         assert profiler.n_samples > accepted_before
         assert profiler.last_fit.utility.scale == pytest.approx(100.0, rel=0.3)
+
+
+class TestMetricsMirror:
+    """Internal counters and the optional registry must agree."""
+
+    def _profiler(self, **kwargs):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        profiler = OnlineProfiler(
+            n_resources=2, metrics=registry, metric_labels={"agent": "a1"}, **kwargs
+        )
+        return profiler, registry
+
+    def test_rejections_mirrored_with_reason_labels(self):
+        profiler, registry = self._profiler()
+        profiler.observe((1.0, 1.0), -5.0)
+        profiler.observe((0.0, 1.0), 1.0)
+        counter = registry.get(
+            "repro_online_samples_rejected_total", agent="a1", reason="non_positive"
+        )
+        assert counter.value == profiler.counters["rejected_non_positive"] == 2
+
+    def test_trim_and_refit_counters_mirrored(self):
+        profiler, registry = self._profiler(decay=0.5, weight_floor=0.1)
+        feed_synthetic(profiler, (0.6, 0.4), 40)
+        trimmed = registry.get("repro_online_samples_trimmed_total", agent="a1")
+        assert trimmed is not None
+        assert trimmed.value == profiler.counters["trimmed_samples"] > 0
+        refits = registry.get("repro_online_refits_total", agent="a1")
+        assert refits is not None and refits.value > 0
+
+    def test_condition_number_gauge_tracks_last_fit(self):
+        profiler, registry = self._profiler()
+        feed_synthetic(profiler, (0.6, 0.4), 12)
+        gauge = registry.get("repro_online_fit_condition_number", agent="a1")
+        assert gauge is not None
+        assert gauge.value == pytest.approx(profiler.last_condition_number)
+
+    def test_metric_free_by_default(self):
+        profiler = OnlineProfiler(n_resources=2)
+        profiler.observe((1.0, 1.0), -5.0)
+        assert profiler.counters["rejected_non_positive"] == 1  # no crash, no registry

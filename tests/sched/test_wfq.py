@@ -108,6 +108,86 @@ class TestScheduling:
         assert records[0].start == 0.0
 
 
+class TestArrivalAware:
+    """Regression tests: run() must honour WfqPacket.arrival."""
+
+    def test_idle_gap_until_next_arrival(self):
+        scheduler = WfqScheduler({"a": 1.0}, rate=1.0)
+        records = scheduler.run(
+            [WfqPacket("a", 10.0, arrival=0.0), WfqPacket("a", 10.0, arrival=50.0)]
+        )
+        assert records[0].start == 0.0
+        assert records[0].finish == pytest.approx(10.0)
+        # The link idles from t=10 to t=50 instead of serving early.
+        assert records[1].start == pytest.approx(50.0)
+        assert records[1].finish == pytest.approx(60.0)
+
+    def test_late_packet_not_served_before_it_arrives(self):
+        # Flow b's huge weight gives it a tiny virtual finish, but its
+        # packet arrives after a's backlog; it must still wait.
+        scheduler = WfqScheduler({"a": 1.0, "b": 100.0})
+        records = scheduler.run(
+            [
+                WfqPacket("a", 10.0, arrival=0.0),
+                WfqPacket("a", 10.0, arrival=0.0),
+                WfqPacket("b", 1.0, arrival=15.0),
+            ]
+        )
+        assert [record.packet.flow for record in records] == ["a", "a", "b"]
+        assert records[-1].start >= 15.0
+
+    def test_mid_service_arrival_waits_for_decision_point(self):
+        # Service is non-preemptive: b arrives at t=2 while a's packet
+        # is on the link and is served at the next decision point.
+        scheduler = WfqScheduler({"a": 1.0, "b": 1.0})
+        records = scheduler.run(
+            [WfqPacket("a", 10.0, arrival=0.0), WfqPacket("b", 1.0, arrival=2.0)]
+        )
+        assert [record.packet.flow for record in records] == ["a", "b"]
+        assert records[1].start == pytest.approx(10.0)
+
+    def test_unsorted_input_is_ordered_by_arrival(self):
+        scheduler = WfqScheduler({"a": 1.0})
+        records = scheduler.run(
+            [WfqPacket("a", 1.0, arrival=5.0), WfqPacket("a", 1.0, arrival=0.0)]
+        )
+        assert [record.packet.arrival for record in records] == [0.0, 5.0]
+
+    def test_all_zero_arrivals_match_classic_schedule(self):
+        # The degenerate case must reproduce the persistently-backlogged
+        # schedule exactly (manual enqueue-all-then-drain).
+        packets = backlogged_packets(["a", "b"], 20)
+        classic = WfqScheduler({"a": 2.0, "b": 1.0})
+        for packet in packets:
+            classic.enqueue(packet)
+        expected = []
+        clock = 0.0
+        while True:
+            packet = classic.dequeue()
+            if packet is None:
+                break
+            start = clock
+            clock += packet.size / classic.rate
+            expected.append((packet.flow, start, clock))
+        scheduler = WfqScheduler({"a": 2.0, "b": 1.0})
+        records = scheduler.run(packets)
+        assert [(r.packet.flow, r.start, r.finish) for r in records] == expected
+
+    def test_shares_follow_weights_once_both_backlogged(self):
+        # Flow a runs alone until b arrives at t=100; from then on the
+        # backlogged window splits 3:1 by weight.
+        scheduler = WfqScheduler({"a": 3.0, "b": 1.0})
+        packets = [WfqPacket("a", 8.0, arrival=0.0) for _ in range(400)]
+        packets += [WfqPacket("b", 8.0, arrival=100.0) for _ in range(400)]
+        records = scheduler.run(packets)
+        served = {"a": 0.0, "b": 0.0}
+        for record in records:
+            if record.start >= 100.0 and record.finish <= 1500.0:
+                served[record.packet.flow] += record.packet.size
+        total = sum(served.values())
+        assert served["a"] / total == pytest.approx(0.75, abs=0.05)
+
+
 class TestFairnessBoundProperty:
     @given(
         w_a=st.floats(min_value=0.2, max_value=5.0),

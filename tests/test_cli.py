@@ -301,3 +301,94 @@ class TestDynamic:
     def test_unknown_benchmark_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["dynamic", "--workloads", "doom"])
+
+
+class TestMetricsExport:
+    def _load_registry(self, path):
+        from repro.obs import MetricsRegistry
+
+        with open(path) as handle:
+            return MetricsRegistry.from_dict(json.load(handle))
+
+    def test_dynamic_metrics_out_covers_every_epoch(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, out = run_cli(
+            capsys,
+            "dynamic", "--epochs", "8", "--metrics-out", str(path),
+        )
+        assert code == 0
+        registry = self._load_registry(path)
+        assert registry.get("repro_dynamic_epoch_latency_seconds").count == 8
+        assert registry.get("repro_dynamic_epochs_total").value == 8
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert len(payload["spans"]) == 8
+
+    def test_dynamic_metrics_counters_match_json_counters(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, out = run_cli(
+            capsys,
+            "dynamic",
+            "--epochs", "20",
+            "--fault-drop", "0.1",
+            "--seed", "3",
+            "--json",
+            "--metrics-out", str(path),
+        )
+        assert code == 0
+        reported = json.loads(out)["counters"]
+        registry = self._load_registry(path)
+        mirrored = {}
+        for family in registry.families():
+            if family.name == "repro_dynamic_events_total":
+                for key, child in family.children.items():
+                    mirrored[dict(key)["kind"]] = int(child.value)
+        assert mirrored == reported
+
+    def test_profile_metrics_out(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, out = run_cli(
+            capsys,
+            "profile", "ferret", "--no-cache", "--metrics-out", str(path),
+        )
+        assert code == 0
+        registry = self._load_registry(path)
+        assert registry.get("repro_profiler_simulated_points_total").value >= 25
+
+
+class TestMetricsCommand:
+    def test_renders_file_as_table(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        run_cli(capsys, "dynamic", "--epochs", "3", "--metrics-out", str(path))
+        code, out = run_cli(capsys, "metrics", str(path))
+        assert code == 0
+        assert "repro_dynamic_epoch_latency_seconds" in out
+        assert "count=3" in out
+
+    def test_prometheus_output_is_scrapeable(self, capsys, tmp_path):
+        from repro.obs import parse_prometheus_text
+
+        path = tmp_path / "metrics.json"
+        run_cli(capsys, "dynamic", "--epochs", "3", "--metrics-out", str(path))
+        code, out = run_cli(capsys, "metrics", str(path), "--format", "prometheus")
+        assert code == 0
+        samples = parse_prometheus_text(out)
+        count = [
+            s for s in samples if s["name"] == "repro_dynamic_epoch_latency_seconds_count"
+        ]
+        assert count and count[0]["value"] == 3
+
+    def test_json_round_trips(self, capsys, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        path = tmp_path / "metrics.json"
+        run_cli(capsys, "dynamic", "--epochs", "2", "--metrics-out", str(path))
+        code, out = run_cli(capsys, "metrics", str(path), "--format", "json")
+        assert code == 0
+        rebuilt = MetricsRegistry.from_dict(json.loads(out))
+        assert rebuilt.get("repro_dynamic_epochs_total").value == 2
+
+    def test_no_file_emits_build_info(self, capsys):
+        code, out = run_cli(capsys, "metrics", "--format", "prometheus")
+        assert code == 0
+        assert "repro_build_info" in out
