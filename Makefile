@@ -5,7 +5,7 @@ JOBS ?= 2
 SMOKE_CACHE := .repro-smoke-cache
 SMOKE_ARTIFACTS := fig8a fig9 table2
 
-.PHONY: install test bench examples reproduce lint smoke dynamic-smoke metrics-smoke ci clean
+.PHONY: install test bench bench-kernel examples reproduce lint smoke dynamic-smoke metrics-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Times the trace-driven Table 1 sweep through the reference simulator
+# and the stack-distance kernel, hard-gates on bit-exact parity, and
+# writes BENCH_kernel.json (speedup, accesses/sec).  Exits non-zero if
+# parity breaks or the speedup falls below the acceptance floor.
+bench-kernel:
+	$(PYTHON) benchmarks/kernel_speedup.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
@@ -72,10 +79,12 @@ metrics-smoke:
 ci: lint
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) smoke
+	$(MAKE) bench-kernel
 	$(MAKE) dynamic-smoke
 	$(MAKE) metrics-smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
 	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt $(SMOKE_CACHE).*.json
+	rm -f BENCH_kernel.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,118 @@
+"""Stack-distance kernel speedup benchmark (the `make bench-kernel` entry).
+
+Times the trace-driven Table 1 sweep (5 cache sizes x 5 bandwidths)
+through both simulation paths — the per-access reference hierarchy and
+the vectorized stack-distance kernel — on one fixed workload/trace,
+hard-gates on bit-exact parity of every result, and writes
+``BENCH_kernel.json`` with the measured speedup and access throughput.
+
+Run directly (``python benchmarks/kernel_speedup.py``) or via
+``make bench-kernel``; CI runs it as a smoke step and uploads the JSON
+artifact.  Exits non-zero if parity breaks or the speedup falls below
+the acceptance floor.
+
+Named outside the ``bench_*.py`` pattern on purpose: it is a timing
+harness with a JSON artifact, not a pytest benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.machine import TraceMachine
+from repro.sim.platform import PlatformConfig
+from repro.workloads.suites import get_workload
+
+#: Acceptance floor from the issue: the fast sweep must beat the
+#: reference sweep by at least this factor on the same machine.
+MIN_SPEEDUP = 5.0
+
+
+def best_of(repeats: int, run) -> float:
+    """Minimum wall-clock over ``repeats`` runs (noise-robust timing)."""
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="swaptions")
+    parser.add_argument("--instructions", type=int, default=100_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output", default="BENCH_kernel.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help=f"fail below this wall-clock ratio (default: {MIN_SPEEDUP})",
+    )
+    args = parser.parse_args(argv)
+
+    workload = get_workload(args.workload)
+    points = PlatformConfig().sweep_points()
+    fast = TraceMachine(n_instructions=args.instructions, use_fast_kernel=True)
+    reference = TraceMachine(n_instructions=args.instructions, use_fast_kernel=False)
+
+    fast_results = fast.sweep(workload, points)
+    reference_results = reference.sweep(workload, points)
+    parity = fast_results == reference_results
+    if not parity:
+        mismatches = [
+            point
+            for point, a, b in zip(points, fast_results, reference_results)
+            if a != b
+        ]
+        print(f"PARITY BROKEN at {len(mismatches)}/{len(points)} points: "
+              f"{mismatches[:5]}", file=sys.stderr)
+
+    fast_s = best_of(args.repeats, lambda: fast.sweep(workload, points))
+    reference_s = best_of(args.repeats, lambda: reference.sweep(workload, points))
+    speedup = reference_s / fast_s
+
+    # Throughput: the reference simulates every access at every point;
+    # normalize both paths by that same total so the ratio mirrors the
+    # wall-clock speedup.
+    n_accesses = max(int(args.instructions * workload.refs_per_instr), 1)
+    total_accesses = n_accesses * len(points)
+    payload = {
+        "workload": args.workload,
+        "instructions": args.instructions,
+        "grid_points": len(points),
+        "repeats": args.repeats,
+        "parity": parity,
+        "reference_seconds": round(reference_s, 6),
+        "fast_seconds": round(fast_s, 6),
+        "speedup": round(speedup, 2),
+        "reference_accesses_per_sec": round(total_accesses / reference_s),
+        "fast_accesses_per_sec": round(total_accesses / fast_s),
+        "min_speedup": args.min_speedup,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'path':<12} {'seconds':>10} {'accesses/s':>14}")
+    print(f"{'reference':<12} {reference_s:>10.3f} "
+          f"{total_accesses / reference_s:>14,.0f}")
+    print(f"{'fast':<12} {fast_s:>10.3f} {total_accesses / fast_s:>14,.0f}")
+    print(f"speedup: {speedup:.2f}x (floor {args.min_speedup}x)  "
+          f"parity: {'OK' if parity else 'BROKEN'}")
+    print(f"wrote {args.output}")
+
+    if not parity:
+        return 1
+    if speedup < args.min_speedup:
+        print(f"speedup {speedup:.2f}x below floor {args.min_speedup}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,11 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", metavar="FILE",
         help="write the run's collected metrics as JSON to this path",
     )
+    parser.add_argument(
+        "--no-fast-kernel", action="store_true",
+        help="trace-driven sweeps: use the per-access reference simulator "
+        "instead of the stack-distance kernel (bit-identical, slower)",
+    )
 
 
 def _resolve_cache_dir(args) -> Optional[str]:
@@ -113,6 +118,9 @@ def _make_profiler(args) -> OfflineProfiler:
     return OfflineProfiler(
         noise_sigma=getattr(args, "noise", 0.01),
         seed=getattr(args, "seed", 2014),
+        use_trace_machine=getattr(args, "trace_machine", False),
+        use_fast_kernel=not getattr(args, "no_fast_kernel", False),
+        trace_instructions=getattr(args, "trace_instructions", 400_000),
         jobs=args.jobs,
         cache_dir=_resolve_cache_dir(args),
         metrics=global_registry(),
@@ -144,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--noise", type=float, default=0.01, help="log-space noise sigma")
     profile.add_argument("--seed", type=int, default=2014)
     profile.add_argument("--output", "-o", help="write profile JSON to this path")
+    profile.add_argument(
+        "--trace-machine", action="store_true",
+        help="profile on the detailed trace-driven simulator (default: analytic)",
+    )
+    profile.add_argument(
+        "--trace-instructions", type=int, default=400_000, metavar="N",
+        help="instructions per trace-driven point (default: 400000)",
+    )
     _add_pipeline_flags(profile)
 
     fit = sub.add_parser("fit", help="fit a Cobb-Douglas utility")

@@ -38,7 +38,13 @@ __all__ = ["ProfileCache", "CACHE_VERSION", "profile_cache_key"]
 
 #: Bump to invalidate every previously written cache entry (e.g. after a
 #: change to the simulators or the noise scheme).
-CACHE_VERSION = 1
+#:
+#: 2: trace-driven sweeps restructured around the stack-distance kernel
+#:    (repro.sim.fastcache).  Results are bit-identical — and the key
+#:    deliberately does NOT include ``use_fast_kernel``, so fast and
+#:    reference runs share entries — but profiles written by pre-kernel
+#:    code must not be trusted against post-restructure expectations.
+CACHE_VERSION = 2
 
 
 def _canonical_json(payload) -> str:

@@ -58,19 +58,33 @@ DEFAULT_NOISE_SIGMA = 0.01
 
 @dataclass
 class ProfilerStats:
-    """Where profiles came from: fresh simulation vs cache tiers."""
+    """Where profiles came from: fresh simulation vs cache tiers.
+
+    ``fastcache_points`` / ``fallback_points`` split the trace-machine
+    share of ``simulated_points`` by simulation path (stack-distance
+    kernel vs per-access reference); both stay zero on analytic sweeps
+    and on warm cache runs.
+    """
 
     simulated_points: int = 0
     simulated_workloads: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
+    fastcache_points: int = 0
+    fallback_points: int = 0
 
     def summary(self) -> str:
-        """One-line machine-greppable report (used by the CI smoke job)."""
+        """One-line machine-greppable report (used by the CI smoke job).
+
+        New fields append after ``disk_hits``: CI greps anchor on the
+        prefix (``simulated_points=0 `` ... ``disk_hits=28``).
+        """
         return (
             f"simulated_points={self.simulated_points} "
             f"simulated_workloads={self.simulated_workloads} "
-            f"memory_hits={self.memory_hits} disk_hits={self.disk_hits}"
+            f"memory_hits={self.memory_hits} disk_hits={self.disk_hits} "
+            f"fastcache_points={self.fastcache_points} "
+            f"fallback_points={self.fallback_points}"
         )
 
 
@@ -91,6 +105,13 @@ class OfflineProfiler:
     use_trace_machine:
         Profile on the detailed trace-driven simulator instead of the
         analytic model (slower; used by validation tests/examples).
+    use_fast_kernel:
+        Run trace-driven sweeps on the stack-distance kernel
+        (:mod:`repro.sim.fastcache`), collapsing the grid to one cache
+        pass per cache size plus cheap DRAM replays.  Bit-identical to
+        the reference path (same cache keys on disk); disable via the
+        ``--no-fast-kernel`` CLI flag to cross-check or measure the
+        reference simulator.  No effect on analytic sweeps.
     jobs:
         Worker processes for sweeps.  1 (default) simulates inline;
         ``N > 1`` distributes (workload x grid-point) tasks over a
@@ -111,6 +132,7 @@ class OfflineProfiler:
         noise_sigma: float = DEFAULT_NOISE_SIGMA,
         seed: int = 2014,
         use_trace_machine: bool = False,
+        use_fast_kernel: bool = True,
         trace_instructions: int = 400_000,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
@@ -124,13 +146,19 @@ class OfflineProfiler:
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.use_trace_machine = use_trace_machine
+        self.use_fast_kernel = bool(use_fast_kernel)
         self.jobs = int(jobs)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._analytic = AnalyticMachine(self.platform)
-        self._trace = TraceMachine(self.platform, n_instructions=trace_instructions)
+        self._trace = TraceMachine(
+            self.platform,
+            n_instructions=trace_instructions,
+            use_fast_kernel=self.use_fast_kernel,
+            metrics=self.metrics,
+        )
         self._cache: Dict[str, Profile] = {}
         self.disk_cache = ProfileCache(cache_dir) if cache_dir is not None else None
         self.stats = ProfilerStats()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def _bump(self, stat: str, n: int = 1) -> None:
@@ -145,7 +173,21 @@ class OfflineProfiler:
         "simulated_workloads": ("repro_profiler_simulated_workloads_total", {}),
         "memory_hits": ("repro_profiler_cache_hits_total", {"tier": "memory"}),
         "disk_hits": ("repro_profiler_cache_hits_total", {"tier": "disk"}),
+        "fastcache_points": ("repro_profiler_fastcache_points_total", {"path": "fast"}),
+        "fallback_points": (
+            "repro_profiler_fastcache_points_total",
+            {"path": "fallback"},
+        ),
     }
+
+    def _bump_trace_path(self, n_points: int) -> None:
+        """Attribute trace-machine points to the fast or fallback path."""
+        if not self.use_trace_machine or n_points <= 0:
+            return
+        if not self.use_fast_kernel:
+            return
+        stat = "fastcache_points" if self._trace.kernel_active else "fallback_points"
+        self._bump(stat, n_points)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -233,13 +275,13 @@ class OfflineProfiler:
         ):
             if self.use_trace_machine:
                 points = self.platform.sweep_points()
-                ipc = np.array(
-                    [
-                        self._trace.simulate(workload, cache_kb=kb, bandwidth_gbps=bw).ipc
-                        for bw, kb in points
-                    ]
-                )
+                # One sweep call, not one simulate per point: the fast
+                # kernel collapses the cache dimension to a single pass
+                # per cache size and replays DRAM timing per bandwidth.
+                results = self._trace.sweep(workload, points)
+                ipc = np.array([result.ipc for result in results])
                 allocations = np.asarray(points)
+                self._bump_trace_path(len(points))
             else:
                 sweep = self._analytic.sweep(workload)
                 allocations, ipc = sweep.allocations, sweep.ipc
@@ -269,6 +311,7 @@ class OfflineProfiler:
                     machine=self._machine_kind,
                     platform=self.platform,
                     trace_instructions=self._trace.n_instructions,
+                    use_fast_kernel=self.use_fast_kernel,
                 )
                 for workload in pending
                 for offset, chunk in split_points(points, chunks)
@@ -283,6 +326,7 @@ class OfflineProfiler:
                     values
                 )
                 self._bump("simulated_points", len(values))
+                self._bump_trace_path(len(values))
             allocations = np.asarray(points)
             profiles = {}
             for workload in pending:

@@ -44,6 +44,9 @@ class SweepTask:
         Platform configuration the machine is built from.
     trace_instructions:
         Simulated instruction count per point (trace machine only).
+    use_fast_kernel:
+        Run the trace machine on the stack-distance kernel (trace
+        machine only; results are bit-identical either way).
     """
 
     workload: WorkloadSpec
@@ -52,6 +55,7 @@ class SweepTask:
     machine: str
     platform: PlatformConfig
     trace_instructions: int = 400_000
+    use_fast_kernel: bool = True
 
     def __post_init__(self) -> None:
         if self.machine not in ("analytic", "trace"):
@@ -70,11 +74,12 @@ def simulate_task(task: SweepTask) -> List[float]:
     deterministic, so results match the serial path bit for bit.
     """
     if task.machine == "trace":
-        trace = TraceMachine(task.platform, n_instructions=task.trace_instructions)
-        return [
-            trace.simulate(task.workload, cache_kb=kb, bandwidth_gbps=bw).ipc
-            for bw, kb in task.points
-        ]
+        trace = TraceMachine(
+            task.platform,
+            n_instructions=task.trace_instructions,
+            use_fast_kernel=task.use_fast_kernel,
+        )
+        return [result.ipc for result in trace.sweep(task.workload, list(task.points))]
     analytic = AnalyticMachine(task.platform)
     return [analytic.ipc(task.workload, kb, bw) for bw, kb in task.points]
 

@@ -11,6 +11,7 @@ from .cache import CacheHierarchy, CacheStats, HierarchyResult, SetAssociativeCa
 from .cores import ParallelWorkload, ThreeResourceMachine, amdahl_speedup
 from .cpu import IpcSolution, MemoryProfile, interval_ipc, solve_ipc
 from .dram import DramRequest, DramResult, DramSimulator, loaded_latency
+from .fastcache import FastHierarchy, FastHierarchySweep, stack_distances
 from .machine import TraceMachine, TraceSimulationResult
 from .multicore import MEMORY_POLICIES, AgentShare, SharedMachine, SharedRunResult
 from .platform import (
@@ -33,6 +34,8 @@ __all__ = [
     "DramRequest",
     "DramResult",
     "DramSimulator",
+    "FastHierarchy",
+    "FastHierarchySweep",
     "HierarchyResult",
     "IpcSolution",
     "LocalityModel",
@@ -53,4 +56,5 @@ __all__ = [
     "interval_ipc",
     "loaded_latency",
     "solve_ipc",
+    "stack_distances",
 ]

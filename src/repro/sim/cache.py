@@ -95,11 +95,12 @@ class SetAssociativeCache:
             ways.insert(0, tag)
         return True
 
-    def access_trace(self, line_addresses: np.ndarray) -> np.ndarray:
+    def access_trace(self, line_addresses) -> np.ndarray:
         """Access a whole trace; returns a boolean hit vector."""
-        hits = np.empty(len(line_addresses), dtype=bool)
-        for i, address in enumerate(line_addresses):
-            hits[i] = self.access(int(address))
+        addresses = np.asarray(line_addresses, dtype=np.int64)
+        hits = np.empty(addresses.size, dtype=bool)
+        for i, address in enumerate(addresses.tolist()):
+            hits[i] = self.access(address)
         return hits
 
     def flush(self) -> None:
@@ -190,34 +191,40 @@ class CacheHierarchy:
 
         Touch the given addresses in order (most-popular-last leaves the
         hottest lines MRU in every set), then clear the counters so only
-        the measured region contributes to miss ratios.
+        the measured region contributes to miss ratios.  Warm-up
+        prefetches are cleared too: ``prefetches_issued`` feeds DRAM
+        bandwidth accounting, which must cover the measured region only.
         """
-        for address in line_addresses:
-            self.access(int(address))
+        for address in np.asarray(line_addresses, dtype=np.int64).tolist():
+            self.access(address)
         self.l1.stats.reset()
         self.l2.stats.reset()
+        self.prefetches_issued = 0
 
-    def run(self, line_addresses: np.ndarray) -> HierarchyResult:
+    def run(self, line_addresses) -> HierarchyResult:
         """Run a full trace, returning per-level statistics.
 
         Also returns, via the result's counters, the number of DRAM
         requests (``result.l2.misses``).
         """
-        for address in line_addresses:
-            self.access(int(address))
+        for address in np.asarray(line_addresses, dtype=np.int64).tolist():
+            self.access(address)
         return HierarchyResult(
             l1=self.l1.stats, l2=self.l2.stats, n_accesses=self.l1.stats.accesses
         )
 
-    def dram_request_indices(self, line_addresses: np.ndarray) -> np.ndarray:
+    def dram_request_indices(self, line_addresses) -> np.ndarray:
         """Run a trace and return the indices that missed all levels.
 
         Used by the machine model to time DRAM requests: the index of a
         miss within the instruction stream locates its arrival time.
         """
-        missed = []
-        for i, address in enumerate(line_addresses):
-            _, l2_hit = self.access(int(address))
+        addresses = np.asarray(line_addresses, dtype=np.int64)
+        missed = np.empty(addresses.size, dtype=np.int64)
+        count = 0
+        for i, address in enumerate(addresses.tolist()):
+            _, l2_hit = self.access(address)
             if not l2_hit:
-                missed.append(i)
-        return np.asarray(missed, dtype=np.int64)
+                missed[count] = i
+                count += 1
+        return missed[:count]

@@ -213,17 +213,25 @@ class DramChannel:
         self.row_hits = 0
         self.total_latency_ns = 0.0
         self.last_completion_ns = 0.0
+        # service() runs once per L2 miss on the replay hot path; cache
+        # the derived per-request constants instead of recomputing the
+        # config properties every call (values are identical floats).
+        self._burst_ns = config.burst_ns
+        self._service_ns = config.service_ns
+        self._closed = config.page_policy == "closed"
+        self._closed_latency_ns = config.t_rcd_ns + config.t_cl_ns
+        self._banks_per_channel = config.n_ranks * config.n_banks
 
     def _core_latency(self, bank: int, row: int) -> float:
         """Pre-burst latency under the configured page policy."""
         config = self.config
-        if config.page_policy == "closed":
-            return config.t_rcd_ns + config.t_cl_ns
+        if self._closed:
+            return self._closed_latency_ns
         if self._open_row[bank] == row:
             self.row_hits += 1
             return config.t_cl_ns
         if self._open_row[bank] is None:
-            return config.t_rcd_ns + config.t_cl_ns
+            return self._closed_latency_ns
         return config.t_rp_ns + config.t_rcd_ns + config.t_cl_ns
 
     def service(self, issue_ns: float, line_address: int) -> float:
@@ -235,7 +243,7 @@ class DramChannel:
         """
         config = self.config
         channel = line_address % config.n_channels
-        banks_per_channel = config.n_ranks * config.n_banks
+        banks_per_channel = self._banks_per_channel
         bank = channel * banks_per_channel + (
             (line_address // config.n_channels) % banks_per_channel
         )
@@ -246,10 +254,10 @@ class DramChannel:
             self._bus_free[channel],
             self._pace_free,
         )
-        done = data_start + config.burst_ns
+        done = data_start + self._burst_ns
         self._bus_free[channel] = done
-        self._pace_free = data_start + config.service_ns
-        if config.page_policy == "closed":
+        self._pace_free = data_start + self._service_ns
+        if self._closed:
             self._bank_free[bank] = done + config.t_rp_ns
             self._open_row[bank] = None
         else:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .cache import CacheHierarchy
+from .fastcache import FastHierarchy
 from .platform import PlatformConfig
 from .trace import generate_trace
 
@@ -137,13 +138,26 @@ class SharedMachine:
         ``platform.dram.channel_gbps`` the physical channel.
     n_instructions:
         Instructions each agent executes.
+    use_fast_kernel:
+        Extract each agent's miss stream with the stack-distance kernel
+        (:mod:`repro.sim.fastcache`) — bit-identical to the reference
+        per-access loop, partition ways included.  Only the partitioned
+        cache mode qualifies; the shared (unpartitioned) mode
+        interleaves agents through one mutable L2 and always uses the
+        reference simulator.
     """
 
-    def __init__(self, platform: Optional[PlatformConfig] = None, n_instructions: int = 200_000):
+    def __init__(
+        self,
+        platform: Optional[PlatformConfig] = None,
+        n_instructions: int = 200_000,
+        use_fast_kernel: bool = True,
+    ):
         if n_instructions <= 0:
             raise ValueError(f"n_instructions must be positive, got {n_instructions}")
         self.platform = platform if platform is not None else PlatformConfig()
         self.n_instructions = n_instructions
+        self.use_fast_kernel = bool(use_fast_kernel)
 
     # ------------------------------------------------------------------
 
@@ -207,19 +221,28 @@ class SharedMachine:
     def _prepare_agent(self, index: int, share: AgentShare, seed: int) -> _AgentState:
         """Warm the agent's cache partition and extract its miss stream."""
         workload = share.workload
-        hierarchy = CacheHierarchy(
-            self.platform.l1, self.platform.l2, l2_partition_ways=share.l2_ways
-        )
         partition_lines = (
             self.platform.l2.n_lines * share.l2_ways // self.platform.l2.ways
         )
-        hierarchy.warm(workload.locality.top_lines(max(partition_lines, 1)))
+        warm = workload.locality.top_lines(max(partition_lines, 1))
         n_accesses = max(int(self.n_instructions * workload.refs_per_instr), 1)
         trace = generate_trace(workload.locality, n_accesses, seed=seed + index)
-        miss_indices = hierarchy.dram_request_indices(trace)
-
-        l1_miss = hierarchy.l1.stats.miss_ratio
-        global_miss = hierarchy.l2.stats.misses / max(hierarchy.l1.stats.accesses, 1)
+        if self.use_fast_kernel:
+            run = FastHierarchy(self.platform.l1, self.platform.l2).run(trace, warm=warm)
+            miss_indices = run.dram_request_indices(ways=share.l2_ways)
+            l1_stats = run.l1_stats
+            l1_miss = l1_stats.miss_ratio
+            global_miss = run.l2_stats(ways=share.l2_ways).misses / max(
+                l1_stats.accesses, 1
+            )
+        else:
+            hierarchy = CacheHierarchy(
+                self.platform.l1, self.platform.l2, l2_partition_ways=share.l2_ways
+            )
+            hierarchy.warm(warm)
+            miss_indices = hierarchy.dram_request_indices(trace)
+            l1_miss = hierarchy.l1.stats.miss_ratio
+            global_miss = hierarchy.l2.stats.misses / max(hierarchy.l1.stats.accesses, 1)
         core = self.platform.core
         l2_hits_per_instr = workload.refs_per_instr * (l1_miss - global_miss)
         core_cpi = (

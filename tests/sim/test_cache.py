@@ -209,6 +209,16 @@ class TestHierarchy:
         result = hierarchy.run(lines)
         assert result.l2.misses == 0
 
+    def test_list_inputs_accepted(self):
+        # Every trace entry point normalizes via np.asarray(int64).
+        hierarchy = self.make_hierarchy()
+        hierarchy.warm([0, 1, 2])
+        result = hierarchy.run([0, 1, 2, 99])
+        assert result.n_accesses == 4
+        indices = self.make_hierarchy().dram_request_indices([5, 5, 7])
+        assert indices.dtype == np.int64
+        assert np.array_equal(indices, [0, 2])
+
 
 class TestNextLinePrefetch:
     def make_hierarchy(self, prefetch):
@@ -252,3 +262,19 @@ class TestNextLinePrefetch:
         assert hierarchy.next_line_prefetch is False
         hierarchy.run(np.arange(100))
         assert hierarchy.prefetches_issued == 0
+
+    def test_warm_resets_prefetch_counter(self):
+        # Regression: warm() cleared L1/L2 stats but left warm-up
+        # prefetches in prefetches_issued, contaminating DRAM-bandwidth
+        # accounting for the measured region.
+        hierarchy = self.make_hierarchy(prefetch=True)
+        hierarchy.warm(np.arange(200))
+        assert hierarchy.prefetches_issued == 0
+        hierarchy.run(np.arange(1000, 1200))
+        measured = hierarchy.prefetches_issued
+        assert measured > 0
+        fresh = self.make_hierarchy(prefetch=True)
+        fresh.run(np.arange(1000, 1200))
+        # A warmed hierarchy must not report more prefetches than the
+        # measured region alone can generate.
+        assert measured <= fresh.prefetches_issued

@@ -1,0 +1,289 @@
+"""Parity suite for the vectorized stack-distance kernel.
+
+The kernel's whole contract is bit-exactness against the reference
+per-access simulator — same hit vectors, same miss indices, for every
+partition way count, under warm-up — so these tests are dominated by
+property-style randomized comparisons, plus checks of the machine-level
+fast path (sweep equality, prefetch fallback, obs counters) and the
+profiler-level guarantee (fast and slow sweeps yield identical
+profiles).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.profiling.offline import OfflineProfiler
+from repro.sim.cache import CacheHierarchy, SetAssociativeCache
+from repro.sim.fastcache import FastHierarchy, _count_leq_before, stack_distances
+from repro.sim.machine import TraceMachine
+from repro.sim.multicore import AgentShare, SharedMachine
+from repro.sim.platform import CacheConfig
+from repro.workloads.suites import get_workload
+
+
+def brute_stack_distances(addresses, n_sets, ways):
+    """Reference LRU-stack implementation (per-set MRU-first lists)."""
+    stacks = [[] for _ in range(n_sets)]
+    out = np.empty(len(addresses), dtype=np.int64)
+    for i, address in enumerate(addresses):
+        set_idx, tag = address % n_sets, address // n_sets
+        stack = stacks[set_idx]
+        if tag in stack:
+            depth = stack.index(tag)
+            stack.remove(tag)
+        else:
+            depth = ways
+        stack.insert(0, tag)
+        out[i] = min(depth, ways)
+    return out
+
+
+class TestCountLeqBefore:
+    @given(
+        st.lists(st.integers(min_value=-1, max_value=400), min_size=0, max_size=300)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_quadratic_reference(self, values):
+        values = np.asarray(values, dtype=np.int64)
+        expected = np.array(
+            [(values[:i] <= values[i]).sum() for i in range(values.size)],
+            dtype=np.int64,
+        )
+        assert np.array_equal(_count_leq_before(values), expected)
+
+    def test_pad_sentinel_exceeds_real_keys(self):
+        # Regression: keys above the array length used to collide with
+        # the power-of-two pad sentinel.
+        assert np.array_equal(_count_leq_before(np.array([5, 5, -1])), [0, 1, 0])
+
+
+class TestStackDistances:
+    @given(
+        n_sets=st.sampled_from([1, 2, 4, 8, 16]),
+        ways=st.integers(min_value=1, max_value=8),
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=600), min_size=0, max_size=500
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_lru_stacks(self, n_sets, ways, addresses):
+        got = stack_distances(addresses, n_sets, ways)
+        assert np.array_equal(got, brute_stack_distances(addresses, n_sets, ways))
+
+    def test_hits_match_reference_cache_for_every_way_count(self):
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 400, size=3000)
+        # 4 KB / 64 B = 64 lines; distances from one 8-way pass answer
+        # every partition size (the Mattson inclusion property).
+        depths = stack_distances(addresses, n_sets=8, ways=8)
+        for ways in range(1, 9):
+            cache = SetAssociativeCache(
+                CacheConfig(size_kb=4, ways=8), n_partition_ways=ways
+            )
+            assert np.array_equal(depths < ways, cache.access_trace(addresses))
+
+    def test_cold_touches_report_full_depth(self):
+        assert np.array_equal(stack_distances([0, 1, 2], 1, 4), [4, 4, 4])
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError, match="n_sets"):
+            stack_distances([0], 0, 4)
+        with pytest.raises(ValueError, match="ways"):
+            stack_distances([0], 4, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            stack_distances([-1], 4, 4)
+
+    def test_empty_trace(self):
+        assert stack_distances([], 4, 4).size == 0
+
+
+class TestHierarchyParity:
+    @given(
+        l1_ways=st.sampled_from([1, 2, 4]),
+        l2_ways=st.sampled_from([2, 4, 8]),
+        l2_kb=st.sampled_from([16, 32, 64]),
+        n_warm=st.integers(min_value=0, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_hierarchy(self, l1_ways, l2_ways, l2_kb, n_warm, seed):
+        l1 = CacheConfig(size_kb=1, ways=l1_ways)
+        l2 = CacheConfig(size_kb=l2_kb, ways=l2_ways)
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 2500, size=int(rng.integers(10, 1500)))
+        warm = rng.integers(0, 2500, size=n_warm) if n_warm else None
+
+        run = FastHierarchy(l1, l2).run(trace, warm=warm)
+        for ways in range(1, l2_ways + 1):
+            reference = CacheHierarchy(l1, l2, l2_partition_ways=ways)
+            if warm is not None:
+                reference.warm(warm)
+            miss_indices = reference.dram_request_indices(trace)
+            assert np.array_equal(run.dram_request_indices(ways=ways), miss_indices)
+            assert run.l1_stats == reference.l1.stats
+            assert run.l2_stats(ways=ways) == reference.l2.stats
+            assert run.hierarchy_result(ways=ways).global_l2_miss_ratio == (
+                pytest.approx(
+                    reference.l2.stats.misses / max(reference.l1.stats.accesses, 1)
+                )
+            )
+
+    def test_miss_curve_consistent_with_per_way_stats(self):
+        l1 = CacheConfig(size_kb=1, ways=2)
+        l2 = CacheConfig(size_kb=32, ways=8)
+        rng = np.random.default_rng(11)
+        run = FastHierarchy(l1, l2).run(rng.integers(0, 2000, size=4000))
+        curve = run.l2_miss_curve()
+        assert curve.shape == (8,)
+        for ways in range(1, 9):
+            assert curve[ways - 1] == run.l2_stats(ways=ways).misses
+
+    def test_shared_l1_pass_is_equivalent(self):
+        l1 = CacheConfig(size_kb=1, ways=4)
+        l2 = CacheConfig(size_kb=32, ways=8)
+        rng = np.random.default_rng(5)
+        warm = rng.integers(0, 2000, size=200)
+        trace = rng.integers(0, 2000, size=3000)
+        hierarchy = FastHierarchy(l1, l2)
+        shared = hierarchy.l1_pass(np.concatenate((warm, trace)))
+        a = hierarchy.run(trace, warm=warm)
+        b = hierarchy.run(trace, warm=warm, l1_pass=shared)
+        assert np.array_equal(a.l2_positions, b.l2_positions)
+        assert np.array_equal(a.l2_depths, b.l2_depths)
+        assert a.l1_stats == b.l1_stats
+
+    def test_rejects_out_of_range_partition(self):
+        run = FastHierarchy(
+            CacheConfig(size_kb=1, ways=2), CacheConfig(size_kb=32, ways=8)
+        ).run(np.arange(100))
+        with pytest.raises(ValueError, match="ways"):
+            run.l2_stats(ways=9)
+        with pytest.raises(ValueError, match="ways"):
+            run.dram_request_indices(ways=0)
+
+
+class TestMachineFastPath:
+    GRID = [(bw, kb) for kb in (1024, 4096) for bw in (3.2, 12.8)]
+
+    def test_sweep_matches_reference_exactly(self):
+        workload = get_workload("ferret")
+        fast = TraceMachine(n_instructions=60_000, use_fast_kernel=True)
+        slow = TraceMachine(n_instructions=60_000, use_fast_kernel=False)
+        assert fast.sweep(workload, self.GRID) == [
+            slow.simulate(workload, cache_kb=kb, bandwidth_gbps=bw)
+            for bw, kb in self.GRID
+        ]
+
+    def test_prefetch_falls_back_to_reference(self):
+        metrics = MetricsRegistry()
+        machine = TraceMachine(
+            n_instructions=60_000,
+            use_fast_kernel=True,
+            next_line_prefetch=True,
+            metrics=metrics,
+        )
+        assert machine.kernel_active is False
+        reference = TraceMachine(
+            n_instructions=60_000, use_fast_kernel=False, next_line_prefetch=True
+        )
+        workload = get_workload("swaptions")
+        assert machine.sweep(workload, self.GRID) == [
+            reference.simulate(workload, cache_kb=kb, bandwidth_gbps=bw)
+            for bw, kb in self.GRID
+        ]
+        fallback = metrics.counter("repro_fastcache_points_total", path="fallback")
+        assert fallback.value == len(self.GRID)
+
+    def test_fast_path_counters_and_latency_histogram(self):
+        metrics = MetricsRegistry()
+        machine = TraceMachine(
+            n_instructions=60_000, use_fast_kernel=True, metrics=metrics
+        )
+        machine.sweep(get_workload("swaptions"), self.GRID)
+        fast = metrics.counter("repro_fastcache_points_total", path="fast")
+        assert fast.value == len(self.GRID)
+        histogram = metrics.histogram("repro_fastcache_kernel_seconds")
+        # One kernel timing per distinct cache size.
+        assert histogram.count == 2
+
+    def test_kernel_disabled_runs_reference_without_fallback_counter(self):
+        metrics = MetricsRegistry()
+        machine = TraceMachine(
+            n_instructions=60_000, use_fast_kernel=False, metrics=metrics
+        )
+        machine.sweep(get_workload("swaptions"), self.GRID[:1])
+        assert metrics.counter("repro_fastcache_points_total", path="fallback").value == 0
+        assert metrics.counter("repro_fastcache_points_total", path="fast").value == 0
+
+    def test_empty_sweep(self):
+        assert TraceMachine(n_instructions=1000).sweep(get_workload("ferret"), []) == []
+
+
+class TestSharedMachineFastPath:
+    def test_partitioned_run_matches_reference(self):
+        shares = [
+            AgentShare("a", get_workload("swaptions"), 6.4, 3),
+            AgentShare("b", get_workload("canneal"), 3.2, 5),
+        ]
+        fast = SharedMachine(n_instructions=40_000, use_fast_kernel=True)
+        slow = SharedMachine(n_instructions=40_000, use_fast_kernel=False)
+        for policy in ("fcfs", "wfq", "stfm"):
+            assert fast.run(shares, policy=policy) == slow.run(shares, policy=policy)
+
+
+class TestProfilerFastPath:
+    def _profile_pair(self, **kwargs):
+        fast = OfflineProfiler(
+            use_trace_machine=True, use_fast_kernel=True,
+            trace_instructions=40_000, **kwargs,
+        )
+        slow = OfflineProfiler(
+            use_trace_machine=True, use_fast_kernel=False,
+            trace_instructions=40_000, **kwargs,
+        )
+        return fast, slow
+
+    def test_profiles_identical_and_cache_key_shared(self):
+        workload = get_workload("swaptions")
+        fast, slow = self._profile_pair()
+        a, b = fast.profile(workload), slow.profile(workload)
+        assert np.array_equal(a.ipc, b.ipc)
+        assert np.array_equal(a.allocations, b.allocations)
+        assert a.source == b.source == "trace"
+        # Bit-identical results share one on-disk cache entry.
+        assert fast.cache_key(workload) == slow.cache_key(workload)
+
+    def test_stats_attribute_points_to_kernel_path(self):
+        workload = get_workload("swaptions")
+        fast, slow = self._profile_pair()
+        fast.profile(workload)
+        slow.profile(workload)
+        n_points = fast.stats.simulated_points
+        assert fast.stats.fastcache_points == n_points > 0
+        assert fast.stats.fallback_points == 0
+        assert slow.stats.fastcache_points == slow.stats.fallback_points == 0
+        assert f"fastcache_points={n_points}" in fast.stats.summary()
+        mirrored = fast.metrics.counter(
+            "repro_profiler_fastcache_points_total", path="fast"
+        )
+        assert mirrored.value == n_points
+
+    def test_parallel_matches_serial(self):
+        workload = get_workload("radiosity")
+        serial = OfflineProfiler(use_trace_machine=True, trace_instructions=40_000)
+        expected = serial.profile(workload)
+        with OfflineProfiler(
+            use_trace_machine=True, trace_instructions=40_000, jobs=2
+        ) as parallel:
+            got = parallel.profile(workload)
+            assert np.array_equal(got.ipc, expected.ipc)
+            assert parallel.stats.fastcache_points == parallel.stats.simulated_points
+
+    def test_analytic_profiles_do_not_touch_kernel_counters(self):
+        profiler = OfflineProfiler()
+        profiler.profile(get_workload("swaptions"))
+        assert profiler.stats.fastcache_points == 0
+        assert profiler.stats.fallback_points == 0
