@@ -1,17 +1,35 @@
 # Convenience targets for the REF reproduction.
+#
+# The CI workflow (.github/workflows/ci.yml) runs these same targets —
+# lint, test, coverage, smoke, bench-kernel, dynamic-smoke, serve-smoke
+# — so `make ci` reproduces a full CI run locally with zero drift.
 
 PYTHON ?= python
 JOBS ?= 2
 SMOKE_CACHE := .repro-smoke-cache
-SMOKE_ARTIFACTS := fig8a fig9 table2
+# Must match the CI reproduce-smoke job artifact set (28 cached profiles).
+SMOKE_ARTIFACTS := fig8a fig8b fig8c fig9 table1 table2
+# Coverage hard floor for `make coverage` / the CI coverage job.  Start
+# at the measured baseline rounded down; ratchet up, never down.
+COV_FLOOR ?= 80
 
-.PHONY: install test bench bench-kernel examples reproduce lint smoke dynamic-smoke metrics-smoke ci clean
+.PHONY: install test coverage bench bench-kernel bench-serve examples reproduce \
+	lint smoke dynamic-smoke metrics-smoke serve-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
+
+# The CI coverage job, runnable locally (needs pytest-cov installed):
+# line coverage over src/repro with a hard fail-under floor and an HTML
+# report in coverage-html/.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "coverage: pytest-cov is not installed (pip install pytest-cov)"; exit 1; }
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term \
+		--cov-report=html:coverage-html --cov-fail-under=$(COV_FLOOR)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -23,6 +41,13 @@ bench:
 bench-kernel:
 	$(PYTHON) benchmarks/kernel_speedup.py
 
+# Async load generator against an in-process allocation server: writes
+# BENCH_serve.json (p50/p99 request latency, allocations/sec) and
+# hard-asserts the batching contract (one mechanism solve per epoch
+# tick regardless of client count).
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve_load.py
+
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
 
@@ -33,36 +58,40 @@ lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
 	$(PYTHON) -m ruff format --check src tests benchmarks examples
 
-# The CI smoke job, runnable locally: parallel profiling must be
-# bit-identical to the serial reference, and a warm second run must be
-# served entirely from the profile cache (zero simulator invocations).
+# The CI reproduce-smoke job, runnable locally: parallel profiling must
+# be bit-identical to the serial reference, and a warm second run must
+# be served entirely from the profile cache (zero simulator
+# invocations, all 28 profiles from disk).
 smoke:
 	rm -rf $(SMOKE_CACHE)
 	$(PYTHON) -m repro reproduce $(SMOKE_ARTIFACTS) > $(SMOKE_CACHE).serial.txt
 	$(PYTHON) -m repro reproduce $(SMOKE_ARTIFACTS) --jobs $(JOBS) \
-		--cache-dir $(SMOKE_CACHE) > $(SMOKE_CACHE).parallel.txt
+		--cache-dir $(SMOKE_CACHE) > $(SMOKE_CACHE).parallel.txt 2> $(SMOKE_CACHE).stats-cold.txt
 	diff $(SMOKE_CACHE).serial.txt $(SMOKE_CACHE).parallel.txt
 	$(PYTHON) -m repro reproduce $(SMOKE_ARTIFACTS) --jobs $(JOBS) \
-		--cache-dir $(SMOKE_CACHE) > $(SMOKE_CACHE).warm.txt 2> $(SMOKE_CACHE).stats.txt
+		--cache-dir $(SMOKE_CACHE) > $(SMOKE_CACHE).warm.txt 2> $(SMOKE_CACHE).stats-warm.txt
 	diff $(SMOKE_CACHE).serial.txt $(SMOKE_CACHE).warm.txt
-	grep -q "simulated_points=0 " $(SMOKE_CACHE).stats.txt
+	grep -q "simulated_points=0 " $(SMOKE_CACHE).stats-warm.txt
+	grep -q "disk_hits=28" $(SMOKE_CACHE).stats-warm.txt
 	@echo "smoke OK: parallel output identical to serial; warm run fully cached"
 
 # The CI dynamic-smoke job, runnable locally: 200 epochs of the
 # allocation service with churn and ~10% injected faults must finish
-# crash-free with a feasible allocation at every epoch.
+# crash-free with a feasible allocation at every epoch, and the
+# exported metrics artifact must cover every epoch and render as
+# strictly-parseable Prometheus text.
 dynamic-smoke:
 	$(PYTHON) -m repro dynamic --epochs 200 --seed 2014 \
 		--fault-drop 0.04 --fault-non-positive 0.03 --fault-outlier 0.03 \
 		--churn 40:add:late=canneal --churn 120:remove:late \
+		--events 20 --metrics-out $(SMOKE_CACHE).dynamic-metrics.json \
 		| tee $(SMOKE_CACHE).dynamic.txt
 	grep -q "feasible=True" $(SMOKE_CACHE).dynamic.txt
-	@echo "dynamic-smoke OK: 200 faulty, churning epochs; all feasible"
+	$(PYTHON) benchmarks/check_dynamic_metrics.py $(SMOKE_CACHE).dynamic-metrics.json 200
+	@echo "dynamic-smoke OK: 200 faulty, churning epochs; all feasible; metrics covered"
 
-# The metrics leg of the CI dynamic-smoke job, runnable locally: a
-# 50-epoch dynamic run must export a metrics file whose epoch-latency
-# histogram covers every epoch, and the Prometheus rendering must pass
-# the bundled strict exposition-format parser.
+# Extra local check (subsumed by dynamic-smoke in CI): a 50-epoch run's
+# metrics file must cover every epoch and be scrapeable.
 metrics-smoke:
 	$(PYTHON) -m repro dynamic --epochs 50 --seed 2014 \
 		--metrics-out $(SMOKE_CACHE).metrics.json
@@ -75,16 +104,25 @@ metrics-smoke:
 		print(len(parse_prometheus_text(sys.stdin.read())), 'samples parse OK')"
 	@echo "metrics-smoke OK: 50 epochs exported, covered and scrapeable"
 
-# Mirrors .github/workflows/ci.yml locally.
-ci: lint
-	$(PYTHON) -m pytest -x -q
-	$(MAKE) smoke
-	$(MAKE) bench-kernel
-	$(MAKE) dynamic-smoke
-	$(MAKE) metrics-smoke
+# The CI service-smoke job, runnable locally: a real `repro serve`
+# subprocess, 3 concurrent clients, 50 epochs, feasible allocations,
+# strictly-parseable /metrics, clean SIGTERM shutdown.
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py
+
+# Mirrors .github/workflows/ci.yml job for job.  Coverage needs
+# pytest-cov; when it is missing locally the leg is skipped with a
+# notice instead of failing the whole run.
+ci: lint test smoke bench-kernel dynamic-smoke serve-smoke bench-serve
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(MAKE) coverage; \
+	else \
+		echo "ci: skipping coverage leg (pytest-cov not installed)"; \
+	fi
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
 	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt $(SMOKE_CACHE).*.json
-	rm -f BENCH_kernel.json
+	rm -rf coverage-html .coverage
+	rm -f BENCH_kernel.json BENCH_serve.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,230 @@
+"""Async load generator for the REF allocation service.
+
+Starts an :class:`~repro.serve.server.AllocationServer` in-process on an
+ephemeral port, then drives it with N concurrent asyncio clients that
+register, submit measured IPC samples and read back allocations —
+connection-per-request, like real scrape/submit traffic.  Reports
+client-observed p50/p99 request latency and the achieved
+allocations/sec, and *hard-asserts* the batching contract: the
+mechanism is solved exactly once per epoch tick, so the solve count
+stays far below the sample count regardless of client concurrency.
+
+Writes ``BENCH_serve.json`` (consumed by the CI ``service-smoke`` job's
+artifact upload and quoted in ``docs/service.md``)::
+
+    python benchmarks/bench_serve_load.py --clients 8 --requests 100
+
+Exits non-zero when any request fails, any allocation is infeasible, or
+the batching assertion does not hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.dynamic import DynamicAllocator
+from repro.obs import MetricsRegistry
+from repro.serve import AllocationServer, BatchPolicy
+from repro.serve.protocol import parse_json
+from repro.sim.analytic import AnalyticMachine
+from repro.workloads import get_workload
+
+#: Benchmarks cycled across the generated client agents.
+CLIENT_BENCHMARKS = ("canneal", "x264", "streamcluster", "ferret", "fluidanimate")
+
+
+async def _http_request(
+    host: str, port: int, method: str, path: str, payload=None
+) -> Tuple[int, str]:
+    """One connection-per-request HTTP exchange (the server closes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    header_blob, _, response_body = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    return status, response_body.decode("utf-8", "replace")
+
+
+class _LoadClient:
+    """One simulated agent: register, then submit/read in a loop."""
+
+    def __init__(self, index: int, host: str, port: int, latencies: List[float]):
+        self.index = index
+        self.agent = f"load{index}"
+        self.benchmark = CLIENT_BENCHMARKS[index % len(CLIENT_BENCHMARKS)]
+        self.workload = get_workload(self.benchmark)
+        self.machine = AnalyticMachine()
+        self.host, self.port = host, port
+        self.latencies = latencies
+        self.samples_sent = 0
+        self.allocations_read = 0
+
+    async def _timed(self, method: str, path: str, payload=None) -> Dict[str, object]:
+        start = time.perf_counter()
+        status, text = await _http_request(self.host, self.port, method, path, payload)
+        self.latencies.append(time.perf_counter() - start)
+        if status != 200:
+            raise RuntimeError(f"{method} {path} -> HTTP {status}: {text[:200]}")
+        return parse_json(text)
+
+    async def run(self, requests: int) -> None:
+        await self._timed(
+            "POST",
+            "/v1/agents",
+            {"action": "register", "agent": self.agent, "workload": self.benchmark},
+        )
+        bundle = None
+        for i in range(requests):
+            if bundle is None or i % 5 == 0:
+                data = await self._timed("GET", "/v1/allocation")
+                if not data["feasible"]:
+                    raise RuntimeError(f"infeasible allocation at epoch {data['epoch']}")
+                bundle = data["shares"][self.agent]
+                self.allocations_read += 1
+            else:
+                # Measure at a jittered bundle so the on-line fits stay
+                # identified (pure repeats carry no regression signal).
+                jitter = 0.8 + 0.4 * ((i * 2654435761 + self.index * 40503) % 1000) / 1000.0
+                bandwidth = max(0.5, bundle["membw_gbps"] * jitter)
+                cache_kb = max(96.0, bundle["cache_kb"] * jitter)
+                ipc = float(self.machine.ipc(self.workload, cache_kb, bandwidth))
+                await self._timed(
+                    "POST",
+                    "/v1/samples",
+                    {
+                        "agent": self.agent,
+                        "bandwidth_gbps": bandwidth,
+                        "cache_kb": cache_kb,
+                        "ipc": ipc,
+                    },
+                )
+                self.samples_sent += 1
+
+
+async def _run_load(args) -> Dict[str, object]:
+    registry = MetricsRegistry()
+    allocator = DynamicAllocator(
+        {
+            "freqmine": get_workload("freqmine"),
+            "dedup": get_workload("dedup"),
+        },
+        capacities=(6.4 * (2 + args.clients), 1024.0 * (2 + args.clients)),
+        seed=args.seed,
+        metrics=registry,
+    )
+    server = AllocationServer(
+        allocator,
+        policy=BatchPolicy(max_delay=args.epoch_ms / 1000.0, max_batch=args.max_batch),
+        metrics=registry,
+    )
+    await server.start()
+    latencies: List[float] = []
+    clients = [
+        _LoadClient(i, server.host, server.port, latencies)
+        for i in range(args.clients)
+    ]
+    started = time.perf_counter()
+    try:
+        await asyncio.gather(*(client.run(args.requests) for client in clients))
+    finally:
+        elapsed = time.perf_counter() - started
+        server.request_stop()
+        await server.stop()
+
+    epochs = registry.get("repro_dynamic_epochs_total")
+    n_epochs = int(epochs.value) if epochs is not None else 0
+    samples = sum(c.samples_sent for c in clients)
+    requests = len(latencies)
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+    # The batching contract: one mechanism solve per epoch tick, ticks
+    # triggered only by startup, churn, policy flushes and shutdown.
+    ticks = 0
+    for trigger in ("startup", "churn", "max_batch", "max_delay", "shutdown"):
+        child = registry.get("repro_serve_batches_total", trigger=trigger)
+        if child is not None:
+            ticks += int(child.value)
+    dynamic_events = registry.get("repro_dynamic_events_total", kind="allocation_fallback")
+    result = {
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "epoch_ms": args.epoch_ms,
+        "max_batch": args.max_batch,
+        "requests": requests,
+        "samples": samples,
+        "epochs": n_epochs,
+        "elapsed_seconds": round(elapsed, 4),
+        "p50_ms": round(quantile(0.50) * 1e3, 3),
+        "p99_ms": round(quantile(0.99) * 1e3, 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
+        "requests_per_sec": round(requests / elapsed, 1),
+        "allocations_per_sec": round(n_epochs / elapsed, 1),
+        "allocation_fallbacks": int(dynamic_events.value) if dynamic_events else 0,
+        "solves_equal_ticks": n_epochs == ticks,
+        "batched": samples > n_epochs,
+    }
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=100, help="requests per client")
+    parser.add_argument("--epoch-ms", type=float, default=10.0)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    result = asyncio.run(_run_load(args))
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"serve-load: {result['clients']} clients, {result['requests']} requests "
+        f"in {result['elapsed_seconds']}s — p50 {result['p50_ms']}ms, "
+        f"p99 {result['p99_ms']}ms, {result['requests_per_sec']} req/s, "
+        f"{result['allocations_per_sec']} allocations/s, "
+        f"{result['samples']} samples -> {result['epochs']} solves"
+    )
+    if not result["solves_equal_ticks"]:
+        print("FAIL: mechanism solved more than once per epoch tick", file=sys.stderr)
+        return 1
+    if not result["batched"]:
+        print(
+            "FAIL: batching did not coalesce samples "
+            f"({result['samples']} samples, {result['epochs']} solves)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"serve-load OK: wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

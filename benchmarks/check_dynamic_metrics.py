@@ -1,0 +1,45 @@
+"""Assert a ``--metrics-out`` artifact from ``repro dynamic`` is complete.
+
+Shared by the CI ``dynamic-smoke`` job and ``make dynamic-smoke`` (one
+script, zero workflow/Makefile drift)::
+
+    python benchmarks/check_dynamic_metrics.py dynamic-metrics.json 200
+
+Checks that the epoch-latency histogram covers every epoch, the epoch
+counter agrees, span trees are embedded, and the Prometheus rendering
+passes the bundled strict exposition-format parser.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs import MetricsRegistry, parse_prometheus_text, to_prometheus
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: check_dynamic_metrics.py METRICS_JSON EXPECTED_EPOCHS",
+            file=sys.stderr,
+        )
+        return 2
+    path, expected = argv[0], int(argv[1])
+    with open(path) as handle:
+        payload = json.load(handle)
+    registry = MetricsRegistry.from_dict(payload)
+    latency = registry.get("repro_dynamic_epoch_latency_seconds")
+    assert latency is not None, "epoch latency histogram missing"
+    assert latency.count == expected, f"expected {expected} epochs, saw {latency.count}"
+    epochs = registry.get("repro_dynamic_epochs_total")
+    assert epochs is not None and epochs.value == expected, epochs
+    assert payload.get("spans"), "span trees missing from the artifact"
+    parse_prometheus_text(to_prometheus(registry))
+    print(f"metrics OK: {latency.count} epochs, {len(registry)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""CI ``service-smoke`` driver (also ``make serve-smoke``).
+
+Launches ``python -m repro serve`` as a real subprocess on an ephemeral
+port, then drives **3 concurrent clients** through the full
+register → submit-sample → read-allocation loop until the service has
+completed **50 epochs**, asserting along the way that
+
+* every ``GET /v1/allocation`` response is capacity-feasible,
+* ``GET /healthz`` reports ok,
+* ``GET /metrics`` passes the strict Prometheus text-format parser
+  (:func:`repro.obs.parse_prometheus_text`),
+* the mechanism was solved at most once per epoch tick no matter how
+  many clients were submitting (batching contract),
+* the server exits cleanly (code 0) on SIGTERM with its shutdown
+  summary line printed.
+
+Exits non-zero on the first violation; prints a greppable
+``serve-smoke OK`` line on success.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import List
+
+from repro.obs import parse_prometheus_text
+from repro.serve import ServeClient
+from repro.sim.analytic import AnalyticMachine
+from repro.workloads import get_workload
+
+TARGET_EPOCHS = 50
+CLIENTS = ("canneal", "x264", "streamcluster")
+
+
+class _SmokeClient(threading.Thread):
+    """One agent: register, then measure-and-submit until the target epoch."""
+
+    def __init__(self, benchmark: str, port: int, errors: List[str]):
+        super().__init__(name=f"smoke-{benchmark}", daemon=True)
+        self.agent = f"smoke_{benchmark}"
+        self.benchmark = benchmark
+        self.workload = get_workload(benchmark)
+        self.machine = AnalyticMachine()
+        self.client = ServeClient("127.0.0.1", port)
+        self.errors = errors
+        self.samples = 0
+        self.allocations = 0
+
+    def run(self) -> None:
+        try:
+            self.client.register(self.agent, self.benchmark)
+            while True:
+                allocation = self.client.allocation()
+                self.allocations += 1
+                if not allocation.feasible:
+                    self.errors.append(
+                        f"{self.agent}: infeasible allocation at epoch "
+                        f"{allocation.epoch}"
+                    )
+                    return
+                bundle = allocation.bundle(self.agent)
+                bandwidth = max(0.5, bundle["membw_gbps"])
+                cache_kb = max(96.0, bundle["cache_kb"])
+                # Perturb the measurement point so the fit stays identified.
+                scale = 0.85 + 0.3 * ((self.samples * 7919) % 100) / 100.0
+                bandwidth *= scale
+                cache_kb *= scale
+                ipc = float(self.machine.ipc(self.workload, cache_kb, bandwidth))
+                self.client.submit_sample(self.agent, bandwidth, cache_kb, ipc)
+                self.samples += 1
+                if allocation.epoch >= TARGET_EPOCHS:
+                    return
+        except Exception as error:  # surfaced by the main thread
+            self.errors.append(f"{self.agent}: {type(error).__name__}: {error}")
+
+
+def main() -> int:
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--epoch-ms", "20", "--max-batch", "8",
+        "--workloads", "freqmine,dedup",
+    ]
+    proc = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    try:
+        line = proc.stdout.readline()
+        print(line.rstrip())
+        match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if not match:
+            print(f"FAIL: could not parse listen line {line!r}", file=sys.stderr)
+            return 1
+        port = int(match.group(1))
+        probe = ServeClient("127.0.0.1", port)
+        probe.wait_ready(timeout=15)
+
+        errors: List[str] = []
+        threads = [_SmokeClient(benchmark, port, errors) for benchmark in CLIENTS]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            if thread.is_alive():
+                errors.append(f"{thread.name} did not finish in time")
+        if errors:
+            for error in errors:
+                print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+
+        health = probe.health()
+        if health.status != "ok" or health.epoch < TARGET_EPOCHS:
+            print(f"FAIL: bad health {health}", file=sys.stderr)
+            return 1
+
+        metrics_text = probe.metrics_text()
+        samples = parse_prometheus_text(metrics_text)  # strict parse or raise
+        by_name = {}
+        for sample in samples:
+            by_name.setdefault(sample["name"], 0.0)
+            by_name[sample["name"]] += sample["value"]
+        epochs = by_name.get("repro_dynamic_epochs_total", 0.0)
+        submitted = sum(thread.samples for thread in threads)
+        ticks = by_name.get("repro_serve_batches_total", 0.0)
+        if epochs != ticks:
+            print(
+                f"FAIL: {epochs:.0f} mechanism solves != {ticks:.0f} epoch ticks",
+                file=sys.stderr,
+            )
+            return 1
+        if epochs >= submitted:
+            print(
+                f"FAIL: batching did not coalesce ({submitted} samples, "
+                f"{epochs:.0f} solves)",
+                file=sys.stderr,
+            )
+            return 1
+
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=30)
+        print(output.rstrip())
+        if proc.returncode != 0:
+            print(f"FAIL: server exited {proc.returncode} on SIGTERM", file=sys.stderr)
+            return 1
+        if "feasible=True" not in output:
+            print("FAIL: shutdown summary missing feasible=True", file=sys.stderr)
+            return 1
+        print(
+            f"serve-smoke OK: {len(threads)} clients, {health.epoch} epochs, "
+            f"{submitted} samples -> {epochs:.0f} solves, "
+            f"{len(samples)} metric samples parse, clean SIGTERM exit"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

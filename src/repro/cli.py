@@ -19,6 +19,10 @@ Subcommands (``python -m repro <command> --help`` for details):
 * ``dynamic`` — run the fault-tolerant closed-loop reallocation service
   (§4.4) with agent churn and injected measurement faults; prints the
   event log counters and the final enforced allocation.
+* ``serve`` — run the asyncio HTTP allocation service (`repro.serve`):
+  agents register, submit measured IPC samples (batched into one
+  mechanism solve per epoch) and read back enforced allocations;
+  ``/healthz`` and ``/metrics`` included.  Stops cleanly on SIGTERM.
 * ``reproduce`` — regenerate any paper figure/table by id.
 * ``metrics`` — render a ``--metrics-out`` JSON file (or the live
   registry) as a table, JSON, or Prometheus text exposition.
@@ -276,6 +280,39 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument(
         "--metrics-out", metavar="FILE",
         help="write the service's metrics (and epoch span trees) as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP allocation service (repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="listen port (0 binds an ephemeral port, printed on start)",
+    )
+    serve.add_argument(
+        "--epoch-ms", type=float, default=50.0, metavar="MS",
+        help="epoch period = max sample batching delay (default: 50ms)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="flush a sample batch early once it reaches N samples",
+    )
+    serve.add_argument(
+        "--workloads",
+        default="freqmine,dedup",
+        help="initial agents, comma-separated benchmarks (repeats suffixed)",
+    )
+    serve.add_argument(
+        "--capacities",
+        help="bandwidth_gbps,cache_kb (default: 6.4,1024 per initial agent)",
+    )
+    serve.add_argument("--decay", type=float, default=0.85)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the service's metrics (and epoch span trees) on shutdown",
     )
 
     metrics = sub.add_parser(
@@ -582,33 +619,43 @@ def _parse_churn_specs(specs, lookup_workload):
     return ChurnSchedule(events)
 
 
-def _cmd_dynamic(args) -> int:
-    from .dynamic import DynamicAllocator, FaultSpec
+def _lookup_benchmark(benchmark: str):
+    if benchmark not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {benchmark!r}")
+    return get_workload(benchmark)
 
-    def lookup(benchmark: str):
-        if benchmark not in BENCHMARKS:
-            raise SystemExit(f"unknown benchmark {benchmark!r}")
-        return get_workload(benchmark)
 
-    members = [name.strip() for name in args.workloads.split(",") if name.strip()]
+def _parse_workload_set(text: str):
+    """``--workloads`` value -> {agent_name: workload} (repeats suffixed)."""
+    members = [name.strip() for name in text.split(",") if name.strip()]
     if not members:
         raise SystemExit("--workloads needs at least one benchmark")
     workloads = {}
     for member in members:
-        workload = lookup(member)
+        workload = _lookup_benchmark(member)
         name = member
         suffix = 2
         while name in workloads:
             name = f"{member}_{suffix}"
             suffix += 1
         workloads[name] = workload
-    if args.capacities:
-        parts = args.capacities.split(",")
+    return workloads
+
+
+def _parse_capacities(text: Optional[str], n_agents: int):
+    if text:
+        parts = text.split(",")
         if len(parts) != 2:
             raise SystemExit("--capacities expects 'bandwidth_gbps,cache_kb'")
-        capacities = (float(parts[0]), float(parts[1]))
-    else:
-        capacities = (6.4 * len(workloads), 1024.0 * len(workloads))
+        return (float(parts[0]), float(parts[1]))
+    return (6.4 * n_agents, 1024.0 * n_agents)
+
+
+def _cmd_dynamic(args) -> int:
+    from .dynamic import DynamicAllocator, FaultSpec
+
+    workloads = _parse_workload_set(args.workloads)
+    capacities = _parse_capacities(args.capacities, len(workloads))
     faults = FaultSpec(
         drop=args.fault_drop,
         non_positive=args.fault_non_positive,
@@ -625,7 +672,7 @@ def _cmd_dynamic(args) -> int:
         seed=args.seed,
         faults=faults if faults.is_active else None,
     )
-    churn = _parse_churn_specs(args.churn, lookup)
+    churn = _parse_churn_specs(args.churn, _lookup_benchmark)
     result = allocator.run(args.epochs, churn=churn if churn.events else None)
     feasible = result.all_feasible()
     counters = result.counters
@@ -668,6 +715,61 @@ def _cmd_dynamic(args) -> int:
             f"rejected={rejected} fallbacks={fallbacks}"
         )
     return 0 if feasible else 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .dynamic import DynamicAllocator
+    from .serve import AllocationServer, BatchPolicy
+
+    workloads = _parse_workload_set(args.workloads)
+    capacities = _parse_capacities(args.capacities, len(workloads))
+    if args.epoch_ms <= 0:
+        raise SystemExit("--epoch-ms must be positive")
+    if args.max_batch < 1:
+        raise SystemExit("--max-batch must be >= 1")
+    allocator = DynamicAllocator(
+        workloads,
+        capacities=capacities,
+        decay=args.decay,
+        seed=args.seed,
+    )
+    server = AllocationServer(
+        allocator,
+        policy=BatchPolicy(max_delay=args.epoch_ms / 1000.0, max_batch=args.max_batch),
+        host=args.host,
+        port=args.port,
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        await server.start()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loops: rely on KeyboardInterrupt
+        print(
+            f"serve: listening on http://{server.host}:{server.port} "
+            f"epoch_ms={args.epoch_ms:g} max_batch={args.max_batch} "
+            f"agents={len(allocator.agent_names)}",
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - windows fallback
+        pass
+    _export_metrics(args, allocator.metrics, spans=allocator.tracer.spans_as_dicts())
+    summary = server.summary_line()
+    print(summary, flush=True)
+    return 0 if "feasible=True" in summary else 1
 
 
 def _cmd_metrics(args) -> int:
@@ -723,6 +825,7 @@ _COMMANDS = {
     "fit-suite": _cmd_fit_suite,
     "cosim": _cmd_cosim,
     "dynamic": _cmd_dynamic,
+    "serve": _cmd_serve,
     "metrics": _cmd_metrics,
     "reproduce": _cmd_reproduce,
     "classify": _cmd_classify,

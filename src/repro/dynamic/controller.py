@@ -325,6 +325,36 @@ class DynamicAllocator:
             metric_labels={"agent": name},
         )
 
+    def observe_sample(
+        self, agent: str, bundle: Tuple[float, float], value: float
+    ) -> bool:
+        """Feed one *externally measured* IPC sample into an agent's profiler.
+
+        This is the ingestion path used by the allocation server
+        (:mod:`repro.serve`): instead of the controller measuring on its
+        internal machine, independent clients run at their enforced
+        bundles and report what they observed.  The sample goes through
+        the same hardened :class:`~repro.profiling.online.OnlineProfiler`
+        pipeline as internal measurements — non-positive/non-finite
+        readings and fit-relative outliers are rejected and counted
+        rather than crashing the loop.
+
+        Returns ``True`` when the sample was accepted into the agent's
+        history, ``False`` when the profiler rejected it.  Raises
+        ``ValueError`` for an unknown agent (a caller bug, not a
+        measurement fault).
+        """
+        profiler = self._profilers.get(agent)
+        if profiler is None:
+            raise ValueError(f"no agent named {agent!r}")
+        before = profiler.counters
+        profiler.observe(tuple(float(v) for v in bundle), float(value))
+        after = profiler.counters
+        return (
+            after["rejected_non_positive"] == before["rejected_non_positive"]
+            and after["rejected_outliers"] == before["rejected_outliers"]
+        )
+
     def _record_events(self, events) -> None:
         """Mirror structured events into per-kind counters."""
         for event in events:
@@ -437,13 +467,20 @@ class DynamicAllocator:
             equal = np.tile(problem.equal_split, (problem.n_agents, 1))
             return Allocation(problem=problem, shares=equal, mechanism="equal_split_fallback")
 
-    def step(self, epoch: int) -> EpochRecord:
+    def step(self, epoch: int, measure: bool = True) -> EpochRecord:
         """Run one epoch: allocate on current reports, enforce floors,
 
-        measure under fault injection, and update the profilers."""
+        measure under fault injection, and update the profilers.
+
+        With ``measure=False`` the controller only allocates and
+        enforces — no internal measurement or exploration happens.  This
+        is the *service* epoch used by :mod:`repro.serve`, where the
+        measurements arrive between ticks through
+        :meth:`observe_sample` instead of from the built-in machine.
+        """
         with timed(self.metrics, "repro_dynamic_epoch_latency_seconds"):
             with self.tracer.span("epoch", epoch=epoch):
-                record = self._step(epoch)
+                record = self._step(epoch, measure=measure)
         self.metrics.counter(
             "repro_dynamic_epochs_total", help="Epochs stepped by the controller."
         ).inc()
@@ -453,7 +490,7 @@ class DynamicAllocator:
         self._record_events(record.events)
         return record
 
-    def _step(self, epoch: int) -> EpochRecord:
+    def _step(self, epoch: int, measure: bool = True) -> EpochRecord:
         events: List[EpochEvent] = []
         names = list(self.workloads)
         with self.tracer.span("allocate"):
@@ -481,29 +518,30 @@ class DynamicAllocator:
         conditions: Dict[str, float] = {}
         with self.tracer.span("measure"):
             for index, name in enumerate(names):
-                spec = self._spec_at(self.workloads[name], epoch)
-                bandwidth, cache_kb = enforced.shares[index]
                 profiler = self._profilers[name]
                 reported[name] = profiler.report_elasticities().copy()
-                before = profiler.counters
-                value = self._measure_with_retry(
-                    spec, bandwidth, cache_kb, epoch, name, events
-                )
-                if value is not None:
-                    measured[name] = value
-                    profiler.observe((bandwidth, cache_kb), value)
-                self._explore(spec, profiler, epoch, name, events)
-                after = profiler.counters
-                for counter_key, kind in (
-                    ("rejected_non_positive", "sample_rejected_non_positive"),
-                    ("rejected_outliers", "sample_rejected_outlier"),
-                    ("fit_fallbacks", "fit_fallback"),
-                ):
-                    delta = after[counter_key] - before[counter_key]
-                    if delta > 0:
-                        events.append(
-                            EpochEvent(epoch, kind, name, f"{delta} this epoch")
-                        )
+                if measure:
+                    spec = self._spec_at(self.workloads[name], epoch)
+                    bandwidth, cache_kb = enforced.shares[index]
+                    before = profiler.counters
+                    value = self._measure_with_retry(
+                        spec, bandwidth, cache_kb, epoch, name, events
+                    )
+                    if value is not None:
+                        measured[name] = value
+                        profiler.observe((bandwidth, cache_kb), value)
+                    self._explore(spec, profiler, epoch, name, events)
+                    after = profiler.counters
+                    for counter_key, kind in (
+                        ("rejected_non_positive", "sample_rejected_non_positive"),
+                        ("rejected_outliers", "sample_rejected_outlier"),
+                        ("fit_fallbacks", "fit_fallback"),
+                    ):
+                        delta = after[counter_key] - before[counter_key]
+                        if delta > 0:
+                            events.append(
+                                EpochEvent(epoch, kind, name, f"{delta} this epoch")
+                            )
                 conditions[name] = profiler.last_condition_number
         return EpochRecord(
             epoch=epoch,

@@ -1,0 +1,53 @@
+"""The REF allocation service: asyncio HTTP server + batching + client.
+
+This package turns the library-level
+:class:`~repro.dynamic.controller.DynamicAllocator` into the deployment
+shape shared-cluster mechanisms assume: a long-lived network service
+that independent agents talk to.  Clients register
+(``POST /v1/agents``), submit the IPC they measured at their enforced
+bundles (``POST /v1/samples``), and read back the current epoch's
+allocation (``GET /v1/allocation``); ``/healthz`` and ``/metrics``
+(Prometheus text, via :mod:`repro.obs`) make it operable.
+
+Concurrent sample submissions are coalesced by
+:class:`~repro.serve.batching.SampleBatcher` under a max-delay /
+max-batch :class:`~repro.serve.batching.BatchPolicy`, so N clients cost
+one mechanism solve per epoch.  Everything is stdlib-only.
+
+See ``docs/service.md`` for the API reference and deployment notes.
+"""
+
+from .batching import BatchPolicy, SampleBatcher
+from .client import ServeClient, ServeError
+from .protocol import (
+    PROTOCOL_VERSION,
+    AgentRequest,
+    AgentResponse,
+    AllocationResponse,
+    ErrorResponse,
+    HealthResponse,
+    ProtocolError,
+    SampleRequest,
+    SampleResponse,
+    parse_json,
+)
+from .server import AllocationServer, ServerThread
+
+__all__ = [
+    "AgentRequest",
+    "AgentResponse",
+    "AllocationResponse",
+    "AllocationServer",
+    "BatchPolicy",
+    "ErrorResponse",
+    "HealthResponse",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SampleBatcher",
+    "SampleRequest",
+    "SampleResponse",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "parse_json",
+]

@@ -1,0 +1,125 @@
+"""Sample coalescing: N concurrent clients, one mechanism solve.
+
+The allocation server never solves the mechanism per request.  Incoming
+samples land in a :class:`SampleBatcher`; an epoch tick — one
+``DynamicAllocator.step`` — is triggered by whichever of two policy
+limits is hit first:
+
+* **max-batch** — the batch reached ``max_batch`` samples, so a solve
+  is already fully amortized; flush immediately, don't make the first
+  submitter wait out the delay window.
+* **max-delay** — the *oldest* pending sample has waited ``max_delay``
+  seconds; flush so a lone client still sees its measurement folded in
+  within one epoch period.
+
+Both checks are pure functions of (pending count, oldest age), so the
+policy is unit-testable with a fake clock; the asyncio server merely
+feeds it ``loop.time()``.  An idle service (no pending samples) ticks
+nothing at all — the mechanism-solve rate is bounded by
+``min(sample rate, 1 / max_delay)`` and is *independent of the number
+of clients*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, TypeVar
+
+__all__ = ["BatchPolicy", "SampleBatcher"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to turn pending samples into an epoch tick.
+
+    Parameters
+    ----------
+    max_delay:
+        Upper bound, in seconds, on how long the oldest queued sample
+        may wait before a tick (the service's epoch period).
+    max_batch:
+        Flush as soon as this many samples are pending, regardless of
+        age.
+    """
+
+    max_delay: float = 0.05
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.max_delay > 0:
+            raise ValueError(f"max_delay must be positive, got {self.max_delay}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+    def should_flush(self, pending: int, oldest_age: float) -> bool:
+        """True when a batch of ``pending`` samples, the oldest of which
+        has waited ``oldest_age`` seconds, must be flushed now."""
+        if pending <= 0:
+            return False
+        return pending >= self.max_batch or oldest_age >= self.max_delay
+
+
+class SampleBatcher(Generic[T]):
+    """Accumulates items until the policy triggers a flush.
+
+    The batcher is clock-agnostic: callers pass ``now`` (any monotonic
+    seconds value) into :meth:`add` and :meth:`poll`.  ``add`` returns
+    the flushed batch when *this* item tripped the max-batch limit;
+    ``poll`` returns the flushed batch when the max-delay limit expired.
+    Exactly one of the two returns any given batch.
+    """
+
+    def __init__(self, policy: BatchPolicy):
+        self.policy = policy
+        self._pending: List[T] = []
+        self._oldest_at: Optional[float] = None
+        #: Total items ever enqueued / batches ever flushed.
+        self.total_items = 0
+        self.total_batches = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of samples waiting for the next tick."""
+        return len(self._pending)
+
+    def oldest_age(self, now: float) -> float:
+        """Seconds the oldest pending sample has waited (0 when empty)."""
+        if self._oldest_at is None:
+            return 0.0
+        return max(0.0, now - self._oldest_at)
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """Absolute time the max-delay limit expires, or None when idle."""
+        if self._oldest_at is None:
+            return None
+        return self._oldest_at + self.policy.max_delay
+
+    def add(self, item: T, now: float) -> Optional[List[T]]:
+        """Enqueue ``item``; returns the batch if max-batch tripped."""
+        if not self._pending:
+            self._oldest_at = now
+        self._pending.append(item)
+        self.total_items += 1
+        if len(self._pending) >= self.policy.max_batch:
+            return self.flush()
+        return None
+
+    def poll(self, now: float) -> Optional[List[T]]:
+        """Returns the batch if the max-delay limit has expired."""
+        if self.policy.should_flush(len(self._pending), self.oldest_age(now)):
+            return self.flush()
+        return None
+
+    def flush(self) -> List[T]:
+        """Unconditionally hand over whatever is pending (may be empty).
+
+        Used by the policy triggers above and by server shutdown, which
+        folds any last in-flight samples into a final epoch.
+        """
+        batch, self._pending = self._pending, []
+        self._oldest_at = None
+        if batch:
+            self.total_batches += 1
+        return batch

@@ -1,0 +1,148 @@
+"""Blocking HTTP client for the allocation service.
+
+Used by the integration tests, the CI service-smoke driver and anyone
+scripting against ``python -m repro serve`` without an event loop.  One
+``http.client`` connection per request (the server closes after each
+response), so a single :class:`ServeClient` is safe to share across
+threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Optional, Tuple
+
+from .protocol import (
+    AgentResponse,
+    AllocationResponse,
+    HealthResponse,
+    SampleRequest,
+    SampleResponse,
+    parse_json,
+)
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, error: str, detail: str = ""):
+        message = f"HTTP {status}: {error}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+
+class ServeClient:
+    """Thin, typed wrapper over the service's five routes."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Tuple[int, str]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read().decode("utf-8", "replace")
+        finally:
+            connection.close()
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        status, text = self._request(method, path, payload)
+        data = parse_json(text)
+        if status != 200:
+            raise ServeError(
+                status,
+                str(data.get("error", "unknown")),
+                str(data.get("detail", "")),
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    def register(self, agent: str, workload: str) -> AgentResponse:
+        """Admit ``agent`` running benchmark ``workload``."""
+        payload = {"action": "register", "agent": agent, "workload": workload}
+        return AgentResponse.from_dict(self._json("POST", "/v1/agents", payload))
+
+    def deregister(self, agent: str) -> AgentResponse:
+        """Retire ``agent``; capacity is re-divided from the next epoch."""
+        payload = {"action": "deregister", "agent": agent}
+        return AgentResponse.from_dict(self._json("POST", "/v1/agents", payload))
+
+    def submit_sample(
+        self, agent: str, bandwidth_gbps: float, cache_kb: float, ipc: float
+    ) -> SampleResponse:
+        """Queue one measured (bundle, IPC) observation for the next epoch."""
+        request = SampleRequest(
+            agent=agent, bandwidth_gbps=bandwidth_gbps, cache_kb=cache_kb, ipc=ipc
+        )
+        return SampleResponse.from_dict(
+            self._json("POST", "/v1/samples", request.as_dict())
+        )
+
+    def allocation(self) -> AllocationResponse:
+        """The current epoch's enforced allocation."""
+        return AllocationResponse.from_dict(self._json("GET", "/v1/allocation"))
+
+    def health(self) -> HealthResponse:
+        return HealthResponse.from_dict(self._json("GET", "/healthz"))
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics``."""
+        status, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, "metrics_unavailable", text[:200])
+        return text
+
+    # ------------------------------------------------------------------
+    # Conveniences
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> HealthResponse:
+        """Poll ``/healthz`` until the service answers (or raise TimeoutError)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                health = self.health()
+                if health.status == "ok":
+                    return health
+            except (OSError, socket.timeout, ServeError, ValueError) as error:
+                last_error = error
+            time.sleep(interval)
+        raise TimeoutError(f"service not ready after {timeout}s: {last_error}")
+
+    def wait_for_epoch(self, epoch: int, timeout: float = 10.0) -> HealthResponse:
+        """Block until the service has completed at least ``epoch`` epochs."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            health = self.health()
+            if health.epoch >= epoch:
+                return health
+            time.sleep(0.01)
+        raise TimeoutError(f"epoch {epoch} not reached after {timeout}s")

@@ -1,0 +1,400 @@
+"""Versioned JSON wire protocol for the REF allocation service.
+
+Every request and response is a flat JSON object carrying a
+``"version"`` field (currently :data:`PROTOCOL_VERSION`).  Parsing is
+*strict*: unknown keys, missing keys, wrong types, non-finite numbers
+(``NaN``/``Infinity`` are not valid JSON) and version mismatches all
+raise :class:`ProtocolError`, which the server maps to an HTTP 400.
+Semantic problems — an unknown agent, a sample the profiler rejects —
+are *not* protocol errors; they surface as 404/409 responses or as
+rejected-sample counters, because a fault-tolerant measurement pipeline
+must accept syntactically valid garbage without dropping the
+connection.
+
+Dataclasses round-trip exactly::
+
+    request = SampleRequest("dedup", 3.2, 512.0, 0.81)
+    assert SampleRequest.from_dict(request.as_dict()) == request
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "AgentRequest",
+    "AgentResponse",
+    "SampleRequest",
+    "SampleResponse",
+    "AllocationResponse",
+    "HealthResponse",
+    "ErrorResponse",
+    "parse_json",
+]
+
+#: Wire protocol version; bumped on any incompatible change.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A request that does not conform to the wire protocol (HTTP 400)."""
+
+
+def _reject_constant(text: str) -> float:
+    raise ProtocolError(f"non-finite JSON constant {text!r} is not allowed")
+
+
+def parse_json(text: str) -> Dict[str, object]:
+    """Parse a request body into a dict, strictly.
+
+    Rejects invalid JSON, non-object payloads and the non-standard
+    ``NaN``/``Infinity`` constants (Prometheus would render them, but a
+    measurement that is not a finite number is not a measurement).
+    """
+    try:
+        data = json.loads(text, parse_constant=_reject_constant)
+    except ProtocolError:
+        raise
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _check_keys(
+    data: Mapping[str, object],
+    required: Tuple[str, ...],
+    optional: Tuple[str, ...] = (),
+) -> None:
+    allowed = set(required) | set(optional) | {"version"}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ProtocolError(f"unknown field(s): {', '.join(unknown)}")
+    missing = sorted(set(required) - set(data))
+    if missing:
+        raise ProtocolError(f"missing field(s): {', '.join(missing)}")
+    version = data.get("version", PROTOCOL_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(f"version must be an integer, got {version!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (this server speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+
+
+def _get_str(data: Mapping[str, object], key: str) -> str:
+    value = data[key]
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{key} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _get_number(data: Mapping[str, object], key: str) -> float:
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(f"{key} must be finite, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AgentRequest:
+    """``POST /v1/agents`` — register or deregister an agent.
+
+    ``workload`` names a benchmark from the bundled suite (the server
+    needs a prior/spec to seed the agent's profiler context); it is
+    required for ``register`` and must be absent for ``deregister``.
+    """
+
+    action: str
+    agent: str
+    workload: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("register", "deregister"):
+            raise ProtocolError(
+                f"action must be 'register' or 'deregister', got {self.action!r}"
+            )
+        if self.action == "register" and not self.workload:
+            raise ProtocolError("register requires a workload")
+        if self.action == "deregister" and self.workload is not None:
+            raise ProtocolError("deregister does not take a workload")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AgentRequest":
+        _check_keys(data, required=("action", "agent"), optional=("workload",))
+        workload = data.get("workload")
+        if workload is not None and (not isinstance(workload, str) or not workload):
+            raise ProtocolError(f"workload must be a non-empty string, got {workload!r}")
+        return cls(
+            action=_get_str(data, "action"),
+            agent=_get_str(data, "agent"),
+            workload=workload,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "version": PROTOCOL_VERSION,
+            "action": self.action,
+            "agent": self.agent,
+        }
+        if self.workload is not None:
+            payload["workload"] = self.workload
+        return payload
+
+
+@dataclass(frozen=True)
+class SampleRequest:
+    """``POST /v1/samples`` — one measured (bundle, IPC) observation.
+
+    The resource amounts and the IPC must be finite numbers — that is a
+    *wire* requirement.  Whether the sample is plausible (positive, not
+    an outlier against the agent's current fit) is decided by the
+    fault-tolerant profiler at the next epoch tick, not by the parser.
+    """
+
+    agent: str
+    bandwidth_gbps: float
+    cache_kb: float
+    ipc: float
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SampleRequest":
+        _check_keys(data, required=("agent", "bandwidth_gbps", "cache_kb", "ipc"))
+        return cls(
+            agent=_get_str(data, "agent"),
+            bandwidth_gbps=_get_number(data, "bandwidth_gbps"),
+            cache_kb=_get_number(data, "cache_kb"),
+            ipc=_get_number(data, "ipc"),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "agent": self.agent,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "cache_kb": self.cache_kb,
+            "ipc": self.ipc,
+        }
+
+    @property
+    def bundle(self) -> Tuple[float, float]:
+        return (self.bandwidth_gbps, self.cache_kb)
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AgentResponse:
+    """Acknowledges a register/deregister; lists current membership."""
+
+    action: str
+    agent: str
+    agents: Tuple[str, ...]
+    epoch: int
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AgentResponse":
+        _check_keys(data, required=("action", "agent", "agents", "epoch"))
+        agents = data["agents"]
+        if not isinstance(agents, (list, tuple)) or not all(
+            isinstance(name, str) for name in agents
+        ):
+            raise ProtocolError(f"agents must be a list of strings, got {agents!r}")
+        epoch = data["epoch"]
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ProtocolError(f"epoch must be an integer, got {epoch!r}")
+        return cls(
+            action=_get_str(data, "action"),
+            agent=_get_str(data, "agent"),
+            agents=tuple(agents),
+            epoch=epoch,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "action": self.action,
+            "agent": self.agent,
+            "agents": list(self.agents),
+            "epoch": self.epoch,
+        }
+
+
+@dataclass(frozen=True)
+class SampleResponse:
+    """Acknowledges a queued sample.
+
+    ``epoch`` is the index of the epoch the sample will be folded into
+    (the *next* tick); ``pending`` is the batch occupancy after this
+    sample, so clients can see coalescing happen.
+    """
+
+    agent: str
+    queued: bool
+    epoch: int
+    pending: int
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SampleResponse":
+        _check_keys(data, required=("agent", "queued", "epoch", "pending"))
+        queued = data["queued"]
+        if not isinstance(queued, bool):
+            raise ProtocolError(f"queued must be a boolean, got {queued!r}")
+        for key in ("epoch", "pending"):
+            if isinstance(data[key], bool) or not isinstance(data[key], int):
+                raise ProtocolError(f"{key} must be an integer, got {data[key]!r}")
+        return cls(
+            agent=_get_str(data, "agent"),
+            queued=queued,
+            epoch=int(data["epoch"]),
+            pending=int(data["pending"]),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "agent": self.agent,
+            "queued": self.queued,
+            "epoch": self.epoch,
+            "pending": self.pending,
+        }
+
+
+@dataclass(frozen=True)
+class AllocationResponse:
+    """``GET /v1/allocation`` — the current epoch's *enforced* allocation."""
+
+    epoch: int
+    mechanism: str
+    feasible: bool
+    capacities: Dict[str, float]
+    shares: Dict[str, Dict[str, float]]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AllocationResponse":
+        _check_keys(
+            data, required=("epoch", "mechanism", "feasible", "capacities", "shares")
+        )
+        epoch = data["epoch"]
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ProtocolError(f"epoch must be an integer, got {epoch!r}")
+        feasible = data["feasible"]
+        if not isinstance(feasible, bool):
+            raise ProtocolError(f"feasible must be a boolean, got {feasible!r}")
+        capacities = data["capacities"]
+        if not isinstance(capacities, dict):
+            raise ProtocolError("capacities must be an object")
+        shares = data["shares"]
+        if not isinstance(shares, dict) or not all(
+            isinstance(bundle, dict) for bundle in shares.values()
+        ):
+            raise ProtocolError("shares must be an object of per-agent objects")
+        return cls(
+            epoch=epoch,
+            mechanism=_get_str(data, "mechanism"),
+            feasible=feasible,
+            capacities={str(k): _get_number(capacities, k) for k in capacities},
+            shares={
+                str(agent): {str(r): _get_number(bundle, r) for r in bundle}
+                for agent, bundle in shares.items()
+            },
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "mechanism": self.mechanism,
+            "feasible": self.feasible,
+            "capacities": dict(self.capacities),
+            "shares": {agent: dict(bundle) for agent, bundle in self.shares.items()},
+        }
+
+    def bundle(self, agent: str) -> Dict[str, float]:
+        """The named agent's enforced bundle (KeyError if absent)."""
+        return dict(self.shares[agent])
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """``GET /healthz`` — liveness plus a tiny service summary."""
+
+    status: str
+    epoch: int
+    agents: Tuple[str, ...]
+    pending_samples: int
+    uptime_seconds: float
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HealthResponse":
+        _check_keys(
+            data,
+            required=("status", "epoch", "agents", "pending_samples", "uptime_seconds"),
+        )
+        agents = data["agents"]
+        if not isinstance(agents, (list, tuple)) or not all(
+            isinstance(name, str) for name in agents
+        ):
+            raise ProtocolError(f"agents must be a list of strings, got {agents!r}")
+        for key in ("epoch", "pending_samples"):
+            if isinstance(data[key], bool) or not isinstance(data[key], int):
+                raise ProtocolError(f"{key} must be an integer, got {data[key]!r}")
+        return cls(
+            status=_get_str(data, "status"),
+            epoch=int(data["epoch"]),
+            agents=tuple(agents),
+            pending_samples=int(data["pending_samples"]),
+            uptime_seconds=_get_number(data, "uptime_seconds"),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "status": self.status,
+            "epoch": self.epoch,
+            "agents": list(self.agents),
+            "pending_samples": self.pending_samples,
+            "uptime_seconds": self.uptime_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Any non-2xx response body."""
+
+    error: str
+    detail: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ErrorResponse":
+        _check_keys(data, required=("error",), optional=("detail",))
+        detail = data.get("detail", "")
+        if not isinstance(detail, str):
+            raise ProtocolError(f"detail must be a string, got {detail!r}")
+        return cls(error=_get_str(data, "error"), detail=detail)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"version": PROTOCOL_VERSION, "error": self.error}
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload

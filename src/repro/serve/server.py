@@ -1,0 +1,567 @@
+"""The asyncio HTTP allocation server.
+
+A deliberately small HTTP/1.1 implementation on ``asyncio.start_server``
+(stdlib only, one connection per request) wrapping a
+:class:`~repro.dynamic.controller.DynamicAllocator` as a long-lived
+service:
+
+========  =================  ==============================================
+method    path               meaning
+========  =================  ==============================================
+POST      ``/v1/agents``     register / deregister an agent (churn)
+POST      ``/v1/samples``    submit one measured (bundle, IPC) sample
+GET       ``/v1/allocation`` the current epoch's enforced allocation
+GET       ``/healthz``       liveness + service summary
+GET       ``/metrics``       Prometheus text exposition (repro.obs)
+========  =================  ==============================================
+
+Samples are coalesced by a :class:`~repro.serve.batching.SampleBatcher`;
+an epoch tick applies the batch through
+``DynamicAllocator.observe_sample`` and solves the mechanism exactly
+once (``step(measure=False)``), so the solve rate is bounded by the
+batch policy, not by the client count.  Agent churn triggers an
+immediate tick so ``GET /v1/allocation`` reflects the new membership.
+
+Everything is single-threaded inside the event loop — route handlers
+and epoch ticks never run concurrently, so the allocator needs no
+locking.  Requests are counted and timed into a
+:class:`~repro.obs.MetricsRegistry` (``repro_serve_*``), and every
+epoch tick produces an ``epoch`` span via the allocator's tracer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from ..dynamic.controller import DynamicAllocator, EpochRecord
+from ..obs import MetricsRegistry, global_registry, to_prometheus
+from ..workloads import BENCHMARKS, get_workload
+from .batching import BatchPolicy, SampleBatcher
+from .protocol import (
+    AgentRequest,
+    AgentResponse,
+    AllocationResponse,
+    ErrorResponse,
+    HealthResponse,
+    ProtocolError,
+    SampleRequest,
+    SampleResponse,
+    parse_json,
+)
+
+__all__ = ["AllocationServer", "ServerThread"]
+
+#: Hard request-parsing limits; anything beyond them is a 4xx, not a crash.
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Batch-size histogram buckets (samples per epoch tick).
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status, raised during parsing/routing."""
+
+    def __init__(self, status: int, error: str, detail: str = ""):
+        super().__init__(detail or error)
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+
+class AllocationServer:
+    """Long-lived REF allocation service over HTTP.
+
+    Parameters
+    ----------
+    allocator:
+        The wrapped controller.  The server drives it exclusively in
+        *external measurement* mode (``observe_sample`` +
+        ``step(measure=False)``); its built-in machine is never used.
+    policy:
+        Sample-coalescing policy; ``max_delay`` is the service's epoch
+        period, ``max_batch`` the early-flush bound.
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port, exposed as
+        ``server.port`` after :meth:`start`.
+    metrics:
+        Registry receiving the ``repro_serve_*`` request metrics.
+        Defaults to the process-global registry; ``GET /metrics``
+        renders the union of the global registry, this registry and the
+        allocator's (each at most once).
+    """
+
+    def __init__(
+        self,
+        allocator: DynamicAllocator,
+        policy: Optional[BatchPolicy] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.allocator = allocator
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.host = host
+        self.port = int(port)
+        self.metrics = metrics if metrics is not None else global_registry()
+        self._batcher: SampleBatcher[SampleRequest] = SampleBatcher(self.policy)
+        self._epoch = 0
+        self._current: Optional[EpochRecord] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ticker: Optional[asyncio.Task] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at = 0.0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Bind the socket, run epoch 0, and start the tick loop."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        # Epoch 0 on the naive priors: /v1/allocation is answerable from
+        # the very first request, before any sample has arrived.
+        self._run_epoch([], trigger="startup")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = self._loop.time()
+        self._ticker = asyncio.create_task(self._tick_loop())
+
+    def request_stop(self) -> None:
+        """Signal the server to stop (safe to call from a signal handler)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def request_stop_threadsafe(self) -> None:
+        """Like :meth:`request_stop`, callable from any thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_stop)
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`request_stop` (e.g. SIGTERM) is called."""
+        assert self._stop_event is not None, "server not started"
+        await self._stop_event.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop listening, flush a final epoch."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.request_stop()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-flight samples still deserve an epoch: a client that got a
+        # "queued" ack must find its measurement folded in, even across
+        # a SIGTERM.
+        final = self._batcher.flush()
+        if final:
+            self._run_epoch(final, trigger="shutdown")
+
+    @property
+    def current_epoch(self) -> int:
+        """Index of the most recently completed epoch."""
+        return self._epoch - 1
+
+    @property
+    def pending_samples(self) -> int:
+        return self._batcher.pending
+
+    @property
+    def samples_received(self) -> int:
+        return self._batcher.total_items
+
+    @property
+    def batches_flushed(self) -> int:
+        return self._batcher.total_batches
+
+    def summary_line(self) -> str:
+        """Greppable one-line health summary (printed on shutdown)."""
+        record = self._current
+        allocation = record.enforced or record.allocation if record else None
+        feasible = allocation.is_feasible() if allocation is not None else False
+        return (
+            f"serve: epochs={self._epoch} samples={self._batcher.total_items} "
+            f"batches={self._batcher.total_batches} "
+            f"agents={len(self.allocator.agent_names)} feasible={feasible}"
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch ticking
+
+    async def _tick_loop(self) -> None:
+        poll = min(max(self.policy.max_delay / 4.0, 0.001), 0.05)
+        assert self._loop is not None
+        while True:
+            await asyncio.sleep(poll)
+            batch = self._batcher.poll(self._loop.time())
+            if batch is not None:
+                self._run_epoch(batch, trigger="max_delay")
+
+    def _run_epoch(self, batch, trigger: str) -> EpochRecord:
+        """Apply one sample batch and solve the mechanism exactly once."""
+        for sample in batch:
+            outcome = "accepted"
+            try:
+                if not self.allocator.observe_sample(
+                    sample.agent, sample.bundle, sample.ipc
+                ):
+                    outcome = "rejected"
+            except ValueError:
+                # The agent deregistered while its sample was in flight.
+                outcome = "unknown_agent"
+            self.metrics.counter(
+                "repro_serve_samples_total",
+                help="Samples applied at epoch ticks, by outcome.",
+                outcome=outcome,
+            ).inc()
+        record = self.allocator.step(self._epoch, measure=False)
+        self._current = record
+        self._epoch += 1
+        self.metrics.counter(
+            "repro_serve_batches_total",
+            help="Epoch ticks, by what triggered the flush.",
+            trigger=trigger,
+        ).inc()
+        self.metrics.histogram(
+            "repro_serve_batch_size",
+            help="Samples coalesced into each epoch tick.",
+            buckets=_BATCH_BUCKETS,
+        ).observe(len(batch))
+        self.metrics.gauge(
+            "repro_serve_epoch", help="Most recently completed epoch index."
+        ).set(self._epoch - 1)
+        return record
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = self._loop.time() if self._loop is not None else 0.0
+        route = "unparsed"
+        status = 500
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=30.0
+                )
+            except _HttpError as error:
+                status = error.status
+                await self._write_json(writer, error.status, ErrorResponse(
+                    error.error, error.detail).as_dict())
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
+                return  # client went away mid-request; nothing to answer
+            route = path if path in self._routes() else "unknown"
+            status, payload, content_type = self._dispatch(method, path, body)
+            if content_type == "application/json":
+                await self._write_json(writer, status, payload)
+            else:
+                await self._write_raw(writer, status, payload, content_type)
+        except (ConnectionError, BrokenPipeError):
+            pass  # response could not be delivered; the client's problem
+        finally:
+            if self._loop is not None:
+                elapsed = self._loop.time() - started
+                self.metrics.counter(
+                    "repro_serve_requests_total",
+                    help="HTTP requests handled, by route and status.",
+                    route=route,
+                    status=str(status),
+                ).inc()
+                self.metrics.histogram(
+                    "repro_serve_request_latency_seconds",
+                    help="Server-side request handling latency.",
+                    route=route,
+                ).observe(elapsed)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise asyncio.IncompleteReadError(partial=b"", expected=1)
+        if len(request_line) > MAX_REQUEST_LINE:
+            raise _HttpError(400, "bad_request", "request line too long")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "bad_request", "malformed request line")
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS + 1):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                raise _HttpError(400, "bad_request", "too many headers")
+            text = line.decode("latin-1").rstrip("\r\n")
+            if ":" not in text:
+                raise _HttpError(400, "bad_request", f"malformed header {text!r}")
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if method in ("POST", "PUT", "PATCH"):
+            length_text = headers.get("content-length")
+            if length_text is None:
+                raise _HttpError(411, "length_required", "POST needs Content-Length")
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise _HttpError(400, "bad_request", "bad Content-Length") from None
+            if length < 0:
+                raise _HttpError(400, "bad_request", "bad Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _HttpError(413, "payload_too_large", f"body > {MAX_BODY_BYTES}B")
+            body = await reader.readexactly(length)
+        return method, path, body
+
+    async def _write_json(self, writer, status: int, payload: Dict[str, object]) -> None:
+        await self._write_raw(
+            writer, status, json.dumps(payload).encode(), "application/json"
+        )
+
+    async def _write_raw(
+        self, writer, status: int, body, content_type: str
+    ) -> None:
+        if isinstance(body, str):
+            body = body.encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    def _routes(self) -> Dict[str, Tuple[str, Callable[[bytes], Tuple[int, object, str]]]]:
+        return {
+            "/v1/agents": ("POST", self._route_agents),
+            "/v1/samples": ("POST", self._route_samples),
+            "/v1/allocation": ("GET", self._route_allocation),
+            "/healthz": ("GET", self._route_health),
+            "/metrics": ("GET", self._route_metrics),
+        }
+
+    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, object, str]:
+        routes = self._routes()
+        entry = routes.get(path)
+        if entry is None:
+            return (
+                404,
+                ErrorResponse("not_found", f"no route {path!r}").as_dict(),
+                "application/json",
+            )
+        expected_method, handler = entry
+        if method != expected_method:
+            return (
+                405,
+                ErrorResponse(
+                    "method_not_allowed", f"{path} expects {expected_method}"
+                ).as_dict(),
+                "application/json",
+            )
+        try:
+            return handler(body)
+        except ProtocolError as error:
+            return (
+                400,
+                ErrorResponse("bad_request", str(error)).as_dict(),
+                "application/json",
+            )
+        except _HttpError as error:
+            return (
+                error.status,
+                ErrorResponse(error.error, error.detail).as_dict(),
+                "application/json",
+            )
+        except Exception as error:  # the service must outlive a broken handler
+            self.metrics.counter(
+                "repro_serve_internal_errors_total",
+                help="Unexpected exceptions while handling a request.",
+            ).inc()
+            return (
+                500,
+                ErrorResponse("internal_error", f"{type(error).__name__}: {error}").as_dict(),
+                "application/json",
+            )
+
+    def _route_agents(self, body: bytes) -> Tuple[int, object, str]:
+        request = AgentRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
+        if request.action == "register":
+            if request.workload not in BENCHMARKS:
+                raise _HttpError(
+                    400, "unknown_workload", f"no benchmark named {request.workload!r}"
+                )
+            if request.agent in self.allocator.workloads:
+                raise _HttpError(409, "agent_exists", f"{request.agent!r} is registered")
+            self.allocator.add_agent(request.agent, get_workload(request.workload))
+        else:
+            if request.agent not in self.allocator.workloads:
+                raise _HttpError(404, "unknown_agent", f"no agent {request.agent!r}")
+            if len(self.allocator.workloads) == 1:
+                raise _HttpError(
+                    409, "last_agent", "cannot deregister the last agent"
+                )
+            self.allocator.remove_agent(request.agent)
+        # Membership changed: re-solve immediately (any pending samples
+        # ride along) so the next GET /v1/allocation reflects the churn.
+        self._run_epoch(self._batcher.flush(), trigger="churn")
+        response = AgentResponse(
+            action=request.action,
+            agent=request.agent,
+            agents=self.allocator.agent_names,
+            epoch=self.current_epoch,
+        )
+        return 200, response.as_dict(), "application/json"
+
+    def _route_samples(self, body: bytes) -> Tuple[int, object, str]:
+        request = SampleRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
+        if request.agent not in self.allocator.workloads:
+            raise _HttpError(404, "unknown_agent", f"no agent {request.agent!r}")
+        assert self._loop is not None
+        fold_epoch = self._epoch
+        batch = self._batcher.add(request, self._loop.time())
+        pending = self._batcher.pending
+        if batch is not None:
+            self._run_epoch(batch, trigger="max_batch")
+        response = SampleResponse(
+            agent=request.agent, queued=True, epoch=fold_epoch, pending=pending
+        )
+        return 200, response.as_dict(), "application/json"
+
+    def _route_allocation(self, _body: bytes) -> Tuple[int, object, str]:
+        record = self._current
+        assert record is not None, "start() runs epoch 0 before binding"
+        allocation = record.enforced or record.allocation
+        problem = allocation.problem
+        response = AllocationResponse(
+            epoch=self.current_epoch,
+            mechanism=allocation.mechanism,
+            feasible=allocation.is_feasible(),
+            capacities=dict(
+                zip(problem.resource_names, (float(c) for c in problem.capacities))
+            ),
+            shares=allocation.as_dict(),
+        )
+        return 200, response.as_dict(), "application/json"
+
+    def _route_health(self, _body: bytes) -> Tuple[int, object, str]:
+        uptime = (self._loop.time() - self._started_at) if self._loop else 0.0
+        response = HealthResponse(
+            status="ok",
+            epoch=self.current_epoch,
+            agents=self.allocator.agent_names,
+            pending_samples=self._batcher.pending,
+            uptime_seconds=max(0.0, uptime),
+        )
+        return 200, response.as_dict(), "application/json"
+
+    def _route_metrics(self, _body: bytes) -> Tuple[int, object, str]:
+        merged = MetricsRegistry()
+        seen = []
+        for registry in (global_registry(), self.metrics, self.allocator.metrics):
+            if any(registry is other for other in seen):
+                continue
+            merged.merge(registry)
+            seen.append(registry)
+        return 200, to_prometheus(merged), "text/plain; version=0.0.4"
+
+
+class ServerThread:
+    """Run an :class:`AllocationServer` on a daemon thread.
+
+    The blocking :class:`~repro.serve.client.ServeClient` (tests, smoke
+    drivers, notebooks) needs the event loop running elsewhere::
+
+        thread = ServerThread(server)
+        thread.start()           # blocks until the port is bound
+        ...ServeClient("127.0.0.1", server.port)...
+        thread.stop()
+    """
+
+    def __init__(self, server: AllocationServer):
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+            raise
+        self._ready.set()
+        try:
+            await self.server.wait_stopped()
+        finally:
+            await self.server.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surfaced via start()/stop()
+            if self._error is None:
+                self._error = error
+            self._ready.set()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self.server.request_stop_threadsafe()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not stop in time")
+        self._thread = None

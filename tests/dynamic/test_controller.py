@@ -419,3 +419,51 @@ class TestMetricsCoverage:
         allocator.run(2)
         assert allocator.metrics is registry
         assert registry.get("repro_dynamic_epoch_latency_seconds").count == 2
+
+
+class TestExternalMeasurement:
+    """The service ingestion path: observe_sample + step(measure=False)."""
+
+    def test_observe_sample_accepts_a_plausible_measurement(self):
+        allocator = static_allocator()
+        ipc = float(allocator.machine.ipc(get_workload("freqmine"), 512.0, 3.2))
+        assert allocator.observe_sample("freqmine", (3.2, 512.0), ipc) is True
+
+    def test_observe_sample_rejects_non_positive_readings(self):
+        allocator = static_allocator()
+        before = allocator._profilers["freqmine"].counters["rejected_non_positive"]
+        assert allocator.observe_sample("freqmine", (3.2, 512.0), -1.0) is False
+        after = allocator._profilers["freqmine"].counters["rejected_non_positive"]
+        assert after == before + 1
+
+    def test_observe_sample_unknown_agent_raises(self):
+        with pytest.raises(ValueError, match="no agent"):
+            static_allocator().observe_sample("ghost", (3.2, 512.0), 1.0)
+
+    def test_step_without_measure_allocates_but_does_not_measure(self):
+        allocator = static_allocator()
+        record = allocator.step(0, measure=False)
+        assert record.measured_ipc == {}
+        assert record.enforced is not None and record.enforced.is_feasible()
+        assert set(record.reported_alpha) == {"freqmine", "dedup"}
+        # The built-in machine was never consulted: no sample history grew.
+        assert all(
+            profiler.n_samples == 0 for profiler in allocator._profilers.values()
+        )
+
+    def test_external_samples_drive_the_fit(self):
+        allocator = static_allocator(decay=1.0)
+        offline = OfflineProfiler()
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            for name in ("freqmine", "dedup"):
+                bandwidth = float(rng.uniform(1.0, CAPACITIES[0] / 2))
+                cache_kb = float(rng.uniform(128.0, CAPACITIES[1] / 2))
+                ipc = float(
+                    allocator.machine.ipc(get_workload(name), cache_kb, bandwidth)
+                )
+                allocator.observe_sample(name, (bandwidth, cache_kb), ipc)
+        record = allocator.step(0, measure=False)
+        for name in ("freqmine", "dedup"):
+            truth = offline.fit(get_workload(name)).rescaled_elasticities
+            assert np.max(np.abs(record.reported_alpha[name] - truth)) < 0.15, name

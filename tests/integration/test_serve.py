@@ -1,0 +1,244 @@
+"""End-to-end allocation-service tests over a real TCP socket."""
+
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.dynamic import DynamicAllocator
+from repro.obs import MetricsRegistry, parse_prometheus_text
+from repro.serve import (
+    AllocationServer,
+    BatchPolicy,
+    ServeClient,
+    ServeError,
+    ServerThread,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def service():
+    """A live server on an ephemeral port with its own metrics registry."""
+    registry = MetricsRegistry()
+    allocator = DynamicAllocator(
+        {"freqmine": get_workload("freqmine"), "dedup": get_workload("dedup")},
+        capacities=(25.6, 4096.0),
+        seed=11,
+        metrics=registry,
+    )
+    server = AllocationServer(
+        allocator,
+        policy=BatchPolicy(max_delay=0.02, max_batch=8),
+        metrics=registry,
+    )
+    thread = ServerThread(server).start()
+    client = ServeClient("127.0.0.1", server.port)
+    client.wait_ready(timeout=10)
+    yield server, client, registry
+    thread.stop()
+
+
+def _raw_request(port: int, blob: bytes) -> bytes:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(blob)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestHappyPath:
+    def test_allocation_is_served_before_any_sample(self, service):
+        _, client, _ = service
+        allocation = client.allocation()
+        assert allocation.feasible
+        assert set(allocation.shares) == {"freqmine", "dedup"}
+        assert allocation.mechanism
+        assert set(allocation.capacities) == {"membw_gbps", "cache_kb"}
+
+    def test_sample_is_folded_into_a_later_epoch(self, service):
+        server, client, _ = service
+        before = client.health().epoch
+        response = client.submit_sample("freqmine", 3.2, 512.0, 1.1)
+        assert response.queued
+        assert response.epoch == before + 1
+        client.wait_for_epoch(response.epoch, timeout=10)
+        allocation = client.allocation()
+        assert allocation.feasible
+        assert allocation.epoch >= response.epoch
+
+    def test_health_reports_membership(self, service):
+        _, client, _ = service
+        health = client.health()
+        assert health.status == "ok"
+        assert set(health.agents) == {"freqmine", "dedup"}
+        assert health.uptime_seconds >= 0.0
+
+    def test_metrics_pass_the_strict_parser(self, service):
+        _, client, _ = service
+        client.submit_sample("dedup", 3.2, 512.0, 0.8)
+        samples = parse_prometheus_text(client.metrics_text())
+        names = {sample["name"] for sample in samples}
+        assert "repro_serve_requests_total" in names
+        assert "repro_dynamic_epochs_total" in names
+
+    def test_batching_solves_at_most_once_per_tick(self, service):
+        server, client, registry = service
+        for i in range(20):
+            client.submit_sample("freqmine", 3.0 + 0.1 * i, 500.0 + 10.0 * i, 1.0)
+        client.wait_for_epoch(client.health().epoch + 1, timeout=10)
+        epochs = registry.get("repro_dynamic_epochs_total")
+        assert epochs is not None
+        assert server.samples_received >= 20
+        # Far fewer solves than samples, and one solve per flushed batch.
+        assert epochs.value < server.samples_received
+        assert server.batches_flushed <= epochs.value
+
+
+class TestChurn:
+    def test_register_and_deregister_mid_flight(self, service):
+        server, client, _ = service
+        response = client.register("late", "canneal")
+        assert "late" in response.agents
+        # Churn re-solves immediately: the new agent holds a share now.
+        allocation = client.allocation()
+        assert "late" in allocation.shares
+        assert allocation.feasible
+        client.submit_sample("late", 2.0, 256.0, 0.9)
+
+        response = client.deregister("late")
+        assert "late" not in response.agents
+        allocation = client.allocation()
+        assert "late" not in allocation.shares
+        assert allocation.feasible
+        # A sample for the departed agent is now a 404, not a crash.
+        with pytest.raises(ServeError) as excinfo:
+            client.submit_sample("late", 2.0, 256.0, 0.9)
+        assert excinfo.value.status == 404
+
+    def test_duplicate_register_conflicts(self, service):
+        _, client, _ = service
+        with pytest.raises(ServeError) as excinfo:
+            client.register("freqmine", "freqmine")
+        assert excinfo.value.status == 409
+        assert excinfo.value.error == "agent_exists"
+
+    def test_unknown_workload_rejected(self, service):
+        _, client, _ = service
+        with pytest.raises(ServeError) as excinfo:
+            client.register("late", "not_a_benchmark")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error == "unknown_workload"
+
+    def test_cannot_deregister_unknown_or_last_agent(self, service):
+        _, client, _ = service
+        with pytest.raises(ServeError) as excinfo:
+            client.deregister("ghost")
+        assert excinfo.value.status == 404
+        client.deregister("dedup")
+        with pytest.raises(ServeError) as excinfo:
+            client.deregister("freqmine")
+        assert excinfo.value.status == 409
+        assert excinfo.value.error == "last_agent"
+
+
+class TestMalformedRequests:
+    def test_invalid_json_is_a_400(self, service):
+        server, _, _ = service
+        body = b"{not json"
+        blob = (
+            b"POST /v1/samples HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"bad_request" in response
+
+    def test_unknown_field_is_a_400(self, service):
+        server, _, _ = service
+        body = b'{"agent": "freqmine", "bandwidth_gbps": 1, "cache_kb": 1, "ipc": 1, "x": 1}'
+        blob = (
+            b"POST /v1/samples HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"unknown field" in response
+
+    def test_wrong_version_is_a_400(self, service):
+        server, _, _ = service
+        body = b'{"version": 99, "agent": "freqmine", "bandwidth_gbps": 1, "cache_kb": 1, "ipc": 1}'
+        blob = (
+            b"POST /v1/samples HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"version" in response
+
+    def test_post_without_length_is_a_411(self, service):
+        server, _, _ = service
+        response = _raw_request(
+            server.port, b"POST /v1/samples HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert response.startswith(b"HTTP/1.1 411 ")
+
+    def test_unknown_route_is_a_404(self, service):
+        server, _, _ = service
+        response = _raw_request(server.port, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 404 ")
+
+    def test_wrong_method_is_a_405(self, service):
+        server, _, _ = service
+        response = _raw_request(
+            server.port, b"GET /v1/agents HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert response.startswith(b"HTTP/1.1 405 ")
+
+    def test_malformed_request_line_is_a_400(self, service):
+        server, _, _ = service
+        response = _raw_request(server.port, b"BANANAS\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_service_survives_malformed_traffic(self, service):
+        _, client, _ = service
+        _raw_request(service[0].port, b"BANANAS\r\n\r\n")
+        assert client.health().status == "ok"
+        assert client.allocation().feasible
+
+
+class TestCliSubprocess:
+    def test_sigterm_shuts_down_cleanly(self):
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--epoch-ms", "20", "--max-batch", "4",
+                "--workloads", "freqmine,dedup",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening on http://" in line, line
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            client = ServeClient("127.0.0.1", port)
+            client.wait_ready(timeout=15)
+            client.submit_sample("freqmine", 3.0, 512.0, 1.0)
+            time.sleep(0.1)
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+            assert process.returncode == 0, output
+            assert "feasible=True" in output
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

@@ -1,0 +1,91 @@
+"""Batching policy unit tests — fake clock, no asyncio."""
+
+import pytest
+
+from repro.serve import BatchPolicy, SampleBatcher
+
+
+class TestBatchPolicy:
+    def test_rejects_non_positive_delay(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            BatchPolicy(max_delay=0.0)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+
+    def test_empty_never_flushes(self):
+        policy = BatchPolicy(max_delay=0.01, max_batch=1)
+        assert not policy.should_flush(0, 1e9)
+
+    def test_max_batch_trips_regardless_of_age(self):
+        policy = BatchPolicy(max_delay=10.0, max_batch=3)
+        assert not policy.should_flush(2, 0.0)
+        assert policy.should_flush(3, 0.0)
+
+    def test_max_delay_trips_regardless_of_count(self):
+        policy = BatchPolicy(max_delay=0.05, max_batch=1000)
+        assert not policy.should_flush(1, 0.049)
+        assert policy.should_flush(1, 0.05)
+
+
+class TestSampleBatcher:
+    def make(self, max_delay=1.0, max_batch=3):
+        return SampleBatcher(BatchPolicy(max_delay=max_delay, max_batch=max_batch))
+
+    def test_add_flushes_on_max_batch(self):
+        batcher = self.make(max_batch=3)
+        assert batcher.add("a", now=0.0) is None
+        assert batcher.add("b", now=0.1) is None
+        assert batcher.add("c", now=0.2) == ["a", "b", "c"]
+        assert batcher.pending == 0
+        assert batcher.total_items == 3
+        assert batcher.total_batches == 1
+
+    def test_poll_flushes_on_max_delay(self):
+        batcher = self.make(max_delay=1.0)
+        batcher.add("a", now=10.0)
+        batcher.add("b", now=10.6)
+        # Delay is measured from the *oldest* sample, not the newest.
+        assert batcher.poll(now=10.9) is None
+        assert batcher.poll(now=11.0) == ["a", "b"]
+        assert batcher.poll(now=12.0) is None  # idle: nothing to flush
+
+    def test_oldest_age_resets_after_flush(self):
+        batcher = self.make(max_delay=1.0)
+        batcher.add("a", now=5.0)
+        assert batcher.oldest_age(5.4) == pytest.approx(0.4)
+        batcher.flush()
+        assert batcher.oldest_age(9.0) == 0.0
+        batcher.add("b", now=9.0)
+        assert batcher.oldest_age(9.2) == pytest.approx(0.2)
+
+    def test_next_deadline_tracks_oldest(self):
+        batcher = self.make(max_delay=1.0)
+        assert batcher.next_deadline(0.0) is None
+        batcher.add("a", now=2.0)
+        batcher.add("b", now=2.5)
+        assert batcher.next_deadline(2.6) == pytest.approx(3.0)
+
+    def test_exactly_one_trigger_returns_each_batch(self):
+        batcher = self.make(max_delay=1.0, max_batch=2)
+        assert batcher.add("a", now=0.0) is None
+        assert batcher.add("b", now=0.0) == ["a", "b"]  # max-batch took it
+        assert batcher.poll(now=5.0) is None  # max-delay must not re-flush
+
+    def test_flush_empty_is_not_counted(self):
+        batcher = self.make()
+        assert batcher.flush() == []
+        assert batcher.total_batches == 0
+        batcher.add("a", now=0.0)
+        assert batcher.flush() == ["a"]
+        assert batcher.total_batches == 1
+
+    def test_solve_rate_is_client_independent(self):
+        # 10 clients submitting in the same window still cost one batch.
+        batcher = self.make(max_delay=0.05, max_batch=64)
+        for client in range(10):
+            batcher.add(f"client{client}", now=100.0 + client * 0.001)
+        batch = batcher.poll(now=100.1)
+        assert batch is not None and len(batch) == 10
+        assert batcher.total_batches == 1

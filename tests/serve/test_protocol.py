@@ -1,0 +1,178 @@
+"""Wire-protocol round-trips and strict rejection paths."""
+
+import math
+
+import pytest
+
+from repro.serve import (
+    PROTOCOL_VERSION,
+    AgentRequest,
+    AgentResponse,
+    AllocationResponse,
+    ErrorResponse,
+    HealthResponse,
+    ProtocolError,
+    SampleRequest,
+    SampleResponse,
+    parse_json,
+)
+
+
+class TestParseJson:
+    def test_parses_object(self):
+        assert parse_json('{"a": 1}') == {"a": 1}
+
+    @pytest.mark.parametrize("text", ["[1, 2]", '"hi"', "3", "null", "true"])
+    def test_rejects_non_object(self, text):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_json(text)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_json("{not json")
+
+    @pytest.mark.parametrize("text", ['{"a": NaN}', '{"a": Infinity}'])
+    def test_rejects_non_finite_literals(self, text):
+        with pytest.raises(ProtocolError):
+            parse_json(text)
+
+
+class TestAgentRequest:
+    def test_register_round_trip(self):
+        request = AgentRequest(action="register", agent="web", workload="canneal")
+        assert AgentRequest.from_dict(request.as_dict()) == request
+
+    def test_deregister_round_trip(self):
+        request = AgentRequest(action="deregister", agent="web")
+        assert AgentRequest.from_dict(request.as_dict()) == request
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ProtocolError, match="action"):
+            AgentRequest.from_dict(
+                {"version": PROTOCOL_VERSION, "action": "destroy", "agent": "web"}
+            )
+
+    def test_register_requires_workload(self):
+        with pytest.raises(ProtocolError, match="workload"):
+            AgentRequest.from_dict(
+                {"version": PROTOCOL_VERSION, "action": "register", "agent": "web"}
+            )
+
+    def test_deregister_forbids_workload(self):
+        with pytest.raises(ProtocolError, match="workload"):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "deregister",
+                    "agent": "web",
+                    "workload": "canneal",
+                }
+            )
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "deregister",
+                    "agent": "web",
+                    "extra": 1,
+                }
+            )
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(ProtocolError, match="missing"):
+            AgentRequest.from_dict({"version": PROTOCOL_VERSION, "action": "register"})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ProtocolError, match="version"):
+            AgentRequest.from_dict({"version": 99, "action": "deregister", "agent": "web"})
+
+    def test_rejects_empty_agent(self):
+        with pytest.raises(ProtocolError, match="agent"):
+            AgentRequest.from_dict(
+                {"version": PROTOCOL_VERSION, "action": "deregister", "agent": ""}
+            )
+
+
+class TestSampleRequest:
+    def test_round_trip(self):
+        request = SampleRequest(agent="web", bandwidth_gbps=3.2, cache_kb=512.0, ipc=1.4)
+        assert SampleRequest.from_dict(request.as_dict()) == request
+        assert request.bundle == (3.2, 512.0)
+
+    @pytest.mark.parametrize("value", [True, "3.2", None, math.nan, math.inf])
+    def test_rejects_non_finite_numbers(self, value):
+        with pytest.raises(ProtocolError):
+            SampleRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "agent": "web",
+                    "bandwidth_gbps": value,
+                    "cache_kb": 512.0,
+                    "ipc": 1.4,
+                }
+            )
+
+    def test_accepts_integer_numbers(self):
+        request = SampleRequest.from_dict(
+            {
+                "version": PROTOCOL_VERSION,
+                "agent": "web",
+                "bandwidth_gbps": 3,
+                "cache_kb": 512,
+                "ipc": 1,
+            }
+        )
+        assert request.bundle == (3.0, 512.0)
+
+
+class TestResponses:
+    def test_agent_response_round_trip(self):
+        response = AgentResponse(action="register", agent="web", agents=("db", "web"), epoch=4)
+        assert AgentResponse.from_dict(response.as_dict()) == response
+
+    def test_sample_response_round_trip(self):
+        response = SampleResponse(agent="web", queued=True, epoch=7, pending=3)
+        assert SampleResponse.from_dict(response.as_dict()) == response
+
+    def test_allocation_response_round_trip_and_bundle(self):
+        response = AllocationResponse(
+            epoch=9,
+            mechanism="REF",
+            feasible=True,
+            capacities={"membw_gbps": 12.8, "cache_kb": 2048.0},
+            shares={"web": {"membw_gbps": 6.4, "cache_kb": 1024.0}},
+        )
+        rebuilt = AllocationResponse.from_dict(response.as_dict())
+        assert rebuilt == response
+        assert rebuilt.bundle("web") == {"membw_gbps": 6.4, "cache_kb": 1024.0}
+        with pytest.raises(KeyError):
+            rebuilt.bundle("db")
+
+    def test_health_response_round_trip(self):
+        response = HealthResponse(
+            status="ok",
+            epoch=12,
+            agents=("db", "web"),
+            pending_samples=1,
+            uptime_seconds=3.5,
+        )
+        assert HealthResponse.from_dict(response.as_dict()) == response
+
+    def test_error_response_round_trip(self):
+        response = ErrorResponse(error="bad_request", detail="nope")
+        assert ErrorResponse.from_dict(response.as_dict()) == response
+
+    def test_allocation_rejects_malformed_shares(self):
+        with pytest.raises(ProtocolError):
+            AllocationResponse.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "epoch": 1,
+                    "mechanism": "REF",
+                    "feasible": True,
+                    "capacities": {"membw_gbps": 1.0},
+                    "shares": {"web": "everything"},
+                }
+            )

@@ -392,3 +392,39 @@ class TestMetricsCommand:
         code, out = run_cli(capsys, "metrics", "--format", "prometheus")
         assert code == 0
         assert "repro_build_info" in out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.epoch_ms == 50.0
+        assert args.max_batch == 64
+        assert args.workloads == "freqmine,dedup"
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--epoch-ms", "20",
+                "--max-batch", "8",
+                "--workloads", "canneal,x264",
+                "--capacities", "24,12288",
+                "--metrics-out", "m.json",
+            ]
+        )
+        assert args.port == 0
+        assert args.epoch_ms == 20.0
+        assert args.max_batch == 8
+        assert args.capacities == "24,12288"
+        assert args.metrics_out == "m.json"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["serve", "--workloads", "doom"])
+
+    def test_bad_capacities_rejected(self):
+        with pytest.raises(SystemExit, match="capacities"):
+            main(["serve", "--capacities", "24"])

@@ -14,6 +14,9 @@ PACKAGES = [
     "repro.workloads",
     "repro.profiling",
     "repro.sched",
+    "repro.dynamic",
+    "repro.obs",
+    "repro.serve",
 ]
 
 
