@@ -1,8 +1,9 @@
 # Convenience targets for the REF reproduction.
 #
 # The CI workflow (.github/workflows/ci.yml) runs these same targets —
-# lint, test, coverage, smoke, bench-kernel, dynamic-smoke, serve-smoke
-# — so `make ci` reproduces a full CI run locally with zero drift.
+# lint, test, coverage, smoke, bench-kernel, bench-solver,
+# cold-start-check, dynamic-smoke, serve-smoke — so `make ci`
+# reproduces a full CI run locally with zero drift.
 
 PYTHON ?= python
 JOBS ?= 2
@@ -13,7 +14,8 @@ SMOKE_ARTIFACTS := fig8a fig8b fig8c fig9 table1 table2
 # at the measured baseline rounded down; ratchet up, never down.
 COV_FLOOR ?= 80
 
-.PHONY: install test coverage bench bench-kernel bench-serve examples reproduce \
+.PHONY: install test coverage bench bench-kernel bench-serve bench-solver \
+	cold-start-check examples reproduce \
 	lint smoke dynamic-smoke metrics-smoke serve-smoke ci clean
 
 install:
@@ -47,6 +49,19 @@ bench-kernel:
 # tick regardless of client count).
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve_load.py
+
+# Times the solver/fit hot path: batched Cobb-Douglas fitting vs the
+# per-agent loop, the Eq. 13 closed form vs SLSQP, the 64-agent
+# controller tick with eager vs batched refits, and solve_batch vs the
+# scalar loop.  Writes BENCH_solver.json; exits non-zero when parity
+# breaks or a speedup falls below its acceptance floor (tick >= 3x).
+bench-solver:
+	$(PYTHON) benchmarks/bench_solver.py
+
+# Hard budget on `python -m repro --help` in a fresh interpreter, plus
+# a probe that building the parser imports neither NumPy nor SciPy.
+cold-start-check:
+	$(PYTHON) benchmarks/check_cold_start.py
 
 examples:
 	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
@@ -113,7 +128,8 @@ serve-smoke:
 # Mirrors .github/workflows/ci.yml job for job.  Coverage needs
 # pytest-cov; when it is missing locally the leg is skipped with a
 # notice instead of failing the whole run.
-ci: lint test smoke bench-kernel dynamic-smoke serve-smoke bench-serve
+ci: lint test smoke bench-kernel bench-solver cold-start-check dynamic-smoke \
+		serve-smoke bench-serve
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(MAKE) coverage; \
 	else \
@@ -124,5 +140,5 @@ clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
 	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt $(SMOKE_CACHE).*.json
 	rm -rf coverage-html .coverage
-	rm -f BENCH_kernel.json BENCH_serve.json
+	rm -f BENCH_kernel.json BENCH_serve.json BENCH_solver.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,87 @@
+"""CLI cold-start budget check (the `make cold-start-check` entry).
+
+Times ``python -m repro --help`` in fresh subprocesses (best-of-N, so a
+cold OS page cache or a noisy CI neighbour can't flake the gate) and
+fails when the fastest run exceeds the budget.  Also asserts the
+laziness contract directly: building the argument parser must import
+neither NumPy nor SciPy — that, not micro-optimization, is what keeps
+the cold start in the tens of milliseconds.
+
+Run directly (``python benchmarks/check_cold_start.py``) or via
+``make cold-start-check``; CI runs it in the solver-bench job.
+
+Named outside the ``bench_*.py`` pattern on purpose: it is a timing
+harness with a hard gate, not a pytest benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+
+#: Default budget in milliseconds.  A lazy parser builds in ~50 ms on
+#: CI-class hardware; the old eager import chain took ~700 ms.  Keep
+#: headroom for slow shared runners without letting the scipy tax back in.
+DEFAULT_BUDGET_MS = 400.0
+
+LAZINESS_PROBE = (
+    "import sys; import repro.cli; repro.cli.build_parser(); "
+    "heavy = sorted(m for m in ('numpy', 'scipy') if m in sys.modules); "
+    "sys.exit(f'parser imported {heavy}' if heavy else 0)"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--budget-ms", type=float, default=DEFAULT_BUDGET_MS,
+        help=f"fail above this best-of-N wall clock (default: {DEFAULT_BUDGET_MS})",
+    )
+    args = parser.parse_args(argv)
+
+    probe = subprocess.run(
+        [sys.executable, "-c", LAZINESS_PROBE], capture_output=True, text=True
+    )
+    if probe.returncode != 0:
+        print(
+            f"laziness probe failed: {probe.stderr.strip() or probe.stdout.strip()}",
+            file=sys.stderr,
+        )
+        return 1
+
+    best_ms = float("inf")
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"], capture_output=True
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        if result.returncode != 0:
+            print(
+                f"`python -m repro --help` exited {result.returncode}:\n"
+                f"{result.stderr.decode(errors='replace')}",
+                file=sys.stderr,
+            )
+            return 1
+        best_ms = min(best_ms, elapsed_ms)
+
+    status = "OK" if best_ms <= args.budget_ms else "OVER BUDGET"
+    print(
+        f"cold start: best-of-{args.repeats} {best_ms:.1f} ms "
+        f"(budget {args.budget_ms:.0f} ms) {status}; "
+        f"parser imports no numpy/scipy"
+    )
+    if best_ms > args.budget_ms:
+        print(
+            f"cold start {best_ms:.1f} ms exceeds budget {args.budget_ms:.0f} ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,8 @@
 The public API re-exports the core objects most users need:
 
 * :class:`~repro.core.utility.CobbDouglasUtility` and fitting via
-  :func:`~repro.core.fitting.fit_cobb_douglas`,
+  :func:`~repro.core.fitting.fit_cobb_douglas` /
+  :func:`~repro.core.fitting.fit_cobb_douglas_batch`,
 * :class:`~repro.core.mechanism.AllocationProblem` /
   :func:`~repro.core.mechanism.proportional_elasticity` — the REF mechanism,
 * fairness checkers (:func:`~repro.core.properties.check_fairness`),
@@ -11,29 +12,19 @@ The public API re-exports the core objects most users need:
 * the simulation substrate in :mod:`repro.sim`, workload models in
   :mod:`repro.workloads`, profiling in :mod:`repro.profiling`, and
   enforcement schedulers in :mod:`repro.sched`.
+
+Re-exports resolve lazily (PEP 562): importing :mod:`repro` costs a few
+milliseconds, and the numeric stack loads only when a re-exported name
+is first touched.  ``python -m repro --help`` and worker spawns
+therefore skip the NumPy/SciPy import tax entirely.
 """
 
-from .core import (
-    Agent,
-    Allocation,
-    AllocationProblem,
-    CobbDouglasFit,
-    CobbDouglasUtility,
-    EdgeworthBox,
-    FairnessReport,
-    LeontiefUtility,
-    ResourceGroup,
-    check_fairness,
-    classify,
-    fit_cobb_douglas,
-    proportional_elasticity,
-    rescale_elasticities,
-    weighted_system_throughput,
-)
+from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
 
-__all__ = [
+#: Every name here resolves from :mod:`repro.core` on first access.
+_CORE_EXPORTS = (
     "Agent",
     "Allocation",
     "AllocationProblem",
@@ -46,8 +37,45 @@ __all__ = [
     "check_fairness",
     "classify",
     "fit_cobb_douglas",
+    "fit_cobb_douglas_batch",
     "proportional_elasticity",
     "rescale_elasticities",
     "weighted_system_throughput",
-    "__version__",
-]
+)
+
+__all__ = [*_CORE_EXPORTS, "__version__"]
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .core import (  # noqa: F401
+        Agent,
+        Allocation,
+        AllocationProblem,
+        CobbDouglasFit,
+        CobbDouglasUtility,
+        EdgeworthBox,
+        FairnessReport,
+        LeontiefUtility,
+        ResourceGroup,
+        check_fairness,
+        classify,
+        fit_cobb_douglas,
+        fit_cobb_douglas_batch,
+        proportional_elasticity,
+        rescale_elasticities,
+        weighted_system_throughput,
+    )
+
+
+def __getattr__(name: str):
+    """Resolve re-exported core names on first access (PEP 562)."""
+    if name in _CORE_EXPORTS:
+        from . import core
+
+        value = getattr(core, name)
+        globals()[name] = value  # cache: subsequent accesses skip this hook
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

@@ -29,6 +29,11 @@ Subcommands (``python -m repro <command> --help`` for details):
 
 Every profiler-backed command and ``dynamic`` accept
 ``--metrics-out FILE`` to dump the run's collected metrics as JSON.
+
+Everything heavy (NumPy, the workload tables, the profilers) imports
+lazily: building the parser touches none of it, so ``repro --help`` and
+worker spawns stay in the low tens of milliseconds, and each subcommand
+pays only for what it runs.
 """
 
 from __future__ import annotations
@@ -39,47 +44,90 @@ import os
 import sys
 from typing import List, Optional
 
-import numpy as np
-
-from .core import (
-    check_fairness,
-    classify_many,
-    proportional_elasticity,
-    weighted_system_throughput,
-)
-from .core.mechanism import Agent, AllocationProblem
-from .core.spl import best_response
-from .core.utility import CobbDouglasUtility
-from .obs import (
-    MetricsRegistry,
-    global_registry,
-    render_table,
-    to_json,
-    to_prometheus,
-    write_json,
-)
-from .optimize import MECHANISMS, drf_allocation, equal_slowdown, max_nash_welfare
-from .profiling import OfflineProfiler, Profile
-from .workloads import (
-    BENCHMARKS,
-    MIXES,
-    RESOURCE_NAMES,
-    get_mix,
-    get_workload,
-    problem_from_fits,
-)
-from .workloads.mixes import WorkloadMix
-
 __all__ = ["main", "build_parser"]
 
-#: CLI mechanism names -> allocation functions.
-CLI_MECHANISMS = {
-    "ref": proportional_elasticity,
-    "equal-slowdown": equal_slowdown,
-    "max-welfare-fair": lambda p: max_nash_welfare(p, fair=True),
-    "max-welfare-unfair": lambda p: max_nash_welfare(p, fair=False),
-    "drf": drf_allocation,
-}
+#: Mechanism names accepted by ``allocate``/``cosim`` (static so the
+#: parser builds without importing the solver stack).
+CLI_MECHANISM_NAMES = (
+    "drf",
+    "equal-slowdown",
+    "max-welfare-fair",
+    "max-welfare-unfair",
+    "ref",
+)
+
+#: Mechanisms the closed-loop ``dynamic``/``serve`` controller accepts.
+CONTROLLER_MECHANISM_NAMES = (
+    "equal-slowdown",
+    "max-welfare-fair",
+    "max-welfare-unfair",
+    "ref",
+)
+
+
+def _run_cli_mechanism(name: str, problem):
+    """Resolve a CLI mechanism name and run it (imports deferred)."""
+    if name == "ref":
+        from .core import proportional_elasticity
+
+        return proportional_elasticity(problem)
+    if name == "drf":
+        from .optimize import drf_allocation
+
+        return drf_allocation(problem)
+    from .optimize import equal_slowdown, max_nash_welfare
+
+    if name == "equal-slowdown":
+        return equal_slowdown(problem)
+    return max_nash_welfare(problem, fair=(name == "max-welfare-fair"))
+
+
+class _LazyChoices:
+    """An argparse ``choices`` container that resolves on first use.
+
+    Building the parser must stay import-light (the ``--help``
+    cold-start budget); only validating a value or rendering a
+    subcommand's help touches the loader, which then imports the real
+    table.  Implements the container protocol argparse relies on
+    (membership, iteration, ``repr`` for error messages).
+    """
+
+    def __init__(self, loader):
+        self._loader = loader
+        self._values: Optional[tuple] = None
+
+    def _resolve(self) -> tuple:
+        if self._values is None:
+            self._values = tuple(self._loader())
+        return self._values
+
+    def __contains__(self, value) -> bool:
+        return value in self._resolve()
+
+    def __iter__(self):
+        return iter(self._resolve())
+
+    def __len__(self) -> int:
+        return len(self._resolve())
+
+    def __repr__(self) -> str:
+        return repr(list(self._resolve()))
+
+
+def _benchmark_names() -> List[str]:
+    from .workloads import BENCHMARKS
+
+    return sorted(BENCHMARKS)
+
+
+def _mix_names() -> List[str]:
+    from .workloads import MIXES
+
+    return sorted(MIXES)
+
+
+_BENCHMARK_CHOICES = _LazyChoices(_benchmark_names)
+_MIX_CHOICES = _LazyChoices(_mix_names)
 
 
 def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
@@ -113,12 +161,15 @@ def _resolve_cache_dir(args) -> Optional[str]:
     return args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
 
 
-def _make_profiler(args) -> OfflineProfiler:
+def _make_profiler(args):
     """Build the shared profiler from a command's pipeline flags.
 
     Profiler metrics land on the process-global registry, alongside the
     solver metrics, so one ``--metrics-out`` file captures the run.
     """
+    from .obs import global_registry
+    from .profiling import OfflineProfiler
+
     return OfflineProfiler(
         noise_sigma=getattr(args, "noise", 0.01),
         seed=getattr(args, "seed", 2014),
@@ -131,11 +182,13 @@ def _make_profiler(args) -> OfflineProfiler:
     )
 
 
-def _export_metrics(args, *registries: MetricsRegistry, spans=None) -> None:
+def _export_metrics(args, *registries, spans=None) -> None:
     """Write the merged global + per-component registries to --metrics-out."""
     path = getattr(args, "metrics_out", None)
     if not path:
         return
+    from .obs import MetricsRegistry, global_registry, write_json
+
     merged = MetricsRegistry()
     merged.merge(global_registry())
     for registry in registries:
@@ -152,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     profile = sub.add_parser("profile", help="sweep a benchmark over the Table 1 grid")
-    profile.add_argument("workload", choices=sorted(BENCHMARKS))
+    profile.add_argument("workload", choices=_BENCHMARK_CHOICES, metavar="WORKLOAD")
     profile.add_argument("--noise", type=float, default=0.01, help="log-space noise sigma")
     profile.add_argument("--seed", type=int, default=2014)
     profile.add_argument("--output", "-o", help="write profile JSON to this path")
@@ -168,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fit = sub.add_parser("fit", help="fit a Cobb-Douglas utility")
     source = fit.add_mutually_exclusive_group(required=True)
-    source.add_argument("--workload", choices=sorted(BENCHMARKS))
+    source.add_argument("--workload", choices=_BENCHMARK_CHOICES)
     source.add_argument("--profile", help="path to a profile JSON")
     fit.add_argument("--json", action="store_true", help="machine-readable output")
     _add_pipeline_flags(fit)
@@ -187,10 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     allocate = sub.add_parser("allocate", help="allocate a mix with one mechanism")
     target = allocate.add_mutually_exclusive_group(required=True)
-    target.add_argument("--mix", choices=sorted(MIXES))
+    target.add_argument("--mix", choices=_MIX_CHOICES)
     target.add_argument("--workloads", help="comma-separated benchmark names")
     allocate.add_argument(
-        "--mechanism", choices=sorted(CLI_MECHANISMS), default="ref"
+        "--mechanism", choices=CLI_MECHANISM_NAMES, default="ref"
     )
     allocate.add_argument(
         "--capacities",
@@ -203,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_flags(allocate)
 
     evaluate = sub.add_parser("evaluate", help="compare the four mechanisms on a mix")
-    evaluate.add_argument("mix", choices=sorted(MIXES))
+    evaluate.add_argument("mix", choices=_MIX_CHOICES, metavar="MIX")
     _add_pipeline_flags(evaluate)
 
     spl = sub.add_parser("spl", help="strategic (mis)reporting analysis")
@@ -214,8 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
     cosim = sub.add_parser(
         "cosim", help="co-simulate a mix on the shared machine under enforced shares"
     )
-    cosim.add_argument("mix", choices=sorted(MIXES))
-    cosim.add_argument("--mechanism", choices=sorted(CLI_MECHANISMS), default="ref")
+    cosim.add_argument("mix", choices=_MIX_CHOICES, metavar="MIX")
+    cosim.add_argument("--mechanism", choices=CLI_MECHANISM_NAMES, default="ref")
     cosim.add_argument(
         "--policy", choices=["fcfs", "wfq", "stfm"], default="wfq",
         help="DRAM arbitration policy",
@@ -245,6 +298,15 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--exploration", type=int, default=2, metavar="N")
     dynamic.add_argument("--noise", type=float, default=0.01)
     dynamic.add_argument("--seed", type=int, default=0)
+    dynamic.add_argument(
+        "--mechanism", choices=CONTROLLER_MECHANISM_NAMES, default="ref",
+        help="per-epoch allocation mechanism (default: ref, closed form)",
+    )
+    dynamic.add_argument(
+        "--no-batch-refit", action="store_true",
+        help="refit each profiler eagerly per sample instead of one "
+        "batched fit per epoch (slower; same fits)",
+    )
     dynamic.add_argument(
         "--fault-drop", type=float, default=0.0, metavar="P",
         help="probability a measurement is dropped (retried, then skipped)",
@@ -311,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--decay", type=float, default=0.85)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
+        "--mechanism", choices=CONTROLLER_MECHANISM_NAMES, default="ref",
+        help="per-epoch allocation mechanism (default: ref, closed form)",
+    )
+    serve.add_argument(
         "--metrics-out", metavar="FILE",
         help="write the service's metrics (and epoch span trees) on shutdown",
     )
@@ -354,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_profile(args) -> int:
     from . import io
+    from .workloads import get_workload
 
     with _make_profiler(args) as profiler:
         profile = profiler.profile(get_workload(args.workload))
@@ -367,6 +434,9 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_fit(args) -> int:
+    from .profiling import Profile
+    from .workloads import get_workload
+
     if args.profile:
         with open(args.profile) as handle:
             profile = Profile.from_dict(json.load(handle))
@@ -401,6 +471,8 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_classify(args) -> int:
+    from .core import classify_many
+
     with _make_profiler(args) as profiler:
         prefs = classify_many(profiler.fit_suite())
     _export_metrics(args)
@@ -439,6 +511,9 @@ def _cmd_fit_suite(args) -> int:
 
 
 def _build_problem(args) -> AllocationProblem:
+    from .workloads import BENCHMARKS, get_mix, get_workload, problem_from_fits
+    from .workloads.mixes import WorkloadMix
+
     if args.mix:
         mix = get_mix(args.mix)
     else:
@@ -476,8 +551,11 @@ def _build_problem(args) -> AllocationProblem:
 
 
 def _cmd_allocate(args) -> int:
+    from .core import check_fairness, weighted_system_throughput
+    from .workloads import RESOURCE_NAMES
+
     problem = _build_problem(args)
-    allocation = CLI_MECHANISMS[args.mechanism](problem)
+    allocation = _run_cli_mechanism(args.mechanism, problem)
     report = check_fairness(allocation, pe_rtol=1e-2)
     _export_metrics(args)
     if args.json:
@@ -503,6 +581,10 @@ def _cmd_allocate(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    from .core import check_fairness, weighted_system_throughput
+    from .optimize import MECHANISMS
+    from .workloads import get_mix, get_workload, problem_from_fits
+
     mix = get_mix(args.mix)
     with _make_profiler(args) as profiler:
         fits = profiler.fit_suite(get_workload(m) for m in set(mix.members))
@@ -520,6 +602,12 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_spl(args) -> int:
+    import numpy as np
+
+    from .core.mechanism import Agent, AllocationProblem
+    from .core.spl import best_response
+    from .core.utility import CobbDouglasUtility
+
     rng = np.random.default_rng(args.seed)
     agents = [
         Agent(f"t{i}", CobbDouglasUtility(rng.uniform(0.05, 1.0, size=2)))
@@ -543,8 +631,10 @@ def _cmd_spl(args) -> int:
 
 
 def _cmd_cosim(args) -> int:
+    from .profiling import OfflineProfiler
     from .sched import build_agent_shares
     from .sim import CacheConfig, DramConfig, PlatformConfig, SharedMachine
+    from .workloads import get_mix, get_workload, problem_from_fits
 
     profiler = OfflineProfiler()
     mix = get_mix(args.mix)
@@ -561,7 +651,7 @@ def _cmd_cosim(args) -> int:
             bandwidth_gbps=problem.capacities[0], channel_gbps=problem.capacities[0]
         ),
     )
-    allocation = CLI_MECHANISMS[args.mechanism](problem)
+    allocation = _run_cli_mechanism(args.mechanism, problem)
     shares = build_agent_shares(allocation, platform.l2, workload_of)
     machine = SharedMachine(platform, n_instructions=args.instructions)
     result = machine.run(
@@ -620,6 +710,8 @@ def _parse_churn_specs(specs, lookup_workload):
 
 
 def _lookup_benchmark(benchmark: str):
+    from .workloads import BENCHMARKS, get_workload
+
     if benchmark not in BENCHMARKS:
         raise SystemExit(f"unknown benchmark {benchmark!r}")
     return get_workload(benchmark)
@@ -671,6 +763,8 @@ def _cmd_dynamic(args) -> int:
         noise_sigma=args.noise,
         seed=args.seed,
         faults=faults if faults.is_active else None,
+        mechanism=args.mechanism,
+        batch_refit=not args.no_batch_refit,
     )
     churn = _parse_churn_specs(args.churn, _lookup_benchmark)
     result = allocator.run(args.epochs, churn=churn if churn.events else None)
@@ -735,6 +829,7 @@ def _cmd_serve(args) -> int:
         capacities=capacities,
         decay=args.decay,
         seed=args.seed,
+        mechanism=args.mechanism,
     )
     server = AllocationServer(
         allocator,
@@ -773,6 +868,14 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
+    from .obs import (
+        MetricsRegistry,
+        global_registry,
+        render_table,
+        to_json,
+        to_prometheus,
+    )
+
     if args.file:
         with open(args.file) as handle:
             registry = MetricsRegistry.from_dict(json.load(handle))

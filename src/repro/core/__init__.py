@@ -4,7 +4,7 @@ from .bargaining import NashBargainingSolution, nash_bargaining
 from .ceei import CompetitiveEquilibrium, competitive_equilibrium
 from .classify import ResourceGroup, ResourcePreference, classify, classify_many
 from .edgeworth import CurveSegment, EdgeworthBox
-from .fitting import CobbDouglasFit, fit_cobb_douglas
+from .fitting import CobbDouglasFit, fit_cobb_douglas, fit_cobb_douglas_batch
 from .leontief_fit import LeontiefFit, fit_leontief
 from .mechanism import Agent, Allocation, AllocationProblem, proportional_elasticity
 from .properties import (
@@ -59,6 +59,7 @@ __all__ = [
     "egalitarian_welfare",
     "envy_matrix",
     "fit_cobb_douglas",
+    "fit_cobb_douglas_batch",
     "fit_leontief",
     "is_envy_free",
     "is_pareto_efficient",

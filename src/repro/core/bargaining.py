@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import minimize
 
 from .mechanism import Allocation, AllocationProblem
 
@@ -42,6 +41,8 @@ def nash_bargaining(problem: AllocationProblem, maxiter: int = 500) -> NashBarga
     The disagreement point is the zero-utility origin (no agreement
     means no resources), so utilities enter the product unshifted.
     """
+    from scipy.optimize import minimize  # deferred: heavy import, cold paths skip it
+
     alpha = problem.rescaled_alpha_matrix()
     n, r = alpha.shape
     capacity = problem.capacity_vector

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
-from scipy.optimize import brentq
 
 from .mechanism import Allocation, AllocationProblem, proportional_elasticity
 
@@ -188,6 +187,8 @@ class EdgeworthBox:
             return None
         first, last = int(np.argmax(feasible)), int(len(xs) - 1 - np.argmax(feasible[::-1]))
         lo, hi = float(xs[first]), float(xs[last])
+
+        from scipy.optimize import brentq  # deferred: heavy import, cold paths skip it
 
         def margin(x: float) -> float:
             return self._fair_margin(x, include_si)

@@ -14,13 +14,13 @@ the paper reports per benchmark in Fig. 8a.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .utility import CobbDouglasUtility
 
-__all__ = ["CobbDouglasFit", "fit_cobb_douglas"]
+__all__ = ["CobbDouglasFit", "fit_cobb_douglas", "fit_cobb_douglas_batch"]
 
 #: Elasticities fitted below this value are clamped to it so the resulting
 #: utility stays inside the (strictly positive exponent) Cobb-Douglas domain.
@@ -94,6 +94,41 @@ def _r_squared(observed: np.ndarray, predicted: np.ndarray) -> float:
     return 1.0 - ss_res / ss_tot
 
 
+def _validate_fit_inputs(
+    allocations: Sequence[Sequence[float]],
+    performance: Sequence[float],
+    weights: Optional[Sequence[float]],
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Shared input validation for the single and batched fitters."""
+    x = np.asarray(allocations, dtype=float)
+    u = np.asarray(performance, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"allocations must be 2-D (samples x resources), got shape {x.shape}")
+    n_samples, n_resources = x.shape
+    if u.shape != (n_samples,):
+        raise ValueError(
+            f"performance must have one entry per allocation row: "
+            f"expected {n_samples}, got {u.shape}"
+        )
+    if n_samples < n_resources + 1:
+        raise ValueError(
+            f"need at least n_resources + 1 = {n_resources + 1} samples to fit, "
+            f"got {n_samples}"
+        )
+    if np.any(x <= 0):
+        raise ValueError("allocations must be strictly positive for the log transform")
+    if np.any(u <= 0):
+        raise ValueError("performance must be strictly positive for the log transform")
+    w: Optional[np.ndarray] = None
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (n_samples,):
+            raise ValueError(f"weights must have shape ({n_samples},), got {w.shape}")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+    return x, u, w
+
+
 def fit_cobb_douglas(
     allocations: Sequence[Sequence[float]],
     performance: Sequence[float],
@@ -124,43 +159,33 @@ def fit_cobb_douglas(
         On shape mismatches, non-positive data, or fewer samples than
         parameters (``n_resources + 1``).
     """
-    x = np.asarray(allocations, dtype=float)
-    u = np.asarray(performance, dtype=float)
-    if x.ndim != 2:
-        raise ValueError(f"allocations must be 2-D (samples x resources), got shape {x.shape}")
-    n_samples, n_resources = x.shape
-    if u.shape != (n_samples,):
-        raise ValueError(
-            f"performance must have one entry per allocation row: "
-            f"expected {n_samples}, got {u.shape}"
-        )
-    if n_samples < n_resources + 1:
-        raise ValueError(
-            f"need at least n_resources + 1 = {n_resources + 1} samples to fit, "
-            f"got {n_samples}"
-        )
-    if np.any(x <= 0):
-        raise ValueError("allocations must be strictly positive for the log transform")
-    if np.any(u <= 0):
-        raise ValueError("performance must be strictly positive for the log transform")
+    x, u, w = _validate_fit_inputs(allocations, performance, weights)
+    n_samples = x.shape[0]
 
     # Standard linear model after the log transformation (Eq. 16):
     # columns are [1, log x_1, ..., log x_R].
     design = np.column_stack([np.ones(n_samples), np.log(x)])
     target = np.log(u)
 
-    if weights is not None:
-        w = np.asarray(weights, dtype=float)
-        if w.shape != (n_samples,):
-            raise ValueError(f"weights must have shape ({n_samples},), got {w.shape}")
-        if np.any(w < 0):
-            raise ValueError("weights must be non-negative")
+    if w is not None:
         sqrt_w = np.sqrt(w)
         design = design * sqrt_w[:, None]
         target = target * sqrt_w
 
     coef, _, _, singular_values = np.linalg.lstsq(design, target, rcond=None)
     log_scale, alpha = coef[0], coef[1:]
+    return _assemble_fit(x, u, log_scale, alpha, singular_values)
+
+
+def _assemble_fit(
+    x: np.ndarray,
+    u: np.ndarray,
+    log_scale: float,
+    alpha: np.ndarray,
+    singular_values: np.ndarray,
+) -> CobbDouglasFit:
+    """Clamp, diagnose and package one solved log-space regression."""
+    n_samples = x.shape[0]
     smallest = float(singular_values.min()) if singular_values.size else 0.0
     condition = (
         float(singular_values.max()) / smallest if smallest > 0 else float("inf")
@@ -185,3 +210,174 @@ def fit_cobb_douglas(
         n_samples=n_samples,
         condition_number=condition,
     )
+
+
+def fit_cobb_douglas_batch(
+    allocations: Sequence[Sequence[Sequence[float]]],
+    performance: Sequence[Sequence[float]],
+    weights: Optional[Sequence[Optional[Sequence[float]]]] = None,
+) -> List[CobbDouglasFit]:
+    """Fit every agent's Cobb-Douglas utility in one stacked lstsq solve.
+
+    Semantically equivalent to calling :func:`fit_cobb_douglas` once per
+    agent, but the ``A`` per-agent regressions are solved by a *single*
+    batched SVD over a zero-padded ``(A, max_samples, R + 1)`` design
+    tensor instead of ``A`` Python-looped LAPACK calls.  Zero-padded
+    rows contribute nothing to the normal equations, so each agent's
+    solution — coefficients, singular values, and therefore the
+    condition number — matches the per-agent SVD-based ``lstsq`` up to
+    floating-point noise.  This is the serving hot path: an epoch tick
+    refits every live agent with one call regardless of agent count.
+
+    Parameters
+    ----------
+    allocations:
+        One ``(n_k, n_resources)`` array-like per agent.  Sample counts
+        ``n_k`` may differ across agents; the resource count may not.
+    performance:
+        One strictly positive ``(n_k,)`` array-like per agent.
+    weights:
+        Optional per-agent weight vectors (entries may be ``None`` for
+        unweighted agents), as produced by the online profiler's decay.
+
+    Returns
+    -------
+    list of CobbDouglasFit
+        One fit per agent, in input order, with the same diagnostics
+        (R², residuals, condition number) as the per-agent path.
+
+    Raises
+    ------
+    ValueError
+        On any agent's invalid input (message prefixed with the agent
+        index), mismatched outer lengths, or inconsistent resource
+        counts across agents.
+    """
+    n_agents = len(allocations)
+    if len(performance) != n_agents:
+        raise ValueError(
+            f"need one performance vector per agent: "
+            f"expected {n_agents}, got {len(performance)}"
+        )
+    if weights is not None and len(weights) != n_agents:
+        raise ValueError(
+            f"need one weight vector (or None) per agent: "
+            f"expected {n_agents}, got {len(weights)}"
+        )
+    if n_agents == 0:
+        return []
+
+    xs: List[np.ndarray] = []
+    us: List[np.ndarray] = []
+    ws: List[Optional[np.ndarray]] = []
+    n_resources: Optional[int] = None
+    for k in range(n_agents):
+        try:
+            x, u, w = _validate_fit_inputs(
+                allocations[k], performance[k], None if weights is None else weights[k]
+            )
+        except ValueError as error:
+            raise ValueError(f"agent {k}: {error}") from None
+        if n_resources is None:
+            n_resources = x.shape[1]
+        elif x.shape[1] != n_resources:
+            raise ValueError(
+                f"agent {k}: every agent in a batch must share the resource "
+                f"count; expected {n_resources}, got {x.shape[1]}"
+            )
+        xs.append(x)
+        us.append(u)
+        ws.append(w)
+
+    p = n_resources + 1
+    counts = np.array([x.shape[0] for x in xs])
+    m_max = int(counts.max())
+
+    # Zero-padded stacked design/target.  `plain` keeps the unweighted
+    # design for diagnostics (R² must be weight-invariant, as in the
+    # per-agent path).
+    design = np.zeros((n_agents, m_max, p))
+    plain = np.zeros((n_agents, m_max, p))
+    target = np.zeros((n_agents, m_max))
+    plain_target = np.zeros((n_agents, m_max))
+    u_padded = np.zeros((n_agents, m_max))
+    for k, (x, u, w) in enumerate(zip(xs, us, ws)):
+        m = x.shape[0]
+        d = np.column_stack([np.ones(m), np.log(x)])
+        t = np.log(u)
+        plain[k, :m] = d
+        plain_target[k, :m] = t
+        u_padded[k, :m] = u
+        if w is not None:
+            sqrt_w = np.sqrt(w)
+            d = d * sqrt_w[:, None]
+            t = t * sqrt_w
+        design[k, :m] = d
+        target[k, :m] = t
+
+    # One batched SVD solves every regression at once.  The minimum-norm
+    # least-squares solution with `lstsq`'s default cutoff (machine eps
+    # times max(M, N), relative to the largest singular value) is
+    # reproduced per agent using each agent's true sample count.
+    u_basis, sigma, vt = np.linalg.svd(design, full_matrices=False)
+    eps = np.finfo(design.dtype).eps
+    cutoff = sigma[:, :1] * (np.maximum(counts, p) * eps)[:, None]
+    keep = sigma > cutoff
+    sigma_inv = np.where(keep, 1.0 / np.where(keep, sigma, 1.0), 0.0)
+    projected = np.einsum("amk,am->ak", u_basis, target)
+    coef = np.einsum("akp,ak->ap", vt, sigma_inv * projected)
+
+    # Clamp and diagnose every agent in stacked form (matching
+    # `_assemble_fit` exactly); the final loop only slices padded rows
+    # off and packages dataclasses — no per-agent linear algebra.
+    log_scale = coef[:, 0]
+    alpha = np.maximum(coef[:, 1:], MIN_ELASTICITY)
+    smallest = sigma[:, -1]
+    with np.errstate(divide="ignore"):
+        condition = np.where(
+            smallest > 0, sigma[:, 0] / np.where(smallest > 0, smallest, 1.0), np.inf
+        )
+    full_coef = np.concatenate([log_scale[:, None], alpha], axis=1)
+    log_pred = np.einsum("amp,ap->am", plain, full_coef)
+
+    # Masked, stacked R² in log and linear space (same degenerate-variance
+    # semantics as `_r_squared`).  Padded rows carry zero design, target,
+    # and performance, so they vanish under the mask.
+    mask = np.arange(m_max)[None, :] < counts[:, None]
+    residuals = (plain_target - log_pred) * mask
+    scales = np.exp(log_scale)
+    r_squared = _r_squared_stacked(plain_target, log_pred, counts, mask)
+    r_squared_linear = _r_squared_stacked(
+        u_padded, np.exp(log_pred) * mask, counts, mask
+    )
+
+    fits: List[CobbDouglasFit] = []
+    for k in range(n_agents):
+        m = int(counts[k])
+        utility = CobbDouglasUtility(alpha[k], scale=float(scales[k]))
+        fits.append(
+            CobbDouglasFit(
+                utility=utility,
+                r_squared=float(r_squared[k]),
+                r_squared_linear=float(r_squared_linear[k]),
+                residuals=residuals[k, :m],
+                n_samples=m,
+                condition_number=float(condition[k]),
+            )
+        )
+    return fits
+
+
+def _r_squared_stacked(
+    observed: np.ndarray,
+    predicted: np.ndarray,
+    counts: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Vectorized `_r_squared` over a zero-padded ``(A, m_max)`` stack."""
+    means = observed.sum(axis=1) / counts
+    ss_tot = np.sum(((observed - means[:, None]) * mask) ** 2, axis=1)
+    ss_res = np.sum(((observed - predicted) * mask) ** 2, axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r2 = 1.0 - ss_res / ss_tot
+    return np.where(ss_tot == 0.0, np.where(ss_res == 0.0, 1.0, 0.0), r2)

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
-from scipy.optimize import minimize
 
 from .mechanism import AllocationProblem
 from .utility import rescale_elasticities
@@ -122,6 +121,8 @@ def best_response(
         return -_log_lying_utility(reported, true, others, caps)
 
     constraints = [{"type": "eq", "fun": lambda a: a.sum() - 1.0}]
+    from scipy.optimize import minimize  # deferred: heavy import, cold paths skip it
+
     bounds = [(1e-9, 1.0)] * n
     starts = [true.copy()]
     for r in range(n):

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.fitting import fit_cobb_douglas_batch
 from ..core.mechanism import (
     Agent,
     Allocation,
@@ -241,11 +242,32 @@ class DynamicAllocator:
         per-agent profiler counters).  ``None`` (default) creates a
         private registry, exposed as ``allocator.metrics``; its event
         counters therefore match ``ControllerResult.counters`` exactly.
+    mechanism:
+        Which allocation mechanism each epoch runs.  ``"ref"`` (the
+        default, Eq. 13) and ``"max-welfare-unfair"`` are closed-form —
+        the O(N·R) fast path, counted under
+        ``repro_solver_fast_path_total``.  ``"max-welfare-fair"`` and
+        ``"equal-slowdown"`` run the SLSQP log-space program,
+        warm-started from the previous epoch's enforced shares whenever
+        the agent set is unchanged (hits/misses counted under
+        ``repro_solver_warm_starts_total``).
+    batch_refit:
+        When True (default) the agents' profilers defer re-fitting and
+        the controller refits *every* dirty profiler in one
+        :func:`~repro.core.fitting.fit_cobb_douglas_batch` call per
+        epoch — one stacked solve per tick regardless of agent count.
+        False restores the historical re-fit-per-observation behaviour.
+        Fits are pure functions of each profiler's sample history, so
+        on a clean run both modes learn identical utilities.
     """
 
     #: Lower bounds keeping every agent inside the profiled regime.
     MIN_BANDWIDTH_GBPS = 0.4
     MIN_CACHE_KB = 64.0
+
+    #: Mechanisms the controller can run; the first two are closed-form.
+    FAST_PATH_MECHANISMS = ("ref", "max-welfare-unfair")
+    MECHANISM_NAMES = FAST_PATH_MECHANISMS + ("max-welfare-fair", "equal-slowdown")
 
     def __init__(
         self,
@@ -260,6 +282,8 @@ class DynamicAllocator:
         outlier_log_threshold: Optional[float] = None,
         max_condition: Optional[float] = 1e8,
         metrics: Optional[MetricsRegistry] = None,
+        mechanism: str = "ref",
+        batch_refit: bool = True,
     ):
         if not workloads:
             raise ValueError("at least one agent is required")
@@ -267,6 +291,11 @@ class DynamicAllocator:
             raise ValueError("exploration_samples must be >= 1 to keep fits identified")
         if any(c <= 0 for c in capacities):
             raise ValueError(f"capacities must be positive, got {capacities}")
+        if mechanism not in self.MECHANISM_NAMES:
+            raise ValueError(
+                f"unknown mechanism {mechanism!r}; expected one of "
+                f"{sorted(self.MECHANISM_NAMES)}"
+            )
         self.workloads = dict(workloads)
         self.capacities = (float(capacities[0]), float(capacities[1]))
         self.exploration_samples = exploration_samples
@@ -284,6 +313,10 @@ class DynamicAllocator:
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = Tracer(metrics=self.metrics)
+        self.mechanism = mechanism
+        self.batch_refit = batch_refit
+        self._last_enforced_shares: Optional[np.ndarray] = None
+        self._last_agent_order: Tuple[str, ...] = ()
         self._profilers = {name: self._new_profiler(name) for name in self.workloads}
         self._next_epoch = 0
 
@@ -323,6 +356,7 @@ class DynamicAllocator:
             max_condition=self._max_condition,
             metrics=self.metrics,
             metric_labels={"agent": name},
+            auto_refit=not self.batch_refit,
         )
 
     def observe_sample(
@@ -455,17 +489,114 @@ class DynamicAllocator:
     # The epoch loop
 
     def _allocate(self, epoch: int, events: List[EpochEvent]) -> Allocation:
-        """REF on current reports; equal split if the mechanism fails."""
-        agents = [Agent(name, self._profilers[name].utility) for name in self.workloads]
+        """Run the configured mechanism; equal split if it fails.
+
+        The closed-form mechanisms (the default) are O(N·R) — no SLSQP
+        process ever starts on the fast path.  The constrained variants
+        warm-start SLSQP from the previous epoch's enforced shares
+        whenever the agent set is unchanged, collapsing the multi-start
+        sweep to a single solver run on stable epochs.
+        """
+        names = tuple(self.workloads)
+        agents = [Agent(name, self._profilers[name].utility) for name in names]
         problem = AllocationProblem(agents, self.capacities, ("membw_gbps", "cache_kb"))
         try:
-            return proportional_elasticity(problem)
+            if self.mechanism in self.FAST_PATH_MECHANISMS:
+                self.metrics.counter(
+                    "repro_solver_fast_path_total",
+                    help="Epoch allocations served by a closed-form mechanism.",
+                    mechanism=self.mechanism,
+                ).inc()
+                if self.mechanism == "ref":
+                    return proportional_elasticity(problem)
+                from ..optimize.mechanisms import max_nash_welfare
+
+                return max_nash_welfare(problem, fair=False)
+
+            from ..optimize.mechanisms import equal_slowdown, max_nash_welfare
+
+            warm = None
+            if (
+                self._last_enforced_shares is not None
+                and self._last_agent_order == names
+                and self._last_enforced_shares.shape == (problem.n_agents, problem.n_resources)
+            ):
+                warm = self._last_enforced_shares
+            self.metrics.counter(
+                "repro_solver_warm_starts_total",
+                help="SLSQP epoch solves by warm-start availability.",
+                mechanism=self.mechanism,
+                outcome="hit" if warm is not None else "miss",
+            ).inc()
+            if self.mechanism == "max-welfare-fair":
+                return max_nash_welfare(
+                    problem,
+                    fair=True,
+                    initial_shares=warm,
+                    stop_on_first_success=warm is not None,
+                    metrics=self.metrics,
+                )
+            return equal_slowdown(
+                problem,
+                initial_shares=warm,
+                stop_on_first_success=warm is not None,
+                metrics=self.metrics,
+            )
         except (ValueError, FloatingPointError) as error:
             events.append(
                 EpochEvent(epoch, "allocation_fallback", detail=str(error)[:80])
             )
             equal = np.tile(problem.equal_split, (problem.n_agents, 1))
             return Allocation(problem=problem, shares=equal, mechanism="equal_split_fallback")
+
+    def _refit_pending(self) -> None:
+        """Batched deferred re-fit: one stacked solve for every dirty profiler.
+
+        With ``batch_refit`` the profilers only mark themselves dirty on
+        new samples; this driver gathers everyone needing a re-fit and
+        solves them in a single
+        :func:`~repro.core.fitting.fit_cobb_douglas_batch` call.  Each
+        returned fit then passes through the profiler's own acceptance
+        gate (:meth:`~repro.profiling.online.OnlineProfiler.apply_fit`),
+        so condition-number rejection and fallback counting behave as in
+        the per-observe path.  If the stacked solve itself fails, each
+        profiler falls back to its individual re-fit — one bad agent
+        must not starve the others of updates.
+        """
+        if not self.batch_refit:
+            return
+        pending = [
+            profiler for profiler in self._profilers.values() if profiler.needs_refit
+        ]
+        if not pending:
+            return
+        inputs = [profiler.fit_inputs() for profiler in pending]
+        with self.tracer.span("batch_refit", agents=len(pending)):
+            try:
+                fits = fit_cobb_douglas_batch(
+                    [allocations for allocations, _, _ in inputs],
+                    [performance for _, performance, _ in inputs],
+                    [weights for _, _, weights in inputs],
+                )
+            except (ValueError, np.linalg.LinAlgError):
+                self.metrics.counter(
+                    "repro_solver_batch_fit_fallbacks_total",
+                    help="Stacked re-fit calls that fell back to per-agent fits.",
+                ).inc()
+                for profiler in pending:
+                    profiler.refit_now()
+                return
+            for profiler, fit in zip(pending, fits):
+                profiler.apply_fit(fit)
+        self.metrics.counter(
+            "repro_solver_batch_fits_total",
+            help="Stacked multi-agent re-fit calls.",
+        ).inc()
+        self.metrics.histogram(
+            "repro_solver_batch_fit_agents",
+            help="Agents re-fitted per stacked call.",
+            buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0),
+        ).observe(len(pending))
 
     def step(self, epoch: int, measure: bool = True) -> EpochRecord:
         """Run one epoch: allocate on current reports, enforce floors,
@@ -493,6 +624,9 @@ class DynamicAllocator:
     def _step(self, epoch: int, measure: bool = True) -> EpochRecord:
         events: List[EpochEvent] = []
         names = list(self.workloads)
+        # Pick up samples fed externally (observe_sample) since the last
+        # tick: one stacked re-fit covers every dirty profiler.
+        self._refit_pending()
         with self.tracer.span("allocate"):
             allocation = self._allocate(epoch, events)
         floors = (self.MIN_BANDWIDTH_GBPS, self.MIN_CACHE_KB)
@@ -513,9 +647,12 @@ class DynamicAllocator:
                 )
             )
 
+        self._last_enforced_shares = enforced.shares.copy()
+        self._last_agent_order = tuple(names)
+
         measured: Dict[str, float] = {}
         reported: Dict[str, np.ndarray] = {}
-        conditions: Dict[str, float] = {}
+        before_counters = {name: self._profilers[name].counters for name in names}
         with self.tracer.span("measure"):
             for index, name in enumerate(names):
                 profiler = self._profilers[name]
@@ -523,7 +660,6 @@ class DynamicAllocator:
                 if measure:
                     spec = self._spec_at(self.workloads[name], epoch)
                     bandwidth, cache_kb = enforced.shares[index]
-                    before = profiler.counters
                     value = self._measure_with_retry(
                         spec, bandwidth, cache_kb, epoch, name, events
                     )
@@ -531,18 +667,26 @@ class DynamicAllocator:
                         measured[name] = value
                         profiler.observe((bandwidth, cache_kb), value)
                     self._explore(spec, profiler, epoch, name, events)
-                    after = profiler.counters
-                    for counter_key, kind in (
-                        ("rejected_non_positive", "sample_rejected_non_positive"),
-                        ("rejected_outliers", "sample_rejected_outlier"),
-                        ("fit_fallbacks", "fit_fallback"),
-                    ):
-                        delta = after[counter_key] - before[counter_key]
-                        if delta > 0:
-                            events.append(
-                                EpochEvent(epoch, kind, name, f"{delta} this epoch")
-                            )
-                conditions[name] = profiler.last_condition_number
+        if measure:
+            # Deferred mode: one stacked re-fit covers this epoch's
+            # measurements for every agent (a no-op with auto_refit).
+            self._refit_pending()
+            for name in names:
+                before = before_counters[name]
+                after = self._profilers[name].counters
+                for counter_key, kind in (
+                    ("rejected_non_positive", "sample_rejected_non_positive"),
+                    ("rejected_outliers", "sample_rejected_outlier"),
+                    ("fit_fallbacks", "fit_fallback"),
+                ):
+                    delta = after[counter_key] - before[counter_key]
+                    if delta > 0:
+                        events.append(
+                            EpochEvent(epoch, kind, name, f"{delta} this epoch")
+                        )
+        conditions = {
+            name: self._profilers[name].last_condition_number for name in names
+        }
         return EpochRecord(
             epoch=epoch,
             reported_alpha=reported,

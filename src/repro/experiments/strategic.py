@@ -9,7 +9,7 @@ import numpy as np
 from ..core.mechanism import Agent, AllocationProblem, proportional_elasticity
 from ..core.spl import best_response
 from ..core.utility import CobbDouglasUtility
-from ..optimize import equal_slowdown, max_nash_welfare
+from ..optimize import equal_slowdown, max_nash_welfare, solve_batch
 from .base import ExperimentResult, experiment
 
 __all__ = ["population", "spl_scaling", "mechanism_cost"]
@@ -63,17 +63,23 @@ def mechanism_cost(profiler=None) -> ExperimentResult:
     """Closed-form REF vs convex-optimization mechanisms (§5.5)."""
     lines = ["=== §5.5: mechanism cost, closed form vs convex optimization ==="]
     lines.append(
-        f"{'N agents':>9} {'REF (ms)':>10} {'equal slowdown (ms)':>21} "
-        f"{'max welfare fair (ms)':>23} {'speedup':>9}"
+        f"{'N agents':>9} {'REF (ms)':>10} {'REF batch (ms)':>15} "
+        f"{'equal slowdown (ms)':>21} {'max welfare fair (ms)':>23} {'speedup':>9}"
     )
     timings = {}
     for n in (2, 4, 8, 16):
         problem = population(n, seed=7)
+        scenarios = [population(n, seed=7 + s) for s in range(50)]
 
         start = time.perf_counter()
         for _ in range(50):
             proportional_elasticity(problem)
         ref_ms = (time.perf_counter() - start) / 50 * 1e3
+
+        # Vectorized across scenarios: one stacked NumPy solve for all 50.
+        start = time.perf_counter()
+        solve_batch(scenarios, mechanism="ref")
+        batch_ms = (time.perf_counter() - start) / 50 * 1e3
 
         start = time.perf_counter()
         equal_slowdown(problem)
@@ -83,10 +89,15 @@ def mechanism_cost(profiler=None) -> ExperimentResult:
         max_nash_welfare(problem, fair=True)
         fair_ms = (time.perf_counter() - start) * 1e3
 
-        timings[n] = {"ref_ms": ref_ms, "equal_slowdown_ms": eq_ms, "fair_ms": fair_ms}
+        timings[n] = {
+            "ref_ms": ref_ms,
+            "ref_batch_ms": batch_ms,
+            "equal_slowdown_ms": eq_ms,
+            "fair_ms": fair_ms,
+        }
         lines.append(
-            f"{n:>9} {ref_ms:>10.4f} {eq_ms:>21.1f} {fair_ms:>23.1f} "
-            f"{fair_ms / ref_ms:>8.0f}x"
+            f"{n:>9} {ref_ms:>10.4f} {batch_ms:>15.4f} {eq_ms:>21.1f} "
+            f"{fair_ms:>23.1f} {fair_ms / ref_ms:>8.0f}x"
         )
     return ExperimentResult(
         experiment_id="cost",

@@ -1,5 +1,10 @@
 """Numeric allocation mechanisms: log-space convex programs (§4.5, §5.5)."""
 
+from .batch import (
+    FAST_PATH_MECHANISMS,
+    proportional_elasticity_batch,
+    solve_batch,
+)
 from .logspace import (
     LogSpaceSolution,
     capacity_constraints,
@@ -26,6 +31,7 @@ from .mechanisms import (
 )
 
 __all__ = [
+    "FAST_PATH_MECHANISMS",
     "LogSpaceSolution",
     "MECHANISMS",
     "DrfAgent",
@@ -40,8 +46,10 @@ __all__ = [
     "log_weighted_utilities",
     "max_nash_welfare",
     "pareto_constraints",
+    "proportional_elasticity_batch",
     "run_mechanism",
     "sharing_incentive_constraints",
     "solve",
+    "solve_batch",
     "utilitarian_welfare",
 ]

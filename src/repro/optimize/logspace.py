@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
-from scipy.optimize import minimize
 
 from ..core.mechanism import Allocation, AllocationProblem
 from ..obs import MetricsRegistry, global_registry
@@ -45,6 +44,11 @@ CAPACITY_TOLERANCE = 1e-6
 
 #: Iteration-count buckets for the solver histogram.
 _ITERATION_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+
+#: Bound lazily on the first :func:`solve` call — scipy.optimize costs
+#: ~0.5s of process start-up and the closed-form fast path never needs
+#: it.  Tests monkeypatch this attribute to fake solver iterates.
+minimize = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +241,12 @@ def solve(
         ``constraint_violation`` and ``success`` forced False when it
         exceeds :data:`CAPACITY_TOLERANCE`.
     """
+    global minimize
+    if minimize is None:
+        from scipy.optimize import minimize as _scipy_minimize
+
+        minimize = _scipy_minimize
+
     registry = metrics if metrics is not None else global_registry()
     n, R = problem.n_agents, problem.n_resources
     if initial_shares is None:

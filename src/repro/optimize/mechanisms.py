@@ -79,6 +79,9 @@ def _solve_with_restarts(
     starts,
     extra_variables: int = 0,
     initial_extra_fn=None,
+    initial_shares: Optional[np.ndarray] = None,
+    stop_on_first_success: bool = False,
+    metrics=None,
 ) -> Allocation:
     """Run SLSQP from several warm starts; keep the best converged solution.
 
@@ -88,11 +91,18 @@ def _solve_with_restarts(
     start converges to a capacity-feasible solution, the equal split is
     returned (with a ``RuntimeWarning`` and a fallback counter) instead
     of propagating an infeasible iterate.
+
+    ``initial_shares`` (e.g. the previous epoch's enforced allocation in
+    the dynamic loop) is tried *first*; with ``stop_on_first_success``
+    the scan ends at the first converged feasible solution, turning a
+    good warm start into a single SLSQP run instead of a full restart
+    sweep.
     """
     best: Optional[Allocation] = None
     best_value = -np.inf
     failures: List[str] = []
-    for start in starts:
+    all_starts = ([initial_shares] if initial_shares is not None else []) + list(starts)
+    for start in all_starts:
         initial_extra = initial_extra_fn(start) if initial_extra_fn else None
         solution = logspace.solve(
             problem,
@@ -102,9 +112,12 @@ def _solve_with_restarts(
             initial_extra=initial_extra,
             mechanism=label,
             initial_shares=start,
+            metrics=metrics,
         )
         if solution.success and solution.objective_value > best_value:
             best, best_value = solution.allocation, solution.objective_value
+            if stop_on_first_success:
+                break
         elif not solution.success:
             failures.append(solution.message)
     if best is None:
@@ -143,6 +156,9 @@ def max_nash_welfare(
     problem: AllocationProblem,
     fair: bool = False,
     numeric: Optional[bool] = None,
+    initial_shares: Optional[np.ndarray] = None,
+    stop_on_first_success: bool = False,
+    metrics=None,
 ) -> Allocation:
     """Maximize Nash social welfare ``prod_i U_i(x_i)``.
 
@@ -160,6 +176,15 @@ def max_nash_welfare(
         Force (True) or forbid (False) the numeric path for the unfair
         case; defaults to the closed form.  Used by tests to cross-check
         the two paths.
+    initial_shares:
+        Optional ``(N, R)`` warm start tried before the default restart
+        sweep (the dynamic controller passes the previous epoch's
+        enforced shares).  Ignored by the closed-form path.
+    stop_on_first_success:
+        Stop the restart sweep at the first converged feasible solution
+        (one SLSQP run when the warm start is good).
+    metrics:
+        Optional registry for the underlying solver telemetry.
 
     Returns
     -------
@@ -185,17 +210,32 @@ def max_nash_welfare(
         label = "max_welfare_fair"
         # REF satisfies every fairness constraint — the ideal warm start.
         starts = _default_starts(problem)
-    return _solve_with_restarts(problem, objective, extra, label, starts)
+    return _solve_with_restarts(
+        problem,
+        objective,
+        extra,
+        label,
+        starts,
+        initial_shares=initial_shares,
+        stop_on_first_success=stop_on_first_success,
+        metrics=metrics,
+    )
 
 
-def equal_slowdown(problem: AllocationProblem) -> Allocation:
+def equal_slowdown(
+    problem: AllocationProblem,
+    initial_shares: Optional[np.ndarray] = None,
+    stop_on_first_success: bool = False,
+    metrics=None,
+) -> Allocation:
     """Maximize the minimum weighted utility (equal slowdown, §4.5).
 
     Solved as an epigraph program: maximize ``t`` subject to
     ``log U_i >= t`` for all agents plus capacity.  At the optimum every
     binding agent's slowdown equals ``exp(t)`` — the "equal slowdown"
     outcome prior work targets.  Provides neither SI nor EF in general
-    (Figs. 11-12).
+    (Figs. 11-12).  ``initial_shares`` / ``stop_on_first_success`` /
+    ``metrics`` behave as in :func:`max_nash_welfare`.
     """
     nz = _nz(problem)
 
@@ -225,6 +265,9 @@ def equal_slowdown(problem: AllocationProblem) -> Allocation:
         _default_starts(problem),
         extra_variables=1,
         initial_extra_fn=initial_extra,
+        initial_shares=initial_shares,
+        stop_on_first_success=stop_on_first_success,
+        metrics=metrics,
     )
 
 

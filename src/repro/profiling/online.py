@@ -82,6 +82,15 @@ class OnlineProfiler:
     metric_labels:
         Labels attached to every mirrored metric (e.g.
         ``{"agent": name}`` when one registry serves many profilers).
+    auto_refit:
+        When True (default) every accepted observation re-fits
+        immediately, preserving the historical per-observe behaviour.
+        When False the profiler only *marks itself dirty*; an external
+        driver (the dynamic controller) batches dirty profilers through
+        :func:`~repro.core.fitting.fit_cobb_douglas_batch` once per
+        epoch and feeds results back via :meth:`apply_fit`.  The fit is
+        a pure function of the sample history, so deferring it changes
+        when — not what — the profiler learns.
     """
 
     #: Internal counter key -> (metric name, extra labels) mirror map.
@@ -109,6 +118,7 @@ class OnlineProfiler:
         max_consecutive_outliers: int = 3,
         metrics: Optional[MetricsRegistry] = None,
         metric_labels: Optional[Mapping[str, str]] = None,
+        auto_refit: bool = True,
     ):
         if n_resources < 1:
             raise ValueError(f"n_resources must be >= 1, got {n_resources}")
@@ -148,9 +158,11 @@ class OnlineProfiler:
             )
         else:
             self.max_history = None
+        self.auto_refit = auto_refit
         self._allocations: List[np.ndarray] = []
         self._performance: List[float] = []
         self._fit: Optional[CobbDouglasFit] = None
+        self._dirty = False
         self._last_condition = float("nan")
         self._consecutive_outliers = 0
         self._metrics = metrics
@@ -234,7 +246,12 @@ class OnlineProfiler:
         self._allocations.append(arr)
         self._performance.append(float(performance))
         self._trim_history()
-        if self.n_samples >= self.min_samples and self._has_variation():
+        self._dirty = True
+        if (
+            self.auto_refit
+            and self.n_samples >= self.min_samples
+            and self._has_variation()
+        ):
             self._refit()
         return self.utility
 
@@ -266,16 +283,46 @@ class OnlineProfiler:
             del self._performance[:excess]
             self._count("trimmed_samples", excess)
 
-    def _refit(self) -> None:
-        """Attempt a re-fit; keep the previous fit if the new one is degenerate."""
-        weights = self._sample_weights()
-        try:
-            fit = fit_cobb_douglas(
-                np.vstack(self._allocations),
-                np.asarray(self._performance),
-                weights=weights,
-            )
-        except (ValueError, np.linalg.LinAlgError):
+    @property
+    def needs_refit(self) -> bool:
+        """True when deferred samples await a re-fit that could succeed.
+
+        Used by batched drivers: a profiler is worth including in the
+        epoch's :func:`~repro.core.fitting.fit_cobb_douglas_batch` call
+        only when it has unfitted samples, enough of them, and a
+        full-rank design.
+        """
+        return (
+            self._dirty
+            and self.n_samples >= self.min_samples
+            and self._has_variation()
+        )
+
+    def fit_inputs(self) -> tuple:
+        """The ``(allocations, performance, weights)`` the next re-fit uses.
+
+        Exactly what :meth:`refit_now` would pass to
+        :func:`~repro.core.fitting.fit_cobb_douglas`; batched drivers
+        collect these across agents for one stacked solve.
+        """
+        return (
+            np.vstack(self._allocations),
+            np.asarray(self._performance),
+            self._sample_weights(),
+        )
+
+    def apply_fit(self, fit: Optional[CobbDouglasFit]) -> None:
+        """Accept or reject an externally computed re-fit.
+
+        ``fit=None`` signals that the solve itself failed (the batched
+        equivalent of ``fit_cobb_douglas`` raising); otherwise the fit
+        goes through the same acceptance gate as the per-observe path —
+        finite parameters and a condition number within
+        ``max_condition`` — and a degenerate fit is counted and
+        discarded while the previous fit (or the naive prior) is kept.
+        """
+        self._dirty = False
+        if fit is None:
             self._last_condition = float("inf")
             self._count("fit_fallbacks")
             self._record_condition()
@@ -297,6 +344,26 @@ class OnlineProfiler:
                 ).inc()
         else:
             self._count("fit_fallbacks")
+
+    def refit_now(self) -> None:
+        """Re-fit immediately from the accumulated history.
+
+        The per-agent fallback when a batched solve rejects the whole
+        stack; equivalent to the re-fit an ``auto_refit`` profiler runs
+        on every accepted observation.
+        """
+        allocations, performance, weights = self.fit_inputs()
+        try:
+            fit: Optional[CobbDouglasFit] = fit_cobb_douglas(
+                allocations, performance, weights=weights
+            )
+        except (ValueError, np.linalg.LinAlgError):
+            fit = None
+        self.apply_fit(fit)
+
+    def _refit(self) -> None:
+        """Attempt a re-fit; keep the previous fit if the new one is degenerate."""
+        self.refit_now()
 
     def _record_condition(self) -> None:
         if self._metrics is not None:

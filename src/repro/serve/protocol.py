@@ -344,12 +344,14 @@ class HealthResponse:
     agents: Tuple[str, ...]
     pending_samples: int
     uptime_seconds: float
+    mechanism: str = "ref"
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "HealthResponse":
         _check_keys(
             data,
             required=("status", "epoch", "agents", "pending_samples", "uptime_seconds"),
+            optional=("mechanism",),
         )
         agents = data["agents"]
         if not isinstance(agents, (list, tuple)) or not all(
@@ -365,6 +367,7 @@ class HealthResponse:
             agents=tuple(agents),
             pending_samples=int(data["pending_samples"]),
             uptime_seconds=_get_number(data, "uptime_seconds"),
+            mechanism=_get_str(data, "mechanism") if "mechanism" in data else "ref",
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -375,6 +378,7 @@ class HealthResponse:
             "agents": list(self.agents),
             "pending_samples": self.pending_samples,
             "uptime_seconds": self.uptime_seconds,
+            "mechanism": self.mechanism,
         }
 
 

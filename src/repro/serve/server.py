@@ -22,6 +22,14 @@ once (``step(measure=False)``), so the solve rate is bounded by the
 batch policy, not by the client count.  Agent churn triggers an
 immediate tick so ``GET /v1/allocation`` reflects the new membership.
 
+With the default ``ref`` mechanism every tick runs the closed-form
+proportional-elasticity allocator (Eq. 13) and one *batched*
+Cobb-Douglas refit covering all dirty profilers, so tick latency is a
+couple of NumPy calls regardless of agent count; SLSQP only enters for
+the constrained mechanisms (``max-welfare-fair``, ``equal-slowdown``),
+warm-started from the previous epoch's enforced shares.  ``/healthz``
+reports which mechanism the allocator runs.
+
 Everything is single-threaded inside the event loop — route handlers
 and epoch ticks never run concurrently, so the allocator needs no
 locking.  Requests are counted and timed into a
@@ -210,7 +218,8 @@ class AllocationServer:
         return (
             f"serve: epochs={self._epoch} samples={self._batcher.total_items} "
             f"batches={self._batcher.total_batches} "
-            f"agents={len(self.allocator.agent_names)} feasible={feasible}"
+            f"agents={len(self.allocator.agent_names)} "
+            f"mechanism={self.allocator.mechanism} feasible={feasible}"
         )
 
     # ------------------------------------------------------------------
@@ -493,6 +502,7 @@ class AllocationServer:
             agents=self.allocator.agent_names,
             pending_samples=self._batcher.pending,
             uptime_seconds=max(0.0, uptime),
+            mechanism=self.allocator.mechanism,
         )
         return 200, response.as_dict(), "application/json"
 

@@ -26,7 +26,6 @@ from functools import cached_property
 from typing import List, Optional
 
 import numpy as np
-from scipy.optimize import brentq
 
 __all__ = ["LocalityModel", "generate_trace"]
 
@@ -129,6 +128,8 @@ class LocalityModel:
         max_fill = rates.size + (np.inf if self.stream_weight > 0 else 0.0)
         if max_fill <= cache_lines:
             return np.inf  # everything reusable fits; cache never evicts
+        from scipy.optimize import brentq  # deferred: heavy import, cold paths skip it
+
         hi = 1.0
         while occupancy(hi) < 0:
             hi *= 2.0

@@ -381,11 +381,11 @@ class TestMetricsCoverage:
         assert len(allocator.tracer.roots) == 3
         for root in allocator.tracer.roots:
             assert root.name == "epoch"
-            assert [child.name for child in root.children] == [
-                "allocate",
-                "enforce",
-                "measure",
-            ]
+            child_names = [child.name for child in root.children]
+            assert child_names[:3] == ["allocate", "enforce", "measure"]
+            # Epochs with enough accumulated samples add one stacked
+            # re-fit span; nothing else.
+            assert all(name == "batch_refit" for name in child_names[3:])
         mirrored = allocator.metrics.get("repro_span_seconds", span="epoch")
         assert mirrored.count == 3
 

@@ -1,0 +1,141 @@
+"""Tests for the controller's solver routing: mechanism selection,
+closed-form fast path, SLSQP warm starts, and batched refits."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicAllocator
+from repro.obs import MetricsRegistry
+from repro.workloads import get_workload
+
+CAPACITIES = (12.8, 2048.0)
+
+
+def make_allocator(**kwargs):
+    defaults = dict(
+        workloads={
+            "freqmine": get_workload("freqmine"),
+            "dedup": get_workload("dedup"),
+        },
+        capacities=CAPACITIES,
+        seed=7,
+        metrics=MetricsRegistry(),
+    )
+    defaults.update(kwargs)
+    return DynamicAllocator(**defaults)
+
+
+class TestMechanismSelection:
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(ValueError, match="mechanism"):
+            make_allocator(mechanism="magic")
+
+    @pytest.mark.parametrize("name", DynamicAllocator.MECHANISM_NAMES)
+    def test_all_mechanisms_run_feasibly(self, name):
+        allocator = make_allocator(mechanism=name)
+        result = allocator.run(3)
+        assert result.all_feasible()
+
+    def test_default_is_ref(self):
+        assert make_allocator().mechanism == "ref"
+
+
+class TestFastPath:
+    def test_ref_counts_fast_path_and_no_warm_starts(self):
+        allocator = make_allocator()
+        allocator.run(4)
+        fast = allocator.metrics.get("repro_solver_fast_path_total", mechanism="ref")
+        assert fast is not None and fast.value == 4
+        # The closed form never touches the warm-start machinery.
+        for outcome in ("hit", "miss"):
+            assert (
+                allocator.metrics.get(
+                    "repro_solver_warm_starts_total",
+                    mechanism="ref",
+                    outcome=outcome,
+                )
+                is None
+            )
+
+    def test_unfair_welfare_uses_fast_path(self):
+        allocator = make_allocator(mechanism="max-welfare-unfair")
+        allocator.run(2)
+        fast = allocator.metrics.get(
+            "repro_solver_fast_path_total", mechanism="max-welfare-unfair"
+        )
+        assert fast is not None and fast.value == 2
+
+
+class TestWarmStarts:
+    @pytest.mark.parametrize("name", ["max-welfare-fair", "equal-slowdown"])
+    def test_first_epoch_misses_then_hits(self, name):
+        allocator = make_allocator(mechanism=name)
+        allocator.run(3)
+        misses = allocator.metrics.get(
+            "repro_solver_warm_starts_total", mechanism=name, outcome="miss"
+        )
+        hits = allocator.metrics.get(
+            "repro_solver_warm_starts_total", mechanism=name, outcome="hit"
+        )
+        assert misses is not None and misses.value == 1
+        assert hits is not None and hits.value == 2
+
+    def test_churn_invalidates_warm_start(self):
+        from repro.dynamic import ChurnEvent, ChurnSchedule
+
+        allocator = make_allocator(mechanism="max-welfare-fair")
+        churn = ChurnSchedule(
+            [ChurnEvent(2, "add", "late", get_workload("canneal"))]
+        )
+        allocator.run(4, churn=churn)
+        misses = allocator.metrics.get(
+            "repro_solver_warm_starts_total",
+            mechanism="max-welfare-fair",
+            outcome="miss",
+        )
+        # Epoch 0 (no history) and epoch 2 (membership changed) miss.
+        assert misses is not None and misses.value == 2
+
+
+class TestBatchRefit:
+    def test_batched_run_matches_eager_run(self):
+        batched = make_allocator(batch_refit=True)
+        eager = make_allocator(batch_refit=False)
+        result_batched = batched.run(10)
+        result_eager = eager.run(10)
+        for rb, re_ in zip(result_batched.records, result_eager.records):
+            sb = (rb.enforced or rb.allocation).shares
+            se = (re_.enforced or re_.allocation).shares
+            assert np.max(np.abs(sb - se)) < 1e-9
+        for name in ("freqmine", "dedup"):
+            assert result_batched.records[-1].reported_alpha[name] == pytest.approx(
+                result_eager.records[-1].reported_alpha[name], abs=1e-12
+            )
+
+    def test_batch_fit_metrics(self):
+        allocator = make_allocator(batch_refit=True)
+        allocator.run(5)
+        fits = allocator.metrics.get("repro_solver_batch_fits_total")
+        assert fits is not None and fits.value > 0
+        agents = allocator.metrics.get("repro_solver_batch_fit_agents")
+        assert agents is not None and agents.count == fits.value
+
+    def test_external_samples_deferred_to_tick(self):
+        allocator = make_allocator(batch_refit=True)
+        rng = np.random.default_rng(0)
+        record = allocator.step(0, measure=False)
+        for _ in range(8):
+            for name in allocator.agent_names:
+                bundle = rng.uniform(0.5, 1.5, size=2) * np.asarray(
+                    CAPACITIES
+                ) / 2.0
+                workload = {"freqmine": (0.2, 0.8), "dedup": (0.7, 0.3)}[name]
+                ipc = float(np.prod(np.asarray(bundle) ** np.asarray(workload)))
+                allocator.observe_sample(name, tuple(bundle), ipc)
+        # Nothing refit yet: samples wait for the next tick.
+        fits_before = allocator.metrics.get("repro_solver_batch_fits_total")
+        assert fits_before is None or fits_before.value == 0
+        record = allocator.step(1, measure=False)
+        fits_after = allocator.metrics.get("repro_solver_batch_fits_total")
+        assert fits_after is not None and fits_after.value == 1
+        assert record.allocation is not None

@@ -1,0 +1,101 @@
+"""Tests for deferred (batched) refits on the online profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_cobb_douglas_batch
+from repro.core.utility import CobbDouglasUtility
+from repro.obs import MetricsRegistry
+from repro.profiling.online import OnlineProfiler
+
+
+def feed_synthetic(profiler, alpha, n, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    utility = CobbDouglasUtility(alpha)
+    for _ in range(n):
+        allocation = rng.uniform(0.5, 20.0, size=2)
+        ipc = utility.value(allocation)
+        if noise:
+            ipc *= float(np.exp(rng.normal(0, noise)))
+        profiler.observe(allocation, ipc)
+
+
+class TestDeferredRefit:
+    def test_auto_refit_off_keeps_prior_until_applied(self):
+        profiler = OnlineProfiler(auto_refit=False)
+        feed_synthetic(profiler, (0.7, 0.3), 12)
+        # Samples accepted but no fit ran: the naive prior still reports.
+        assert profiler.last_fit is None
+        assert profiler.utility.elasticities == (0.5, 0.5)
+        assert profiler.needs_refit
+
+    def test_refit_now_matches_eager_path(self):
+        eager = OnlineProfiler()
+        deferred = OnlineProfiler(auto_refit=False)
+        feed_synthetic(eager, (0.7, 0.3), 12, noise=0.02)
+        feed_synthetic(deferred, (0.7, 0.3), 12, noise=0.02)
+        assert deferred.needs_refit
+        deferred.refit_now()
+        assert not deferred.needs_refit
+        assert deferred.utility.elasticities == pytest.approx(
+            eager.utility.elasticities, abs=1e-12
+        )
+        assert deferred.last_condition_number == pytest.approx(
+            eager.last_condition_number
+        )
+
+    def test_needs_refit_false_below_min_samples(self):
+        profiler = OnlineProfiler(auto_refit=False, min_samples=8)
+        feed_synthetic(profiler, (0.6, 0.4), 7)
+        assert not profiler.needs_refit
+
+    def test_needs_refit_false_without_variation(self):
+        profiler = OnlineProfiler(auto_refit=False)
+        for _ in range(6):
+            profiler.observe((4.0, 8.0), 1.0)
+        assert not profiler.needs_refit
+
+    def test_needs_refit_clears_after_apply(self):
+        profiler = OnlineProfiler(auto_refit=False)
+        feed_synthetic(profiler, (0.7, 0.3), 10)
+        allocations, performance, weights = profiler.fit_inputs()
+        [fit] = fit_cobb_douglas_batch([allocations], [performance], [weights])
+        profiler.apply_fit(fit)
+        assert not profiler.needs_refit
+        assert profiler.utility.elasticities == pytest.approx((0.7, 0.3), abs=1e-6)
+
+    def test_apply_fit_none_counts_fallback(self):
+        profiler = OnlineProfiler(auto_refit=False)
+        feed_synthetic(profiler, (0.7, 0.3), 10)
+        profiler.apply_fit(None)
+        assert profiler.counters.get("fit_fallbacks", 0) == 1
+        assert not profiler.needs_refit
+        # The prior keeps reporting; no half-applied fit leaks through.
+        assert profiler.utility.elasticities == (0.5, 0.5)
+
+    def test_apply_fit_rejects_ill_conditioned(self):
+        profiler = OnlineProfiler(auto_refit=False, max_condition=10.0)
+        feed_synthetic(profiler, (0.7, 0.3), 10)
+        allocations, performance, weights = profiler.fit_inputs()
+        [fit] = fit_cobb_douglas_batch([allocations], [performance], [weights])
+        if fit.condition_number <= 10.0:
+            pytest.skip("synthetic data unexpectedly well-conditioned")
+        profiler.apply_fit(fit)
+        assert profiler.last_fit is None
+        assert profiler.counters.get("fit_fallbacks", 0) == 1
+
+    def test_refit_metric_on_apply(self):
+        registry = MetricsRegistry()
+        profiler = OnlineProfiler(
+            auto_refit=False, metrics=registry, metric_labels={"agent": "a"}
+        )
+        feed_synthetic(profiler, (0.7, 0.3), 10)
+        profiler.refit_now()
+        counter = registry.get("repro_online_refits_total", agent="a")
+        assert counter is not None and counter.value == 1
+
+    def test_eager_default_unchanged(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.7, 0.3), 12)
+        assert profiler.last_fit is not None
+        assert not profiler.needs_refit

@@ -428,3 +428,78 @@ class TestServeParser:
     def test_bad_capacities_rejected(self):
         with pytest.raises(SystemExit, match="capacities"):
             main(["serve", "--capacities", "24"])
+
+
+class TestLazyImports:
+    """The cold-start contract: parser construction stays numpy/scipy-free."""
+
+    def test_build_parser_imports_no_heavy_modules(self):
+        import subprocess
+        import sys
+
+        probe = (
+            "import sys; import repro.cli; repro.cli.build_parser(); "
+            "heavy = [m for m in ('numpy', 'scipy') if m in sys.modules]; "
+            "sys.exit(repr(heavy) if heavy else 0)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_bare_package_import_is_lazy(self):
+        import subprocess
+        import sys
+
+        probe = (
+            "import sys; import repro; "
+            "sys.exit('numpy leaked' if 'numpy' in sys.modules else 0)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_help_exits_zero_in_subprocess(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True
+        )
+        assert result.returncode == 0
+        assert "reproduction" in result.stdout
+
+    def test_lazy_choices_render_in_subcommand_help(self):
+        # Rendering a subcommand's help resolves the lazy containers.
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["profile", "--help"])
+        assert excinfo.value.code == 0
+
+
+class TestMechanismFlag:
+    def test_dynamic_defaults_to_ref(self):
+        args = build_parser().parse_args(["dynamic"])
+        assert args.mechanism == "ref"
+        assert args.no_batch_refit is False
+
+    def test_dynamic_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "--mechanism", "magic"])
+
+    def test_dynamic_rejects_drf(self):
+        # drf is an allocate-only mechanism; the controller can't run it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "--mechanism", "drf"])
+
+    def test_serve_accepts_controller_mechanisms(self):
+        args = build_parser().parse_args(["serve", "--mechanism", "max-welfare-fair"])
+        assert args.mechanism == "max-welfare-fair"
+
+    def test_dynamic_runs_with_explicit_mechanism(self, capsys):
+        code = main(
+            ["dynamic", "--epochs", "2", "--mechanism", "ref", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(out)["feasible"] is True
