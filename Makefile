@@ -16,7 +16,7 @@ COV_FLOOR ?= 80
 
 .PHONY: install test coverage bench bench-kernel bench-serve bench-solver \
 	cold-start-check examples reproduce \
-	lint smoke dynamic-smoke metrics-smoke serve-smoke ci clean
+	lint smoke dynamic-smoke metrics-smoke serve-smoke shard-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -43,10 +43,13 @@ bench:
 bench-kernel:
 	$(PYTHON) benchmarks/kernel_speedup.py
 
-# Async load generator against an in-process allocation server: writes
-# BENCH_serve.json (p50/p99 request latency, allocations/sec) and
-# hard-asserts the batching contract (one mechanism solve per epoch
-# tick regardless of client count).
+# Async load generator against an in-process allocation server plus a
+# 1-vs-4-cell sharded sweep: writes BENCH_serve.json (p50/p99 request
+# latency, allocations/sec, cells_axis, shard_speedup,
+# hierarchical_parity_max_gap) and hard-asserts the batching contract,
+# the Eq. 13 hierarchical parity gate (1e-6) and — on machines with
+# >= 4 CPUs — the 2x shard-speedup floor (REPRO_SHARD_MIN_SPEEDUP
+# overrides).
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve_load.py
 
@@ -125,11 +128,18 @@ metrics-smoke:
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py
 
+# The CI shard-smoke job, runnable locally: `repro serve --cells 4`
+# (coordinator + 4 cell worker subprocesses), concurrent clients, one
+# worker SIGKILLed mid-run, rendezvous re-hash to the survivors, a
+# feasible merged allocation on the degraded fleet, clean SIGTERM exit.
+shard-smoke:
+	$(PYTHON) benchmarks/shard_smoke.py
+
 # Mirrors .github/workflows/ci.yml job for job.  Coverage needs
 # pytest-cov; when it is missing locally the leg is skipped with a
 # notice instead of failing the whole run.
 ci: lint test smoke bench-kernel bench-solver cold-start-check dynamic-smoke \
-		serve-smoke bench-serve
+		serve-smoke shard-smoke bench-serve
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(MAKE) coverage; \
 	else \

@@ -9,13 +9,26 @@ allocations/sec, and *hard-asserts* the batching contract: the
 mechanism is solved exactly once per epoch tick, so the solve count
 stays far below the sample count regardless of client concurrency.
 
-Writes ``BENCH_serve.json`` (consumed by the CI ``service-smoke`` job's
-artifact upload and quoted in ``docs/service.md``)::
+It then sweeps the *sharded* service (``--cells``, default ``1,4``): a
+:class:`~repro.serve.shard.ShardCoordinator` per cell count, cell
+workers as real subprocesses, clients registering through the
+coordinator and then — the smart-client pattern — submitting samples
+directly to the cell that owns them (``GET /v1/cells``).  The sweep
+writes a ``cells_axis`` into the JSON plus ``shard_speedup`` (max-cells
+vs 1-cell throughput) and ``hierarchical_parity_max_gap`` (coordinator
+split vs flat solve).  The 2x speedup floor is enforced only on
+machines with >= 4 CPUs (one core per cell worker is the whole point);
+override with ``REPRO_SHARD_MIN_SPEEDUP``.
+
+Writes ``BENCH_serve.json`` (consumed by the CI ``service-smoke`` and
+``shard-smoke`` jobs' artifact uploads and quoted in
+``docs/service.md`` / ``docs/sharding.md``)::
 
     python benchmarks/bench_serve_load.py --clients 8 --requests 100
 
-Exits non-zero when any request fails, any allocation is infeasible, or
-the batching assertion does not hold.
+Exits non-zero when any request fails, any allocation is infeasible,
+the batching assertion does not hold, the hierarchical parity gap
+exceeds 1e-6, or an enforced shard-speedup floor is missed.
 """
 
 from __future__ import annotations
@@ -23,20 +36,32 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import statistics
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.mechanism import Agent, AllocationProblem
+from repro.core.utility import CobbDouglasUtility
 from repro.dynamic import DynamicAllocator
 from repro.obs import MetricsRegistry
-from repro.serve import AllocationServer, BatchPolicy
+from repro.optimize import hierarchical_parity_gap
+from repro.serve import AllocationServer, BatchPolicy, ShardCoordinator
 from repro.serve.protocol import parse_json
 from repro.sim.analytic import AnalyticMachine
 from repro.workloads import get_workload
 
 #: Benchmarks cycled across the generated client agents.
 CLIENT_BENCHMARKS = ("canneal", "x264", "streamcluster", "ferret", "fluidanimate")
+
+#: Seed agents for the sharded sweep (every cell must start non-empty).
+SHARD_SEEDS = ("freqmine", "dedup", "canneal", "x264")
+
+#: Acceptance gate for the hierarchical Eq. 13 split (abs share diff).
+PARITY_GATE = 1e-6
 
 
 async def _http_request(
@@ -68,7 +93,13 @@ async def _http_request(
 
 
 class _LoadClient:
-    """One simulated agent: register, then submit/read in a loop."""
+    """One simulated agent: register, then submit/read in a loop.
+
+    Control-plane traffic (registration) goes to ``host:port``; the
+    data-path loop goes to ``data_host:data_port``, which defaults to
+    the same endpoint but is re-pointed at the owning cell worker by
+    the sharded sweep (the smart-client pattern).
+    """
 
     def __init__(self, index: int, host: str, port: int, latencies: List[float]):
         self.index = index
@@ -77,24 +108,36 @@ class _LoadClient:
         self.workload = get_workload(self.benchmark)
         self.machine = AnalyticMachine()
         self.host, self.port = host, port
+        self.data_host, self.data_port = host, port
         self.latencies = latencies
         self.samples_sent = 0
         self.allocations_read = 0
 
-    async def _timed(self, method: str, path: str, payload=None) -> Dict[str, object]:
+    async def _timed(
+        self, method: str, path: str, payload=None, control: bool = False
+    ) -> Dict[str, object]:
+        host = self.host if control else self.data_host
+        port = self.port if control else self.data_port
         start = time.perf_counter()
-        status, text = await _http_request(self.host, self.port, method, path, payload)
+        status, text = await _http_request(host, port, method, path, payload)
         self.latencies.append(time.perf_counter() - start)
         if status != 200:
             raise RuntimeError(f"{method} {path} -> HTTP {status}: {text[:200]}")
         return parse_json(text)
 
-    async def run(self, requests: int) -> None:
+    async def register(self) -> None:
         await self._timed(
             "POST",
             "/v1/agents",
             {"action": "register", "agent": self.agent, "workload": self.benchmark},
+            control=True,
         )
+
+    async def run(self, requests: int) -> None:
+        await self.register()
+        await self.drive(requests)
+
+    async def drive(self, requests: int) -> None:
         bundle = None
         for i in range(requests):
             if bundle is None or i % 5 == 0:
@@ -191,6 +234,117 @@ async def _run_load(args) -> Dict[str, object]:
     return result
 
 
+async def _run_shard(args, n_cells: int) -> Dict[str, object]:
+    """Drive a coordinator + ``n_cells`` worker subprocesses with load.
+
+    Registration goes through the coordinator (control plane); the
+    measured sample/allocation loop then goes *directly* to each
+    agent's owning cell, discovered once via ``GET /v1/cells`` — the
+    traffic pattern the shard map exists for.  The timed window covers
+    only the data-path loop, so 1-cell and N-cell runs compare worker
+    throughput, not subprocess spawn cost.
+    """
+    registry = MetricsRegistry()
+    coordinator = ShardCoordinator(
+        {name: name for name in SHARD_SEEDS},
+        capacities=(
+            6.4 * (len(SHARD_SEEDS) + args.clients),
+            1024.0 * (len(SHARD_SEEDS) + args.clients),
+        ),
+        cells=n_cells,
+        epoch_ms=args.epoch_ms,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        metrics=registry,
+    )
+    await coordinator.start()
+    latencies: List[float] = []
+    clients = [
+        _LoadClient(i, coordinator.host, coordinator.port, latencies)
+        for i in range(args.clients)
+    ]
+    try:
+        for client in clients:
+            await client.register()
+        status, text = await _http_request(coordinator.host, coordinator.port, "GET", "/v1/cells")
+        if status != 200:
+            raise RuntimeError(f"GET /v1/cells -> HTTP {status}: {text[:200]}")
+        shard_map = parse_json(text)
+        owner: Dict[str, Tuple[str, int]] = {}
+        for cell in shard_map["cells"]:
+            for agent in cell["agents"]:
+                owner[agent] = (cell["host"], int(cell["port"]))
+        for client in clients:
+            client.data_host, client.data_port = owner[client.agent]
+
+        started = time.perf_counter()
+        await asyncio.gather(*(client.drive(args.requests) for client in clients))
+        elapsed = time.perf_counter() - started
+    finally:
+        coordinator.request_stop()
+        await coordinator.stop()
+
+    requests = sum(c.samples_sent + c.allocations_read for c in clients)
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+    grant_rounds = registry.get("repro_shard_grant_rounds_total")
+    return {
+        "cells": n_cells,
+        "clients": args.clients,
+        "requests": requests,
+        "elapsed_seconds": round(elapsed, 4),
+        "p50_ms": round(quantile(0.50) * 1e3, 3),
+        "p99_ms": round(quantile(0.99) * 1e3, 3),
+        "requests_per_sec": round(requests / elapsed, 1),
+        "grant_rounds": int(grant_rounds.value) if grant_rounds else 0,
+        "summary": coordinator.summary_line(),
+        "feasible": "feasible=True" in coordinator.summary_line(),
+    }
+
+
+def _parity_sweep(seed: int) -> float:
+    """Max hierarchical-vs-flat share gap over randomized partitions.
+
+    The same Eq. 13 composition the coordinator runs every grant round,
+    checked against the flat single-allocator solve — this number gates
+    the sharded service's correctness claim in CI.
+    """
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for n_agents, n_cells in ((4, 2), (12, 3), (16, 4), (40, 8), (64, 4)):
+        agents = tuple(
+            Agent(f"a{i}", CobbDouglasUtility(rng.uniform(0.05, 1.0, 2)))
+            for i in range(n_agents)
+        )
+        problem = AllocationProblem(agents, (25.6, 8192.0), ("membw_gbps", "cache_kb"))
+        cells = [
+            [f"a{i}" for i in range(n_agents) if i % n_cells == k]
+            for k in range(n_cells)
+        ]
+        worst = max(worst, hierarchical_parity_gap(problem, cells))
+    return worst
+
+
+def _min_shard_speedup(cell_counts: List[int]) -> Tuple[float, bool]:
+    """The speedup floor and whether it is enforced on this machine.
+
+    The acceptance criterion (4-cell >= 2x 1-cell) only makes sense
+    with a core per worker; on narrower machines the number is still
+    reported but advisory.  ``REPRO_SHARD_MIN_SPEEDUP`` overrides both
+    the floor and forces enforcement (set it to 0 to disable).
+    """
+    override = os.environ.get("REPRO_SHARD_MIN_SPEEDUP")
+    if override is not None:
+        floor = float(override)
+        return floor, floor > 0.0
+    cpus = os.cpu_count() or 1
+    enforced = cpus >= 4 and max(cell_counts, default=1) >= 4
+    return 2.0, enforced
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=8)
@@ -198,13 +352,16 @@ def main(argv=None) -> int:
     parser.add_argument("--epoch-ms", type=float, default=10.0)
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--cells",
+        default="1,4",
+        help="comma-separated cell counts for the sharded sweep ('' skips it)",
+    )
     parser.add_argument("--output", default="BENCH_serve.json")
     args = parser.parse_args(argv)
+    cell_counts = [int(c) for c in args.cells.split(",") if c.strip()]
 
     result = asyncio.run(_run_load(args))
-    with open(args.output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
     print(
         f"serve-load: {result['clients']} clients, {result['requests']} requests "
         f"in {result['elapsed_seconds']}s — p50 {result['p50_ms']}ms, "
@@ -212,6 +369,36 @@ def main(argv=None) -> int:
         f"{result['allocations_per_sec']} allocations/s, "
         f"{result['samples']} samples -> {result['epochs']} solves"
     )
+
+    cells_axis: List[Dict[str, object]] = []
+    for n_cells in cell_counts:
+        entry = asyncio.run(_run_shard(args, n_cells))
+        cells_axis.append(entry)
+        print(
+            f"shard-load: cells={entry['cells']} {entry['requests']} requests "
+            f"in {entry['elapsed_seconds']}s — p50 {entry['p50_ms']}ms, "
+            f"p99 {entry['p99_ms']}ms, {entry['requests_per_sec']} req/s "
+            f"({entry['grant_rounds']} grant rounds)"
+        )
+    result["cells_axis"] = cells_axis
+
+    shard_speedup: Optional[float] = None
+    if cells_axis:
+        baseline = min(cells_axis, key=lambda e: e["cells"])
+        widest = max(cells_axis, key=lambda e: e["cells"])
+        if widest["cells"] > baseline["cells"]:
+            shard_speedup = round(widest["requests_per_sec"] / baseline["requests_per_sec"], 3)
+    floor, enforced = _min_shard_speedup(cell_counts)
+    parity_gap = _parity_sweep(args.seed)
+    result["shard_speedup"] = shard_speedup
+    result["min_shard_speedup"] = floor
+    result["shard_gate_enforced"] = enforced
+    result["hierarchical_parity_max_gap"] = parity_gap
+
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
     if not result["solves_equal_ticks"]:
         print("FAIL: mechanism solved more than once per epoch tick", file=sys.stderr)
         return 1
@@ -222,6 +409,29 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if any(not entry["feasible"] for entry in cells_axis):
+        print("FAIL: a sharded run ended without a feasible allocation", file=sys.stderr)
+        return 1
+    if parity_gap > PARITY_GATE:
+        print(
+            f"FAIL: hierarchical parity gap {parity_gap:.3e} exceeds {PARITY_GATE:g}",
+            file=sys.stderr,
+        )
+        return 1
+    if shard_speedup is not None:
+        gate = "enforced" if enforced else "advisory"
+        print(
+            f"shard-speedup: {shard_speedup}x across "
+            f"{min(cell_counts)}->{max(cell_counts)} cells "
+            f"(floor {floor}x, {gate}; {os.cpu_count()} CPUs), "
+            f"parity gap {parity_gap:.3e}"
+        )
+        if enforced and shard_speedup < floor:
+            print(
+                f"FAIL: shard speedup {shard_speedup}x below the {floor}x floor",
+                file=sys.stderr,
+            )
+            return 1
     print(f"serve-load OK: wrote {args.output}")
     return 0
 

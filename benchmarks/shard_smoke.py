@@ -1,0 +1,255 @@
+"""CI ``shard-smoke`` driver (also ``make shard-smoke``).
+
+Boots the sharded allocation service — ``python -m repro serve
+--cells 4``, i.e. a coordinator subprocess that itself spawns 4 cell
+worker subprocesses — then exercises the whole failure story:
+
+1. **Healthy load**: 3 concurrent clients register through the
+   coordinator and run the submit-sample / read-allocation loop;
+   every merged allocation must be capacity-feasible and tagged
+   ``ref-hierarchical``.
+2. **Kill**: one cell worker is SIGKILLed mid-run.  The coordinator
+   must *degrade*, not fail: the dead cell's agents re-hash onto the
+   survivors (rendezvous placement, so nobody else moves) and
+   ``/healthz`` reports ``degraded`` with every agent still present.
+3. **Degraded load**: the same clients run a second wave; allocations
+   must be feasible again under the full global capacity, and
+   ``/metrics`` must parse strictly with the ``repro_shard_*`` families
+   present (3 live cells, >= 1 rebalance, every orphan counted).
+4. **Shutdown**: SIGTERM must exit 0 with ``feasible=True`` in the
+   shutdown summary line.
+
+Exits non-zero on the first violation; prints a greppable
+``shard-smoke OK`` line on success.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List
+
+from repro.obs import parse_prometheus_text
+from repro.serve import ServeClient
+from repro.sim.analytic import AnalyticMachine
+from repro.workloads import get_workload
+
+CELLS = 4
+#: Seed agents handed to the coordinator (>= 1 per cell required).
+SEED_AGENTS = "s0=freqmine,s1=dedup,s2=canneal,s3=x264,s4=ferret,s5=streamcluster"
+CLIENT_BENCHMARKS = ("canneal", "x264", "streamcluster")
+REQUESTS_PER_WAVE = 20
+
+
+class _SmokeClient(threading.Thread):
+    """One agent: a wave of measure-submit-read requests, then park."""
+
+    def __init__(self, benchmark: str, port: int, errors: List[str]):
+        super().__init__(name=f"shard-smoke-{benchmark}", daemon=True)
+        self.agent = f"smoke_{benchmark}"
+        self.benchmark = benchmark
+        self.workload = get_workload(benchmark)
+        self.machine = AnalyticMachine()
+        self.client = ServeClient("127.0.0.1", port)
+        self.errors = errors
+        self.samples = 0
+        self._go = threading.Event()
+        self._done = threading.Event()
+
+    def start_wave(self) -> None:
+        self._done.clear()
+        self._go.set()
+
+    def wait_wave(self, timeout: float = 120.0) -> bool:
+        return self._done.wait(timeout)
+
+    def run(self) -> None:
+        try:
+            self.client.register(self.agent, self.benchmark)
+            for _wave in range(2):
+                self._go.wait()
+                self._go.clear()
+                for _ in range(REQUESTS_PER_WAVE):
+                    allocation = self.client.allocation()
+                    if not allocation.feasible:
+                        self.errors.append(
+                            f"{self.agent}: infeasible allocation at epoch "
+                            f"{allocation.epoch}"
+                        )
+                        return
+                    if allocation.mechanism != "ref-hierarchical":
+                        self.errors.append(
+                            f"{self.agent}: unexpected mechanism "
+                            f"{allocation.mechanism!r}"
+                        )
+                        return
+                    bundle = allocation.bundle(self.agent)
+                    scale = 0.85 + 0.3 * ((self.samples * 7919) % 100) / 100.0
+                    bandwidth = max(0.5, bundle["membw_gbps"] * scale)
+                    cache_kb = max(96.0, bundle["cache_kb"] * scale)
+                    ipc = float(self.machine.ipc(self.workload, cache_kb, bandwidth))
+                    self.client.submit_sample(self.agent, bandwidth, cache_kb, ipc)
+                    self.samples += 1
+                self._done.set()
+        except Exception as error:  # surfaced by the main thread
+            self.errors.append(f"{self.agent}: {type(error).__name__}: {error}")
+            self._done.set()
+
+
+def _run_wave(threads: List[_SmokeClient], errors: List[str], label: str) -> bool:
+    for thread in threads:
+        thread.start_wave()
+    for thread in threads:
+        if not thread.wait_wave():
+            errors.append(f"{thread.name}: {label} wave did not finish in time")
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return False
+    return True
+
+
+def main() -> int:
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--cells", str(CELLS),
+        "--epoch-ms", "20", "--grant-ms", "80", "--max-batch", "8",
+        "--agents", SEED_AGENTS,
+    ]
+    proc = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    try:
+        line = proc.stdout.readline()
+        print(line.rstrip())
+        match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if not match:
+            print(f"FAIL: could not parse listen line {line!r}", file=sys.stderr)
+            return 1
+        port = int(match.group(1))
+        probe = ServeClient("127.0.0.1", port)
+        probe.wait_ready(timeout=60)
+
+        cells = probe.cells()
+        if len(cells.cells) != CELLS or not all(c.alive for c in cells.cells):
+            print(f"FAIL: expected {CELLS} live cells, got {cells}", file=sys.stderr)
+            return 1
+
+        errors: List[str] = []
+        threads = [_SmokeClient(b, port, errors) for b in CLIENT_BENCHMARKS]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)  # registrations land before the first wave
+        if not _run_wave(threads, errors, "healthy"):
+            return 1
+        if probe.health().status != "ok":
+            print(f"FAIL: fleet not healthy: {probe.health()}", file=sys.stderr)
+            return 1
+
+        # Kill one worker mid-run and wait for the rendezvous re-hash.
+        cells = probe.cells()
+        victim = max(cells.cells, key=lambda c: len(c.agents))
+        orphans = set(victim.agents)
+        stay_put: Dict[str, str] = {
+            agent: cell.cell
+            for cell in cells.cells
+            if cell.cell != victim.cell
+            for agent in cell.agents
+        }
+        print(f"shard-smoke: SIGKILL {victim.cell} (pid {victim.pid}), "
+              f"orphaning {sorted(orphans)}")
+        os.kill(victim.pid, signal.SIGKILL)
+
+        deadline = time.monotonic() + 30
+        while True:
+            if time.monotonic() > deadline:
+                print("FAIL: rebalance never happened", file=sys.stderr)
+                return 1
+            time.sleep(0.1)
+            now = probe.cells()
+            dead = next(c for c in now.cells if c.cell == victim.cell)
+            placed = {
+                agent: cell.cell
+                for cell in now.cells
+                if cell.alive
+                for agent in cell.agents
+            }
+            if not dead.alive and orphans <= set(placed):
+                break
+        moved = {a: c for a, c in placed.items() if stay_put.get(a, c) != c}
+        if moved:
+            print(f"FAIL: non-orphaned agents moved cells: {moved}", file=sys.stderr)
+            return 1
+
+        health = probe.health()
+        if health.status != "degraded":
+            print(f"FAIL: expected degraded health, got {health}", file=sys.stderr)
+            return 1
+        expected_agents = set(stay_put) | orphans
+        if set(health.agents) != expected_agents:
+            print(
+                f"FAIL: agents lost in rebalance: {expected_agents - set(health.agents)}",
+                file=sys.stderr,
+            )
+            return 1
+
+        # Second wave on the degraded fleet: still serving, still feasible.
+        if not _run_wave(threads, errors, "degraded"):
+            return 1
+        allocation = probe.allocation()
+        if not allocation.feasible or set(allocation.shares) != expected_agents:
+            print(f"FAIL: bad degraded allocation {allocation}", file=sys.stderr)
+            return 1
+
+        samples = parse_prometheus_text(probe.metrics_text())  # strict or raise
+        by_name: Dict[str, float] = {}
+        for sample in samples:
+            by_name.setdefault(sample["name"], 0.0)
+            by_name[sample["name"]] += sample["value"]
+        if by_name.get("repro_shard_cells") != CELLS - 1:
+            print(
+                f"FAIL: repro_shard_cells = {by_name.get('repro_shard_cells')}, "
+                f"wanted {CELLS - 1}",
+                file=sys.stderr,
+            )
+            return 1
+        if by_name.get("repro_shard_agents_rehashed_total", 0.0) < len(orphans):
+            print(
+                f"FAIL: rehashed counter "
+                f"{by_name.get('repro_shard_agents_rehashed_total')} < {len(orphans)}",
+                file=sys.stderr,
+            )
+            return 1
+        if by_name.get("repro_shard_rebalances_total", 0.0) < 1:
+            print("FAIL: no rebalance counted", file=sys.stderr)
+            return 1
+
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=60)
+        print(output.rstrip())
+        if proc.returncode != 0:
+            print(f"FAIL: coordinator exited {proc.returncode}", file=sys.stderr)
+            return 1
+        if "feasible=True" not in output:
+            print("FAIL: shutdown summary missing feasible=True", file=sys.stderr)
+            return 1
+        submitted = sum(thread.samples for thread in threads)
+        print(
+            f"shard-smoke OK: {CELLS} cells, {len(threads)} clients, "
+            f"{submitted} samples, 1 worker killed, {len(orphans)} agents "
+            f"rehashed, degraded fleet stayed feasible, clean SIGTERM exit"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -367,8 +367,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="initial agents, comma-separated benchmarks (repeats suffixed)",
     )
     serve.add_argument(
+        "--agents",
+        metavar="NAME=BENCH,...",
+        help=(
+            "explicitly named initial agents (overrides --workloads); "
+            "used by the shard coordinator to seed cell workers"
+        ),
+    )
+    serve.add_argument(
         "--capacities",
         help="bandwidth_gbps,cache_kb (default: 6.4,1024 per initial agent)",
+    )
+    serve.add_argument(
+        "--cells", type=int, default=1, metavar="N",
+        help=(
+            "shard the service across N worker subprocesses behind a "
+            "hierarchical coordinator (default: 1, a single flat server)"
+        ),
+    )
+    serve.add_argument(
+        "--grant-ms", type=float, default=None, metavar="MS",
+        help="coordinator capacity-grant period (default: 4x --epoch-ms)",
     )
     serve.add_argument("--decay", type=float, default=0.85)
     serve.add_argument("--seed", type=int, default=0)
@@ -734,6 +753,48 @@ def _parse_workload_set(text: str):
     return workloads
 
 
+def _serve_agent_benchmarks(args) -> "dict[str, str]":
+    """Initial agents for ``serve`` as ``{agent_name: benchmark_name}``.
+
+    ``--agents name=bench,...`` wins (the shard coordinator uses it to
+    seed cell workers with exact names); otherwise ``--workloads``
+    derives names the same way ``_parse_workload_set`` does (repeats
+    suffixed ``_2``, ``_3``, ...).
+    """
+    from .workloads import BENCHMARKS
+
+    agents: "dict[str, str]" = {}
+    if args.agents:
+        for spec in args.agents.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            name, sep, benchmark = spec.partition("=")
+            if not sep or not name or not benchmark:
+                raise SystemExit(f"--agents expects NAME=BENCHMARK, got {spec!r}")
+            if name in agents:
+                raise SystemExit(f"--agents names agent {name!r} twice")
+            if benchmark not in BENCHMARKS:
+                raise SystemExit(f"unknown benchmark {benchmark!r}")
+            agents[name] = benchmark
+        if not agents:
+            raise SystemExit("--agents needs at least one NAME=BENCHMARK entry")
+        return agents
+    members = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    if not members:
+        raise SystemExit("--workloads needs at least one benchmark")
+    for member in members:
+        if member not in BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {member!r}")
+        name = member
+        suffix = 2
+        while name in agents:
+            name = f"{member}_{suffix}"
+            suffix += 1
+        agents[name] = member
+    return agents
+
+
 def _parse_capacities(text: Optional[str], n_agents: int):
     if text:
         parts = text.split(",")
@@ -811,19 +872,87 @@ def _cmd_dynamic(args) -> int:
     return 0 if feasible else 1
 
 
-def _cmd_serve(args) -> int:
+def _serve_event_loop(server, banner: str) -> None:
+    """Run an HttpServerBase server until SIGINT/SIGTERM, printing ``banner``."""
     import asyncio
     import signal
 
-    from .dynamic import DynamicAllocator
-    from .serve import AllocationServer, BatchPolicy
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        await server.start()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loops: rely on KeyboardInterrupt
+        print(
+            f"serve: listening on http://{server.host}:{server.port} {banner}",
+            flush=True,
+        )
+        try:
+            await server.wait_stopped()
+        finally:
+            await server.stop()
 
-    workloads = _parse_workload_set(args.workloads)
-    capacities = _parse_capacities(args.capacities, len(workloads))
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - windows fallback
+        pass
+
+
+def _cmd_serve(args) -> int:
     if args.epoch_ms <= 0:
         raise SystemExit("--epoch-ms must be positive")
     if args.max_batch < 1:
         raise SystemExit("--max-batch must be >= 1")
+    if args.cells < 1:
+        raise SystemExit("--cells must be >= 1")
+    benchmarks = _serve_agent_benchmarks(args)
+    capacities = _parse_capacities(args.capacities, len(benchmarks))
+
+    if args.cells > 1:
+        # Sharded: a hierarchical coordinator over N worker subprocesses
+        # (repro.serve.shard).  The mechanism is Eq. 13 at both levels.
+        from .serve import ShardCoordinator
+
+        if args.mechanism != "ref":
+            raise SystemExit(
+                "--cells > 1 requires --mechanism ref (the hierarchical "
+                "capacity split is the Eq. 13 closed form)"
+            )
+        if len(benchmarks) < args.cells:
+            raise SystemExit(
+                f"--cells {args.cells} needs at least {args.cells} initial "
+                f"agents (got {len(benchmarks)}); every cell must start "
+                "non-empty"
+            )
+        coordinator = ShardCoordinator(
+            benchmarks,
+            capacities=capacities,
+            cells=args.cells,
+            host=args.host,
+            port=args.port,
+            epoch_ms=args.epoch_ms,
+            max_batch=args.max_batch,
+            grant_ms=args.grant_ms,
+            decay=args.decay,
+            seed=args.seed,
+        )
+        _serve_event_loop(
+            coordinator,
+            f"cells={args.cells} epoch_ms={args.epoch_ms:g} "
+            f"grant_ms={coordinator.grant_ms:g} agents={len(benchmarks)}",
+        )
+        _export_metrics(args, coordinator.metrics)
+        summary = coordinator.summary_line()
+        print(summary, flush=True)
+        return 0 if "feasible=True" in summary else 1
+
+    from .dynamic import DynamicAllocator
+    from .serve import AllocationServer, BatchPolicy
+    from .workloads import get_workload
+
+    workloads = {name: get_workload(bench) for name, bench in benchmarks.items()}
     allocator = DynamicAllocator(
         workloads,
         capacities=capacities,
@@ -837,30 +966,11 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
     )
-
-    async def _run() -> None:
-        loop = asyncio.get_running_loop()
-        await server.start()
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(signum, server.request_stop)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
-                pass  # non-unix event loops: rely on KeyboardInterrupt
-        print(
-            f"serve: listening on http://{server.host}:{server.port} "
-            f"epoch_ms={args.epoch_ms:g} max_batch={args.max_batch} "
-            f"agents={len(allocator.agent_names)}",
-            flush=True,
-        )
-        try:
-            await server.wait_stopped()
-        finally:
-            await server.stop()
-
-    try:
-        asyncio.run(_run())
-    except KeyboardInterrupt:  # pragma: no cover - windows fallback
-        pass
+    _serve_event_loop(
+        server,
+        f"epoch_ms={args.epoch_ms:g} max_batch={args.max_batch} "
+        f"agents={len(allocator.agent_names)}",
+    )
     _export_metrics(args, allocator.metrics, spans=allocator.tracer.spans_as_dicts())
     summary = server.summary_line()
     print(summary, flush=True)

@@ -348,6 +348,47 @@ class DynamicAllocator:
     def agent_names(self) -> Tuple[str, ...]:
         return tuple(self.workloads)
 
+    @property
+    def resource_names(self) -> Tuple[str, str]:
+        """Resource names in capacity order (matches Eq. 13 problems)."""
+        return ("membw_gbps", "cache_kb")
+
+    # ------------------------------------------------------------------
+    # Hierarchical (cell-local) capacity
+
+    def set_capacities(self, capacities: Tuple[float, float]) -> None:
+        """Replace the capacity vector between epochs (sharding grants).
+
+        A shard coordinator re-slices the global capacity across cells
+        each grant round; the cell's controller must accept the new
+        vector mid-run.  Warm-start shares from the previous capacity
+        regime are discarded — they may be infeasible under a shrunk
+        grant, and a cold SLSQP start is cheaper than a bad one.
+        """
+        values = tuple(float(c) for c in capacities)
+        if len(values) != 2 or any(
+            not np.isfinite(c) or c <= 0 for c in values
+        ):
+            raise ValueError(
+                f"capacities must be two positive finite numbers, got {capacities}"
+            )
+        if values != self.capacities:
+            self.capacities = values
+            self._last_enforced_shares = None
+
+    def aggregate_elasticities(self) -> np.ndarray:
+        """Per-resource sum of re-scaled agent elasticities, shape (R,).
+
+        This is the quantity the Eq. 13 closed form needs from each cell
+        to split capacity hierarchically: the flat share of agent *i* in
+        resource *r* is ``a_ir / sum_j a_jr * C_r``, so a cell's fair
+        slice of ``C_r`` is its agents' partial sum of the denominator.
+        """
+        total = np.zeros(2, dtype=float)
+        for name in self.workloads:
+            total += self._profilers[name].report_elasticities()
+        return total
+
     def _new_profiler(self, name: str) -> OnlineProfiler:
         return OnlineProfiler(
             n_resources=2,

@@ -16,6 +16,18 @@ Producers either accept an explicit registry (``OfflineProfiler``,
 process-global registry (:func:`global_registry`) when none can be
 threaded through, as in :func:`repro.optimize.logspace.solve`.
 
+Metric families are namespaced by layer: ``repro_profiler_*`` /
+``repro_controller_*`` for the library, ``repro_serve_*`` for the HTTP
+service, and ``repro_shard_*`` for the multi-cell coordinator
+(:mod:`repro.serve.shard`) — live-cell count (``repro_shard_cells``),
+per-cell capacity-grant latency
+(``repro_shard_grant_latency_seconds``), grant rounds, and the
+rebalance/rehash counters that track recovery from cell death.  In a
+sharded deployment each cell worker exposes its own ``repro_serve_*``
+families on its own ``/metrics`` port (discoverable via the
+coordinator's ``GET /v1/cells``); the coordinator does not aggregate
+them, matching the one-scrape-target-per-process Prometheus model.
+
 See ``docs/observability.md`` for the metric catalogue and span
 semantics.
 """

@@ -14,6 +14,11 @@ from .logspace import (
     sharing_incentive_constraints,
     solve,
 )
+from .hierarchy import (
+    hierarchical_parity_gap,
+    solve_hierarchical,
+    split_capacity,
+)
 from .drf import (
     DrfAgent,
     DrfResult,
@@ -43,6 +48,7 @@ __all__ = [
     "dominant_resource_fairness",
     "drf_allocation",
     "equal_slowdown",
+    "hierarchical_parity_gap",
     "log_weighted_utilities",
     "max_nash_welfare",
     "pareto_constraints",
@@ -51,5 +57,7 @@ __all__ = [
     "sharing_incentive_constraints",
     "solve",
     "solve_batch",
+    "solve_hierarchical",
+    "split_capacity",
     "utilitarian_welfare",
 ]

@@ -14,7 +14,15 @@ Concurrent sample submissions are coalesced by
 max-batch :class:`~repro.serve.batching.BatchPolicy`, so N clients cost
 one mechanism solve per epoch.  Everything is stdlib-only.
 
-See ``docs/service.md`` for the API reference and deployment notes.
+For scale-out beyond one process, :mod:`repro.serve.shard` partitions
+agents into cells — one :class:`AllocationServer` subprocess each — and
+a :class:`~repro.serve.shard.ShardCoordinator` re-slices the global
+capacity across cells every grant round with the hierarchical Eq. 13
+split (``POST /v1/capacity``), exposing the shard map at
+``GET /v1/cells``.
+
+See ``docs/service.md`` for the API reference and deployment notes,
+and ``docs/sharding.md`` for the multi-cell architecture.
 """
 
 from .batching import BatchPolicy, SampleBatcher
@@ -24,6 +32,10 @@ from .protocol import (
     AgentRequest,
     AgentResponse,
     AllocationResponse,
+    CapacityRequest,
+    CapacityResponse,
+    CellInfo,
+    CellsResponse,
     ErrorResponse,
     HealthResponse,
     ProtocolError,
@@ -31,7 +43,8 @@ from .protocol import (
     SampleResponse,
     parse_json,
 )
-from .server import AllocationServer, ServerThread
+from .server import AllocationServer, HttpServerBase, ServerThread
+from .shard import CellWorker, ShardCoordinator, cell_for
 
 __all__ = [
     "AgentRequest",
@@ -39,8 +52,14 @@ __all__ = [
     "AllocationResponse",
     "AllocationServer",
     "BatchPolicy",
+    "CapacityRequest",
+    "CapacityResponse",
+    "CellInfo",
+    "CellWorker",
+    "CellsResponse",
     "ErrorResponse",
     "HealthResponse",
+    "HttpServerBase",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "SampleBatcher",
@@ -49,5 +68,7 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "ServerThread",
+    "ShardCoordinator",
+    "cell_for",
     "parse_json",
 ]

@@ -18,6 +18,9 @@ from typing import Dict, Optional, Tuple
 from .protocol import (
     AgentResponse,
     AllocationResponse,
+    CapacityRequest,
+    CapacityResponse,
+    CellsResponse,
     HealthResponse,
     SampleRequest,
     SampleResponse,
@@ -41,7 +44,12 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Thin, typed wrapper over the service's five routes."""
+    """Thin, typed wrapper over the service's routes.
+
+    Works against both a flat :class:`~repro.serve.server.AllocationServer`
+    and a :class:`~repro.serve.shard.ShardCoordinator` (same dialect;
+    the coordinator adds ``GET /v1/cells``).
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0):
         self.host = host
@@ -105,6 +113,21 @@ class ServeClient:
         return SampleResponse.from_dict(
             self._json("POST", "/v1/samples", request.as_dict())
         )
+
+    def grant_capacity(self, capacities: Dict[str, float]) -> CapacityResponse:
+        """Apply a hierarchical capacity grant (coordinator → cell worker).
+
+        Returns the cell's post-grant state, including the aggregate
+        elasticities the next Eq. 13 split needs.
+        """
+        request = CapacityRequest(capacities=dict(capacities))
+        return CapacityResponse.from_dict(
+            self._json("POST", "/v1/capacity", request.as_dict())
+        )
+
+    def cells(self) -> CellsResponse:
+        """The coordinator's shard map (coordinator-only route)."""
+        return CellsResponse.from_dict(self._json("GET", "/v1/cells"))
 
     def allocation(self) -> AllocationResponse:
         """The current epoch's enforced allocation."""

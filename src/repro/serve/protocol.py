@@ -32,6 +32,10 @@ __all__ = [
     "SampleRequest",
     "SampleResponse",
     "AllocationResponse",
+    "CapacityRequest",
+    "CapacityResponse",
+    "CellInfo",
+    "CellsResponse",
     "HealthResponse",
     "ErrorResponse",
     "parse_json",
@@ -198,6 +202,49 @@ class SampleRequest:
         return (self.bandwidth_gbps, self.cache_kb)
 
 
+def _get_number_map(data: Mapping[str, object], key: str) -> Dict[str, float]:
+    """A ``{resource: finite number}`` object field, strictly validated."""
+    value = data[key]
+    if not isinstance(value, dict) or not value:
+        raise ProtocolError(f"{key} must be a non-empty object, got {value!r}")
+    return {str(name): _get_number(value, name) for name in value}
+
+
+@dataclass(frozen=True)
+class CapacityRequest:
+    """``POST /v1/capacity`` — a hierarchical capacity grant for this cell.
+
+    Sent by the shard coordinator once per coordinator epoch: the cell's
+    slice of the global capacity vector, computed by the Eq. 13 closed
+    form on per-cell aggregate elasticities.  Every granted amount must
+    be a finite, strictly positive number; the worker re-solves its cell
+    immediately so the grant takes effect before the next read.
+    """
+
+    capacities: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.capacities:
+            raise ProtocolError("a capacity grant needs at least one resource")
+        for name, value in self.capacities.items():
+            if not math.isfinite(value) or value <= 0.0:
+                raise ProtocolError(
+                    f"granted capacity for {name!r} must be finite and positive, "
+                    f"got {value!r}"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CapacityRequest":
+        _check_keys(data, required=("capacities",))
+        return cls(capacities=_get_number_map(data, "capacities"))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "capacities": dict(self.capacities),
+        }
+
+
 # ---------------------------------------------------------------------------
 # Responses
 # ---------------------------------------------------------------------------
@@ -333,6 +380,158 @@ class AllocationResponse:
     def bundle(self, agent: str) -> Dict[str, float]:
         """The named agent's enforced bundle (KeyError if absent)."""
         return dict(self.shares[agent])
+
+
+@dataclass(frozen=True)
+class CapacityResponse:
+    """Acknowledges a capacity grant; reports the cell's state back.
+
+    ``aggregate_elasticity`` carries the cell's per-resource sum of
+    re-scaled (Eq. 12) agent elasticities — exactly the weight the
+    coordinator needs to compute the *next* epoch's Eq. 13 split, so a
+    grant round is one request/response per cell.
+    """
+
+    epoch: int
+    agents: Tuple[str, ...]
+    capacities: Dict[str, float]
+    aggregate_elasticity: Dict[str, float]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CapacityResponse":
+        _check_keys(
+            data,
+            required=("epoch", "agents", "capacities", "aggregate_elasticity"),
+        )
+        epoch = data["epoch"]
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ProtocolError(f"epoch must be an integer, got {epoch!r}")
+        agents = data["agents"]
+        if not isinstance(agents, (list, tuple)) or not all(
+            isinstance(name, str) for name in agents
+        ):
+            raise ProtocolError(f"agents must be a list of strings, got {agents!r}")
+        return cls(
+            epoch=epoch,
+            agents=tuple(agents),
+            capacities=_get_number_map(data, "capacities"),
+            aggregate_elasticity=_get_number_map(data, "aggregate_elasticity"),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "agents": list(self.agents),
+            "capacities": dict(self.capacities),
+            "aggregate_elasticity": dict(self.aggregate_elasticity),
+        }
+
+
+@dataclass(frozen=True)
+class CellInfo:
+    """One cell worker's identity and state, as the coordinator sees it."""
+
+    cell: str
+    host: str
+    port: int
+    pid: int
+    alive: bool
+    agents: Tuple[str, ...]
+    grant: Dict[str, float]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CellInfo":
+        _check_keys(
+            data,
+            required=("cell", "host", "port", "pid", "alive", "agents", "grant"),
+        )
+        for key in ("port", "pid"):
+            if isinstance(data[key], bool) or not isinstance(data[key], int):
+                raise ProtocolError(f"{key} must be an integer, got {data[key]!r}")
+        alive = data["alive"]
+        if not isinstance(alive, bool):
+            raise ProtocolError(f"alive must be a boolean, got {alive!r}")
+        agents = data["agents"]
+        if not isinstance(agents, (list, tuple)) or not all(
+            isinstance(name, str) for name in agents
+        ):
+            raise ProtocolError(f"agents must be a list of strings, got {agents!r}")
+        grant = data["grant"]
+        if not isinstance(grant, dict):
+            raise ProtocolError(f"grant must be an object, got {grant!r}")
+        return cls(
+            cell=_get_str(data, "cell"),
+            host=_get_str(data, "host"),
+            port=int(data["port"]),
+            pid=int(data["pid"]),
+            alive=alive,
+            agents=tuple(agents),
+            grant={str(k): _get_number(grant, k) for k in grant},
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "cell": self.cell,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+            "alive": self.alive,
+            "agents": list(self.agents),
+            "grant": dict(self.grant),
+        }
+
+
+@dataclass(frozen=True)
+class CellsResponse:
+    """``GET /v1/cells`` — the coordinator's shard map.
+
+    Smart clients use this to submit samples *directly* to the worker
+    that owns their agent (one hop instead of two); operators use it to
+    find each cell's metrics endpoint and pid.
+    """
+
+    epoch: int
+    capacities: Dict[str, float]
+    cells: Tuple[CellInfo, ...]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CellsResponse":
+        _check_keys(data, required=("epoch", "capacities", "cells"))
+        epoch = data["epoch"]
+        if isinstance(epoch, bool) or not isinstance(epoch, int):
+            raise ProtocolError(f"epoch must be an integer, got {epoch!r}")
+        cells = data["cells"]
+        if not isinstance(cells, (list, tuple)):
+            raise ProtocolError(f"cells must be a list, got {cells!r}")
+        return cls(
+            epoch=epoch,
+            capacities=_get_number_map(data, "capacities"),
+            cells=tuple(
+                CellInfo.from_dict(cell) if isinstance(cell, dict) else _bad_cell(cell)
+                for cell in cells
+            ),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "capacities": dict(self.capacities),
+            "cells": [cell.as_dict() for cell in self.cells],
+        }
+
+    def owner_of(self, agent: str) -> CellInfo:
+        """The live cell currently hosting ``agent`` (KeyError if none)."""
+        for cell in self.cells:
+            if cell.alive and agent in cell.agents:
+                return cell
+        raise KeyError(f"no live cell owns agent {agent!r}")
+
+
+def _bad_cell(value: object) -> CellInfo:
+    raise ProtocolError(f"each cell must be an object, got {value!r}")
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ method    path               meaning
 ========  =================  ==============================================
 POST      ``/v1/agents``     register / deregister an agent (churn)
 POST      ``/v1/samples``    submit one measured (bundle, IPC) sample
+POST      ``/v1/capacity``   apply a hierarchical capacity grant (sharding)
 GET       ``/v1/allocation`` the current epoch's enforced allocation
 GET       ``/healthz``       liveness + service summary
 GET       ``/metrics``       Prometheus text exposition (repro.obs)
@@ -21,6 +22,11 @@ an epoch tick applies the batch through
 once (``step(measure=False)``), so the solve rate is bounded by the
 batch policy, not by the client count.  Agent churn triggers an
 immediate tick so ``GET /v1/allocation`` reflects the new membership.
+``POST /v1/capacity`` is the hierarchical hook: a shard coordinator
+(:mod:`repro.serve.shard`) re-slices the global capacity vector across
+cell workers each epoch, and a grant both updates this cell's
+capacities and reports its aggregate elasticities back in one round
+trip.
 
 With the default ``ref`` mechanism every tick runs the closed-form
 proportional-elasticity allocator (Eq. 13) and one *batched*
@@ -35,6 +41,10 @@ and epoch ticks never run concurrently, so the allocator needs no
 locking.  Requests are counted and timed into a
 :class:`~repro.obs.MetricsRegistry` (``repro_serve_*``), and every
 epoch tick produces an ``epoch`` span via the allocator's tracer.
+
+The HTTP plumbing (request parsing, limits, dispatch, error mapping,
+request metrics) lives in :class:`HttpServerBase` so the shard
+coordinator can speak the same dialect without duplicating it.
 """
 
 from __future__ import annotations
@@ -52,6 +62,8 @@ from .protocol import (
     AgentRequest,
     AgentResponse,
     AllocationResponse,
+    CapacityRequest,
+    CapacityResponse,
     ErrorResponse,
     HealthResponse,
     ProtocolError,
@@ -60,7 +72,7 @@ from .protocol import (
     parse_json,
 )
 
-__all__ = ["AllocationServer", "ServerThread"]
+__all__ = ["AllocationServer", "HttpServerBase", "ServerThread"]
 
 #: Hard request-parsing limits; anything beyond them is a 4xx, not a crash.
 MAX_REQUEST_LINE = 8192
@@ -75,7 +87,10 @@ _REASONS = {
     409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 #: Batch-size histogram buckets (samples per epoch tick).
@@ -92,7 +107,285 @@ class _HttpError(Exception):
         self.detail = detail
 
 
-class AllocationServer:
+class HttpServerBase:
+    """Shared asyncio HTTP/1.1 plumbing for the serve-layer processes.
+
+    Subclasses provide :meth:`_routes` (path -> (method, handler)) and
+    may override the lifecycle hooks:
+
+    * :meth:`_on_start` — runs before the socket binds (e.g. epoch 0,
+      worker spawning);
+    * :meth:`_tick_loop` — the background task started after binding
+      (batch polling, capacity-grant rounds); the default sleeps
+      forever;
+    * :meth:`_on_stop` — runs after the listener closed (final flush,
+      worker teardown).
+
+    Handlers are sync or async callables ``body -> (status, payload,
+    content_type)``; async handlers let a proxying subclass await
+    upstream workers without blocking the dispatcher contract.  All
+    request hygiene (size limits, timeouts, error mapping, the
+    ``repro_serve_requests_total`` / request-latency metrics) lives
+    here, so every server speaking this dialect gets the same hardening.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.metrics = metrics if metrics is not None else global_registry()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ticker: Optional[asyncio.Task] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at = 0.0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Run :meth:`_on_start`, bind the socket, start the tick loop."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self._on_start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = self._loop.time()
+        self._ticker = asyncio.create_task(self._tick_loop())
+
+    def request_stop(self) -> None:
+        """Signal the server to stop (safe to call from a signal handler)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def request_stop_threadsafe(self) -> None:
+        """Like :meth:`request_stop`, callable from any thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_stop)
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`request_stop` (e.g. SIGTERM) is called."""
+        assert self._stop_event is not None, "server not started"
+        await self._stop_event.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop listening, then run :meth:`_on_stop`."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.request_stop()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._on_stop()
+
+    async def _on_start(self) -> None:
+        """Hook: runs inside :meth:`start`, before the socket binds."""
+
+    async def _on_stop(self) -> None:
+        """Hook: runs inside :meth:`stop`, after the listener closed."""
+
+    async def _tick_loop(self) -> None:
+        """Background task started after binding; default: do nothing."""
+        while True:  # pragma: no cover - trivial default
+            await asyncio.sleep(3600.0)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = self._loop.time() if self._loop is not None else 0.0
+        route = "unparsed"
+        status = 500
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=30.0
+                )
+            except _HttpError as error:
+                status = error.status
+                await self._write_json(writer, error.status, ErrorResponse(
+                    error.error, error.detail).as_dict())
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
+                return  # client went away mid-request; nothing to answer
+            route = path if path in self._routes() else "unknown"
+            status, payload, content_type = await self._dispatch(method, path, body)
+            if content_type == "application/json":
+                await self._write_json(writer, status, payload)
+            else:
+                await self._write_raw(writer, status, payload, content_type)
+        except (ConnectionError, BrokenPipeError):
+            pass  # response could not be delivered; the client's problem
+        finally:
+            if self._loop is not None:
+                elapsed = self._loop.time() - started
+                self.metrics.counter(
+                    "repro_serve_requests_total",
+                    help="HTTP requests handled, by route and status.",
+                    route=route,
+                    status=str(status),
+                ).inc()
+                self.metrics.histogram(
+                    "repro_serve_request_latency_seconds",
+                    help="Server-side request handling latency.",
+                    route=route,
+                ).observe(elapsed)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        """One header/request line, with stream-limit overruns mapped to 431.
+
+        ``StreamReader.readline`` raises ``ValueError`` (wrapping
+        ``LimitOverrunError``) when a line exceeds the reader's buffer
+        limit.  Left uncaught that escaped ``_handle_connection``
+        entirely: the client hung with no response and the server task
+        died with an unhandled traceback.  A header that does not fit is
+        a client error, not a server crash.
+        """
+        try:
+            return await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as error:
+            raise _HttpError(
+                431, "header_too_large", f"request line or header too large: {error}"
+            ) from None
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await self._read_line(reader)
+        if not request_line:
+            raise asyncio.IncompleteReadError(partial=b"", expected=1)
+        if len(request_line) > MAX_REQUEST_LINE:
+            raise _HttpError(431, "header_too_large", "request line too long")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "bad_request", "malformed request line")
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADERS + 1):
+            line = await self._read_line(reader)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                raise _HttpError(431, "header_too_large", "too many headers")
+            text = line.decode("latin-1").rstrip("\r\n")
+            if ":" not in text:
+                raise _HttpError(400, "bad_request", f"malformed header {text!r}")
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if method in ("POST", "PUT", "PATCH"):
+            length_text = headers.get("content-length")
+            if length_text is None:
+                raise _HttpError(411, "length_required", "POST needs Content-Length")
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise _HttpError(400, "bad_request", "bad Content-Length") from None
+            if length < 0:
+                raise _HttpError(400, "bad_request", "bad Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _HttpError(413, "payload_too_large", f"body > {MAX_BODY_BYTES}B")
+            body = await reader.readexactly(length)
+        return method, path, body
+
+    async def _write_json(self, writer, status: int, payload: Dict[str, object]) -> None:
+        await self._write_raw(
+            writer, status, json.dumps(payload).encode(), "application/json"
+        )
+
+    async def _write_raw(
+        self, writer, status: int, body, content_type: str
+    ) -> None:
+        if isinstance(body, str):
+            body = body.encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    def _routes(self) -> Dict[str, Tuple[str, Callable[[bytes], Tuple[int, object, str]]]]:
+        raise NotImplementedError
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, object, str]:
+        routes = self._routes()
+        entry = routes.get(path)
+        if entry is None:
+            return (
+                404,
+                ErrorResponse("not_found", f"no route {path!r}").as_dict(),
+                "application/json",
+            )
+        expected_method, handler = entry
+        if method != expected_method:
+            return (
+                405,
+                ErrorResponse(
+                    "method_not_allowed", f"{path} expects {expected_method}"
+                ).as_dict(),
+                "application/json",
+            )
+        try:
+            result = handler(body)
+            if asyncio.iscoroutine(result):
+                result = await result
+            return result
+        except ProtocolError as error:
+            return (
+                400,
+                ErrorResponse("bad_request", str(error)).as_dict(),
+                "application/json",
+            )
+        except _HttpError as error:
+            return (
+                error.status,
+                ErrorResponse(error.error, error.detail).as_dict(),
+                "application/json",
+            )
+        except Exception as error:  # the service must outlive a broken handler
+            self.metrics.counter(
+                "repro_serve_internal_errors_total",
+                help="Unexpected exceptions while handling a request.",
+            ).inc()
+            return (
+                500,
+                ErrorResponse("internal_error", f"{type(error).__name__}: {error}").as_dict(),
+                "application/json",
+            )
+
+
+class AllocationServer(HttpServerBase):
     """Long-lived REF allocation service over HTTP.
 
     Parameters
@@ -122,70 +415,22 @@ class AllocationServer:
         port: int = 0,
         metrics: Optional[MetricsRegistry] = None,
     ):
+        super().__init__(host=host, port=port, metrics=metrics)
         self.allocator = allocator
         self.policy = policy if policy is not None else BatchPolicy()
-        self.host = host
-        self.port = int(port)
-        self.metrics = metrics if metrics is not None else global_registry()
         self._batcher: SampleBatcher[SampleRequest] = SampleBatcher(self.policy)
         self._epoch = 0
         self._current: Optional[EpochRecord] = None
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._ticker: Optional[asyncio.Task] = None
-        self._stop_event: Optional[asyncio.Event] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._started_at = 0.0
-        self._stopped = False
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle hooks
 
-    async def start(self) -> None:
-        """Bind the socket, run epoch 0, and start the tick loop."""
-        if self._server is not None:
-            raise RuntimeError("server already started")
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
+    async def _on_start(self) -> None:
         # Epoch 0 on the naive priors: /v1/allocation is answerable from
         # the very first request, before any sample has arrived.
         self._run_epoch([], trigger="startup")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
-        self._started_at = self._loop.time()
-        self._ticker = asyncio.create_task(self._tick_loop())
 
-    def request_stop(self) -> None:
-        """Signal the server to stop (safe to call from a signal handler)."""
-        if self._stop_event is not None:
-            self._stop_event.set()
-
-    def request_stop_threadsafe(self) -> None:
-        """Like :meth:`request_stop`, callable from any thread."""
-        if self._loop is not None:
-            self._loop.call_soon_threadsafe(self.request_stop)
-
-    async def wait_stopped(self) -> None:
-        """Block until :meth:`request_stop` (e.g. SIGTERM) is called."""
-        assert self._stop_event is not None, "server not started"
-        await self._stop_event.wait()
-
-    async def stop(self) -> None:
-        """Graceful shutdown: stop listening, flush a final epoch."""
-        if self._stopped:
-            return
-        self._stopped = True
-        self.request_stop()
-        if self._ticker is not None:
-            self._ticker.cancel()
-            try:
-                await self._ticker
-            except asyncio.CancelledError:
-                pass
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+    async def _on_stop(self) -> None:
         # In-flight samples still deserve an epoch: a client that got a
         # "queued" ack must find its measurement folded in, even across
         # a SIGTERM.
@@ -235,17 +480,35 @@ class AllocationServer:
                 self._run_epoch(batch, trigger="max_delay")
 
     def _run_epoch(self, batch, trigger: str) -> EpochRecord:
-        """Apply one sample batch and solve the mechanism exactly once."""
+        """Apply one sample batch and solve the mechanism exactly once.
+
+        Samples whose agent deregistered between enqueue and flush are
+        *orphaned*: they are dropped here (and counted) instead of being
+        pushed through ``observe_sample``, which treats an unknown agent
+        as a caller bug.
+        """
         for sample in batch:
             outcome = "accepted"
-            try:
-                if not self.allocator.observe_sample(
-                    sample.agent, sample.bundle, sample.ipc
-                ):
-                    outcome = "rejected"
-            except ValueError:
-                # The agent deregistered while its sample was in flight.
-                outcome = "unknown_agent"
+            if sample.agent not in self.allocator.workloads:
+                self.metrics.counter(
+                    "repro_serve_orphaned_samples_total",
+                    help=(
+                        "Pending samples dropped at flush time because their "
+                        "agent had deregistered."
+                    ),
+                ).inc()
+                outcome = "orphaned"
+            else:
+                try:
+                    if not self.allocator.observe_sample(
+                        sample.agent, sample.bundle, sample.ipc
+                    ):
+                        outcome = "rejected"
+                except ValueError:
+                    # Belt and braces: the membership check above should
+                    # have caught this, but a racing caller must still
+                    # not crash the epoch.
+                    outcome = "unknown_agent"
             self.metrics.counter(
                 "repro_serve_samples_total",
                 help="Samples applied at epoch ticks, by outcome.",
@@ -270,169 +533,17 @@ class AllocationServer:
         return record
 
     # ------------------------------------------------------------------
-    # HTTP plumbing
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        started = self._loop.time() if self._loop is not None else 0.0
-        route = "unparsed"
-        status = 500
-        try:
-            try:
-                method, path, body = await asyncio.wait_for(
-                    self._read_request(reader), timeout=30.0
-                )
-            except _HttpError as error:
-                status = error.status
-                await self._write_json(writer, error.status, ErrorResponse(
-                    error.error, error.detail).as_dict())
-                return
-            except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
-                return  # client went away mid-request; nothing to answer
-            route = path if path in self._routes() else "unknown"
-            status, payload, content_type = self._dispatch(method, path, body)
-            if content_type == "application/json":
-                await self._write_json(writer, status, payload)
-            else:
-                await self._write_raw(writer, status, payload, content_type)
-        except (ConnectionError, BrokenPipeError):
-            pass  # response could not be delivered; the client's problem
-        finally:
-            if self._loop is not None:
-                elapsed = self._loop.time() - started
-                self.metrics.counter(
-                    "repro_serve_requests_total",
-                    help="HTTP requests handled, by route and status.",
-                    route=route,
-                    status=str(status),
-                ).inc()
-                self.metrics.histogram(
-                    "repro_serve_request_latency_seconds",
-                    help="Server-side request handling latency.",
-                    route=route,
-                ).observe(elapsed)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):
-                pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
-        request_line = await reader.readline()
-        if not request_line:
-            raise asyncio.IncompleteReadError(partial=b"", expected=1)
-        if len(request_line) > MAX_REQUEST_LINE:
-            raise _HttpError(400, "bad_request", "request line too long")
-        parts = request_line.decode("latin-1").strip().split()
-        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _HttpError(400, "bad_request", "malformed request line")
-        method, target, _version = parts
-        path = target.split("?", 1)[0]
-        headers: Dict[str, str] = {}
-        for _ in range(MAX_HEADERS + 1):
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            if len(headers) >= MAX_HEADERS:
-                raise _HttpError(400, "bad_request", "too many headers")
-            text = line.decode("latin-1").rstrip("\r\n")
-            if ":" not in text:
-                raise _HttpError(400, "bad_request", f"malformed header {text!r}")
-            name, _, value = text.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        body = b""
-        if method in ("POST", "PUT", "PATCH"):
-            length_text = headers.get("content-length")
-            if length_text is None:
-                raise _HttpError(411, "length_required", "POST needs Content-Length")
-            try:
-                length = int(length_text)
-            except ValueError:
-                raise _HttpError(400, "bad_request", "bad Content-Length") from None
-            if length < 0:
-                raise _HttpError(400, "bad_request", "bad Content-Length")
-            if length > MAX_BODY_BYTES:
-                raise _HttpError(413, "payload_too_large", f"body > {MAX_BODY_BYTES}B")
-            body = await reader.readexactly(length)
-        return method, path, body
-
-    async def _write_json(self, writer, status: int, payload: Dict[str, object]) -> None:
-        await self._write_raw(
-            writer, status, json.dumps(payload).encode(), "application/json"
-        )
-
-    async def _write_raw(
-        self, writer, status: int, body, content_type: str
-    ) -> None:
-        if isinstance(body, str):
-            body = body.encode()
-        reason = _REASONS.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        )
-        writer.write(head.encode("latin-1") + body)
-        await writer.drain()
-
-    # ------------------------------------------------------------------
     # Routing
 
     def _routes(self) -> Dict[str, Tuple[str, Callable[[bytes], Tuple[int, object, str]]]]:
         return {
             "/v1/agents": ("POST", self._route_agents),
             "/v1/samples": ("POST", self._route_samples),
+            "/v1/capacity": ("POST", self._route_capacity),
             "/v1/allocation": ("GET", self._route_allocation),
             "/healthz": ("GET", self._route_health),
             "/metrics": ("GET", self._route_metrics),
         }
-
-    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, object, str]:
-        routes = self._routes()
-        entry = routes.get(path)
-        if entry is None:
-            return (
-                404,
-                ErrorResponse("not_found", f"no route {path!r}").as_dict(),
-                "application/json",
-            )
-        expected_method, handler = entry
-        if method != expected_method:
-            return (
-                405,
-                ErrorResponse(
-                    "method_not_allowed", f"{path} expects {expected_method}"
-                ).as_dict(),
-                "application/json",
-            )
-        try:
-            return handler(body)
-        except ProtocolError as error:
-            return (
-                400,
-                ErrorResponse("bad_request", str(error)).as_dict(),
-                "application/json",
-            )
-        except _HttpError as error:
-            return (
-                error.status,
-                ErrorResponse(error.error, error.detail).as_dict(),
-                "application/json",
-            )
-        except Exception as error:  # the service must outlive a broken handler
-            self.metrics.counter(
-                "repro_serve_internal_errors_total",
-                help="Unexpected exceptions while handling a request.",
-            ).inc()
-            return (
-                500,
-                ErrorResponse("internal_error", f"{type(error).__name__}: {error}").as_dict(),
-                "application/json",
-            )
 
     def _route_agents(self, body: bytes) -> Tuple[int, object, str]:
         request = AgentRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
@@ -453,7 +564,9 @@ class AllocationServer:
                 )
             self.allocator.remove_agent(request.agent)
         # Membership changed: re-solve immediately (any pending samples
-        # ride along) so the next GET /v1/allocation reflects the churn.
+        # ride along; a departed agent's orphans are dropped and counted
+        # by _run_epoch) so the next GET /v1/allocation reflects the
+        # churn.
         self._run_epoch(self._batcher.flush(), trigger="churn")
         response = AgentResponse(
             action=request.action,
@@ -475,6 +588,40 @@ class AllocationServer:
             self._run_epoch(batch, trigger="max_batch")
         response = SampleResponse(
             agent=request.agent, queued=True, epoch=fold_epoch, pending=pending
+        )
+        return 200, response.as_dict(), "application/json"
+
+    def _route_capacity(self, body: bytes) -> Tuple[int, object, str]:
+        """Apply a coordinator capacity grant and report cell aggregates.
+
+        The request must name exactly this cell's resources.  The grant
+        is applied, the cell re-solves immediately (pending samples ride
+        along), and the response carries the per-resource sum of
+        re-scaled agent elasticities the coordinator needs for the next
+        Eq. 13 split.
+        """
+        request = CapacityRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
+        names = self.allocator.resource_names
+        if set(request.capacities) != set(names):
+            raise _HttpError(
+                400,
+                "unknown_resource",
+                f"grant must cover exactly {sorted(names)}, "
+                f"got {sorted(request.capacities)}",
+            )
+        self.allocator.set_capacities(
+            tuple(request.capacities[name] for name in names)
+        )
+        self._run_epoch(self._batcher.flush(), trigger="grant")
+        aggregate = self.allocator.aggregate_elasticities()
+        response = CapacityResponse(
+            epoch=self.current_epoch,
+            agents=self.allocator.agent_names,
+            capacities={name: float(self.allocator.capacities[r])
+                        for r, name in enumerate(names)},
+            aggregate_elasticity={
+                name: float(aggregate[r]) for r, name in enumerate(names)
+            },
         )
         return 200, response.as_dict(), "application/json"
 
@@ -518,7 +665,7 @@ class AllocationServer:
 
 
 class ServerThread:
-    """Run an :class:`AllocationServer` on a daemon thread.
+    """Run an :class:`HttpServerBase` server on a daemon thread.
 
     The blocking :class:`~repro.serve.client.ServeClient` (tests, smoke
     drivers, notebooks) needs the event loop running elsewhere::
@@ -527,9 +674,14 @@ class ServerThread:
         thread.start()           # blocks until the port is bound
         ...ServeClient("127.0.0.1", server.port)...
         thread.stop()
+
+    Works for both :class:`AllocationServer` and
+    :class:`~repro.serve.shard.ShardCoordinator` — anything with the
+    base lifecycle (``start`` / ``wait_stopped`` / ``stop`` /
+    ``request_stop_threadsafe``).
     """
 
-    def __init__(self, server: AllocationServer):
+    def __init__(self, server: HttpServerBase):
         self.server = server
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()

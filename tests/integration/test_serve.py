@@ -242,3 +242,155 @@ class TestCliSubprocess:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+
+@pytest.fixture()
+def slow_service():
+    """A server whose batcher never auto-flushes (max_delay is huge).
+
+    Samples stay pending until something *else* flushes them — exactly
+    the window in which the deregister-races-in-flight-samples bug
+    lived.
+    """
+    registry = MetricsRegistry()
+    allocator = DynamicAllocator(
+        {"freqmine": get_workload("freqmine"), "dedup": get_workload("dedup")},
+        capacities=(25.6, 4096.0),
+        seed=11,
+        metrics=registry,
+    )
+    server = AllocationServer(
+        allocator,
+        policy=BatchPolicy(max_delay=3600.0, max_batch=10_000),
+        metrics=registry,
+    )
+    thread = ServerThread(server).start()
+    client = ServeClient("127.0.0.1", server.port)
+    client.wait_ready(timeout=10)
+    yield server, client, registry
+    thread.stop()
+
+
+class TestOversizedRequestRegression:
+    """An oversized header/request line must be a clean 4xx, not a hang.
+
+    ``StreamReader.readline`` raises ``ValueError`` (wrapping
+    ``LimitOverrunError``) past the 64 KiB stream limit; before the fix
+    that escaped ``_handle_connection`` — the client hung with no
+    response and the handler task died with an unhandled traceback.
+    """
+
+    def test_oversized_header_is_a_431(self, service):
+        server, client, registry = service
+        blob = (
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+            b"X-Padding: " + b"a" * (128 * 1024) + b"\r\n\r\n"
+        )
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 431 "), response[:100]
+        assert b"header_too_large" in response
+        # The failure is counted like any other request...
+        counter = registry.get(
+            "repro_serve_requests_total", route="unparsed", status="431"
+        )
+        assert counter is not None and counter.value >= 1
+        # ...and the service lives on.
+        assert client.health().status == "ok"
+
+    def test_oversized_request_line_is_a_431(self, service):
+        server, client, _ = service
+        blob = b"GET /" + b"x" * (128 * 1024) + b" HTTP/1.1\r\n\r\n"
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 431 ")
+        assert client.health().status == "ok"
+
+    def test_too_many_headers_is_a_431(self, service):
+        server, client, _ = service
+        headers = b"".join(b"X-H%d: v\r\n" % i for i in range(150))
+        blob = b"GET /healthz HTTP/1.1\r\n" + headers + b"\r\n"
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 431 ")
+        assert client.health().status == "ok"
+
+
+class TestOrphanedSampleRegression:
+    """Deregister racing in-flight samples: dropped and counted, no crash.
+
+    ``_route_agents`` removes the agent and *then* folds the pending
+    batch into the churn re-solve, so samples addressed to the departed
+    agent reach the epoch with no owner.  They must be dropped at flush
+    time under ``repro_serve_orphaned_samples_total``.
+    """
+
+    def test_orphans_are_dropped_and_counted(self, slow_service):
+        server, client, registry = slow_service
+        client.register("late", "canneal")
+        # Queue samples for 'late'; nothing flushes them (huge max_delay).
+        for i in range(3):
+            client.submit_sample("late", 2.0 + 0.1 * i, 256.0, 0.9)
+        client.submit_sample("freqmine", 3.0, 512.0, 1.1)
+        assert server.pending_samples == 4
+        # The deregister's churn re-solve folds the flush: 3 orphans.
+        client.deregister("late")
+        assert server.pending_samples == 0
+        orphaned = registry.get("repro_serve_orphaned_samples_total")
+        assert orphaned is not None and orphaned.value == 3
+        by_outcome = registry.get("repro_serve_samples_total", outcome="orphaned")
+        assert by_outcome is not None and by_outcome.value == 3
+        accepted = registry.get("repro_serve_samples_total", outcome="accepted")
+        assert accepted is not None and accepted.value >= 1
+        # Service healthy, allocation excludes the departed agent.
+        allocation = client.allocation()
+        assert allocation.feasible
+        assert "late" not in allocation.shares
+
+    def test_no_orphans_on_clean_flush(self, slow_service):
+        server, client, registry = slow_service
+        client.submit_sample("freqmine", 3.0, 512.0, 1.1)
+        client.register("late", "canneal")  # churn flushes the sample
+        assert server.pending_samples == 0
+        assert registry.get("repro_serve_orphaned_samples_total") is None
+
+
+class TestCapacityGrants:
+    def test_grant_reshapes_the_allocation(self, service):
+        _, client, _ = service
+        before = client.allocation()
+        assert before.capacities["membw_gbps"] == pytest.approx(25.6)
+        response = client.grant_capacity({"membw_gbps": 12.8, "cache_kb": 2048.0})
+        assert set(response.aggregate_elasticity) == {"membw_gbps", "cache_kb"}
+        assert response.capacities == {"membw_gbps": 12.8, "cache_kb": 2048.0}
+        after = client.allocation()
+        assert after.capacities["membw_gbps"] == pytest.approx(12.8)
+        assert after.feasible
+        total_bw = sum(b["membw_gbps"] for b in after.shares.values())
+        assert total_bw <= 12.8 * (1 + 1e-9)
+
+    def test_grant_aggregate_matches_eq12_sum(self, service):
+        server, client, _ = service
+        response = client.grant_capacity({"membw_gbps": 25.6, "cache_kb": 4096.0})
+        # Aggregates are sums of re-scaled (Eq. 12) elasticities, so
+        # they sum to the agent count across resources.
+        total = sum(response.aggregate_elasticity.values())
+        assert total == pytest.approx(len(server.allocator.agent_names))
+
+    def test_grant_with_wrong_resources_is_a_400(self, service):
+        _, client, _ = service
+        with pytest.raises(ServeError) as excinfo:
+            client.grant_capacity({"membw_gbps": 1.0, "gpus": 2.0})
+        assert excinfo.value.status == 400
+        assert excinfo.value.error == "unknown_resource"
+
+    def test_grant_with_non_positive_capacity_is_a_400(self, service):
+        server, client, _ = service
+        # The typed client refuses to build this request, so go raw to
+        # prove the *server* rejects it too.
+        body = b'{"capacities": {"membw_gbps": 0.0, "cache_kb": 1.0}}'
+        blob = (
+            b"POST /v1/capacity HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        response = _raw_request(server.port, blob)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"finite and positive" in response
+        assert client.health().status == "ok"

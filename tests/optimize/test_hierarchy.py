@@ -1,0 +1,129 @@
+"""Hierarchical Eq. 13 split: parity against the flat solve.
+
+This is the correctness core of the sharded service: the coordinator's
+cell-granular capacity split followed by within-cell solves must
+reproduce the flat single-allocator allocation (the CI acceptance gate
+is 1e-6; in practice the gap is pure floating-point rounding).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import Agent, AllocationProblem
+from repro.core.utility import CobbDouglasUtility
+from repro.optimize import (
+    hierarchical_parity_gap,
+    solve_batch,
+    solve_hierarchical,
+    split_capacity,
+)
+
+
+def _random_problem(n_agents: int, seed: int) -> AllocationProblem:
+    rng = np.random.default_rng(seed)
+    agents = tuple(
+        Agent(f"a{i}", CobbDouglasUtility(rng.uniform(0.05, 1.0, 2)))
+        for i in range(n_agents)
+    )
+    return AllocationProblem(agents, (25.6, 8192.0), ("membw_gbps", "cache_kb"))
+
+
+def _round_robin(n_agents: int, n_cells: int):
+    return [
+        [f"a{i}" for i in range(n_agents) if i % n_cells == k]
+        for k in range(n_cells)
+    ]
+
+
+class TestParity:
+    @pytest.mark.parametrize("n_agents,n_cells", [(2, 2), (7, 3), (16, 4), (64, 8)])
+    def test_hierarchical_matches_flat_within_rounding(self, n_agents, n_cells):
+        problem = _random_problem(n_agents, seed=n_agents * 10 + n_cells)
+        gap = hierarchical_parity_gap(problem, _round_robin(n_agents, n_cells))
+        assert gap <= 1e-9  # far inside the 1e-6 acceptance gate
+
+    def test_single_cell_is_exactly_flat(self):
+        problem = _random_problem(5, seed=3)
+        flat = solve_batch([problem])[0]
+        hier, grants = solve_hierarchical(problem, [[f"a{i}" for i in range(5)]])
+        assert np.allclose(hier.shares, flat.shares, atol=0.0, rtol=0.0)
+        assert np.allclose(grants[0], problem.capacity_vector)
+
+    def test_skewed_partition_still_matches(self):
+        problem = _random_problem(9, seed=7)
+        cells = [["a0"], [f"a{i}" for i in range(1, 9)]]
+        assert hierarchical_parity_gap(problem, cells) <= 1e-9
+
+    def test_grants_partition_capacity_and_allocation_is_feasible(self):
+        problem = _random_problem(12, seed=5)
+        allocation, grants = solve_hierarchical(problem, _round_robin(12, 3))
+        assert np.allclose(grants.sum(axis=0), problem.capacity_vector)
+        assert allocation.is_feasible()
+        assert allocation.mechanism == "ref-hierarchical"
+
+    def test_result_is_in_flat_agent_order(self):
+        problem = _random_problem(6, seed=9)
+        # Cells listed out of order must not permute the output rows.
+        cells = [["a5", "a1"], ["a0", "a4"], ["a3", "a2"]]
+        flat = solve_batch([problem])[0]
+        hier, _ = solve_hierarchical(problem, cells)
+        assert np.max(np.abs(hier.shares - flat.shares)) <= 1e-9
+
+
+class TestSplitCapacity:
+    def test_proportional_to_aggregates(self):
+        aggregates = np.array([[2.0, 1.0], [1.0, 3.0]])
+        grants = split_capacity(aggregates, [2, 3], [12.0, 8.0])
+        assert np.allclose(grants[:, 0], [8.0, 4.0])
+        assert np.allclose(grants[:, 1], [2.0, 6.0])
+
+    def test_degenerate_column_splits_by_agent_count(self):
+        # A resource nobody has elasticity for falls back to the flat
+        # mechanism's equal-per-agent rule: grants follow cell sizes.
+        aggregates = np.array([[1.0, 0.0], [3.0, 0.0]])
+        grants = split_capacity(aggregates, [1, 3], [8.0, 100.0])
+        assert np.allclose(grants[:, 1], [25.0, 75.0])
+
+    def test_non_finite_aggregates_are_ignored(self):
+        aggregates = np.array([[np.nan, 1.0], [2.0, 1.0]])
+        grants = split_capacity(aggregates, [1, 1], [10.0, 10.0])
+        # NaN contributes nothing; cell 1 owns the whole first column
+        # (cell 0 keeps only the positivity floor).
+        assert grants[1, 0] == pytest.approx(10.0, rel=1e-9)
+        assert 0.0 < grants[0, 0] <= 1e-9
+
+    def test_columns_sum_to_capacity(self):
+        rng = np.random.default_rng(0)
+        aggregates = rng.uniform(0.0, 2.0, (5, 2))
+        grants = split_capacity(aggregates, [3, 1, 4, 2, 2], [25.6, 8192.0])
+        assert np.allclose(grants.sum(axis=0), [25.6, 8192.0])
+        assert np.all(grants > 0.0)
+
+    def test_rejects_bad_shapes_and_values(self):
+        with pytest.raises(ValueError, match=r"\(K, R\)"):
+            split_capacity(np.ones(3), [1], [1.0])
+        with pytest.raises(ValueError, match="counts"):
+            split_capacity(np.ones((2, 2)), [1], [1.0, 1.0])
+        with pytest.raises(ValueError, match="at least one agent"):
+            split_capacity(np.ones((2, 2)), [1, 0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="capacities"):
+            split_capacity(np.ones((2, 2)), [1, 1], [1.0, -1.0])
+
+
+class TestPartitionValidation:
+    def test_rejects_incomplete_partition(self):
+        problem = _random_problem(4, seed=1)
+        with pytest.raises(ValueError, match="do not cover"):
+            solve_hierarchical(problem, [["a0", "a1"]])
+
+    def test_rejects_duplicate_membership(self):
+        problem = _random_problem(3, seed=1)
+        with pytest.raises(ValueError, match="two cells"):
+            solve_hierarchical(problem, [["a0", "a1"], ["a1", "a2"]])
+
+    def test_rejects_unknown_agent_and_empty_cell(self):
+        problem = _random_problem(3, seed=1)
+        with pytest.raises(ValueError, match="unknown agent"):
+            solve_hierarchical(problem, [["a0", "zz"], ["a1", "a2"]])
+        with pytest.raises(ValueError, match="non-empty"):
+            solve_hierarchical(problem, [[], ["a0", "a1", "a2"]])

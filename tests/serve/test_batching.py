@@ -1,6 +1,8 @@
 """Batching policy unit tests — fake clock, no asyncio."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve import BatchPolicy, SampleBatcher
 
@@ -89,3 +91,76 @@ class TestSampleBatcher:
         batch = batcher.poll(now=100.1)
         assert batch is not None and len(batch) == 10
         assert batcher.total_batches == 1
+
+
+class TestClockSkewProperties:
+    """A backwards-stepping clock must never corrupt the batcher.
+
+    ``loop.time()`` is monotonic, but the batcher is clock-agnostic and
+    smoke/test drivers feed it whatever they like; NTP-style skew in a
+    caller must degrade to "waits a bit longer", never to a negative age
+    or a deadline that can no longer expire.
+    """
+
+    # Each event is (is_add, now); now values may jump backwards freely.
+    _events = st.lists(
+        st.tuples(
+            st.booleans(),
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(events=_events)
+    @settings(max_examples=200, deadline=None)
+    def test_age_never_negative_and_deadline_never_stuck(self, events):
+        policy = BatchPolicy(max_delay=0.5, max_batch=1000)
+        batcher = SampleBatcher(policy)
+        added = 0
+        flushed = 0
+        for is_add, now in events:
+            if is_add:
+                batch = batcher.add(added, now=now)
+                added += 1
+            else:
+                batch = batcher.poll(now=now)
+            flushed += len(batch) if batch else 0
+            # Age is clamped: a clock that stepped backwards reads 0.
+            for probe in (now, now - 123.4):
+                assert batcher.oldest_age(probe) >= 0.0
+            deadline = batcher.next_deadline(now)
+            assert (deadline is None) == (batcher.pending == 0)
+
+        # The deadline is never stuck: one poll past the latest clock
+        # value plus the delay drains everything still pending.
+        assert flushed + batcher.pending == added
+        if batcher.pending:
+            stuck = batcher.pending
+            # Comfortably past the deadline (exact-boundary fp rounding
+            # is not the property under test).
+            drain_at = max(now for _, now in events) + 2.0 * policy.max_delay
+            batch = batcher.poll(now=drain_at)
+            assert batch is not None and len(batch) == stuck
+            assert batcher.pending == 0
+
+    @given(
+        start=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        skew=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_backwards_step_only_delays_the_flush(self, start, skew):
+        policy = BatchPolicy(max_delay=1.0, max_batch=1000)
+        batcher = SampleBatcher(policy)
+        batcher.add("sample", now=start)
+        # The clock steps backwards by `skew`: nothing flushes early...
+        behind = start - skew
+        assert batcher.oldest_age(behind) == 0.0
+        assert batcher.poll(now=behind) is None
+        # ...and once real time passes the original deadline, it flushes.
+        assert batcher.poll(now=start + 2.0 * policy.max_delay) == ["sample"]

@@ -1,0 +1,100 @@
+"""Rendezvous placement and coordinator seeding — pure logic, no sockets."""
+
+import pytest
+
+from repro.serve import ShardCoordinator, cell_for
+from repro.serve.shard import CellWorker
+
+
+class TestCellFor:
+    def test_deterministic(self):
+        cells = ["cell-0", "cell-1", "cell-2"]
+        for agent in ("freqmine", "dedup", "a" * 100, "Ω-agent"):
+            assert cell_for(agent, cells) == cell_for(agent, list(cells))
+
+    def test_spread_is_not_degenerate(self):
+        # 200 agents over 4 cells: rendezvous hashing should land some
+        # agents on every cell (probability of an empty cell ~ 4e-25).
+        cells = [f"cell-{k}" for k in range(4)]
+        owners = {cell_for(f"agent-{i}", cells) for i in range(200)}
+        assert owners == set(cells)
+
+    def test_removal_moves_only_the_dead_cells_agents(self):
+        # The minimal-disruption property: dropping one cell re-homes
+        # exactly the agents it owned; everyone else stays put.
+        cells = [f"cell-{k}" for k in range(4)]
+        agents = [f"agent-{i}" for i in range(100)]
+        before = {agent: cell_for(agent, cells) for agent in agents}
+        survivors = [cell for cell in cells if cell != "cell-2"]
+        after = {agent: cell_for(agent, survivors) for agent in agents}
+        for agent in agents:
+            if before[agent] != "cell-2":
+                assert after[agent] == before[agent]
+            else:
+                assert after[agent] in survivors
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            cell_for("agent", [])
+
+
+class TestSeedPlacement:
+    def _coordinator(self, workloads, cells):
+        return ShardCoordinator(workloads, capacities=(25.6, 4096.0), cells=cells)
+
+    def test_every_cell_seeded_non_empty(self):
+        workloads = {f"agent-{i}": "freqmine" for i in range(5)}
+        coordinator = self._coordinator(workloads, cells=4)
+        coordinator._seed_placement()
+        assert all(cell.agents for cell in coordinator.cells)
+        placed = [a for cell in coordinator.cells for a in cell.agents]
+        assert sorted(placed) == sorted(workloads)
+
+    def test_seeding_is_deterministic(self):
+        workloads = {f"agent-{i}": "dedup" for i in range(8)}
+        first = self._coordinator(workloads, cells=3)
+        second = self._coordinator(workloads, cells=3)
+        first._seed_placement()
+        second._seed_placement()
+        for a, b in zip(first.cells, second.cells):
+            assert sorted(a.agents) == sorted(b.agents)
+
+    def test_requires_one_agent_per_cell(self):
+        with pytest.raises(ValueError, match="seed agent per cell"):
+            self._coordinator({"only": "freqmine"}, cells=2)
+
+    def test_rejects_unknown_benchmark_and_bad_capacities(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            ShardCoordinator({"a": "nope"}, capacities=(1.0, 1.0), cells=1)
+        with pytest.raises(ValueError, match="positive"):
+            ShardCoordinator({"a": "freqmine"}, capacities=(0.0, 1.0), cells=1)
+
+    def test_new_agent_placement_uses_live_cells_only(self):
+        workloads = {f"agent-{i}": "freqmine" for i in range(4)}
+        coordinator = self._coordinator(workloads, cells=2)
+        coordinator._seed_placement()
+        coordinator.cells[0].alive = True
+        coordinator.cells[1].alive = True
+        full = coordinator._place("newcomer").name
+        coordinator.cells[0].alive = False
+        assert coordinator._place("newcomer").name == "cell-1"
+        coordinator.cells[0].alive = True
+        assert coordinator._place("newcomer").name == full
+
+
+class TestCellWorkerHandle:
+    def test_info_reflects_state(self):
+        worker = CellWorker("cell-7", ["true"])
+        worker.agents = {"x": "freqmine"}
+        worker.grant = {"membw_gbps": 1.0, "cache_kb": 2.0}
+        info = worker.info()
+        assert info.cell == "cell-7"
+        assert info.alive is False
+        assert info.pid == -1
+        assert info.agents == ("x",)
+        assert info.grant == {"membw_gbps": 1.0, "cache_kb": 2.0}
+
+    def test_poll_dead_without_process(self):
+        worker = CellWorker("cell-0", ["true"])
+        assert worker.poll_dead() is True  # never spawned = not alive
+        worker.terminate()  # no-op, must not raise
