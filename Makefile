@@ -2,8 +2,9 @@
 #
 # The CI workflow (.github/workflows/ci.yml) runs these same targets —
 # lint, test, coverage, smoke, bench-kernel, bench-solver,
-# cold-start-check, dynamic-smoke, serve-smoke — so `make ci`
-# reproduces a full CI run locally with zero drift.
+# cold-start-check, dynamic-smoke, serve-smoke, shard-smoke,
+# credit-smoke — so `make ci` reproduces a full CI run locally with
+# zero drift.
 
 PYTHON ?= python
 JOBS ?= 2
@@ -16,7 +17,8 @@ COV_FLOOR ?= 80
 
 .PHONY: install test coverage bench bench-kernel bench-serve bench-solver \
 	cold-start-check examples reproduce \
-	lint smoke dynamic-smoke metrics-smoke serve-smoke shard-smoke ci clean
+	lint smoke dynamic-smoke metrics-smoke serve-smoke shard-smoke \
+	credit-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -106,6 +108,7 @@ dynamic-smoke:
 		| tee $(SMOKE_CACHE).dynamic.txt
 	grep -q "feasible=True" $(SMOKE_CACHE).dynamic.txt
 	$(PYTHON) benchmarks/check_dynamic_metrics.py $(SMOKE_CACHE).dynamic-metrics.json 200
+	$(PYTHON) benchmarks/mechanism_sweep.py
 	@echo "dynamic-smoke OK: 200 faulty, churning epochs; all feasible; metrics covered"
 
 # Extra local check (subsumed by dynamic-smoke in CI): a 50-epoch run's
@@ -135,11 +138,18 @@ serve-smoke:
 shard-smoke:
 	$(PYTHON) benchmarks/shard_smoke.py
 
+# The CI credit-smoke job, runnable locally: 300 epochs of
+# `repro dynamic --mechanism credit` under bursty churn (feasible
+# throughout, balance gauges inside the bank bound) plus the horizon
+# harness proving windowed SI/EF hold where per-epoch SI is traded.
+credit-smoke:
+	$(PYTHON) benchmarks/credit_smoke.py
+
 # Mirrors .github/workflows/ci.yml job for job.  Coverage needs
 # pytest-cov; when it is missing locally the leg is skipped with a
 # notice instead of failing the whole run.
 ci: lint test smoke bench-kernel bench-solver cold-start-check dynamic-smoke \
-		serve-smoke shard-smoke bench-serve
+		serve-smoke shard-smoke credit-smoke bench-serve
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(MAKE) coverage; \
 	else \

@@ -1,0 +1,147 @@
+"""CI ``credit-smoke`` driver (also ``make credit-smoke``).
+
+End-to-end exercise of the credit mechanism's temporal-fairness story:
+
+1. **Service path**: ``repro dynamic --mechanism credit`` in-process for
+   300 epochs of bursty churn (two agents join and leave mid-run),
+   asserting the run stays feasible, the ``--metrics-out`` artifact
+   covers every epoch, every ``repro_credit_balance`` gauge respects the
+   bank bound, and credit actually flowed (banked and spent counters are
+   both positive).
+2. **Horizon harness**: :func:`repro.experiments.credit_horizon
+   .run_credit_horizon` on the bursty two-agent schedule, asserting the
+   headline claim — per-epoch sharing incentives are violated while the
+   windowed forms (SI and envy-freeness over tumbling windows) hold
+   within the telescoping credit tolerance.
+
+Exits non-zero on the first violation; prints a greppable
+``credit-smoke OK`` line on success.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+
+from repro.cli import main as repro_main
+from repro.experiments.credit_horizon import bursty_pair, run_credit_horizon
+from repro.obs import MetricsRegistry, parse_prometheus_text, to_prometheus
+
+EPOCHS = 300
+MAX_BALANCE = 0.5  # CreditMechanism default bank bound
+
+
+def _check_dynamic_service() -> int:
+    handle, metrics_path = tempfile.mkstemp(suffix=".json", prefix="credit-smoke-")
+    os.close(handle)
+    try:
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = repro_main(
+                [
+                    "dynamic",
+                    "--epochs", str(EPOCHS),
+                    "--seed", "2014",
+                    "--mechanism", "credit",
+                    "--churn", "60:add:late=canneal",
+                    "--churn", "120:remove:late",
+                    "--churn", "180:add:burst=x264",
+                    "--churn", "240:remove:burst",
+                    "--metrics-out", metrics_path,
+                    "--json",
+                ]
+            )
+        if code != 0:
+            print(f"FAIL: repro dynamic exited {code}", file=sys.stderr)
+            return 1
+        payload = json.loads(stdout.getvalue())
+        if payload.get("feasible") is not True or payload.get("epochs") != EPOCHS:
+            print(f"FAIL: bad dynamic summary {payload}", file=sys.stderr)
+            return 1
+
+        with open(metrics_path) as fh:
+            registry = MetricsRegistry.from_dict(json.load(fh))
+        epochs_total = registry.get("repro_dynamic_epochs_total")
+        if epochs_total is None or epochs_total.value != EPOCHS:
+            print(f"FAIL: epoch counter {epochs_total} != {EPOCHS}", file=sys.stderr)
+            return 1
+        samples = parse_prometheus_text(to_prometheus(registry))
+        balances = [s for s in samples if s["name"] == "repro_credit_balance"]
+        if not balances:
+            print("FAIL: no repro_credit_balance gauges exported", file=sys.stderr)
+            return 1
+        worst = max(abs(float(s["value"])) for s in balances)
+        if worst > MAX_BALANCE + 1e-9:
+            print(f"FAIL: |credit balance| {worst} > bank bound {MAX_BALANCE}",
+                  file=sys.stderr)
+            return 1
+        by_name = {}
+        for sample in samples:
+            by_name.setdefault(sample["name"], 0.0)
+            by_name[sample["name"]] += float(sample["value"])
+        if by_name.get("repro_credit_banked_total", 0.0) <= 0:
+            print("FAIL: no credit was ever banked", file=sys.stderr)
+            return 1
+        if by_name.get("repro_credit_spent_total", 0.0) <= 0:
+            print("FAIL: no credit was ever spent", file=sys.stderr)
+            return 1
+        print(
+            f"credit-smoke: dynamic service ran {EPOCHS} epochs with churn, "
+            f"max |balance| {worst:.3f} <= {MAX_BALANCE}, "
+            f"{len(balances)} balance gauges"
+        )
+        return 0
+    finally:
+        os.unlink(metrics_path)
+
+
+def _check_horizon_harness() -> int:
+    report = run_credit_horizon(bursty_pair(), epochs=EPOCHS, window=50)
+    if report.per_epoch_si_violations == 0:
+        print("FAIL: credit never traded per-epoch SI (nothing to verify)",
+              file=sys.stderr)
+        return 1
+    if not report.all_feasible:
+        print("FAIL: credit produced an infeasible epoch", file=sys.stderr)
+        return 1
+    if not report.windowed_si_ok:
+        print(f"FAIL: windowed SI margin {report.min_windowed_si_margin} < "
+              f"-{report.si_window_tolerance}", file=sys.stderr)
+        return 1
+    if not report.windowed_ef_ok:
+        print(f"FAIL: windowed envy {report.max_windowed_envy} too large",
+              file=sys.stderr)
+        return 1
+    if report.max_abs_balance > MAX_BALANCE + 1e-9:
+        print(f"FAIL: balance escaped the bank: {report.max_abs_balance}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"credit-smoke: horizon harness traded {report.per_epoch_si_violations}"
+        f"/{report.epochs} per-epoch SI violations for windowed SI margin "
+        f"{report.min_windowed_si_margin:+.2e} (tol {report.si_window_tolerance:.0e})"
+        f" and windowed envy {report.max_windowed_envy:.2e}"
+    )
+    return 0
+
+
+def main() -> int:
+    code = _check_dynamic_service()
+    if code != 0:
+        return code
+    code = _check_horizon_harness()
+    if code != 0:
+        return code
+    print(
+        f"credit-smoke OK: {EPOCHS}-epoch bursty-churn service run feasible, "
+        f"balances bounded, windowed SI/EF hold where per-epoch SI is traded"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""CI ``mechanism-sweep`` driver (part of ``make dynamic-smoke``).
+
+Runs ``repro dynamic`` in-process once per controller mechanism in the
+registry (:func:`repro.core.registry.controller_mechanism_names`), so a
+newly registered mechanism is exercised by CI automatically — no
+hand-maintained list to forget to update.  For each mechanism the sweep
+asserts that
+
+* the CLI exits 0,
+* the JSON summary reports ``feasible: true``,
+* every requested epoch actually ran.
+
+Exits non-zero on the first violation; prints a greppable
+``mechanism-sweep OK`` line on success.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+
+from repro.cli import main as repro_main
+from repro.core.registry import controller_mechanism_names
+
+EPOCHS = 4
+
+
+def main() -> int:
+    mechanisms = controller_mechanism_names()
+    for mechanism in mechanisms:
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = repro_main(
+                [
+                    "dynamic",
+                    "--epochs", str(EPOCHS),
+                    "--seed", "2014",
+                    "--mechanism", mechanism,
+                    "--json",
+                ]
+            )
+        if code != 0:
+            print(f"FAIL: {mechanism}: exit code {code}", file=sys.stderr)
+            return 1
+        payload = json.loads(stdout.getvalue())
+        if payload.get("feasible") is not True:
+            print(f"FAIL: {mechanism}: feasible={payload.get('feasible')}",
+                  file=sys.stderr)
+            return 1
+        if payload.get("epochs") != EPOCHS:
+            print(f"FAIL: {mechanism}: ran {payload.get('epochs')} epochs, "
+                  f"wanted {EPOCHS}", file=sys.stderr)
+            return 1
+    print(
+        f"mechanism-sweep OK: {len(mechanisms)} controller mechanisms "
+        f"({', '.join(mechanisms)}) x {EPOCHS} epochs, all feasible"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

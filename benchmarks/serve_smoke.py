@@ -20,14 +20,16 @@ Exits non-zero on the first violation; prints a greppable
 
 from __future__ import annotations
 
+import argparse
 import re
 import signal
 import subprocess
 import sys
 import threading
 import time
-from typing import List
+from typing import List, Optional
 
+from repro.core.registry import controller_mechanism_names
 from repro.obs import parse_prometheus_text
 from repro.serve import ServeClient
 from repro.sim.analytic import AnalyticMachine
@@ -79,11 +81,18 @@ class _SmokeClient(threading.Thread):
             self.errors.append(f"{self.agent}: {type(error).__name__}: {error}")
 
 
-def main() -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mechanism", default="ref", choices=controller_mechanism_names(),
+        help="controller mechanism the server runs (registry-sourced)",
+    )
+    args = parser.parse_args(argv)
     command = [
         sys.executable, "-m", "repro", "serve",
         "--port", "0", "--epoch-ms", "20", "--max-batch", "8",
         "--workloads", "freqmine,dedup",
+        "--mechanism", args.mechanism,
     ]
     proc = subprocess.Popen(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
@@ -115,6 +124,13 @@ def main() -> int:
         health = probe.health()
         if health.status != "ok" or health.epoch < TARGET_EPOCHS:
             print(f"FAIL: bad health {health}", file=sys.stderr)
+            return 1
+        if health.mechanism != args.mechanism:
+            print(
+                f"FAIL: health reports mechanism {health.mechanism!r}, "
+                f"wanted {args.mechanism!r}",
+                file=sys.stderr,
+            )
             return 1
 
         metrics_text = probe.metrics_text()
@@ -150,8 +166,8 @@ def main() -> int:
             print("FAIL: shutdown summary missing feasible=True", file=sys.stderr)
             return 1
         print(
-            f"serve-smoke OK: {len(threads)} clients, {health.epoch} epochs, "
-            f"{submitted} samples -> {epochs:.0f} solves, "
+            f"serve-smoke OK: {len(threads)} clients, {health.epoch} epochs "
+            f"({args.mechanism}), {submitted} samples -> {epochs:.0f} solves, "
             f"{len(samples)} metric samples parse, clean SIGTERM exit"
         )
         return 0

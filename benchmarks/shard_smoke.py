@@ -25,6 +25,7 @@ Exits non-zero on the first violation; prints a greppable
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import signal
@@ -32,8 +33,9 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.core.registry import hierarchical_mechanism_names
 from repro.obs import parse_prometheus_text
 from repro.serve import ServeClient
 from repro.sim.analytic import AnalyticMachine
@@ -49,7 +51,9 @@ REQUESTS_PER_WAVE = 20
 class _SmokeClient(threading.Thread):
     """One agent: a wave of measure-submit-read requests, then park."""
 
-    def __init__(self, benchmark: str, port: int, errors: List[str]):
+    def __init__(
+        self, benchmark: str, port: int, errors: List[str], expected_tag: str
+    ):
         super().__init__(name=f"shard-smoke-{benchmark}", daemon=True)
         self.agent = f"smoke_{benchmark}"
         self.benchmark = benchmark
@@ -57,6 +61,7 @@ class _SmokeClient(threading.Thread):
         self.machine = AnalyticMachine()
         self.client = ServeClient("127.0.0.1", port)
         self.errors = errors
+        self.expected_tag = expected_tag
         self.samples = 0
         self._go = threading.Event()
         self._done = threading.Event()
@@ -82,7 +87,7 @@ class _SmokeClient(threading.Thread):
                             f"{allocation.epoch}"
                         )
                         return
-                    if allocation.mechanism != "ref-hierarchical":
+                    if allocation.mechanism != self.expected_tag:
                         self.errors.append(
                             f"{self.agent}: unexpected mechanism "
                             f"{allocation.mechanism!r}"
@@ -114,12 +119,20 @@ def _run_wave(threads: List[_SmokeClient], errors: List[str], label: str) -> boo
     return True
 
 
-def main() -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mechanism", default="ref", choices=hierarchical_mechanism_names(),
+        help="within-cell mechanism the workers run (registry-sourced)",
+    )
+    args = parser.parse_args(argv)
+    expected_tag = f"{args.mechanism}-hierarchical"
     command = [
         sys.executable, "-m", "repro", "serve",
         "--port", "0", "--cells", str(CELLS),
         "--epoch-ms", "20", "--grant-ms", "80", "--max-batch", "8",
         "--agents", SEED_AGENTS,
+        "--mechanism", args.mechanism,
     ]
     proc = subprocess.Popen(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
@@ -141,7 +154,9 @@ def main() -> int:
             return 1
 
         errors: List[str] = []
-        threads = [_SmokeClient(b, port, errors) for b in CLIENT_BENCHMARKS]
+        threads = [
+            _SmokeClient(b, port, errors, expected_tag) for b in CLIENT_BENCHMARKS
+        ]
         for thread in threads:
             thread.start()
         time.sleep(0.2)  # registrations land before the first wave
@@ -240,9 +255,9 @@ def main() -> int:
             return 1
         submitted = sum(thread.samples for thread in threads)
         print(
-            f"shard-smoke OK: {CELLS} cells, {len(threads)} clients, "
-            f"{submitted} samples, 1 worker killed, {len(orphans)} agents "
-            f"rehashed, degraded fleet stayed feasible, clean SIGTERM exit"
+            f"shard-smoke OK: {CELLS} cells ({expected_tag}), {len(threads)} "
+            f"clients, {submitted} samples, 1 worker killed, {len(orphans)} "
+            f"agents rehashed, degraded fleet stayed feasible, clean SIGTERM exit"
         )
         return 0
     finally:

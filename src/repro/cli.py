@@ -46,40 +46,28 @@ from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
 
-#: Mechanism names accepted by ``allocate``/``cosim`` (static so the
-#: parser builds without importing the solver stack).
-CLI_MECHANISM_NAMES = (
-    "drf",
-    "equal-slowdown",
-    "max-welfare-fair",
-    "max-welfare-unfair",
-    "ref",
-)
+def _one_shot_mechanism_names():
+    from .core.registry import cli_mechanism_names
 
-#: Mechanisms the closed-loop ``dynamic``/``serve`` controller accepts.
-CONTROLLER_MECHANISM_NAMES = (
-    "equal-slowdown",
-    "max-welfare-fair",
-    "max-welfare-unfair",
-    "ref",
-)
+    return cli_mechanism_names()
+
+
+def _controller_mechanism_names():
+    from .core.registry import controller_mechanism_names
+
+    return controller_mechanism_names()
 
 
 def _run_cli_mechanism(name: str, problem):
-    """Resolve a CLI mechanism name and run it (imports deferred)."""
-    if name == "ref":
-        from .core import proportional_elasticity
+    """Resolve a CLI mechanism through the registry and run it once.
 
-        return proportional_elasticity(problem)
-    if name == "drf":
-        from .optimize import drf_allocation
+    The registry import is deferred: building the parser must not touch
+    NumPy (the cold-start budget), and a one-shot solve carries no
+    epoch state, so no context is passed.
+    """
+    from .core.registry import create_mechanism
 
-        return drf_allocation(problem)
-    from .optimize import equal_slowdown, max_nash_welfare
-
-    if name == "equal-slowdown":
-        return equal_slowdown(problem)
-    return max_nash_welfare(problem, fair=(name == "max-welfare-fair"))
+    return create_mechanism(name).solve(problem)
 
 
 class _LazyChoices:
@@ -128,6 +116,11 @@ def _mix_names() -> List[str]:
 
 _BENCHMARK_CHOICES = _LazyChoices(_benchmark_names)
 _MIX_CHOICES = _LazyChoices(_mix_names)
+#: Mechanism names accepted by ``allocate``/``cosim``: the registry's
+#: one-shot listing, resolved lazily so the parser builds import-light.
+CLI_MECHANISM_NAMES = _LazyChoices(_one_shot_mechanism_names)
+#: Mechanisms the closed-loop ``dynamic``/``serve`` controller accepts.
+CONTROLLER_MECHANISM_NAMES = _LazyChoices(_controller_mechanism_names)
 
 
 def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
@@ -243,7 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
     target.add_argument("--mix", choices=_MIX_CHOICES)
     target.add_argument("--workloads", help="comma-separated benchmark names")
     allocate.add_argument(
-        "--mechanism", choices=CLI_MECHANISM_NAMES, default="ref"
+        "--mechanism", choices=CLI_MECHANISM_NAMES, default="ref",
+        metavar="MECH",
+        help="one-shot mechanism from the registry (default: ref)",
     )
     allocate.add_argument(
         "--capacities",
@@ -268,7 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
         "cosim", help="co-simulate a mix on the shared machine under enforced shares"
     )
     cosim.add_argument("mix", choices=_MIX_CHOICES, metavar="MIX")
-    cosim.add_argument("--mechanism", choices=CLI_MECHANISM_NAMES, default="ref")
+    cosim.add_argument(
+        "--mechanism", choices=CLI_MECHANISM_NAMES, default="ref",
+        metavar="MECH",
+        help="one-shot mechanism from the registry (default: ref)",
+    )
     cosim.add_argument(
         "--policy", choices=["fcfs", "wfq", "stfm"], default="wfq",
         help="DRAM arbitration policy",
@@ -300,7 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--seed", type=int, default=0)
     dynamic.add_argument(
         "--mechanism", choices=CONTROLLER_MECHANISM_NAMES, default="ref",
-        help="per-epoch allocation mechanism (default: ref, closed form)",
+        metavar="MECH",
+        help="per-epoch controller mechanism from the registry "
+        "(default: ref, closed form)",
     )
     dynamic.add_argument(
         "--no-batch-refit", action="store_true",
@@ -393,7 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--mechanism", choices=CONTROLLER_MECHANISM_NAMES, default="ref",
-        help="per-epoch allocation mechanism (default: ref, closed form)",
+        metavar="MECH",
+        help="per-epoch controller mechanism from the registry "
+        "(default: ref, closed form; --cells > 1 needs a hierarchical one)",
     )
     serve.add_argument(
         "--metrics-out", metavar="FILE",
@@ -912,13 +915,18 @@ def _cmd_serve(args) -> int:
 
     if args.cells > 1:
         # Sharded: a hierarchical coordinator over N worker subprocesses
-        # (repro.serve.shard).  The mechanism is Eq. 13 at both levels.
+        # (repro.serve.shard).  Capacity splits are Eq. 13 on aggregate
+        # elasticities; the within-cell mechanism must compose with that
+        # split, which is what the registry's hierarchical flag records.
+        from .core.registry import hierarchical_mechanism_names
         from .serve import ShardCoordinator
 
-        if args.mechanism != "ref":
+        hierarchical = hierarchical_mechanism_names()
+        if args.mechanism not in hierarchical:
             raise SystemExit(
-                "--cells > 1 requires --mechanism ref (the hierarchical "
-                "capacity split is the Eq. 13 closed form)"
+                f"--cells > 1 requires a hierarchical mechanism "
+                f"({', '.join(hierarchical)}); {args.mechanism!r} does not "
+                f"compose with the Eq. 13 capacity split"
             )
         if len(benchmarks) < args.cells:
             raise SystemExit(
@@ -937,6 +945,7 @@ def _cmd_serve(args) -> int:
             grant_ms=args.grant_ms,
             decay=args.decay,
             seed=args.seed,
+            mechanism=args.mechanism,
         )
         _serve_event_loop(
             coordinator,

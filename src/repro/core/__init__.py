@@ -7,6 +7,19 @@ from .edgeworth import CurveSegment, EdgeworthBox
 from .fitting import CobbDouglasFit, fit_cobb_douglas, fit_cobb_douglas_batch
 from .leontief_fit import LeontiefFit, fit_leontief
 from .mechanism import Agent, Allocation, AllocationProblem, proportional_elasticity
+from .registry import (
+    MECHANISM_REGISTRY,
+    CreditMechanism,
+    Mechanism,
+    MechanismRegistry,
+    SolveContext,
+    cli_mechanism_names,
+    controller_mechanism_names,
+    create_mechanism,
+    hierarchical_mechanism_names,
+    mechanism_names,
+    register_mechanism,
+)
 from .properties import (
     FairnessReport,
     check_fairness,
@@ -40,6 +53,11 @@ __all__ = [
     "AllocationProblem",
     "BestResponse",
     "CobbDouglasFit",
+    "CreditMechanism",
+    "MECHANISM_REGISTRY",
+    "Mechanism",
+    "MechanismRegistry",
+    "SolveContext",
     "CompetitiveEquilibrium",
     "CobbDouglasUtility",
     "CurveSegment",
@@ -55,21 +73,27 @@ __all__ = [
     "check_fairness",
     "classify",
     "classify_many",
+    "cli_mechanism_names",
     "competitive_equilibrium",
+    "controller_mechanism_names",
+    "create_mechanism",
     "egalitarian_welfare",
     "envy_matrix",
     "fit_cobb_douglas",
     "fit_cobb_douglas_batch",
     "fit_leontief",
+    "hierarchical_mechanism_names",
     "is_envy_free",
     "is_pareto_efficient",
     "lying_utility",
     "manipulation_gain",
     "max_manipulation_gain",
+    "mechanism_names",
     "mrs_spread",
     "nash_bargaining",
     "nash_welfare",
     "proportional_elasticity",
+    "register_mechanism",
     "rescale_elasticities",
     "satisfies_sharing_incentives",
     "sharing_incentive_margins",

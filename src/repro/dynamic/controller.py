@@ -50,7 +50,12 @@ from ..core.mechanism import (
     Allocation,
     AllocationProblem,
     apply_allocation_floors,
-    proportional_elasticity,
+)
+from ..core.registry import (
+    SolveContext,
+    controller_mechanism_names,
+    create_mechanism,
+    mechanism_names,
 )
 from ..obs import MetricsRegistry, Tracer, timed
 from ..profiling.online import OnlineProfiler
@@ -243,14 +248,19 @@ class DynamicAllocator:
         private registry, exposed as ``allocator.metrics``; its event
         counters therefore match ``ControllerResult.counters`` exactly.
     mechanism:
-        Which allocation mechanism each epoch runs.  ``"ref"`` (the
-        default, Eq. 13) and ``"max-welfare-unfair"`` are closed-form —
-        the O(N·R) fast path, counted under
-        ``repro_solver_fast_path_total``.  ``"max-welfare-fair"`` and
-        ``"equal-slowdown"`` run the SLSQP log-space program,
+        Which allocation mechanism each epoch runs, resolved by name
+        through the :mod:`repro.core.registry` (any registered
+        controller-capable mechanism; ``MECHANISM_NAMES`` lists them).
+        ``"ref"`` (the default, Eq. 13), ``"max-welfare-unfair"`` and
+        ``"credit"`` are closed-form — the O(N·R) fast path, counted
+        under ``repro_solver_fast_path_total``.  ``"max-welfare-fair"``
+        and ``"equal-slowdown"`` run the SLSQP log-space program,
         warm-started from the previous epoch's enforced shares whenever
         the agent set is unchanged (hits/misses counted under
-        ``repro_solver_warm_starts_total``).
+        ``repro_solver_warm_starts_total``).  Stateful mechanisms
+        (``"credit"``) observe every enforced allocation and carry
+        per-agent state across epochs; snapshot/restore it through
+        :meth:`mechanism_state` / :meth:`load_mechanism_state`.
     batch_refit:
         When True (default) the agents' profilers defer re-fitting and
         the controller refits *every* dirty profiler in one
@@ -265,9 +275,11 @@ class DynamicAllocator:
     MIN_BANDWIDTH_GBPS = 0.4
     MIN_CACHE_KB = 64.0
 
-    #: Mechanisms the controller can run; the first two are closed-form.
-    FAST_PATH_MECHANISMS = ("ref", "max-welfare-unfair")
-    MECHANISM_NAMES = FAST_PATH_MECHANISMS + ("max-welfare-fair", "equal-slowdown")
+    #: Mechanisms the controller can run (registry-derived: every
+    #: controller-capable registration is accepted automatically).
+    MECHANISM_NAMES = controller_mechanism_names()
+    #: The closed-form subset — no SLSQP process starts on this path.
+    FAST_PATH_MECHANISMS = mechanism_names(controller=True, fast_path=True)
 
     def __init__(
         self,
@@ -314,6 +326,8 @@ class DynamicAllocator:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = Tracer(metrics=self.metrics)
         self.mechanism = mechanism
+        self._mechanism_impl = create_mechanism(mechanism)
+        self._fallback_impl = create_mechanism("equal-split-fallback")
         self.batch_refit = batch_refit
         self._last_enforced_shares: Optional[np.ndarray] = None
         self._last_agent_order: Tuple[str, ...] = ()
@@ -343,6 +357,18 @@ class DynamicAllocator:
             raise ValueError("cannot remove the last agent")
         del self.workloads[name]
         del self._profilers[name]
+        self._mechanism_impl.forget_agent(name)
+
+    # ------------------------------------------------------------------
+    # Mechanism state (checkpoint/restore for stateful mechanisms)
+
+    def mechanism_state(self) -> Dict:
+        """JSON-serializable snapshot of the mechanism's persistent state."""
+        return self._mechanism_impl.state_dict()
+
+    def load_mechanism_state(self, state: Dict) -> None:
+        """Restore a snapshot produced by :meth:`mechanism_state`."""
+        self._mechanism_impl.load_state_dict(state)
 
     @property
     def agent_names(self) -> Tuple[str, ...]:
@@ -532,63 +558,33 @@ class DynamicAllocator:
     def _allocate(self, epoch: int, events: List[EpochEvent]) -> Allocation:
         """Run the configured mechanism; equal split if it fails.
 
-        The closed-form mechanisms (the default) are O(N·R) — no SLSQP
-        process ever starts on the fast path.  The constrained variants
-        warm-start SLSQP from the previous epoch's enforced shares
-        whenever the agent set is unchanged, collapsing the multi-start
-        sweep to a single solver run on stable epochs.
+        The mechanism is a registry strategy object: closed-form ones
+        (the default) are O(N·R) — no SLSQP process ever starts on the
+        fast path — while warm-startable ones receive the previous
+        epoch's enforced shares whenever the agent set is unchanged,
+        collapsing the multi-start sweep to a single solver run on
+        stable epochs.  Telemetry counting lives in
+        :meth:`repro.core.registry.Mechanism.solve`.
         """
         names = tuple(self.workloads)
         agents = [Agent(name, self._profilers[name].utility) for name in names]
         problem = AllocationProblem(agents, self.capacities, ("membw_gbps", "cache_kb"))
+        warm = None
+        if (
+            self._mechanism_impl.warm_startable
+            and self._last_enforced_shares is not None
+            and self._last_agent_order == names
+            and self._last_enforced_shares.shape == (problem.n_agents, problem.n_resources)
+        ):
+            warm = self._last_enforced_shares
+        context = SolveContext(epoch=epoch, warm_shares=warm, metrics=self.metrics)
         try:
-            if self.mechanism in self.FAST_PATH_MECHANISMS:
-                self.metrics.counter(
-                    "repro_solver_fast_path_total",
-                    help="Epoch allocations served by a closed-form mechanism.",
-                    mechanism=self.mechanism,
-                ).inc()
-                if self.mechanism == "ref":
-                    return proportional_elasticity(problem)
-                from ..optimize.mechanisms import max_nash_welfare
-
-                return max_nash_welfare(problem, fair=False)
-
-            from ..optimize.mechanisms import equal_slowdown, max_nash_welfare
-
-            warm = None
-            if (
-                self._last_enforced_shares is not None
-                and self._last_agent_order == names
-                and self._last_enforced_shares.shape == (problem.n_agents, problem.n_resources)
-            ):
-                warm = self._last_enforced_shares
-            self.metrics.counter(
-                "repro_solver_warm_starts_total",
-                help="SLSQP epoch solves by warm-start availability.",
-                mechanism=self.mechanism,
-                outcome="hit" if warm is not None else "miss",
-            ).inc()
-            if self.mechanism == "max-welfare-fair":
-                return max_nash_welfare(
-                    problem,
-                    fair=True,
-                    initial_shares=warm,
-                    stop_on_first_success=warm is not None,
-                    metrics=self.metrics,
-                )
-            return equal_slowdown(
-                problem,
-                initial_shares=warm,
-                stop_on_first_success=warm is not None,
-                metrics=self.metrics,
-            )
+            return self._mechanism_impl.solve(problem, context)
         except (ValueError, FloatingPointError) as error:
             events.append(
                 EpochEvent(epoch, "allocation_fallback", detail=str(error)[:80])
             )
-            equal = np.tile(problem.equal_split, (problem.n_agents, 1))
-            return Allocation(problem=problem, shares=equal, mechanism="equal_split_fallback")
+            return self._fallback_impl.solve(problem, context)
 
     def _refit_pending(self) -> None:
         """Batched deferred re-fit: one stacked solve for every dirty profiler.
@@ -690,6 +686,15 @@ class DynamicAllocator:
 
         self._last_enforced_shares = enforced.shares.copy()
         self._last_agent_order = tuple(names)
+
+        if self._mechanism_impl.stateful:
+            # Stateful mechanisms (credit) learn from what agents
+            # actually ran at — the floor-projected allocation, whose
+            # columns partition capacity exactly.
+            for kind, agent, detail in self._mechanism_impl.observe(
+                enforced, epoch=epoch, metrics=self.metrics
+            ):
+                events.append(EpochEvent(epoch, kind, agent, detail))
 
         measured: Dict[str, float] = {}
         reported: Dict[str, np.ndarray] = {}

@@ -10,6 +10,7 @@ or from the shell: ``python -m repro reproduce fig13``.
 """
 
 from . import (  # noqa: F401  (imported for registration side effects)
+    credit_horizon,
     edgeworth_box,
     elasticities,
     fit_quality,

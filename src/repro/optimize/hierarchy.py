@@ -69,9 +69,11 @@ def split_capacity(
 
     Returns
     -------
-    ``(K, R)`` grant matrix whose columns each sum exactly to ``C_r``
-    (floored at ``MIN_GRANT_FRACTION * C_r`` per cell so downstream
-    sub-problems keep strictly positive capacities).
+    ``(K, R)`` grant matrix whose columns each sum exactly to ``C_r``.
+    Grants are floored at ``MIN_GRANT_FRACTION * C_r`` per cell so
+    downstream sub-problems keep strictly positive capacities, and the
+    non-floored entries are renormalized after flooring so the floor
+    never over-commits global capacity.
     """
     agg = np.asarray(aggregates, dtype=float)
     if agg.ndim != 2:
@@ -106,7 +108,31 @@ def split_capacity(
             equal, (n_cells, int(degenerate.sum()))
         )
     grants = share * caps
-    grants = np.maximum(grants, caps * MIN_GRANT_FRACTION)
+    # Floor zero/tiny grants so every sub-problem keeps strictly
+    # positive capacities — then renormalize the *unfloored* entries so
+    # each column still sums exactly to C_r.  Flooring alone would
+    # over-commit: K cells of which F sit at the floor would sum to
+    # C_r * (1 + F * MIN_GRANT_FRACTION), handing workers more capacity
+    # than exists.  Lifting an entry to the floor can in principle push
+    # another below it, so iterate pin-and-rescale (same idiom as
+    # ``project_to_floors``); with floors this small one pass suffices
+    # in practice, and K rounds is a hard upper bound.
+    floor = caps * MIN_GRANT_FRACTION
+    for _ in range(n_cells):
+        pinned = grants <= floor
+        if pinned.all(axis=0).any():  # pragma: no cover - floors are ~1e-12 * C
+            raise ValueError(
+                "MIN_GRANT_FRACTION floors are infeasible for this cell count"
+            )
+        free_target = caps - pinned.sum(axis=0) * floor
+        free_total = np.where(pinned, 0.0, grants).sum(axis=0)
+        safe_total = np.where(free_total > 0.0, free_total, 1.0)
+        scale = np.where(free_total > 0.0, free_target / safe_total, 1.0)
+        rescaled = np.where(pinned, floor, grants * scale)
+        if np.all(rescaled >= floor):
+            grants = rescaled
+            break
+        grants = np.where(rescaled < floor, 0.0, rescaled)  # pin and retry
     return grants
 
 

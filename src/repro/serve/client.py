@@ -13,7 +13,7 @@ import http.client
 import json
 import socket
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from .protocol import (
     AgentResponse,
@@ -146,19 +146,37 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Conveniences
 
-    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> HealthResponse:
-        """Poll ``/healthz`` until the service answers (or raise TimeoutError)."""
+    def wait_ready(
+        self,
+        timeout: float = 10.0,
+        interval: float = 0.05,
+        require: "str | Sequence[str]" = ("ok", "degraded"),
+    ) -> HealthResponse:
+        """Poll ``/healthz`` until the service is serving (or raise TimeoutError).
+
+        A *degraded* sharded coordinator — alive and serving after a
+        worker death — counts as ready by default: the health object is
+        returned and callers branch on ``health.status``.  Callers that
+        genuinely need a fully healthy fleet pass ``require="ok"`` (a
+        single status or any sequence of acceptable statuses).
+        """
+        accepted = (require,) if isinstance(require, str) else tuple(require)
         deadline = time.monotonic() + timeout
         last_error: Optional[Exception] = None
+        last_status: Optional[str] = None
         while time.monotonic() < deadline:
             try:
                 health = self.health()
-                if health.status == "ok":
+                last_status = health.status
+                if health.status in accepted:
                     return health
             except (OSError, socket.timeout, ServeError, ValueError) as error:
                 last_error = error
             time.sleep(interval)
-        raise TimeoutError(f"service not ready after {timeout}s: {last_error}")
+        detail = (
+            f"last status {last_status!r}" if last_status is not None else last_error
+        )
+        raise TimeoutError(f"service not ready after {timeout}s: {detail}")
 
     def wait_for_epoch(self, epoch: int, timeout: float = 10.0) -> HealthResponse:
         """Block until the service has completed at least ``epoch`` epochs."""

@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from ..core.registry import hierarchical_mechanism_names
 from ..obs import MetricsRegistry, global_registry, to_prometheus
 from ..optimize.hierarchy import split_capacity
 from ..workloads import BENCHMARKS
@@ -201,6 +202,10 @@ class ShardCoordinator(HttpServerBase):
     grant_ms:
         Coordinator grant-round period.  Defaults to ``4 * epoch_ms`` so
         each cell solves a few epochs per grant regime.
+    mechanism:
+        Within-cell mechanism every worker runs.  Must be *hierarchical*
+        (compose with the Eq. 13 capacity split) — see
+        :func:`repro.core.registry.hierarchical_mechanism_names`.
     python:
         Interpreter used to spawn workers (defaults to this one).
     """
@@ -218,11 +223,19 @@ class ShardCoordinator(HttpServerBase):
         decay: float = 0.85,
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        mechanism: str = "ref",
         python: Optional[str] = None,
     ):
         super().__init__(host=host, port=port, metrics=metrics)
         if cells < 1:
             raise ValueError(f"cells must be >= 1, got {cells}")
+        hierarchical = hierarchical_mechanism_names()
+        if mechanism not in hierarchical:
+            raise ValueError(
+                f"mechanism must be hierarchical ({', '.join(hierarchical)}), "
+                f"got {mechanism!r}"
+            )
+        self.mechanism = mechanism
         if len(workloads) < cells:
             raise ValueError(
                 f"need at least one seed agent per cell: {len(workloads)} "
@@ -332,6 +345,8 @@ class ShardCoordinator(HttpServerBase):
                 str(self.max_batch),
                 "--decay",
                 f"{self.decay:g}",
+                "--mechanism",
+                self.mechanism,
                 "--seed",
                 str(self.seed + k),
             ]
@@ -672,7 +687,7 @@ class ShardCoordinator(HttpServerBase):
         self._last_feasible = feasible
         return AllocationResponse(
             epoch=self._epoch - 1,
-            mechanism="ref-hierarchical",
+            mechanism=f"{self.mechanism}-hierarchical",
             feasible=feasible,
             capacities=dict(
                 zip(self.resource_names, map(float, self.capacities))
@@ -704,7 +719,7 @@ class ShardCoordinator(HttpServerBase):
             agents=tuple(sorted(self.workloads)),
             pending_samples=0,  # pending batches live in the cells
             uptime_seconds=max(0.0, uptime),
-            mechanism="ref-hierarchical",
+            mechanism=f"{self.mechanism}-hierarchical",
         )
         return 200, response.as_dict(), "application/json"
 

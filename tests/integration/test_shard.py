@@ -24,7 +24,7 @@ WORKLOADS = {
 CAPACITIES = (25.6, 4096.0)
 
 
-def _start(cells: int, workloads=None):
+def _start(cells: int, workloads=None, mechanism: str = "ref"):
     registry = MetricsRegistry()
     coordinator = ShardCoordinator(
         dict(workloads or WORKLOADS),
@@ -33,6 +33,7 @@ def _start(cells: int, workloads=None):
         epoch_ms=20.0,
         grant_ms=60.0,
         metrics=registry,
+        mechanism=mechanism,
     )
     thread = ServerThread(coordinator).start(timeout=60)
     client = ServeClient("127.0.0.1", coordinator.port)
@@ -138,6 +139,34 @@ class TestShardedService:
         assert health.mechanism == "ref-hierarchical"
 
 
+class TestShardedCredit:
+    def test_rejects_non_hierarchical_mechanisms(self):
+        with pytest.raises(ValueError, match="hierarchical"):
+            ShardCoordinator(
+                dict(WORKLOADS),
+                capacities=CAPACITIES,
+                cells=2,
+                mechanism="max-welfare-fair",
+            )
+
+    def test_credit_cells_report_the_hierarchical_tag(self):
+        coordinator, thread, client, _registry = _start(cells=2, mechanism="credit")
+        try:
+            health = client.health()
+            assert health.status == "ok"
+            assert health.mechanism == "credit-hierarchical"
+            allocation = client.allocation()
+            assert allocation.mechanism == "credit-hierarchical"
+            assert allocation.feasible
+            assert set(allocation.shares) == set(WORKLOADS)
+            # Every worker really runs credit within its cell.
+            for cell in client.cells().cells:
+                direct = ServeClient(cell.host, cell.port)
+                assert direct.health().mechanism == "credit"
+        finally:
+            thread.stop(timeout=30)
+
+
 class TestCellDeath:
     def test_killed_worker_rehashes_agents_to_survivor(self):
         coordinator, thread, client, registry = _start(cells=2)
@@ -180,3 +209,24 @@ class TestCellDeath:
         finally:
             thread.stop(timeout=30)
         assert "feasible=True" in coordinator.summary_line()
+
+    def test_wait_ready_accepts_a_degraded_coordinator(self):
+        # Regression: wait_ready only accepted status == "ok", so a
+        # coordinator that had lost a worker — alive, serving, merely
+        # degraded — made every client spin until TimeoutError.
+        coordinator, thread, client, _registry = _start(cells=2)
+        try:
+            victim = client.cells().cells[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 20
+            while client.health().status != "degraded":
+                assert time.monotonic() < deadline, "coordinator never degraded"
+                time.sleep(0.1)
+
+            health = client.wait_ready(timeout=5)
+            assert health.status == "degraded"
+            # Callers that need a fully healthy fleet can still insist.
+            with pytest.raises(TimeoutError, match="degraded"):
+                client.wait_ready(timeout=0.5, require="ok")
+        finally:
+            thread.stop(timeout=30)

@@ -8,6 +8,8 @@ is 1e-6; in practice the gap is pure floating-point rounding).
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.mechanism import Agent, AllocationProblem
 from repro.core.utility import CobbDouglasUtility
@@ -98,6 +100,76 @@ class TestSplitCapacity:
         grants = split_capacity(aggregates, [3, 1, 4, 2, 2], [25.6, 8192.0])
         assert np.allclose(grants.sum(axis=0), [25.6, 8192.0])
         assert np.all(grants > 0.0)
+
+    def test_zero_elasticity_cell_does_not_overcommit(self):
+        # Regression: a cell whose aggregate is zero in a column gets
+        # the positivity floor, and the floor used to be added *after*
+        # the shares were computed — the column then summed to
+        # C * (1 + 1e-12), handing workers more capacity than exists.
+        # Post-floor renormalization keeps the sum exact.
+        aggregates = np.array([[0.0, 0.0], [4.0, 1.0], [2.0, 3.0]])
+        caps = np.array([25.6, 8192.0])
+        grants = split_capacity(aggregates, [1, 2, 3], caps)
+        assert np.all(grants > 0.0)
+        np.testing.assert_allclose(grants.sum(axis=0), caps, rtol=1e-12)
+        assert np.all(grants.sum(axis=0) <= caps * (1 + 1e-15))
+
+    def test_zero_elasticity_cell_keeps_hierarchical_parity(self):
+        # The same shape driven through the full hierarchical solve: one
+        # cell's agents have (rescaled) elasticity ~0 for resource 0, so
+        # its grant there sits at the floor; parity with the flat solve
+        # and exact feasibility must both survive.
+        tiny = 1e-9
+        agents = tuple(
+            [
+                Agent(f"a{i}", CobbDouglasUtility((tiny, 1.0)))
+                for i in range(2)
+            ]
+            + [
+                Agent(f"a{i}", CobbDouglasUtility((0.7, 0.3)))
+                for i in range(2, 5)
+            ]
+        )
+        problem = AllocationProblem(agents, (25.6, 8192.0))
+        cells = [["a0", "a1"], ["a2", "a3", "a4"]]
+        assert hierarchical_parity_gap(problem, cells) <= 1e-6
+        allocation, grants = solve_hierarchical(problem, cells)
+        assert allocation.is_feasible()
+        np.testing.assert_allclose(
+            grants.sum(axis=0), problem.capacity_vector, rtol=1e-12
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        aggregates=st.lists(
+            st.lists(
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(min_value=1e-6, max_value=1e3),
+                ),
+                min_size=2,
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        caps=st.lists(
+            st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=2
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_columns_sum_exactly_for_any_aggregates(self, aggregates, caps, seed):
+        # Property: whatever the aggregate matrix (zeros included), the
+        # post-floor grant columns sum exactly to capacity, and every
+        # grant respects the positivity floor.
+        agg = np.asarray(aggregates)
+        counts = (
+            np.random.default_rng(seed).integers(1, 5, size=agg.shape[0]).tolist()
+        )
+        grants = split_capacity(agg, counts, caps)
+        caps = np.asarray(caps)
+        np.testing.assert_allclose(grants.sum(axis=0), caps, rtol=1e-9, atol=0.0)
+        assert np.all(grants >= caps * 1e-12 * (1 - 1e-9))
 
     def test_rejects_bad_shapes_and_values(self):
         with pytest.raises(ValueError, match=r"\(K, R\)"):

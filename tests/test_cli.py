@@ -496,6 +496,45 @@ class TestMechanismFlag:
         args = build_parser().parse_args(["serve", "--mechanism", "max-welfare-fair"])
         assert args.mechanism == "max-welfare-fair"
 
+    def test_dynamic_and_serve_accept_credit(self):
+        assert (
+            build_parser().parse_args(["dynamic", "--mechanism", "credit"]).mechanism
+            == "credit"
+        )
+        assert (
+            build_parser().parse_args(["serve", "--mechanism", "credit"]).mechanism
+            == "credit"
+        )
+
+    def test_allocate_rejects_credit(self):
+        # credit needs epoch history; a one-shot solve is just REF.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["allocate", "--mix", "WD1", "--mechanism", "credit"]
+            )
+
+    def test_sharded_serve_rejects_non_hierarchical_mechanism(self):
+        with pytest.raises(SystemExit, match="hierarchical"):
+            main(
+                [
+                    "serve",
+                    "--cells",
+                    "2",
+                    "--mechanism",
+                    "max-welfare-fair",
+                    "--agents",
+                    "a=freqmine,b=dedup",
+                ]
+            )
+
+    def test_dynamic_runs_credit_feasibly(self, capsys):
+        code = main(
+            ["dynamic", "--epochs", "3", "--mechanism", "credit", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(out)["feasible"] is True
+
     def test_dynamic_runs_with_explicit_mechanism(self, capsys):
         code = main(
             ["dynamic", "--epochs", "2", "--mechanism", "ref", "--json"]
