@@ -11,6 +11,9 @@ completed **50 epochs**, asserting along the way that
   (:func:`repro.obs.parse_prometheus_text`),
 * the mechanism was solved at most once per epoch tick no matter how
   many clients were submitting (batching contract),
+* the pooled clients reused connections — mean
+  ``requests_per_connection > 1`` from the served metrics (keep-alive
+  contract),
 * the server exits cleanly (code 0) on SIGTERM with its shutdown
   summary line printed.
 
@@ -155,6 +158,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        # Keep-alive contract: the pooled clients must have amortized many
+        # requests over few connections, not opened one socket per call.
+        requests = by_name.get("repro_serve_requests_total", 0.0)
+        connections = by_name.get("repro_serve_connections_total", 0.0)
+        if connections <= 0:
+            print("FAIL: repro_serve_connections_total missing", file=sys.stderr)
+            return 1
+        requests_per_connection = requests / connections
+        if requests_per_connection <= 1.0:
+            print(
+                f"FAIL: no connection reuse ({requests:.0f} requests over "
+                f"{connections:.0f} connections)",
+                file=sys.stderr,
+            )
+            return 1
 
         proc.send_signal(signal.SIGTERM)
         output, _ = proc.communicate(timeout=30)
@@ -168,6 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"serve-smoke OK: {len(threads)} clients, {health.epoch} epochs "
             f"({args.mechanism}), {submitted} samples -> {epochs:.0f} solves, "
+            f"{requests_per_connection:.1f} requests/connection, "
             f"{len(samples)} metric samples parse, clean SIGTERM exit"
         )
         return 0

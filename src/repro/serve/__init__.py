@@ -32,6 +32,8 @@ from .protocol import (
     AgentRequest,
     AgentResponse,
     AllocationResponse,
+    BulkSampleRequest,
+    BulkSampleResponse,
     CapacityRequest,
     CapacityResponse,
     CellInfo,
@@ -39,6 +41,7 @@ from .protocol import (
     ErrorResponse,
     HealthResponse,
     ProtocolError,
+    SampleOutcome,
     SampleRequest,
     SampleResponse,
     parse_json,
@@ -52,6 +55,8 @@ __all__ = [
     "AllocationResponse",
     "AllocationServer",
     "BatchPolicy",
+    "BulkSampleRequest",
+    "BulkSampleResponse",
     "CapacityRequest",
     "CapacityResponse",
     "CellInfo",
@@ -63,6 +68,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "SampleBatcher",
+    "SampleOutcome",
     "SampleRequest",
     "SampleResponse",
     "ServeClient",

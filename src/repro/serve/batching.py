@@ -106,6 +106,25 @@ class SampleBatcher(Generic[T]):
             return self.flush()
         return None
 
+    def add_many(self, items: List[T], now: float) -> Optional[List[T]]:
+        """Enqueue a bulk array in one call; at most one flush results.
+
+        Order-equivalent to calling :meth:`add` per item, but the
+        max-batch check runs once at the end: a bulk array that crosses
+        the limit flushes as ONE (possibly oversized) batch instead of
+        splintering into several epoch ticks — the whole point of bulk
+        ingest is one round trip, one tick.  An empty array is a no-op.
+        """
+        if not items:
+            return None
+        if not self._pending:
+            self._oldest_at = now
+        self._pending.extend(items)
+        self.total_items += len(items)
+        if len(self._pending) >= self.policy.max_batch:
+            return self.flush()
+        return None
+
     def poll(self, now: float) -> Optional[List[T]]:
         """Returns the batch if the max-delay limit has expired."""
         if self.policy.should_flush(len(self._pending), self.oldest_age(now)):

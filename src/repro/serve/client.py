@@ -1,10 +1,18 @@
 """Blocking HTTP client for the allocation service.
 
 Used by the integration tests, the CI service-smoke driver and anyone
-scripting against ``python -m repro serve`` without an event loop.  One
-``http.client`` connection per request (the server closes after each
-response), so a single :class:`ServeClient` is safe to share across
-threads.
+scripting against ``python -m repro serve`` without an event loop.
+
+Transport is a **pooled persistent connection per thread**: the server
+speaks HTTP/1.1 keep-alive, so one ``http.client.HTTPConnection`` is
+reused across calls (connections live in a ``threading.local``, so a
+single :class:`ServeClient` is still safe to share across threads).
+A stale pooled socket — the server closed its end between our requests,
+e.g. after an idle timeout or a restart — is reconnected once,
+transparently; idempotent GETs get the same single transparent retry on
+*any* transport failure.  Transport failures that survive the retry are
+raised as :class:`ServeError` with ``status=0`` and the ``host:port``
+in the message, never as bare ``ConnectionError``.
 """
 
 from __future__ import annotations
@@ -12,12 +20,15 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
 import time
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from .protocol import (
     AgentResponse,
     AllocationResponse,
+    BulkSampleRequest,
+    BulkSampleResponse,
     CapacityRequest,
     CapacityResponse,
     CellsResponse,
@@ -29,18 +40,40 @@ from .protocol import (
 
 __all__ = ["ServeClient", "ServeError"]
 
+#: Signatures of a pooled socket the server closed between our requests
+#: (idle-timeout reap, restart).  The request was never processed, so a
+#: single transparent retry on a fresh connection is safe for any method.
+_STALE_SOCKET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+)
+
 
 class ServeError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service, or a transport failure.
+
+    ``status`` is the HTTP status for protocol-level errors and ``0``
+    for transport failures (connection refused/reset, stale socket that
+    survived the retry, timeouts) — check :attr:`is_transport`.
+    """
 
     def __init__(self, status: int, error: str, detail: str = ""):
-        message = f"HTTP {status}: {error}"
+        message = f"transport: {error}" if status == 0 else f"HTTP {status}: {error}"
         if detail:
             message += f" ({detail})"
         super().__init__(message)
         self.status = status
         self.error = error
         self.detail = detail
+
+    @property
+    def is_transport(self) -> bool:
+        """True when no HTTP response was obtained at all (``status == 0``)."""
+        return self.status == 0
 
 
 class ServeClient:
@@ -55,27 +88,73 @@ class ServeClient:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Transport
 
-    def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
-    ) -> Tuple[int, str]:
+    def _connection(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """This thread's pooled connection, plus whether it is reused."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload)
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            return response.status, response.read().decode("utf-8", "replace")
-        finally:
-            connection.close()
+        self._local.connection = connection
+        return connection, False
+
+    def _discard(self) -> None:
+        """Drop (and close) this thread's pooled connection, if any."""
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def close(self) -> None:
+        """Close this thread's pooled connection (idempotent)."""
+        self._discard()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Tuple[int, str]:
+        body = None
+        headers: Dict[str, str] = {}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection, reused = self._connection()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                text = response.read().decode("utf-8", "replace")
+                if response.will_close:
+                    # The server asked to close (e.g. it answered a
+                    # parse error); start fresh next call.
+                    self._discard()
+                return response.status, text
+            except (http.client.HTTPException, OSError) as error:
+                self._discard()
+                stale = reused and isinstance(error, _STALE_SOCKET_ERRORS)
+                if attempt == 0 and (stale or method == "GET"):
+                    continue  # one transparent reconnect
+                raise ServeError(
+                    0,
+                    "transport_error",
+                    f"{method} {path} on {self.host}:{self.port}: "
+                    f"{type(error).__name__}: {error}",
+                ) from error
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(
         self, method: str, path: str, payload: Optional[Dict[str, object]] = None
@@ -111,6 +190,33 @@ class ServeClient:
             agent=agent, bandwidth_gbps=bandwidth_gbps, cache_kb=cache_kb, ipc=ipc
         )
         return SampleResponse.from_dict(
+            self._json("POST", "/v1/samples", request.as_dict())
+        )
+
+    def post_samples_bulk(
+        self,
+        samples: Iterable[Union[SampleRequest, Tuple[str, float, float, float]]],
+    ) -> BulkSampleResponse:
+        """Ship an epoch's worth of measurements in ONE round trip.
+
+        ``samples`` is a sequence of :class:`SampleRequest` objects or
+        ``(agent, bandwidth_gbps, cache_kb, ipc)`` tuples.  The response
+        reports per-sample accept/reject, index-aligned with the input.
+        """
+        request = BulkSampleRequest(
+            samples=tuple(
+                item
+                if isinstance(item, SampleRequest)
+                else SampleRequest(
+                    agent=item[0],
+                    bandwidth_gbps=item[1],
+                    cache_kb=item[2],
+                    ipc=item[3],
+                )
+                for item in samples
+            )
+        )
+        return BulkSampleResponse.from_dict(
             self._json("POST", "/v1/samples", request.as_dict())
         )
 

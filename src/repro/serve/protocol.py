@@ -29,6 +29,9 @@ __all__ = [
     "ProtocolError",
     "AgentRequest",
     "AgentResponse",
+    "BulkSampleRequest",
+    "BulkSampleResponse",
+    "SampleOutcome",
     "SampleRequest",
     "SampleResponse",
     "AllocationResponse",
@@ -200,6 +203,132 @@ class SampleRequest:
     @property
     def bundle(self) -> Tuple[float, float]:
         return (self.bandwidth_gbps, self.cache_kb)
+
+
+@dataclass(frozen=True)
+class BulkSampleRequest:
+    """``POST /v1/samples`` with a ``samples`` array — bulk ingest.
+
+    One round trip carries an epoch's worth of measurements: each
+    element is a full single-sample object (the inner ``version`` field
+    is optional; the outer one governs).  The array must be non-empty,
+    and its length is effectively bounded by the server's request body
+    limit.  The single-sample body (no ``samples`` key) remains valid —
+    the server dispatches on the presence of the key.
+    """
+
+    samples: Tuple[SampleRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ProtocolError("samples must be a non-empty array")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "BulkSampleRequest":
+        _check_keys(data, required=("samples",))
+        samples = data["samples"]
+        if not isinstance(samples, (list, tuple)):
+            raise ProtocolError(f"samples must be an array, got {samples!r}")
+        parsed = []
+        for i, item in enumerate(samples):
+            if not isinstance(item, dict):
+                raise ProtocolError(f"samples[{i}] must be an object, got {item!r}")
+            try:
+                parsed.append(SampleRequest.from_dict(item))
+            except ProtocolError as error:
+                raise ProtocolError(f"samples[{i}]: {error}") from None
+        return cls(samples=tuple(parsed))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "samples": [
+                {
+                    "agent": sample.agent,
+                    "bandwidth_gbps": sample.bandwidth_gbps,
+                    "cache_kb": sample.cache_kb,
+                    "ipc": sample.ipc,
+                }
+                for sample in self.samples
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class SampleOutcome:
+    """Per-sample accept/reject inside a :class:`BulkSampleResponse`."""
+
+    agent: str
+    queued: bool
+    error: str = ""
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SampleOutcome":
+        _check_keys(data, required=("agent", "queued"), optional=("error",))
+        queued = data["queued"]
+        if not isinstance(queued, bool):
+            raise ProtocolError(f"queued must be a boolean, got {queued!r}")
+        error = data.get("error", "")
+        if not isinstance(error, str):
+            raise ProtocolError(f"error must be a string, got {error!r}")
+        return cls(agent=_get_str(data, "agent"), queued=queued, error=error)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"agent": self.agent, "queued": self.queued}
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass(frozen=True)
+class BulkSampleResponse:
+    """Acknowledges a bulk sample POST, per-sample.
+
+    ``results`` is index-aligned with the request's ``samples`` array;
+    ``accepted``/``rejected`` are its tallies.  ``epoch`` is the epoch
+    the accepted samples will be folded into and ``pending`` the batch
+    occupancy after this call (as with :class:`SampleResponse`).
+    """
+
+    epoch: int
+    pending: int
+    accepted: int
+    rejected: int
+    results: Tuple[SampleOutcome, ...]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "BulkSampleResponse":
+        _check_keys(
+            data, required=("epoch", "pending", "accepted", "rejected", "results")
+        )
+        for key in ("epoch", "pending", "accepted", "rejected"):
+            if isinstance(data[key], bool) or not isinstance(data[key], int):
+                raise ProtocolError(f"{key} must be an integer, got {data[key]!r}")
+        results = data["results"]
+        if not isinstance(results, (list, tuple)):
+            raise ProtocolError(f"results must be an array, got {results!r}")
+        parsed = []
+        for i, item in enumerate(results):
+            if not isinstance(item, dict):
+                raise ProtocolError(f"results[{i}] must be an object, got {item!r}")
+            parsed.append(SampleOutcome.from_dict(item))
+        return cls(
+            epoch=int(data["epoch"]),
+            pending=int(data["pending"]),
+            accepted=int(data["accepted"]),
+            rejected=int(data["rejected"]),
+            results=tuple(parsed),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "pending": self.pending,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "results": [outcome.as_dict() for outcome in self.results],
+        }
 
 
 def _get_number_map(data: Mapping[str, object], key: str) -> Dict[str, float]:

@@ -1,7 +1,7 @@
 """The asyncio HTTP allocation server.
 
 A deliberately small HTTP/1.1 implementation on ``asyncio.start_server``
-(stdlib only, one connection per request) wrapping a
+(stdlib only, persistent connections) wrapping a
 :class:`~repro.dynamic.controller.DynamicAllocator` as a long-lived
 service:
 
@@ -15,6 +15,18 @@ GET       ``/v1/allocation`` the current epoch's enforced allocation
 GET       ``/healthz``       liveness + service summary
 GET       ``/metrics``       Prometheus text exposition (repro.obs)
 ========  =================  ==============================================
+
+Connections are HTTP/1.1 *persistent*: a client loops many requests
+over one socket (``Connection: keep-alive``, the 1.1 default) and the
+server only closes on an explicit ``Connection: close``, an idle
+timeout, or a request it could not parse (after a malformed request the
+byte stream has no trustworthy framing, so that connection — and only
+that connection — is poisoned and closed).  ``POST /v1/samples``
+additionally accepts a bulk body (``{"samples": [...]}``) so one round
+trip carries an epoch's worth of measurements, acknowledged
+per-sample.  Connection reuse is observable as
+``repro_serve_connections_total`` and the
+``repro_serve_requests_per_connection`` histogram.
 
 Samples are coalesced by a :class:`~repro.serve.batching.SampleBatcher`;
 an epoch tick applies the batch through
@@ -42,6 +54,13 @@ locking.  Requests are counted and timed into a
 :class:`~repro.obs.MetricsRegistry` (``repro_serve_*``), and every
 epoch tick produces an ``epoch`` span via the allocator's tracer.
 
+The read path is *snapshot-served*: ``GET /v1/allocation`` and
+``GET /healthz`` are rendered to JSON bytes at most once per epoch (the
+cache is invalidated by every epoch tick, which covers churn and
+capacity grants too) and answered as a cached-bytes write — not a
+dataclass→dict→``json.dumps`` per request.  The staleness bound is one
+epoch; ``GET /metrics`` always renders live.
+
 The HTTP plumbing (request parsing, limits, dispatch, error mapping,
 request metrics) lives in :class:`HttpServerBase` so the shard
 coordinator can speak the same dialect without duplicating it.
@@ -62,11 +81,14 @@ from .protocol import (
     AgentRequest,
     AgentResponse,
     AllocationResponse,
+    BulkSampleRequest,
+    BulkSampleResponse,
     CapacityRequest,
     CapacityResponse,
     ErrorResponse,
     HealthResponse,
     ProtocolError,
+    SampleOutcome,
     SampleRequest,
     SampleResponse,
     parse_json,
@@ -96,6 +118,16 @@ _REASONS = {
 #: Batch-size histogram buckets (samples per epoch tick).
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
+#: Requests-per-connection histogram buckets (keep-alive reuse depth).
+_CONNECTION_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
+
+#: Seconds a fresh connection may take to deliver its first request.
+FIRST_REQUEST_TIMEOUT = 30.0
+
+#: Default seconds an idle persistent connection is held open between
+#: requests before the server closes it.
+DEFAULT_IDLE_TIMEOUT = 30.0
+
 
 class _HttpError(Exception):
     """An error with a definite HTTP status, raised during parsing/routing."""
@@ -123,10 +155,20 @@ class HttpServerBase:
 
     Handlers are sync or async callables ``body -> (status, payload,
     content_type)``; async handlers let a proxying subclass await
-    upstream workers without blocking the dispatcher contract.  All
-    request hygiene (size limits, timeouts, error mapping, the
+    upstream workers without blocking the dispatcher contract.  A
+    handler may return pre-rendered ``bytes`` as the payload (the
+    snapshot read path) — they are written as-is.  All request hygiene
+    (size limits, timeouts, error mapping, the
     ``repro_serve_requests_total`` / request-latency metrics) lives
     here, so every server speaking this dialect gets the same hardening.
+
+    Connections are persistent by default (HTTP/1.1): each connection
+    handler loops reading requests until the client sends
+    ``Connection: close``, goes quiet for ``idle_timeout`` seconds, or
+    sends bytes that cannot be parsed (the framing is then untrusted,
+    so the connection is answered with its 4xx and closed — poisoning
+    only itself).  Snapshot byte caching for the hot read routes is
+    provided by :meth:`_snapshot` / :meth:`_invalidate_snapshots`.
     """
 
     def __init__(
@@ -134,16 +176,24 @@ class HttpServerBase:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
     ):
         self.host = host
         self.port = int(port)
         self.metrics = metrics if metrics is not None else global_registry()
+        if not idle_timeout > 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        self.idle_timeout = float(idle_timeout)
         self._server: Optional[asyncio.AbstractServer] = None
         self._ticker: Optional[asyncio.Task] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._started_at = 0.0
         self._stopped = False
+        #: Route -> rendered response bytes, dropped by _invalidate_snapshots.
+        self._snapshots: Dict[str, bytes] = {}
+        #: Writers of currently open connections, for graceful shutdown.
+        self._open_writers: set = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,6 +242,15 @@ class HttpServerBase:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Nudge parked keep-alive connections to exit before the loop is
+        # torn down: closing the transport wakes their pending reads
+        # with EOF, so the handlers return instead of being cancelled.
+        for open_writer in list(self._open_writers):
+            open_writer.close()
+        for _ in range(100):
+            if not self._open_writers:
+                break
+            await asyncio.sleep(0.01)
         await self._on_stop()
 
     async def _on_start(self) -> None:
@@ -211,48 +270,104 @@ class HttpServerBase:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        started = self._loop.time() if self._loop is not None else 0.0
-        route = "unparsed"
-        status = 500
+        """Serve a persistent connection: loop requests until close.
+
+        The loop ends when the client opts out (``Connection: close`` or
+        HTTP/1.0 without keep-alive), goes idle past ``idle_timeout``,
+        disconnects, or sends something unparseable — a parse failure is
+        answered with its 4xx and then the connection is closed, because
+        the request framing can no longer be trusted.
+        """
+        self.metrics.counter(
+            "repro_serve_connections_total",
+            help="TCP connections accepted by the HTTP listener.",
+        ).inc()
+        handled = 0
+        self._open_writers.add(writer)
         try:
-            try:
-                method, path, body = await asyncio.wait_for(
-                    self._read_request(reader), timeout=30.0
+            while True:
+                started = self._loop.time() if self._loop is not None else 0.0
+                timeout = (
+                    FIRST_REQUEST_TIMEOUT if handled == 0 else self.idle_timeout
                 )
-            except _HttpError as error:
-                status = error.status
-                await self._write_json(writer, error.status, ErrorResponse(
-                    error.error, error.detail).as_dict())
-                return
-            except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
-                return  # client went away mid-request; nothing to answer
-            route = path if path in self._routes() else "unknown"
-            status, payload, content_type = await self._dispatch(method, path, body)
-            if content_type == "application/json":
-                await self._write_json(writer, status, payload)
-            else:
-                await self._write_raw(writer, status, payload, content_type)
+                try:
+                    method, path, body, keep_alive = await asyncio.wait_for(
+                        self._read_request(reader), timeout=timeout
+                    )
+                except _HttpError as error:
+                    # Counted before the write so a client that has read
+                    # the response observes the counter already bumped.
+                    handled += 1
+                    self._count_request("unparsed", error.status, started)
+                    await self._write_json(
+                        writer,
+                        error.status,
+                        ErrorResponse(error.error, error.detail).as_dict(),
+                        close=True,
+                    )
+                    return  # framing untrusted: poison only this connection
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    asyncio.TimeoutError,
+                ):
+                    # Idle keep-alive expiry or a client that went away
+                    # between requests: nothing to answer, and no
+                    # request to count.
+                    return
+                route = path if path in self._routes() else "unknown"
+                status, payload, content_type = await self._dispatch(
+                    method, path, body
+                )
+                handled += 1
+                self._count_request(route, status, started)
+                close = not keep_alive
+                if (
+                    isinstance(payload, (bytes, bytearray))
+                    or content_type != "application/json"
+                ):
+                    await self._write_raw(
+                        writer, status, payload, content_type, close=close
+                    )
+                else:
+                    await self._write_json(writer, status, payload, close=close)
+                if not keep_alive:
+                    return
         except (ConnectionError, BrokenPipeError):
             pass  # response could not be delivered; the client's problem
+        except asyncio.CancelledError:
+            # Event-loop teardown with the connection parked between
+            # requests: exit quietly (3.11's asyncio streams logs a
+            # cancelled connection handler as an unhandled error).
+            pass
         finally:
-            if self._loop is not None:
-                elapsed = self._loop.time() - started
-                self.metrics.counter(
-                    "repro_serve_requests_total",
-                    help="HTTP requests handled, by route and status.",
-                    route=route,
-                    status=str(status),
-                ).inc()
-                self.metrics.histogram(
-                    "repro_serve_request_latency_seconds",
-                    help="Server-side request handling latency.",
-                    route=route,
-                ).observe(elapsed)
+            self._open_writers.discard(writer)
+            self.metrics.histogram(
+                "repro_serve_requests_per_connection",
+                help="Requests served over each connection before it closed.",
+                buckets=_CONNECTION_BUCKETS,
+            ).observe(handled)
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
                 pass
+
+    def _count_request(self, route: str, status: int, started: float) -> None:
+        """Count one handled request into the request metrics."""
+        if self._loop is None:
+            return
+        self.metrics.counter(
+            "repro_serve_requests_total",
+            help="HTTP requests handled, by route and status.",
+            route=route,
+            status=str(status),
+        ).inc()
+        self.metrics.histogram(
+            "repro_serve_request_latency_seconds",
+            help="Server-side request handling latency.",
+            route=route,
+        ).observe(self._loop.time() - started)
 
     async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
         """One header/request line, with stream-limit overruns mapped to 431.
@@ -273,7 +388,13 @@ class HttpServerBase:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, bytes, bool]:
+        """Read one framed request: ``(method, path, body, keep_alive)``.
+
+        ``keep_alive`` follows HTTP/1.1 semantics: persistent by default,
+        ``Connection: close`` opts out; HTTP/1.0 is one-shot unless the
+        client asks for ``Connection: keep-alive``.
+        """
         request_line = await self._read_line(reader)
         if not request_line:
             raise asyncio.IncompleteReadError(partial=b"", expected=1)
@@ -282,7 +403,7 @@ class HttpServerBase:
         parts = request_line.decode("latin-1").strip().split()
         if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
             raise _HttpError(400, "bad_request", "malformed request line")
-        method, target, _version = parts
+        method, target, version = parts
         path = target.split("?", 1)[0]
         headers: Dict[str, str] = {}
         for _ in range(MAX_HEADERS + 1):
@@ -310,27 +431,68 @@ class HttpServerBase:
             if length > MAX_BODY_BYTES:
                 raise _HttpError(413, "payload_too_large", f"body > {MAX_BODY_BYTES}B")
             body = await reader.readexactly(length)
-        return method, path, body
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            keep_alive = connection == "keep-alive"
+        else:
+            keep_alive = connection != "close"
+        return method, path, body, keep_alive
 
-    async def _write_json(self, writer, status: int, payload: Dict[str, object]) -> None:
+    async def _write_json(
+        self, writer, status: int, payload: Dict[str, object], close: bool = True
+    ) -> None:
         await self._write_raw(
-            writer, status, json.dumps(payload).encode(), "application/json"
+            writer, status, json.dumps(payload).encode(), "application/json",
+            close=close,
         )
 
     async def _write_raw(
-        self, writer, status: int, body, content_type: str
+        self, writer, status: int, body, content_type: str, close: bool = True
     ) -> None:
         if isinstance(body, str):
             body = body.encode()
         reason = _REASONS.get(status, "Unknown")
+        connection = "close" if close else "keep-alive"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Snapshot read path
+
+    def _snapshot(
+        self, route: str, build: Callable[[], object]
+    ) -> Tuple[int, bytes, str]:
+        """Serve ``route`` from cached JSON bytes, rendering on a miss.
+
+        ``build`` returns a protocol dataclass; its rendered bytes are
+        kept until :meth:`_invalidate_snapshots`, so a read between
+        invalidation points costs a dict lookup plus a socket write.
+        Cache effectiveness is observable as
+        ``repro_serve_snapshots_total{route,result=hit|miss}``.
+        """
+        body = self._snapshots.get(route)
+        result = "hit"
+        if body is None:
+            result = "miss"
+            body = json.dumps(build().as_dict()).encode()
+            self._snapshots[route] = body
+        self.metrics.counter(
+            "repro_serve_snapshots_total",
+            help="Snapshot-served reads, by route and cache result.",
+            route=route,
+            result=result,
+        ).inc()
+        return 200, body, "application/json"
+
+    def _invalidate_snapshots(self) -> None:
+        """Drop every cached snapshot (epoch tick, churn, grant, reap)."""
+        self._snapshots.clear()
 
     # ------------------------------------------------------------------
     # Routing
@@ -414,8 +576,11 @@ class AllocationServer(HttpServerBase):
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
     ):
-        super().__init__(host=host, port=port, metrics=metrics)
+        super().__init__(
+            host=host, port=port, metrics=metrics, idle_timeout=idle_timeout
+        )
         self.allocator = allocator
         self.policy = policy if policy is not None else BatchPolicy()
         self._batcher: SampleBatcher[SampleRequest] = SampleBatcher(self.policy)
@@ -487,16 +652,10 @@ class AllocationServer(HttpServerBase):
         pushed through ``observe_sample``, which treats an unknown agent
         as a caller bug.
         """
+        outcomes: Dict[str, int] = {}
         for sample in batch:
             outcome = "accepted"
             if sample.agent not in self.allocator.workloads:
-                self.metrics.counter(
-                    "repro_serve_orphaned_samples_total",
-                    help=(
-                        "Pending samples dropped at flush time because their "
-                        "agent had deregistered."
-                    ),
-                ).inc()
                 outcome = "orphaned"
             else:
                 try:
@@ -509,11 +668,24 @@ class AllocationServer(HttpServerBase):
                     # have caught this, but a racing caller must still
                     # not crash the epoch.
                     outcome = "unknown_agent"
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        # One counter bump per outcome, not per sample: at bulk-ingest
+        # rates the per-sample registry lookups were a measurable slice
+        # of the tick.
+        if outcomes.get("orphaned"):
+            self.metrics.counter(
+                "repro_serve_orphaned_samples_total",
+                help=(
+                    "Pending samples dropped at flush time because their "
+                    "agent had deregistered."
+                ),
+            ).inc(outcomes["orphaned"])
+        for outcome, count in outcomes.items():
             self.metrics.counter(
                 "repro_serve_samples_total",
                 help="Samples applied at epoch ticks, by outcome.",
                 outcome=outcome,
-            ).inc()
+            ).inc(count)
         record = self.allocator.step(self._epoch, measure=False)
         self._current = record
         self._epoch += 1
@@ -530,6 +702,10 @@ class AllocationServer(HttpServerBase):
         self.metrics.gauge(
             "repro_serve_epoch", help="Most recently completed epoch index."
         ).set(self._epoch - 1)
+        # Every state change flows through here (startup, churn, grants,
+        # policy flushes, shutdown), so this is the single invalidation
+        # point for the snapshot read path.
+        self._invalidate_snapshots()
         return record
 
     # ------------------------------------------------------------------
@@ -577,7 +753,10 @@ class AllocationServer(HttpServerBase):
         return 200, response.as_dict(), "application/json"
 
     def _route_samples(self, body: bytes) -> Tuple[int, object, str]:
-        request = SampleRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
+        data = parse_json(body.decode("utf-8", "replace"))
+        if "samples" in data:
+            return self._ingest_bulk(BulkSampleRequest.from_dict(data))
+        request = SampleRequest.from_dict(data)
         if request.agent not in self.allocator.workloads:
             raise _HttpError(404, "unknown_agent", f"no agent {request.agent!r}")
         assert self._loop is not None
@@ -588,6 +767,48 @@ class AllocationServer(HttpServerBase):
             self._run_epoch(batch, trigger="max_batch")
         response = SampleResponse(
             agent=request.agent, queued=True, epoch=fold_epoch, pending=pending
+        )
+        return 200, response.as_dict(), "application/json"
+
+    def _ingest_bulk(self, request: BulkSampleRequest) -> Tuple[int, object, str]:
+        """Fold a bulk sample array into the batcher in one call.
+
+        Unlike the single-sample route, an unknown agent is *not* a 404
+        for the whole request: each sample is accepted or rejected on
+        its own, and the response reports the per-sample outcome.  The
+        whole array is enqueued through one
+        :meth:`~repro.serve.batching.SampleBatcher.add_many` call, so a
+        bulk POST costs one round trip and at most one epoch tick no
+        matter how many measurements it carries.
+        """
+        assert self._loop is not None
+        outcomes = []
+        accepted = []
+        for sample in request.samples:
+            if sample.agent not in self.allocator.workloads:
+                outcomes.append(SampleOutcome(sample.agent, False, "unknown_agent"))
+            else:
+                accepted.append(sample)
+                outcomes.append(SampleOutcome(sample.agent, True))
+        rejected = len(outcomes) - len(accepted)
+        fold_epoch = self._epoch
+        batch = self._batcher.add_many(accepted, self._loop.time())
+        pending = self._batcher.pending
+        if batch is not None:
+            self._run_epoch(batch, trigger="max_batch")
+        for outcome, count in (("queued", len(accepted)), ("rejected", rejected)):
+            if count:
+                self.metrics.counter(
+                    "repro_serve_bulk_samples_total",
+                    help="Samples carried by bulk POSTs, by ingress outcome.",
+                    outcome=outcome,
+                ).inc(count)
+        response = BulkSampleResponse(
+            epoch=fold_epoch,
+            pending=pending,
+            accepted=len(accepted),
+            rejected=rejected,
+            results=tuple(outcomes),
         )
         return 200, response.as_dict(), "application/json"
 
@@ -626,11 +847,14 @@ class AllocationServer(HttpServerBase):
         return 200, response.as_dict(), "application/json"
 
     def _route_allocation(self, _body: bytes) -> Tuple[int, object, str]:
+        return self._snapshot("/v1/allocation", self._build_allocation)
+
+    def _build_allocation(self) -> AllocationResponse:
         record = self._current
         assert record is not None, "start() runs epoch 0 before binding"
         allocation = record.enforced or record.allocation
         problem = allocation.problem
-        response = AllocationResponse(
+        return AllocationResponse(
             epoch=self.current_epoch,
             mechanism=allocation.mechanism,
             feasible=allocation.is_feasible(),
@@ -639,11 +863,17 @@ class AllocationServer(HttpServerBase):
             ),
             shares=allocation.as_dict(),
         )
-        return 200, response.as_dict(), "application/json"
 
     def _route_health(self, _body: bytes) -> Tuple[int, object, str]:
+        # Snapshot-served: pending_samples and uptime_seconds are as of
+        # the last epoch tick (staleness bound: one epoch).  epoch and
+        # membership are always current because every change to them
+        # runs _run_epoch, which invalidates.
+        return self._snapshot("/healthz", self._build_health)
+
+    def _build_health(self) -> HealthResponse:
         uptime = (self._loop.time() - self._started_at) if self._loop else 0.0
-        response = HealthResponse(
+        return HealthResponse(
             status="ok",
             epoch=self.current_epoch,
             agents=self.allocator.agent_names,
@@ -651,7 +881,6 @@ class AllocationServer(HttpServerBase):
             uptime_seconds=max(0.0, uptime),
             mechanism=self.allocator.mechanism,
         )
-        return 200, response.as_dict(), "application/json"
 
     def _route_metrics(self, _body: bytes) -> Tuple[int, object, str]:
         merged = MetricsRegistry()

@@ -22,6 +22,11 @@ Smart clients fetch ``GET /v1/cells`` and talk to their cell directly
 (one hop); dumb clients talk only to the coordinator and pay the proxy
 hop.  Both dialects are the same versioned JSON protocol, so
 :class:`~repro.serve.client.ServeClient` works against either tier.
+The coordinator speaks the same high-throughput dialect as the cells:
+persistent connections, bulk ``POST /v1/samples`` (fanned out as one
+sub-bulk per owning cell and merged index-aligned), and snapshot-served
+reads whose byte caches are invalidated on every grant round, reap,
+churn, or capacity change — a staleness bound of one grant round.
 
 Placement is rendezvous (highest-random-weight) hashing, so a cell
 death moves only the dead cell's agents — everyone else's profiler
@@ -41,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import json
 import os
 import re
 import subprocess
@@ -59,15 +65,18 @@ from .protocol import (
     AgentRequest,
     AgentResponse,
     AllocationResponse,
+    BulkSampleRequest,
+    BulkSampleResponse,
     CapacityRequest,
     CapacityResponse,
     CellInfo,
     CellsResponse,
     HealthResponse,
+    SampleOutcome,
     SampleRequest,
     parse_json,
 )
-from .server import HttpServerBase, _HttpError
+from .server import DEFAULT_IDLE_TIMEOUT, HttpServerBase, _HttpError
 
 __all__ = ["CellWorker", "ShardCoordinator", "cell_for"]
 
@@ -225,8 +234,11 @@ class ShardCoordinator(HttpServerBase):
         metrics: Optional[MetricsRegistry] = None,
         mechanism: str = "ref",
         python: Optional[str] = None,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
     ):
-        super().__init__(host=host, port=port, metrics=metrics)
+        super().__init__(
+            host=host, port=port, metrics=metrics, idle_timeout=idle_timeout
+        )
         if cells < 1:
             raise ValueError(f"cells must be >= 1, got {cells}")
         hierarchical = hierarchical_mechanism_names()
@@ -402,6 +414,13 @@ class ShardCoordinator(HttpServerBase):
         loop = asyncio.get_running_loop()
         try:
             return await loop.run_in_executor(None, fn, cell.client)
+        except ServeError as error:
+            if not error.is_transport:
+                raise  # semantic refusal from a live worker: caller's problem
+            cell.poll_dead()
+            raise _HttpError(
+                502, "cell_unreachable", f"cell {cell.name}: {error}"
+            ) from None
         except (OSError, TimeoutError) as error:
             cell.poll_dead()
             raise _HttpError(
@@ -501,6 +520,9 @@ class ShardCoordinator(HttpServerBase):
         self.metrics.gauge(
             "repro_shard_epoch", help="Most recently completed grant round."
         ).set(self._epoch - 1)
+        # Grants moved every cell's capacity slice and advanced the
+        # epoch: the cached read snapshots are stale now.
+        self._invalidate_snapshots()
 
     # ------------------------------------------------------------------
     # Cell death and rebalancing
@@ -553,6 +575,9 @@ class ShardCoordinator(HttpServerBase):
         self.metrics.gauge(
             "repro_shard_cells", help="Live cell workers behind the coordinator."
         ).set(len(self.live_cells()))
+        # Liveness or placement may have changed (including cells marked
+        # dead by a failed RPC since the last round).
+        self._invalidate_snapshots()
 
     # ------------------------------------------------------------------
     # Routes
@@ -606,6 +631,7 @@ class ShardCoordinator(HttpServerBase):
             if owner is not None:
                 owner.agents.pop(request.agent, None)
             self.workloads.pop(request.agent, None)
+        self._invalidate_snapshots()  # membership changed
         response = AgentResponse(
             action=request.action,
             agent=request.agent,
@@ -615,7 +641,10 @@ class ShardCoordinator(HttpServerBase):
         return 200, response.as_dict(), "application/json"
 
     async def _route_samples(self, body: bytes):
-        request = SampleRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
+        data = parse_json(body.decode("utf-8", "replace"))
+        if "samples" in data:
+            return await self._proxy_bulk(BulkSampleRequest.from_dict(data))
+        request = SampleRequest.from_dict(data)
 
         async def attempt(owner: CellWorker):
             try:
@@ -634,6 +663,77 @@ class ShardCoordinator(HttpServerBase):
         response = await self._proxy_retry(request.agent, attempt)
         return 200, response.as_dict(), "application/json"
 
+    async def _proxy_bulk(self, request: BulkSampleRequest):
+        """Fan a bulk sample array out to the owning cells; merge aligned.
+
+        Each owning cell receives ONE sub-bulk POST (a round trip per
+        cell, not per sample) and the per-sample outcomes are merged
+        back index-aligned with the request.  A cell death mid-fan-out
+        is reaped and only the unanswered samples are retried once
+        against the re-homed placement — the bulk analogue of
+        :meth:`_proxy_retry`.  ``epoch`` in the response is the
+        coordinator's grant round; ``pending`` sums the owning cells'
+        reported queues.
+        """
+        results: List[Optional[SampleOutcome]] = [None] * len(request.samples)
+        pending = 0
+        for retry in (False, True):
+            groups: Dict[str, List[int]] = {}
+            for i, sample in enumerate(request.samples):
+                if results[i] is not None:
+                    continue
+                owner = self._owner(sample.agent)
+                if owner is None:
+                    results[i] = SampleOutcome(sample.agent, False, "unknown_agent")
+                else:
+                    groups.setdefault(owner.name, []).append(i)
+            if not groups:
+                break
+
+            async def forward(name: str, indexes: List[int]) -> int:
+                cell = next(c for c in self.cells if c.name == name)
+                sub = [request.samples[i] for i in indexes]
+                try:
+                    response = await self._call(
+                        cell, lambda client: client.post_samples_bulk(sub)
+                    )
+                except _HttpError:
+                    return 0  # dead cell: reaped below, samples retried
+                except ServeError as error:
+                    for i in indexes:
+                        results[i] = SampleOutcome(
+                            request.samples[i].agent, False, error.error
+                        )
+                    return 0
+                for i, outcome in zip(indexes, response.results):
+                    results[i] = outcome
+                return response.pending
+
+            pending += sum(
+                await asyncio.gather(
+                    *[forward(name, indexes) for name, indexes in groups.items()]
+                )
+            )
+            if all(result is not None for result in results):
+                break
+            if not retry:
+                await self._reap_dead_cells()
+        outcomes = tuple(
+            result
+            if result is not None
+            else SampleOutcome(sample.agent, False, "cell_unreachable")
+            for sample, result in zip(request.samples, results)
+        )
+        accepted = sum(1 for outcome in outcomes if outcome.queued)
+        response = BulkSampleResponse(
+            epoch=self._epoch - 1,
+            pending=pending,
+            accepted=accepted,
+            rejected=len(outcomes) - accepted,
+            results=outcomes,
+        )
+        return 200, response.as_dict(), "application/json"
+
     async def _route_capacity(self, body: bytes):
         """Replace the *global* capacity vector; re-grant immediately."""
         request = CapacityRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
@@ -646,6 +746,10 @@ class ShardCoordinator(HttpServerBase):
                 f"got {sorted(request.capacities)}",
             )
         self.capacities = tuple(request.capacities[name] for name in names)
+        # _grant_round invalidates the snapshots too, but it returns
+        # early during a total outage — the capacity change itself must
+        # still drop the cached reads.
+        self._invalidate_snapshots()
         await self._grant_round()
         aggregate = np.zeros(len(names))
         for cell in self.live_cells():
@@ -696,24 +800,47 @@ class ShardCoordinator(HttpServerBase):
         )
 
     async def _route_allocation(self, _body: bytes):
-        response = await self._merged_allocation()
-        return 200, response.as_dict(), "application/json"
+        # Snapshot-served like the worker's read path, but the build is
+        # async (it fans out to the cells), so the byte cache is managed
+        # here instead of through _snapshot.  Staleness bound: one grant
+        # round — every grant/reap/churn/capacity change invalidates.
+        body = self._snapshots.get("/v1/allocation")
+        result = "hit"
+        if body is None:
+            result = "miss"
+            response = await self._merged_allocation()
+            body = json.dumps(response.as_dict()).encode()
+            self._snapshots["/v1/allocation"] = body
+        self.metrics.counter(
+            "repro_serve_snapshots_total",
+            help="Snapshot-served reads, by route and cache result.",
+            route="/v1/allocation",
+            result=result,
+        ).inc()
+        return 200, body, "application/json"
 
     def _route_cells(self, _body: bytes):
-        response = CellsResponse(
+        return self._snapshot("/v1/cells", self._build_cells)
+
+    def _build_cells(self) -> CellsResponse:
+        return CellsResponse(
             epoch=self._epoch - 1,
             capacities=dict(zip(self.resource_names, map(float, self.capacities))),
             cells=tuple(cell.info() for cell in self.cells),
         )
-        return 200, response.as_dict(), "application/json"
 
     def _route_health(self, _body: bytes):
+        # Snapshot-served: uptime (and a cell marked dead by a failed
+        # RPC but not yet reaped) can be up to one grant round stale.
+        return self._snapshot("/healthz", self._build_health)
+
+    def _build_health(self) -> HealthResponse:
         live = self.live_cells()
         uptime = (self._loop.time() - self._started_at) if self._loop else 0.0
         status = "ok" if len(live) == len(self.cells) else (
             "degraded" if live else "down"
         )
-        response = HealthResponse(
+        return HealthResponse(
             status=status,
             epoch=self._epoch - 1,
             agents=tuple(sorted(self.workloads)),
@@ -721,7 +848,6 @@ class ShardCoordinator(HttpServerBase):
             uptime_seconds=max(0.0, uptime),
             mechanism=f"{self.mechanism}-hierarchical",
         )
-        return 200, response.as_dict(), "application/json"
 
     def _route_metrics(self, _body: bytes):
         merged = MetricsRegistry()

@@ -43,15 +43,30 @@ def service():
 
 
 def _raw_request(port: int, blob: bytes) -> bytes:
+    """Send one raw request; read one Content-Length-framed response.
+
+    The server holds connections open by default (HTTP/1.1 keep-alive),
+    so reading to EOF would block until the idle timeout.
+    """
     with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
         sock.sendall(blob)
-        chunks = []
-        while True:
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(body) < length:
             chunk = sock.recv(65536)
             if not chunk:
                 break
-            chunks.append(chunk)
-    return b"".join(chunks)
+            body += chunk
+    return head + b"\r\n\r\n" + body
 
 
 class TestHappyPath:

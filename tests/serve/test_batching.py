@@ -93,6 +93,84 @@ class TestSampleBatcher:
         assert batcher.total_batches == 1
 
 
+class TestAddMany:
+    """Bulk ingest folds a whole array in one call, one flush at most."""
+
+    def make(self, max_delay=1.0, max_batch=3):
+        return SampleBatcher(BatchPolicy(max_delay=max_delay, max_batch=max_batch))
+
+    def test_empty_array_is_a_no_op(self):
+        batcher = self.make()
+        assert batcher.add_many([], now=0.0) is None
+        assert batcher.pending == 0
+        assert batcher.total_items == 0
+        assert batcher.next_deadline(0.0) is None
+
+    def test_under_limit_queues_without_flushing(self):
+        batcher = self.make(max_batch=5)
+        assert batcher.add_many(["a", "b"], now=3.0) is None
+        assert batcher.pending == 2
+        assert batcher.total_items == 2
+        assert batcher.next_deadline(3.0) == pytest.approx(4.0)
+
+    def test_crossing_limit_flushes_one_oversized_batch(self):
+        batcher = self.make(max_batch=3)
+        batcher.add("a", now=0.0)
+        # 4 more items cross max_batch=3: ONE flush of all 5, not two
+        # splintered epoch ticks.
+        batch = batcher.add_many(["b", "c", "d", "e"], now=0.1)
+        assert batch == ["a", "b", "c", "d", "e"]
+        assert batcher.pending == 0
+        assert batcher.total_batches == 1
+
+    def test_sets_oldest_age_when_queue_was_empty(self):
+        batcher = self.make(max_delay=1.0, max_batch=100)
+        batcher.add_many(["a", "b"], now=7.0)
+        assert batcher.oldest_age(7.25) == pytest.approx(0.25)
+        assert batcher.poll(now=7.9) is None
+        assert batcher.poll(now=8.0) == ["a", "b"]
+
+    def test_does_not_reset_oldest_age_when_queue_was_busy(self):
+        batcher = self.make(max_delay=1.0, max_batch=100)
+        batcher.add("a", now=5.0)
+        batcher.add_many(["b"], now=5.8)
+        # Delay still counts from the oldest single add.
+        assert batcher.poll(now=6.0) == ["a", "b"]
+
+    @given(
+        items=st.lists(st.integers(), min_size=0, max_size=40),
+        max_batch=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bulk_equals_n_singles_below_the_limit(self, items, max_batch):
+        """The satellite property: one bulk post and N single posts land
+        the batcher in the identical state whenever no flush intervenes;
+        when a flush does fire, the item sequence is still preserved."""
+        policy = BatchPolicy(max_delay=1.0, max_batch=max_batch)
+        bulk, single = SampleBatcher(policy), SampleBatcher(policy)
+
+        bulk_flushed = bulk.add_many(list(items), now=0.0) or []
+        single_flushed: list = []
+        for item in items:
+            batch = single.add(item, now=0.0)
+            if batch:
+                single_flushed.extend(batch)
+
+        assert bulk.total_items == single.total_items == len(items)
+        # Flushed-then-pending order is identical either way.
+        assert bulk_flushed + bulk._pending == single_flushed + single._pending
+        if len(items) < max_batch:
+            # No flush fired: the states are exactly interchangeable.
+            assert bulk_flushed == single_flushed == []
+            assert bulk.pending == single.pending == len(items)
+            assert bulk.next_deadline(0.0) == single.next_deadline(0.0)
+            assert bulk.total_batches == single.total_batches == 0
+        elif items:
+            # Bulk flushes at most once where singles may splinter.
+            assert bulk.total_batches == 1
+            assert bulk.total_batches <= single.total_batches
+
+
 class TestClockSkewProperties:
     """A backwards-stepping clock must never corrupt the batcher.
 

@@ -9,9 +9,12 @@ from repro.serve import (
     AgentRequest,
     AgentResponse,
     AllocationResponse,
+    BulkSampleRequest,
+    BulkSampleResponse,
     ErrorResponse,
     HealthResponse,
     ProtocolError,
+    SampleOutcome,
     SampleRequest,
     SampleResponse,
     parse_json,
@@ -176,3 +179,71 @@ class TestResponses:
                     "shares": {"web": "everything"},
                 }
             )
+
+
+class TestBulkSamples:
+    def sample(self, agent="web", ipc=0.8):
+        return SampleRequest(agent=agent, bandwidth_gbps=4.0, cache_kb=512.0, ipc=ipc)
+
+    def test_bulk_request_round_trip(self):
+        request = BulkSampleRequest(samples=(self.sample("web"), self.sample("db")))
+        rebuilt = BulkSampleRequest.from_dict(request.as_dict())
+        assert rebuilt == request
+        assert [s.agent for s in rebuilt.samples] == ["web", "db"]
+
+    def test_bulk_request_rejects_empty_array(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            BulkSampleRequest(samples=())
+        with pytest.raises(ProtocolError, match="non-empty"):
+            BulkSampleRequest.from_dict(
+                {"version": PROTOCOL_VERSION, "samples": []}
+            )
+
+    def test_bulk_request_rejects_non_array_samples(self):
+        with pytest.raises(ProtocolError, match="array"):
+            BulkSampleRequest.from_dict(
+                {"version": PROTOCOL_VERSION, "samples": {"agent": "web"}}
+            )
+
+    def test_bulk_request_errors_name_the_offending_index(self):
+        good = self.sample().as_dict()
+        bad = self.sample().as_dict()
+        bad["ipc"] = "fast"
+        with pytest.raises(ProtocolError, match=r"samples\[1\]"):
+            BulkSampleRequest.from_dict(
+                {"version": PROTOCOL_VERSION, "samples": [good, bad]}
+            )
+
+    def test_sample_outcome_round_trip_omits_empty_error(self):
+        accepted = SampleOutcome(agent="web", queued=True)
+        assert "error" not in accepted.as_dict()
+        assert SampleOutcome.from_dict(accepted.as_dict()) == accepted
+        rejected = SampleOutcome(agent="web", queued=False, error="unknown_agent")
+        assert rejected.as_dict()["error"] == "unknown_agent"
+        assert SampleOutcome.from_dict(rejected.as_dict()) == rejected
+
+    def test_sample_outcome_rejects_non_bool_queued(self):
+        with pytest.raises(ProtocolError, match="queued"):
+            SampleOutcome.from_dict({"agent": "web", "queued": 1})
+
+    def test_bulk_response_round_trip(self):
+        response = BulkSampleResponse(
+            epoch=4,
+            pending=3,
+            accepted=1,
+            rejected=1,
+            results=(
+                SampleOutcome(agent="web", queued=True),
+                SampleOutcome(agent="ghost", queued=False, error="unknown_agent"),
+            ),
+        )
+        assert BulkSampleResponse.from_dict(response.as_dict()) == response
+
+    def test_bulk_response_rejects_bool_counts(self):
+        body = BulkSampleResponse(
+            epoch=1, pending=0, accepted=1, rejected=0,
+            results=(SampleOutcome(agent="web", queued=True),),
+        ).as_dict()
+        body["accepted"] = True
+        with pytest.raises(ProtocolError, match="accepted"):
+            BulkSampleResponse.from_dict(body)
