@@ -3,8 +3,8 @@
 # The CI workflow (.github/workflows/ci.yml) runs these same targets —
 # lint, test, coverage, smoke, bench-kernel, bench-solver,
 # cold-start-check, dynamic-smoke, serve-smoke, shard-smoke,
-# credit-smoke — so `make ci` reproduces a full CI run locally with
-# zero drift.
+# credit-smoke, regret-smoke — so `make ci` reproduces a full CI run
+# locally with zero drift.
 
 PYTHON ?= python
 JOBS ?= 2
@@ -18,7 +18,7 @@ COV_FLOOR ?= 80
 .PHONY: install test coverage bench bench-kernel bench-serve bench-solver \
 	cold-start-check examples reproduce \
 	lint smoke dynamic-smoke metrics-smoke serve-smoke shard-smoke \
-	credit-smoke ci clean
+	credit-smoke regret-smoke ci clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -138,6 +138,15 @@ serve-smoke:
 shard-smoke:
 	$(PYTHON) benchmarks/shard_smoke.py
 
+# The CI regret-smoke job, runnable locally: a 200-epoch profile-free
+# `repro dynamic --learn-demands` run over churny agents, the regret
+# harness gating convergence epoch and final-window/cumulative regret
+# against the offline-profiled oracle (REPRO_REGRET_MAX_* override the
+# gates; BENCH_regret.json carries the trajectory), and a profile-less
+# agent served end to end both flat and through `--cells 4`.
+regret-smoke:
+	$(PYTHON) benchmarks/regret_smoke.py
+
 # The CI credit-smoke job, runnable locally: 300 epochs of
 # `repro dynamic --mechanism credit` under bursty churn (feasible
 # throughout, balance gauges inside the bank bound) plus the horizon
@@ -149,7 +158,7 @@ credit-smoke:
 # pytest-cov; when it is missing locally the leg is skipped with a
 # notice instead of failing the whole run.
 ci: lint test smoke bench-kernel bench-solver cold-start-check dynamic-smoke \
-		serve-smoke shard-smoke credit-smoke bench-serve
+		serve-smoke shard-smoke credit-smoke regret-smoke bench-serve
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(MAKE) coverage; \
 	else \
@@ -160,5 +169,5 @@ clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
 	rm -rf $(SMOKE_CACHE) $(SMOKE_CACHE).*.txt $(SMOKE_CACHE).*.json
 	rm -rf coverage-html .coverage
-	rm -f BENCH_kernel.json BENCH_serve.json BENCH_solver.json
+	rm -f BENCH_kernel.json BENCH_serve.json BENCH_solver.json BENCH_regret.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -26,11 +26,29 @@ import time
 #: headroom for slow shared runners without letting the scipy tax back in.
 DEFAULT_BUDGET_MS = 400.0
 
-LAZINESS_PROBE = (
-    "import sys; import repro.cli; repro.cli.build_parser(); "
-    "heavy = sorted(m for m in ('numpy', 'scipy') if m in sys.modules); "
-    "sys.exit(f'parser imported {heavy}' if heavy else 0)"
-)
+# The learning flags must exist on both loop subcommands, and
+# *inspecting* them — iterating `--prior`'s choices, validating a member
+# — must not drag in repro.learning's NumPy stack (the PR-8
+# `_LazyChoices`/metavar regression class: a flag whose choices come
+# from a heavy module defeats the lazy-parser contract).
+LAZINESS_PROBE = """\
+import argparse
+import sys
+
+import repro.cli
+
+parser = repro.cli.build_parser()
+subs = next(a for a in parser._actions if isinstance(a, argparse._SubParsersAction))
+for c in ('dynamic', 'serve'):
+    actions = {o: a for a in subs.choices[c]._actions for o in a.option_strings}
+    assert '--learn-demands' in actions, f'{c}: missing --learn-demands'
+    prior = actions.get('--prior')
+    assert prior is not None, f'{c}: missing --prior'
+    assert tuple(prior.choices) == ('equal', 'centroid'), prior.choices
+    assert 'equal' in prior.choices and prior.metavar == 'PRIOR', prior
+heavy = sorted(m for m in ('numpy', 'scipy') if m in sys.modules)
+sys.exit(f'parser imported {heavy}' if heavy else 0)
+"""
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,260 @@
+"""CI ``regret-smoke`` driver (also ``make regret-smoke``).
+
+Proves the profile-free learning path end to end, in four legs:
+
+1. **CLI leg** — a real ``python -m repro dynamic --learn-demands``
+   subprocess: 200 epochs over churny agents (an arrival and a
+   departure mid-run), exit 0, ``feasible=True`` in the summary.
+2. **Regret leg** — :func:`repro.experiments.regret.run_regret` scores
+   the same learned trajectory against the offline-profiled oracle and
+   hard-gates it: convergence epoch <= ``REPRO_REGRET_MAX_CONVERGENCE_EPOCH``
+   (default 60), final-window regret <= ``REPRO_REGRET_MAX_FINAL``
+   (default 0.08), cumulative regret <= ``REPRO_REGRET_MAX_CUMULATIVE``
+   (default 15.0).  Each env var recalibrates its gate on slower or
+   noisier runners (0 disables), mirroring ``REPRO_SERVE_MIN_RPS``.
+   The full trajectory is written to ``BENCH_regret.json`` — the CI
+   job uploads it (``if-no-files-found: error``) and re-asserts the
+   gates from the artifact.
+3. **Flat serve leg** — ``repro serve --learn-demands`` accepts a
+   ``"profile": null`` agent, learns it from exploration-tagged
+   samples, grants it a feasible bundle, exits cleanly on SIGTERM.
+4. **Shard serve leg** — the same through ``--cells 4``: the
+   coordinator proxies the profile-free register to the owning cell
+   worker and the merged allocation stays feasible.
+
+Exits non-zero on the first violation; prints a greppable
+``regret-smoke OK`` line on success.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.regret import run_regret
+from repro.serve import ServeClient
+from repro.sim.analytic import AnalyticMachine
+from repro.workloads import get_workload
+
+EPOCHS = 200
+ARTIFACT = "BENCH_regret.json"
+
+#: The profile-less agent the serve legs admit, and the ground-truth
+#: benchmark its (exploration-tagged) measurements are simulated from —
+#: the server never sees this name.
+MYSTERY_AGENT = "mystery"
+MYSTERY_BENCH = "x264"
+
+
+def _gate(env: str, default: float) -> Tuple[float, bool]:
+    """An env-overridable ceiling; 0 disables the gate (slow runners)."""
+    value = float(os.environ.get(env, default))
+    return value, value > 0
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+# ----------------------------------------------------------------------
+# Leg 1: the churny profile-free CLI run
+
+
+def _cli_leg() -> int:
+    command = [
+        sys.executable, "-m", "repro", "dynamic",
+        "--learn-demands", "--prior", "centroid",
+        "--epochs", str(EPOCHS), "--seed", "2014",
+        "--workloads", "streamcluster,freqmine,dedup",
+        "--churn", f"{EPOCHS // 4}:add:late={MYSTERY_BENCH}",
+        "--churn", f"{3 * EPOCHS // 4}:remove:late",
+    ]
+    result = subprocess.run(command, capture_output=True, text=True, timeout=600)
+    tail = result.stdout.strip().splitlines()[-1] if result.stdout.strip() else ""
+    print(f"cli leg: {tail}")
+    if result.returncode != 0:
+        return _fail(
+            f"dynamic --learn-demands exited {result.returncode}: "
+            f"{result.stderr.strip()[-400:]}"
+        )
+    if "feasible=True" not in result.stdout:
+        return _fail("dynamic --learn-demands summary missing feasible=True")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Leg 2: regret vs the oracle, gated and exported
+
+
+def _regret_leg() -> int:
+    max_convergence, gate_convergence = _gate(
+        "REPRO_REGRET_MAX_CONVERGENCE_EPOCH", 60
+    )
+    max_final, gate_final = _gate("REPRO_REGRET_MAX_FINAL", 0.08)
+    max_cumulative, gate_cumulative = _gate("REPRO_REGRET_MAX_CUMULATIVE", 15.0)
+
+    report = run_regret(epochs=EPOCHS, seed=0)
+    payload = report.as_dict()
+    payload["gates"] = {
+        "max_convergence_epoch": max_convergence,
+        "max_final_window_regret": max_final,
+        "max_cumulative_regret": max_cumulative,
+        "convergence_gate_enforced": gate_convergence,
+        "final_gate_enforced": gate_final,
+        "cumulative_gate_enforced": gate_cumulative,
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(
+        f"regret leg: convergence_epoch={report.convergence_epoch} "
+        f"(<= {max_convergence:.0f}), "
+        f"final_window={report.final_window_regret:.4f} (<= {max_final}), "
+        f"cumulative={report.cumulative_regret:.4f} (<= {max_cumulative}) "
+        f"-> {ARTIFACT}"
+    )
+    if gate_convergence and (
+        report.convergence_epoch is None
+        or report.convergence_epoch > max_convergence
+    ):
+        return _fail(
+            f"learned allocation did not converge by epoch "
+            f"{max_convergence:.0f} (got {report.convergence_epoch})"
+        )
+    if gate_final and report.final_window_regret > max_final:
+        return _fail(
+            f"final-window regret {report.final_window_regret:.4f} "
+            f"> {max_final}"
+        )
+    if gate_cumulative and report.cumulative_regret > max_cumulative:
+        return _fail(
+            f"cumulative regret {report.cumulative_regret:.4f} "
+            f"> {max_cumulative}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Legs 3 + 4: profile-free agents through the real service
+
+
+def _serve_leg(cells: int) -> int:
+    label = f"serve leg (cells={cells})"
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--epoch-ms", "20", "--max-batch", "8",
+        "--learn-demands", "--prior", "centroid",
+    ]
+    if cells > 1:
+        # Every cell must boot non-empty: seed one profiled agent per cell.
+        command += [
+            "--cells", str(cells),
+            "--workloads", "freqmine,dedup,streamcluster,canneal",
+        ]
+    else:
+        command += ["--workloads", "freqmine,dedup"]
+    proc = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if not match:
+            return _fail(f"{label}: could not parse listen line {line!r}")
+        port = int(match.group(1))
+        client = ServeClient("127.0.0.1", port)
+        client.wait_ready(timeout=30)
+
+        # Admit the profile-less agent: "profile": null + a class hint.
+        response = client.register(MYSTERY_AGENT, None, workload_class="C")
+        if MYSTERY_AGENT not in response.agents:
+            return _fail(f"{label}: profile-free register not reflected: {response}")
+
+        # Feed exploration-tagged measurements simulated from the ground
+        # truth the server never saw, re-measuring at its own grants.
+        # Epochs only tick when samples arrive (the batching contract),
+        # so keep measuring until both floors are met.
+        machine = AnalyticMachine()
+        workload = get_workload(MYSTERY_BENCH)
+        deadline = time.monotonic() + 90
+        target = client.health().epoch + 15
+        samples = 0
+        while samples < 40 or client.health().epoch < target:
+            if time.monotonic() > deadline:
+                return _fail(
+                    f"{label}: only {samples} samples / epoch "
+                    f"{client.health().epoch} before timeout"
+                )
+            allocation = client.allocation()
+            if not allocation.feasible:
+                return _fail(f"{label}: infeasible allocation at {allocation.epoch}")
+            try:
+                bundle = allocation.bundle(MYSTERY_AGENT)
+            except KeyError:
+                time.sleep(0.02)  # not granted yet (first epoch)
+                continue
+            scale = 0.8 + 0.4 * ((samples * 7919) % 100) / 100.0
+            bandwidth = max(0.5, bundle["membw_gbps"] * scale)
+            cache_kb = max(96.0, bundle["cache_kb"] * scale)
+            ipc = float(machine.ipc(workload, cache_kb, bandwidth))
+            client.submit_sample(
+                MYSTERY_AGENT, bandwidth, cache_kb, ipc, exploration=True
+            )
+            samples += 1
+
+        allocation = client.allocation()
+        if not allocation.feasible:
+            return _fail(f"{label}: final allocation infeasible")
+        bundle = allocation.bundle(MYSTERY_AGENT)
+        if bundle["membw_gbps"] <= 0 or bundle["cache_kb"] <= 0:
+            return _fail(f"{label}: degenerate learned bundle {bundle}")
+
+        proc.send_signal(signal.SIGTERM)
+        output, _ = proc.communicate(timeout=30)
+        if proc.returncode != 0:
+            return _fail(f"{label}: server exited {proc.returncode} on SIGTERM")
+        if "feasible=True" not in output:
+            return _fail(f"{label}: shutdown summary missing feasible=True")
+        print(
+            f"{label}: profile-free {MYSTERY_AGENT!r} admitted, {samples} "
+            f"exploration samples, feasible bundle "
+            f"({bundle['membw_gbps']:.2f} GB/s, {bundle['cache_kb']:.0f} KB), "
+            f"clean SIGTERM exit"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    legs: List[Tuple[str, int]] = [
+        ("cli", _cli_leg()),
+        ("regret", _regret_leg()),
+        ("serve-flat", _serve_leg(1)),
+        ("serve-shard", _serve_leg(4)),
+    ]
+    failed = [name for name, code in legs if code != 0]
+    if failed:
+        print(f"FAIL: legs failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    summary: Dict[str, object] = json.load(open(ARTIFACT))
+    print(
+        f"regret-smoke OK: {EPOCHS}-epoch profile-free run converged at "
+        f"epoch {summary['convergence_epoch']}, final-window regret "
+        f"{summary['final_window_regret']:.4f}, cumulative "
+        f"{summary['cumulative_regret']:.4f}; profile-less agent served "
+        f"flat and through 4 cells"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -148,6 +148,32 @@ def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Prior policies for --prior.  Static strings, NOT imported from
+#: repro.learning: the parser must build without touching NumPy (the
+#: cold-start gate), and repro.learning imports it at module load.
+#: tests/test_cli.py asserts this tuple matches learning.PRIOR_NAMES.
+CLI_PRIOR_NAMES = ("equal", "centroid")
+
+
+def _add_learning_flags(parser: argparse.ArgumentParser) -> None:
+    """Demand-learning knobs shared by ``dynamic`` and ``serve``."""
+    parser.add_argument(
+        "--learn-demands", action="store_true",
+        help=(
+            "learn agent demands online (explore/exploit + demand caps); "
+            "serve additionally accepts profile-free registers "
+            "(profile: null)"
+        ),
+    )
+    parser.add_argument(
+        "--prior", choices=CLI_PRIOR_NAMES, default="equal", metavar="PRIOR",
+        help=(
+            "starting report for learning agents: equal (naive 1/R) or "
+            "centroid (workload-class centroids of past fits)"
+        ),
+    )
+
+
 def _resolve_cache_dir(args) -> Optional[str]:
     if args.no_cache:
         return None
@@ -344,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write the service's metrics (and epoch span trees) as JSON",
     )
+    _add_learning_flags(dynamic)
 
     serve = sub.add_parser(
         "serve",
@@ -402,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write the service's metrics (and epoch span trees) on shutdown",
     )
+    _add_learning_flags(serve)
 
     metrics = sub.add_parser(
         "metrics",
@@ -829,6 +857,8 @@ def _cmd_dynamic(args) -> int:
         faults=faults if faults.is_active else None,
         mechanism=args.mechanism,
         batch_refit=not args.no_batch_refit,
+        learn_demands=args.learn_demands,
+        prior=args.prior,
     )
     churn = _parse_churn_specs(args.churn, _lookup_benchmark)
     result = allocator.run(args.epochs, churn=churn if churn.events else None)
@@ -844,6 +874,7 @@ def _cmd_dynamic(args) -> int:
                 {
                     "epochs": result.n_epochs,
                     "feasible": feasible,
+                    "learn_demands": bool(args.learn_demands),
                     "agents": list(result.agent_names),
                     "counters": counters,
                     "final_allocation": (final.enforced or final.allocation).as_dict(),
@@ -946,6 +977,8 @@ def _cmd_serve(args) -> int:
             decay=args.decay,
             seed=args.seed,
             mechanism=args.mechanism,
+            learn_demands=args.learn_demands,
+            prior=args.prior,
         )
         _serve_event_loop(
             coordinator,
@@ -968,6 +1001,8 @@ def _cmd_serve(args) -> int:
         decay=args.decay,
         seed=args.seed,
         mechanism=args.mechanism,
+        learn_demands=args.learn_demands,
+        prior=args.prior,
     )
     server = AllocationServer(
         allocator,

@@ -57,6 +57,8 @@ from ..core.registry import (
     create_mechanism,
     mechanism_names,
 )
+from ..core.utility import CobbDouglasUtility
+from ..learning import DemandLearner
 from ..obs import MetricsRegistry, Tracer, timed
 from ..profiling.online import OnlineProfiler
 from ..sim.analytic import AnalyticMachine
@@ -269,6 +271,20 @@ class DynamicAllocator:
         False restores the historical re-fit-per-observation behaviour.
         Fits are pure functions of each profiler's sample history, so
         on a clean run both modes learn identical utilities.
+    learn_demands:
+        Enable the :mod:`repro.learning` explore/exploit layer: agents
+        may be added with **no workload** (profile-free), the mechanism
+        sees confidence-weighted prior/fit elasticity blends, enforced
+        shares get bounded ε-greedy exploration perturbations (tagged
+        so the profilers' outlier gate cannot reject them), and
+        demand-saturated agents are capped so surplus flows to
+        unsaturated ones.  Off (default), behaviour is bit-identical to
+        earlier releases.
+    prior:
+        Prior policy for learning agents: ``"equal"`` (the §4.4 naive
+        report) or ``"centroid"`` (workload-class centroids learned
+        from past confident fits).  Only meaningful with
+        ``learn_demands=True``.
     """
 
     #: Lower bounds keeping every agent inside the profiled regime.
@@ -296,6 +312,8 @@ class DynamicAllocator:
         metrics: Optional[MetricsRegistry] = None,
         mechanism: str = "ref",
         batch_refit: bool = True,
+        learn_demands: bool = False,
+        prior: str = "equal",
     ):
         if not workloads:
             raise ValueError("at least one agent is required")
@@ -329,25 +347,60 @@ class DynamicAllocator:
         self._mechanism_impl = create_mechanism(mechanism)
         self._fallback_impl = create_mechanism("equal-split-fallback")
         self.batch_refit = batch_refit
+        self.learn_demands = bool(learn_demands)
+        self.prior_policy = prior
+        self.learner: Optional[DemandLearner] = (
+            DemandLearner(prior=prior, metrics=self.metrics, seed=seed)
+            if self.learn_demands
+            else None
+        )
         self._last_enforced_shares: Optional[np.ndarray] = None
         self._last_agent_order: Tuple[str, ...] = ()
+        if not self.learn_demands and any(w is None for w in self.workloads.values()):
+            raise ValueError("profile-free agents require learn_demands=True")
         self._profilers = {name: self._new_profiler(name) for name in self.workloads}
+        if self.learner is not None:
+            for name, workload in self.workloads.items():
+                self.learner.register(name, cls=self._class_hint(workload))
         self._next_epoch = 0
+
+    @staticmethod
+    def _class_hint(workload: object) -> Optional[str]:
+        """Workload-class hint ("C"/"M") feeding centroid priors."""
+        return getattr(workload, "expected_group", None)
 
     # ------------------------------------------------------------------
     # Agent churn
 
-    def add_agent(self, name: str, workload: object) -> None:
+    def add_agent(
+        self,
+        name: str,
+        workload: object = None,
+        workload_class: Optional[str] = None,
+    ) -> None:
         """Admit a new agent; it participates from the next stepped epoch.
 
         The arrival starts from the naive prior and profiles online like
         everyone else; the allocation problem is rebuilt each epoch, so
-        no restart is needed.
+        no restart is needed.  With ``learn_demands=True`` the workload
+        may be ``None`` — a *profile-free* agent whose demands are
+        learned entirely from externally observed samples
+        (:meth:`observe_sample`); ``workload_class`` optionally hints
+        its class ("C"/"M") for centroid priors.
         """
         if name in self.workloads:
             raise ValueError(f"agent {name!r} already exists")
+        if workload is None and self.learner is None:
+            raise ValueError(
+                f"agent {name!r} has no workload; profile-free agents "
+                f"require learn_demands=True"
+            )
         self.workloads[name] = workload
         self._profilers[name] = self._new_profiler(name)
+        if self.learner is not None:
+            self.learner.register(
+                name, cls=workload_class or self._class_hint(workload)
+            )
 
     def remove_agent(self, name: str) -> None:
         """Retire an agent; capacity is re-divided from the next epoch."""
@@ -357,6 +410,8 @@ class DynamicAllocator:
             raise ValueError("cannot remove the last agent")
         del self.workloads[name]
         del self._profilers[name]
+        if self.learner is not None:
+            self.learner.forget(name)
         self._mechanism_impl.forget_agent(name)
 
     # ------------------------------------------------------------------
@@ -412,8 +467,20 @@ class DynamicAllocator:
         """
         total = np.zeros(2, dtype=float)
         for name in self.workloads:
-            total += self._profilers[name].report_elasticities()
+            total += self._report(name)
         return total
+
+    def _report(self, name: str) -> np.ndarray:
+        """The elasticities agent ``name`` currently reports.
+
+        The learner's confidence-weighted blend in learning mode, the
+        profiler's own (naive-until-fitted) report otherwise — so the
+        shard coordinator aggregates learned elasticities exactly like
+        fitted ones.
+        """
+        if self.learner is not None:
+            return self.learner.report(name, self._profilers[name])
+        return self._profilers[name].report_elasticities()
 
     def _new_profiler(self, name: str) -> OnlineProfiler:
         return OnlineProfiler(
@@ -427,7 +494,11 @@ class DynamicAllocator:
         )
 
     def observe_sample(
-        self, agent: str, bundle: Tuple[float, float], value: float
+        self,
+        agent: str,
+        bundle: Tuple[float, float],
+        value: float,
+        exploration: bool = False,
     ) -> bool:
         """Feed one *externally measured* IPC sample into an agent's profiler.
 
@@ -443,13 +514,18 @@ class DynamicAllocator:
         Returns ``True`` when the sample was accepted into the agent's
         history, ``False`` when the profiler rejected it.  Raises
         ``ValueError`` for an unknown agent (a caller bug, not a
-        measurement fault).
+        measurement fault).  ``exploration=True`` marks a sample the
+        client took at a deliberately perturbed operating point; it
+        bypasses the fit-relative outlier gate (see
+        :meth:`~repro.profiling.online.OnlineProfiler.observe`).
         """
         profiler = self._profilers.get(agent)
         if profiler is None:
             raise ValueError(f"no agent named {agent!r}")
         before = profiler.counters
-        profiler.observe(tuple(float(v) for v in bundle), float(value))
+        profiler.observe(
+            tuple(float(v) for v in bundle), float(value), exploration=exploration
+        )
         after = profiler.counters
         return (
             after["rejected_non_positive"] == before["rejected_non_positive"]
@@ -550,7 +626,12 @@ class DynamicAllocator:
                 spec, bandwidth, cache_kb, epoch, agent, events
             )
             if value is not None:
-                profiler.observe((bandwidth, cache_kb), value)
+                # In learning mode these deliberate off-policy probes
+                # are exploration-tagged so the outlier gate cannot
+                # reject a phase-changed agent's evidence wholesale.
+                profiler.observe(
+                    (bandwidth, cache_kb), value, exploration=self.learner is not None
+                )
 
     # ------------------------------------------------------------------
     # The epoch loop
@@ -567,7 +648,15 @@ class DynamicAllocator:
         :meth:`repro.core.registry.Mechanism.solve`.
         """
         names = tuple(self.workloads)
-        agents = [Agent(name, self._profilers[name].utility) for name in names]
+        if self.learner is not None:
+            # The mechanism sees the confidence-weighted prior/fit
+            # blend; it is rescaled and strictly positive by
+            # construction, so it is a valid Eq. 12 report.
+            agents = [
+                Agent(name, CobbDouglasUtility(self._report(name))) for name in names
+            ]
+        else:
+            agents = [Agent(name, self._profilers[name].utility) for name in names]
         problem = AllocationProblem(agents, self.capacities, ("membw_gbps", "cache_kb"))
         warm = None
         if (
@@ -684,6 +773,26 @@ class DynamicAllocator:
                 )
             )
 
+        explored: Tuple[str, ...] = ()
+        if self.learner is not None:
+            # Demand caps first (saturated agents release surplus with
+            # exact column sums), then bounded ε-greedy exploration
+            # perturbations (column sums and floors preserved) — the
+            # enforced allocation stays feasible through both.
+            shares, capped = self.learner.apply_caps(
+                enforced.shares, names, self._profilers, floors, self.capacities
+            )
+            if capped:
+                events.append(
+                    EpochEvent(
+                        epoch, "demand_capped", detail=f"{capped} entr(ies) clipped"
+                    )
+                )
+            shares, explored = self.learner.perturb(shares, names, floors)
+            for name in explored:
+                events.append(EpochEvent(epoch, "exploration_perturbed", name))
+            enforced = Allocation(enforced.problem, shares, enforced.mechanism)
+
         self._last_enforced_shares = enforced.shares.copy()
         self._last_agent_order = tuple(names)
 
@@ -702,16 +811,22 @@ class DynamicAllocator:
         with self.tracer.span("measure"):
             for index, name in enumerate(names):
                 profiler = self._profilers[name]
-                reported[name] = profiler.report_elasticities().copy()
-                if measure:
-                    spec = self._spec_at(self.workloads[name], epoch)
+                reported[name] = self._report(name).copy()
+                spec = (
+                    self._spec_at(self.workloads[name], epoch)
+                    if self.workloads[name] is not None
+                    else None
+                )
+                if measure and spec is not None:
                     bandwidth, cache_kb = enforced.shares[index]
                     value = self._measure_with_retry(
                         spec, bandwidth, cache_kb, epoch, name, events
                     )
                     if value is not None:
                         measured[name] = value
-                        profiler.observe((bandwidth, cache_kb), value)
+                        profiler.observe(
+                            (bandwidth, cache_kb), value, exploration=name in explored
+                        )
                     self._explore(spec, profiler, epoch, name, events)
         if measure:
             # Deferred mode: one stacked re-fit covers this epoch's
@@ -730,6 +845,11 @@ class DynamicAllocator:
                         events.append(
                             EpochEvent(epoch, kind, name, f"{delta} this epoch")
                         )
+        if self.learner is not None:
+            for name in self.learner.note_epoch(epoch, names, self._profilers):
+                events.append(
+                    EpochEvent(epoch, "report_converged", name, f"epoch {epoch}")
+                )
         conditions = {
             name: self._profilers[name].last_condition_number for name in names
         }

@@ -16,6 +16,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     fit_quality,
     mechanism_examples,
     platform_table,
+    regret,
     strategic,
     throughput,
 )

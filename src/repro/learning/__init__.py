@@ -1,0 +1,30 @@
+"""Profile-free serving: online demand learning with explore/exploit.
+
+REF assumes every agent arrives with a fitted Cobb-Douglas profile; in
+this repo that means a full offline sweep before the agent can be
+allocated.  This package removes the prerequisite: agents register with
+**no profile**, start from a prior (:mod:`repro.learning.prior`),
+explore their operating point with bounded perturbations, report
+confidence-weighted elasticity blends to the mechanism
+(:mod:`repro.learning.controller`), and release surplus along resources
+their utility has saturated in (:mod:`repro.learning.caps`).
+
+Entry points: ``DynamicAllocator(learn_demands=True)``, the
+``profile: null`` register variant on the serve API, and the
+``--learn-demands``/``--prior`` CLI flags.  See ``docs/learning.md``.
+"""
+
+from .caps import CapResult, DemandCapEstimator, apply_demand_caps
+from .controller import AgentLearnState, DemandLearner, LearnerConfig
+from .prior import PRIOR_NAMES, PriorStore
+
+__all__ = [
+    "AgentLearnState",
+    "CapResult",
+    "DemandCapEstimator",
+    "DemandLearner",
+    "LearnerConfig",
+    "PRIOR_NAMES",
+    "PriorStore",
+    "apply_demand_caps",
+]

@@ -1,0 +1,380 @@
+"""Explore/exploit demand learning over the on-line profiling loop.
+
+*Online Learning Demands in Max-min Fairness* (PAPERS.md) shows a
+fair-division mechanism can start from a prior and converge to the
+profiled allocation from live observations alone.  :class:`DemandLearner`
+is that loop's brain, layered on the per-agent
+:class:`~repro.profiling.online.OnlineProfiler`:
+
+* **reports** — the mechanism sees a confidence-weighted blend
+  ``(1 - c) * prior + c * fitted`` of the agent's prior (equal split or
+  a :class:`~repro.learning.prior.PriorStore` class centroid) and its
+  current fit, where ``c`` ramps with accepted sample count.  The blend
+  is a convex combination of strictly-positive sum-to-one vectors, so
+  it is always a valid Eq. 12 report;
+* **exploration** — each epoch, every learning agent is perturbed with
+  probability ``ε`` (ε-greedy, decaying per agent from ``epsilon0`` to
+  ``epsilon_min``): its enforced shares are multiplied by bounded
+  log-uniform factors, then every column is renormalized so the
+  perturbation moves samples *around* the operating point without ever
+  over-committing capacity.  Perturbed measurements are tagged
+  ``exploration=True`` so the profiler's outlier gate cannot reject a
+  genuinely phase-changed agent's evidence wholesale;
+* **demand caps** — a :class:`~repro.learning.caps.DemandCapEstimator`
+  detects flat response along a resource and caps the agent's share
+  there; :func:`~repro.learning.caps.apply_demand_caps` hands the
+  surplus to unsaturated agents with exact column sums;
+* **convergence** — an agent whose blended report has drifted less than
+  ``convergence_tol`` for ``convergence_window`` consecutive epochs is
+  converged (exploration decays to the floor, the epoch is recorded in
+  ``repro_learning_convergence_epoch``); a later large drift re-arms
+  exploration — that is how a phase change restarts learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import MetricsRegistry
+from ..profiling.online import OnlineProfiler
+from .caps import DemandCapEstimator, apply_demand_caps
+from .prior import PriorStore
+
+__all__ = ["LearnerConfig", "AgentLearnState", "DemandLearner"]
+
+
+@dataclass(frozen=True)
+class LearnerConfig:
+    """Tuning knobs for the explore/exploit schedule (see docs/learning.md)."""
+
+    #: Initial per-agent exploration probability.
+    epsilon0: float = 0.9
+    #: Exploration probability floor (never fully stop exploring).
+    epsilon_min: float = 0.05
+    #: Per-epoch multiplicative ε decay.
+    epsilon_decay: float = 0.97
+    #: Log-space half-width of a perturbation factor (``exp(±width)``).
+    perturb_width: float = 0.25
+    #: Accepted samples at which the fit is fully trusted (c = 1).
+    confidence_samples: int = 12
+    #: Report drift below this for ``convergence_window`` epochs = converged.
+    convergence_tol: float = 0.02
+    convergence_window: int = 5
+    #: Drift above this re-arms exploration on a converged agent.
+    rearm_drift: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.epsilon_min <= self.epsilon0 <= 1:
+            raise ValueError(
+                f"need 0 <= epsilon_min <= epsilon0 <= 1, got "
+                f"({self.epsilon_min}, {self.epsilon0})"
+            )
+        if not 0 < self.epsilon_decay <= 1:
+            raise ValueError(f"epsilon_decay must be in (0, 1], got {self.epsilon_decay}")
+        if not 0 < self.perturb_width < 1:
+            raise ValueError(f"perturb_width must be in (0, 1), got {self.perturb_width}")
+        if self.confidence_samples < 1:
+            raise ValueError(
+                f"confidence_samples must be >= 1, got {self.confidence_samples}"
+            )
+        if self.convergence_tol <= 0 or self.convergence_window < 1:
+            raise ValueError("convergence_tol/window must be positive")
+        if self.rearm_drift <= self.convergence_tol:
+            raise ValueError("rearm_drift must exceed convergence_tol")
+
+
+@dataclass
+class AgentLearnState:
+    """Mutable per-agent learning state (exposed for tests/diagnostics)."""
+
+    prior: np.ndarray
+    cls: Optional[str] = None
+    epochs: int = 0
+    epsilon: float = 0.9
+    converged_epoch: Optional[int] = None
+    last_report: Optional[np.ndarray] = None
+    stable_epochs: int = 0
+    prior_recorded: bool = False
+
+
+class DemandLearner:
+    """Per-allocator demand-learning state machine.
+
+    One instance serves every learning agent of a
+    :class:`~repro.dynamic.DynamicAllocator`; the allocator calls in at
+    fixed points of its epoch (report, cap, perturb, note) and the
+    learner owns all explore/exploit state and ``repro_learning_*``
+    telemetry.
+    """
+
+    def __init__(
+        self,
+        prior: str = "equal",
+        n_resources: int = 2,
+        config: Optional[LearnerConfig] = None,
+        estimator: Optional[DemandCapEstimator] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        seed: int = 0,
+    ):
+        self.config = config if config is not None else LearnerConfig()
+        self.priors = PriorStore(policy=prior, n_resources=n_resources)
+        self.estimator = estimator if estimator is not None else DemandCapEstimator()
+        self.n_resources = n_resources
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._rng = np.random.default_rng(seed)
+        self._states: Dict[str, AgentLearnState] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+
+    def register(self, name: str, cls: Optional[str] = None) -> None:
+        """Start learning for an agent (idempotent on re-register)."""
+        if name in self._states:
+            return
+        self._states[name] = AgentLearnState(
+            prior=self.priors.prior_for(cls),
+            cls=cls,
+            epsilon=self.config.epsilon0,
+        )
+        self.metrics.gauge(
+            "repro_learning_agents", help="Agents currently learning demands."
+        ).set(len(self._states))
+
+    def forget(self, name: str) -> None:
+        """Drop an agent's learning state (no-op when unknown)."""
+        if self._states.pop(name, None) is not None:
+            self.metrics.gauge(
+                "repro_learning_agents", help="Agents currently learning demands."
+            ).set(len(self._states))
+
+    def state(self, name: str) -> Optional[AgentLearnState]:
+        return self._states.get(name)
+
+    @property
+    def agent_names(self) -> Tuple[str, ...]:
+        return tuple(self._states)
+
+    # ------------------------------------------------------------------
+    # Reports
+
+    def confidence(self, name: str, profiler: OnlineProfiler) -> float:
+        """How much the agent's fit is trusted over its prior, in [0, 1]."""
+        if profiler.last_fit is None:
+            return 0.0
+        return min(1.0, profiler.n_samples / self.config.confidence_samples)
+
+    def report(self, name: str, profiler: OnlineProfiler) -> np.ndarray:
+        """Confidence-weighted elasticity report for the mechanism.
+
+        Falls back to the profiler's own report for agents never
+        registered with the learner (profiled agents sharing the
+        machine with learning ones).
+        """
+        state = self._states.get(name)
+        fitted = profiler.report_elasticities()
+        if state is None:
+            return fitted
+        c = self.confidence(name, profiler)
+        blend = (1.0 - c) * state.prior + c * fitted
+        total = blend.sum()
+        if not np.isfinite(total) or total <= 0 or np.any(blend <= 0):
+            return state.prior.copy()
+        return blend / total
+
+    def note_fit(self, name: str, profiler: OnlineProfiler) -> None:
+        """Feed a now-confident fit into the prior store (once per agent)."""
+        state = self._states.get(name)
+        if state is None or state.prior_recorded:
+            return
+        if self.confidence(name, profiler) >= 1.0:
+            self.priors.update(profiler.report_elasticities(), cls=state.cls)
+            state.prior_recorded = True
+
+    # ------------------------------------------------------------------
+    # Demand caps
+
+    def caps_for(
+        self,
+        names: Sequence[str],
+        profilers: Dict[str, OnlineProfiler],
+        floors: Sequence[float],
+    ) -> np.ndarray:
+        """Stacked ``(N, R)`` cap matrix for the epoch's agent order."""
+        caps = np.full((len(names), self.n_resources), np.inf)
+        for i, name in enumerate(names):
+            if name not in self._states:
+                continue
+            profiler = profilers[name]
+            if self.confidence(name, profiler) < 1.0:
+                continue
+            caps[i] = self.estimator.caps_for(
+                self.report(name, profiler), profiler.samples(), floors
+            )
+        return caps
+
+    def apply_caps(
+        self,
+        shares: np.ndarray,
+        names: Sequence[str],
+        profilers: Dict[str, OnlineProfiler],
+        floors: Sequence[float],
+        capacities: Sequence[float],
+    ) -> Tuple[np.ndarray, int]:
+        """Cap saturated agents, redistribute surplus; returns (shares, capped)."""
+        caps = self.caps_for(names, profilers, floors)
+        if not np.isfinite(caps).any():
+            return shares, 0
+        result = apply_demand_caps(shares, caps, capacities)
+        if result.capped_entries:
+            self.metrics.counter(
+                "repro_learning_cap_events_total",
+                help="(agent, resource) entries clipped to a demand cap.",
+            ).inc(result.capped_entries)
+        return result.shares, result.capped_entries
+
+    # ------------------------------------------------------------------
+    # Exploration
+
+    def perturb(
+        self,
+        shares: np.ndarray,
+        names: Sequence[str],
+        floors: Sequence[float],
+    ) -> Tuple[np.ndarray, Tuple[str, ...]]:
+        """ε-greedy bounded perturbation of the enforced shares.
+
+        Each learning agent is perturbed with its current probability
+        ``ε``; chosen agents' entries are multiplied by log-uniform
+        factors in ``exp(±perturb_width)``.  Columns are then
+        renormalized to their pre-perturbation sums and clamped to the
+        floors (pin-and-rescale), so the result allocates exactly what
+        the input did and never leaves the profiled regime.
+
+        Returns the perturbed matrix and the names actually explored
+        this epoch (their measurements must be tagged
+        ``exploration=True``).
+        """
+        shares = np.asarray(shares, dtype=float)
+        explored: List[str] = []
+        factors = np.ones_like(shares)
+        for i, name in enumerate(names):
+            state = self._states.get(name)
+            if state is None:
+                continue
+            if self._rng.random() >= state.epsilon:
+                continue
+            explored.append(name)
+            width = self.config.perturb_width
+            factors[i] = np.exp(self._rng.uniform(-width, width, size=shares.shape[1]))
+        total = len([n for n in names if n in self._states])
+        self.metrics.gauge(
+            "repro_learning_exploration_fraction",
+            help="Fraction of learning agents perturbed in the last epoch.",
+        ).set(len(explored) / total if total else 0.0)
+        if not explored:
+            return shares, ()
+        column_sums = shares.sum(axis=0)
+        out = shares * factors
+        out = _renormalize_with_floors(out, column_sums, np.asarray(floors, dtype=float))
+        return out, tuple(explored)
+
+    # ------------------------------------------------------------------
+    # Per-epoch bookkeeping
+
+    def note_epoch(
+        self,
+        epoch: int,
+        names: Sequence[str],
+        profilers: Dict[str, OnlineProfiler],
+    ) -> Tuple[str, ...]:
+        """Advance ε schedules and convergence detection after an epoch.
+
+        Returns the agents that *newly* converged this epoch (for the
+        caller's event log).
+        """
+        newly_converged: List[str] = []
+        for name in names:
+            state = self._states.get(name)
+            if state is None:
+                continue
+            profiler = profilers[name]
+            self.note_fit(name, profiler)
+            report = self.report(name, profiler)
+            if state.last_report is not None:
+                drift = float(np.max(np.abs(report - state.last_report)))
+                self.metrics.gauge(
+                    "repro_learning_report_drift",
+                    help="Max abs per-epoch change of the blended report.",
+                    agent=name,
+                ).set(drift)
+                if state.converged_epoch is not None and drift > self.config.rearm_drift:
+                    # A big jump after convergence is a phase change:
+                    # re-arm exploration and start converging again.
+                    state.converged_epoch = None
+                    state.stable_epochs = 0
+                    state.epsilon = self.config.epsilon0
+                elif drift < self.config.convergence_tol:
+                    state.stable_epochs += 1
+                else:
+                    state.stable_epochs = 0
+                if (
+                    state.converged_epoch is None
+                    and state.stable_epochs >= self.config.convergence_window
+                    and self.confidence(name, profiler) >= 1.0
+                ):
+                    state.converged_epoch = epoch
+                    newly_converged.append(name)
+                    self.metrics.gauge(
+                        "repro_learning_convergence_epoch",
+                        help="Epoch at which the agent's report converged.",
+                        agent=name,
+                    ).set(float(epoch))
+            state.last_report = report
+            state.epochs += 1
+            state.epsilon = max(
+                self.config.epsilon_min, state.epsilon * self.config.epsilon_decay
+            )
+        return tuple(newly_converged)
+
+
+def _renormalize_with_floors(
+    shares: np.ndarray, column_sums: np.ndarray, floors: np.ndarray
+) -> np.ndarray:
+    """Scale each column back to its target sum, keeping entries >= floors.
+
+    Same pin-and-rescale iteration as
+    :func:`~repro.optimize.hierarchy.split_capacity`: entries at or
+    below the floor are pinned there and the free entries absorb the
+    remainder; each round pins at least one new entry, so N rounds
+    bound the loop.
+    """
+    out = shares.copy()
+    n_agents = out.shape[0]
+    for r in range(out.shape[1]):
+        target = float(column_sums[r])
+        floor = float(floors[r])
+        column = out[:, r]
+        if target <= 0:
+            continue
+        total = column.sum()
+        if total > 0:
+            column = column * (target / total)
+        pinned = np.zeros(n_agents, dtype=bool)
+        for _ in range(n_agents):
+            below = ~pinned & (column < floor)
+            if not below.any():
+                break
+            pinned |= below
+            column = np.where(pinned, floor, column)
+            if pinned.all():
+                break
+            free_target = target - floor * pinned.sum()
+            free_total = column[~pinned].sum()
+            if free_target <= 0 or free_total <= 0:
+                break
+            column = np.where(pinned, column, column * (free_target / free_total))
+        out[:, r] = column
+    return out

@@ -216,7 +216,24 @@ class OnlineProfiler:
         """Re-scaled elasticities the agent would report to the mechanism."""
         return self.utility.rescaled().alpha
 
-    def observe(self, allocation: Sequence[float], performance: float) -> CobbDouglasUtility:
+    def samples(self) -> Optional[tuple]:
+        """Accepted ``(allocations, performance)`` history as arrays.
+
+        ``None`` until at least one sample was accepted.  Consumers
+        (the demand-cap estimator) read the evidence behind the current
+        fit; the arrays are copies, mutating them cannot corrupt the
+        profiler.
+        """
+        if not self._performance:
+            return None
+        return np.vstack(self._allocations), np.asarray(self._performance, dtype=float)
+
+    def observe(
+        self,
+        allocation: Sequence[float],
+        performance: float,
+        exploration: bool = False,
+    ) -> CobbDouglasUtility:
         """Record one (allocation, measured IPC) sample and maybe re-fit.
 
         Returns the (possibly updated) utility estimate.  Samples with
@@ -225,6 +242,14 @@ class OnlineProfiler:
         log transform needs strictly positive data and a long-running
         loop must survive a bad measurement.  Only a wrong *shape* (a
         caller bug, not a measurement fault) still raises.
+
+        ``exploration=True`` marks the sample as deliberately taken at a
+        perturbed operating point by a demand-learning controller.  Such
+        samples bypass the fit-relative outlier gate entirely: they are
+        *expected* to disagree with the current fit (that is the point of
+        exploring), and a stream of exploration samples from a
+        phase-changed agent would otherwise be rejected wholesale before
+        the consecutive-run escape could fire.
         """
         arr = np.asarray(allocation, dtype=float)
         if arr.shape != (self.n_resources,):
@@ -239,7 +264,7 @@ class OnlineProfiler:
         ):
             self._count("rejected_non_positive")
             return self.utility
-        if self._is_outlier(arr, float(performance)):
+        if not exploration and self._is_outlier(arr, float(performance)):
             self._count("rejected_outliers")
             return self.utility
         self._consecutive_outliers = 0

@@ -172,9 +172,27 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Routes
 
-    def register(self, agent: str, workload: str) -> AgentResponse:
-        """Admit ``agent`` running benchmark ``workload``."""
-        payload = {"action": "register", "agent": agent, "workload": workload}
+    def register(
+        self,
+        agent: str,
+        workload: Optional[str] = None,
+        workload_class: Optional[str] = None,
+    ) -> AgentResponse:
+        """Admit ``agent`` running benchmark ``workload``.
+
+        ``workload=None`` sends the *profile-free* register variant
+        (``"profile": null``) — the server must be running with
+        ``--learn-demands`` and will learn the agent's demands online
+        from its samples.  ``workload_class`` optionally hints the
+        agent's class (``"C"``/``"M"``) for centroid priors.
+        """
+        payload: Dict[str, object] = {"action": "register", "agent": agent}
+        if workload is None:
+            payload["profile"] = None
+            if workload_class is not None:
+                payload["workload_class"] = workload_class
+        else:
+            payload["workload"] = workload
         return AgentResponse.from_dict(self._json("POST", "/v1/agents", payload))
 
     def deregister(self, agent: str) -> AgentResponse:
@@ -183,11 +201,24 @@ class ServeClient:
         return AgentResponse.from_dict(self._json("POST", "/v1/agents", payload))
 
     def submit_sample(
-        self, agent: str, bandwidth_gbps: float, cache_kb: float, ipc: float
+        self,
+        agent: str,
+        bandwidth_gbps: float,
+        cache_kb: float,
+        ipc: float,
+        exploration: bool = False,
     ) -> SampleResponse:
-        """Queue one measured (bundle, IPC) observation for the next epoch."""
+        """Queue one measured (bundle, IPC) observation for the next epoch.
+
+        ``exploration=True`` marks a deliberately perturbed measurement
+        so the server's outlier gate does not reject it.
+        """
         request = SampleRequest(
-            agent=agent, bandwidth_gbps=bandwidth_gbps, cache_kb=cache_kb, ipc=ipc
+            agent=agent,
+            bandwidth_gbps=bandwidth_gbps,
+            cache_kb=cache_kb,
+            ipc=ipc,
+            exploration=exploration,
         )
         return SampleResponse.from_dict(
             self._json("POST", "/v1/samples", request.as_dict())

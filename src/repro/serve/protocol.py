@@ -125,34 +125,74 @@ class AgentRequest:
     """``POST /v1/agents`` — register or deregister an agent.
 
     ``workload`` names a benchmark from the bundled suite (the server
-    needs a prior/spec to seed the agent's profiler context); it is
-    required for ``register`` and must be absent for ``deregister``.
+    needs a prior/spec to seed the agent's profiler context); a
+    ``register`` must carry either a workload **or** an explicit
+    ``"profile": null`` — the *profile-free* variant, accepted only by
+    servers running with demand learning enabled
+    (``--learn-demands``), whose demands are learned online from the
+    agent's submitted samples.  A profile-free register may add a
+    ``workload_class`` hint (``"C"`` or ``"M"``) steering the centroid
+    prior.  ``deregister`` takes neither.
     """
 
     action: str
     agent: str
     workload: Optional[str] = None
+    profile_free: bool = False
+    workload_class: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.action not in ("register", "deregister"):
             raise ProtocolError(
                 f"action must be 'register' or 'deregister', got {self.action!r}"
             )
-        if self.action == "register" and not self.workload:
-            raise ProtocolError("register requires a workload")
-        if self.action == "deregister" and self.workload is not None:
-            raise ProtocolError("deregister does not take a workload")
+        if self.action == "register":
+            if self.profile_free and self.workload is not None:
+                raise ProtocolError(
+                    "register takes either a workload or profile: null, not both"
+                )
+            if not self.profile_free and not self.workload:
+                raise ProtocolError("register requires a workload or profile: null")
+        if self.action == "deregister" and (
+            self.workload is not None or self.profile_free
+        ):
+            raise ProtocolError("deregister does not take a workload or profile")
+        if self.workload_class is not None and not self.profile_free:
+            raise ProtocolError("workload_class is only valid with profile: null")
+        if self.workload_class is not None and self.workload_class not in ("C", "M"):
+            raise ProtocolError(
+                f"workload_class must be 'C' or 'M', got {self.workload_class!r}"
+            )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "AgentRequest":
-        _check_keys(data, required=("action", "agent"), optional=("workload",))
+        _check_keys(
+            data,
+            required=("action", "agent"),
+            optional=("workload", "profile", "workload_class"),
+        )
         workload = data.get("workload")
         if workload is not None and (not isinstance(workload, str) or not workload):
             raise ProtocolError(f"workload must be a non-empty string, got {workload!r}")
+        profile_free = False
+        if "profile" in data:
+            if data["profile"] is not None:
+                raise ProtocolError(
+                    "only profile: null is supported (inline profiles are not); "
+                    "name a workload instead"
+                )
+            profile_free = True
+        workload_class = data.get("workload_class")
+        if workload_class is not None and not isinstance(workload_class, str):
+            raise ProtocolError(
+                f"workload_class must be a string, got {workload_class!r}"
+            )
         return cls(
             action=_get_str(data, "action"),
             agent=_get_str(data, "agent"),
             workload=workload,
+            profile_free=profile_free,
+            workload_class=workload_class,
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -163,6 +203,10 @@ class AgentRequest:
         }
         if self.workload is not None:
             payload["workload"] = self.workload
+        if self.profile_free:
+            payload["profile"] = None
+        if self.workload_class is not None:
+            payload["workload_class"] = self.workload_class
         return payload
 
 
@@ -174,31 +218,49 @@ class SampleRequest:
     *wire* requirement.  Whether the sample is plausible (positive, not
     an outlier against the agent's current fit) is decided by the
     fault-tolerant profiler at the next epoch tick, not by the parser.
+    The optional ``exploration`` flag marks a measurement taken at a
+    deliberately perturbed operating point; the profiler's outlier gate
+    is bypassed for it (see
+    :meth:`repro.profiling.online.OnlineProfiler.observe`).
     """
 
     agent: str
     bandwidth_gbps: float
     cache_kb: float
     ipc: float
+    exploration: bool = False
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SampleRequest":
-        _check_keys(data, required=("agent", "bandwidth_gbps", "cache_kb", "ipc"))
+        _check_keys(
+            data,
+            required=("agent", "bandwidth_gbps", "cache_kb", "ipc"),
+            optional=("exploration",),
+        )
+        exploration = data.get("exploration", False)
+        if not isinstance(exploration, bool):
+            raise ProtocolError(
+                f"exploration must be a boolean, got {exploration!r}"
+            )
         return cls(
             agent=_get_str(data, "agent"),
             bandwidth_gbps=_get_number(data, "bandwidth_gbps"),
             cache_kb=_get_number(data, "cache_kb"),
             ipc=_get_number(data, "ipc"),
+            exploration=exploration,
         )
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "version": PROTOCOL_VERSION,
             "agent": self.agent,
             "bandwidth_gbps": self.bandwidth_gbps,
             "cache_kb": self.cache_kb,
             "ipc": self.ipc,
         }
+        if self.exploration:
+            payload["exploration"] = True
+        return payload
 
     @property
     def bundle(self) -> Tuple[float, float]:

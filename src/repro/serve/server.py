@@ -660,7 +660,10 @@ class AllocationServer(HttpServerBase):
             else:
                 try:
                     if not self.allocator.observe_sample(
-                        sample.agent, sample.bundle, sample.ipc
+                        sample.agent,
+                        sample.bundle,
+                        sample.ipc,
+                        exploration=sample.exploration,
                     ):
                         outcome = "rejected"
                 except ValueError:
@@ -724,13 +727,24 @@ class AllocationServer(HttpServerBase):
     def _route_agents(self, body: bytes) -> Tuple[int, object, str]:
         request = AgentRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
         if request.action == "register":
-            if request.workload not in BENCHMARKS:
+            if request.profile_free and not self.allocator.learn_demands:
+                raise _HttpError(
+                    400,
+                    "learning_disabled",
+                    "profile: null requires a server started with --learn-demands",
+                )
+            if not request.profile_free and request.workload not in BENCHMARKS:
                 raise _HttpError(
                     400, "unknown_workload", f"no benchmark named {request.workload!r}"
                 )
             if request.agent in self.allocator.workloads:
                 raise _HttpError(409, "agent_exists", f"{request.agent!r} is registered")
-            self.allocator.add_agent(request.agent, get_workload(request.workload))
+            if request.profile_free:
+                self.allocator.add_agent(
+                    request.agent, None, workload_class=request.workload_class
+                )
+            else:
+                self.allocator.add_agent(request.agent, get_workload(request.workload))
         else:
             if request.agent not in self.allocator.workloads:
                 raise _HttpError(404, "unknown_agent", f"no agent {request.agent!r}")

@@ -119,7 +119,8 @@ class CellWorker:
         self.port = 0
         self.client: Optional[ServeClient] = None
         #: Agents the coordinator has placed here (authoritative map).
-        self.agents: Dict[str, str] = {}  # agent -> benchmark name
+        # agent -> benchmark name (None for profile-free learners)
+        self.agents: Dict[str, Optional[str]] = {}
         #: The most recent capacity grant applied to this cell.
         self.grant: Dict[str, float] = {}
         #: Aggregate elasticities reported by the last grant round.
@@ -235,6 +236,8 @@ class ShardCoordinator(HttpServerBase):
         mechanism: str = "ref",
         python: Optional[str] = None,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        learn_demands: bool = False,
+        prior: str = "equal",
     ):
         super().__init__(
             host=host, port=port, metrics=metrics, idle_timeout=idle_timeout
@@ -268,6 +271,14 @@ class ShardCoordinator(HttpServerBase):
             raise ValueError("epoch_ms and grant_ms must be positive")
         self.decay = float(decay)
         self.seed = int(seed)
+        # Demand learning is forwarded to every worker; profile-free
+        # registers are then proxied to the owning cell.  Seed agents
+        # still need benchmarks (the worker spawn command names them).
+        self.learn_demands = bool(learn_demands)
+        self.prior = prior
+        #: ``workload_class`` hints from profile-free registers, kept so
+        #: a rehash re-registers the agent with the same prior class.
+        self.agent_classes: Dict[str, str] = {}
         self.python = python if python is not None else sys.executable
         self.cells: List[CellWorker] = [
             CellWorker(f"cell-{k}", []) for k in range(cells)
@@ -276,6 +287,12 @@ class ShardCoordinator(HttpServerBase):
         self._rebalances = 0
         self._last_feasible = False
         self._final_summary: Optional[str] = None
+        # Serializes grant rounds against merged allocation reads: a
+        # read that interleaves with an in-flight round would see some
+        # cells re-solved under this round's grant and others still on
+        # the previous one — a union that can transiently overshoot the
+        # global capacities even though every cell is feasible.
+        self._round_lock = asyncio.Lock()
 
     # ------------------------------------------------------------------
     # Placement
@@ -362,6 +379,8 @@ class ShardCoordinator(HttpServerBase):
                 "--seed",
                 str(self.seed + k),
             ]
+            if self.learn_demands:
+                cell.command += ["--learn-demands", "--prior", self.prior]
             spawns.append(loop.run_in_executor(None, cell.spawn))
         await asyncio.gather(*spawns)
         self.metrics.gauge(
@@ -454,6 +473,10 @@ class ShardCoordinator(HttpServerBase):
         aggregate re-scaled elasticity (count-proportional before the
         first aggregates arrive, matching the naive prior).
         """
+        async with self._round_lock:
+            await self._grant_round_locked()
+
+    async def _grant_round_locked(self) -> None:
         live = self.live_cells()
         if not live:
             return
@@ -556,9 +579,15 @@ class ShardCoordinator(HttpServerBase):
                     self.workloads.pop(agent, None)
                     continue
                 try:
+                    # A profile-free orphan (benchmark None) re-registers
+                    # profile-free on the survivor; its learned state died
+                    # with the cell, so learning restarts from the prior
+                    # (the class hint is preserved).
                     await self._call(
                         target,
-                        lambda client, a=agent, b=benchmark: client.register(a, b),
+                        lambda client, a=agent, b=benchmark: client.register(
+                            a, b, self.agent_classes.get(a)
+                        ),
                     )
                 except ServeError as error:
                     if error.error != "agent_exists":
@@ -596,7 +625,14 @@ class ShardCoordinator(HttpServerBase):
     async def _route_agents(self, body: bytes):
         request = AgentRequest.from_dict(parse_json(body.decode("utf-8", "replace")))
         if request.action == "register":
-            if request.workload not in BENCHMARKS:
+            if request.profile_free and not self.learn_demands:
+                raise _HttpError(
+                    400,
+                    "learning_disabled",
+                    "profile: null requires a coordinator started with "
+                    "--learn-demands",
+                )
+            if not request.profile_free and request.workload not in BENCHMARKS:
                 raise _HttpError(
                     400, "unknown_workload", f"no benchmark named {request.workload!r}"
                 )
@@ -608,12 +644,16 @@ class ShardCoordinator(HttpServerBase):
             try:
                 await self._call(
                     target,
-                    lambda client: client.register(request.agent, request.workload),
+                    lambda client: client.register(
+                        request.agent, request.workload, request.workload_class
+                    ),
                 )
             except ServeError as error:
                 raise _HttpError(error.status, error.error, error.detail) from None
             target.agents[request.agent] = request.workload
             self.workloads[request.agent] = request.workload
+            if request.workload_class is not None:
+                self.agent_classes[request.agent] = request.workload_class
         else:
 
             async def attempt(owner: CellWorker):
@@ -631,6 +671,7 @@ class ShardCoordinator(HttpServerBase):
             if owner is not None:
                 owner.agents.pop(request.agent, None)
             self.workloads.pop(request.agent, None)
+            self.agent_classes.pop(request.agent, None)
         self._invalidate_snapshots()  # membership changed
         response = AgentResponse(
             action=request.action,
@@ -745,12 +786,15 @@ class ShardCoordinator(HttpServerBase):
                 f"grant must cover exactly {sorted(names)}, "
                 f"got {sorted(request.capacities)}",
             )
-        self.capacities = tuple(request.capacities[name] for name in names)
-        # _grant_round invalidates the snapshots too, but it returns
-        # early during a total outage — the capacity change itself must
-        # still drop the cached reads.
-        self._invalidate_snapshots()
-        await self._grant_round()
+        # Swap the vector and re-grant under the round lock, so no
+        # merged read ever judges old grants against the new capacities.
+        async with self._round_lock:
+            self.capacities = tuple(request.capacities[name] for name in names)
+            # _grant_round invalidates the snapshots too, but it returns
+            # early during a total outage — the capacity change itself
+            # must still drop the cached reads.
+            self._invalidate_snapshots()
+            await self._grant_round_locked()
         aggregate = np.zeros(len(names))
         for cell in self.live_cells():
             if cell.aggregate is not None:
@@ -764,7 +808,15 @@ class ShardCoordinator(HttpServerBase):
         return 200, response.as_dict(), "application/json"
 
     async def _merged_allocation(self) -> AllocationResponse:
-        """Union of the live cells' allocations under the global capacities."""
+        """Union of the live cells' allocations under the global capacities.
+
+        Holds the round lock so the union is read against one
+        consistent set of grants, never halfway through a round.
+        """
+        async with self._round_lock:
+            return await self._merged_allocation_locked()
+
+    async def _merged_allocation_locked(self) -> AllocationResponse:
         live = self.live_cells()
         if not live:
             raise _HttpError(503, "no_cells", "no live cell workers")

@@ -409,3 +409,66 @@ class TestCapacityGrants:
         assert response.startswith(b"HTTP/1.1 400 ")
         assert b"finite and positive" in response
         assert client.health().status == "ok"
+
+
+@pytest.fixture()
+def learning_service():
+    """A live server in demand-learning mode on an ephemeral port."""
+    registry = MetricsRegistry()
+    allocator = DynamicAllocator(
+        {"freqmine": get_workload("freqmine"), "dedup": get_workload("dedup")},
+        capacities=(25.6, 4096.0),
+        seed=11,
+        metrics=registry,
+        learn_demands=True,
+        prior="centroid",
+    )
+    server = AllocationServer(
+        allocator,
+        policy=BatchPolicy(max_delay=0.02, max_batch=8),
+        metrics=registry,
+    )
+    thread = ServerThread(server).start()
+    client = ServeClient("127.0.0.1", server.port)
+    client.wait_ready(timeout=10)
+    yield server, client, registry
+    thread.stop()
+
+
+class TestProfileFreeServing:
+    def test_profile_free_register_rejected_without_learning(self, service):
+        _, client, _ = service
+        with pytest.raises(ServeError) as excinfo:
+            client.register("mystery", None)
+        assert excinfo.value.status == 400
+        assert excinfo.value.error == "learning_disabled"
+
+    def test_profile_free_agent_served_end_to_end(self, learning_service):
+        _, client, _ = learning_service
+        response = client.register("mystery", None, workload_class="M")
+        assert "mystery" in response.agents
+        # The agent gets a feasible bundle from its prior immediately.
+        sample = client.submit_sample("mystery", 3.0, 512.0, 1.2, exploration=True)
+        assert sample.queued
+        client.wait_for_epoch(sample.epoch, timeout=10)
+        allocation = client.allocation()
+        assert allocation.feasible
+        bundle = allocation.bundle("mystery")
+        assert bundle["membw_gbps"] > 0
+        assert bundle["cache_kb"] > 0
+
+    def test_learning_metrics_exported(self, learning_service):
+        _, client, _ = learning_service
+        client.register("mystery", None)
+        sample = client.submit_sample("mystery", 3.0, 512.0, 1.2)
+        client.wait_for_epoch(sample.epoch, timeout=10)
+        text = client.metrics_text()
+        samples = parse_prometheus_text(text)
+        names = {s["name"] for s in samples}
+        assert "repro_learning_agents" in names
+
+    def test_deregister_profile_free_agent(self, learning_service):
+        _, client, _ = learning_service
+        client.register("mystery", None)
+        response = client.deregister("mystery")
+        assert "mystery" not in response.agents

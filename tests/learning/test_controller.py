@@ -1,0 +1,245 @@
+"""DemandLearner: blended reports, perturbation, caps, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.learning import DemandLearner, LearnerConfig
+from repro.obs import MetricsRegistry
+from repro.profiling.online import OnlineProfiler
+
+FLOORS = (0.4, 64.0)
+CAPACITIES = (25.6, 8192.0)
+
+
+def feed(profiler, alpha, n, seed=0):
+    rng = np.random.default_rng(seed)
+    from repro.core.utility import CobbDouglasUtility
+
+    utility = CobbDouglasUtility(alpha)
+    for _ in range(n):
+        allocation = rng.uniform(0.5, 20.0, size=2)
+        profiler.observe(allocation, utility.value(allocation))
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        LearnerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"epsilon0": 0.2, "epsilon_min": 0.5}, "epsilon_min"),
+            ({"epsilon_decay": 0.0}, "epsilon_decay"),
+            ({"perturb_width": 1.5}, "perturb_width"),
+            ({"confidence_samples": 0}, "confidence_samples"),
+            ({"convergence_tol": 0.0}, "convergence_tol/window"),
+            ({"rearm_drift": 0.01}, "rearm_drift"),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            LearnerConfig(**kwargs)
+
+
+class TestReports:
+    def test_unfitted_agent_reports_its_prior(self):
+        learner = DemandLearner()
+        learner.register("a")
+        profiler = OnlineProfiler()
+        assert learner.confidence("a", profiler) == 0.0
+        assert learner.report("a", profiler) == pytest.approx([0.5, 0.5])
+
+    def test_confidence_ramps_with_samples(self):
+        learner = DemandLearner(config=LearnerConfig(confidence_samples=10))
+        learner.register("a")
+        profiler = OnlineProfiler()
+        feed(profiler, (0.8, 0.2), 5)
+        assert learner.confidence("a", profiler) == pytest.approx(0.5)
+        feed(profiler, (0.8, 0.2), 10, seed=1)
+        assert learner.confidence("a", profiler) == 1.0
+
+    def test_blend_moves_from_prior_to_fit(self):
+        learner = DemandLearner(config=LearnerConfig(confidence_samples=10))
+        learner.register("a")
+        profiler = OnlineProfiler()
+        feed(profiler, (0.9, 0.1), 5)
+        half = learner.report("a", profiler)
+        fitted = profiler.report_elasticities()
+        expected = 0.5 * np.array([0.5, 0.5]) + 0.5 * fitted
+        assert half == pytest.approx(expected / expected.sum())
+        feed(profiler, (0.9, 0.1), 10, seed=1)
+        assert learner.report("a", profiler) == pytest.approx(fitted, rel=1e-6)
+
+    def test_report_always_a_valid_rescaled_vector(self):
+        learner = DemandLearner()
+        learner.register("a")
+        profiler = OnlineProfiler()
+        feed(profiler, (0.7, 0.3), 30)
+        report = learner.report("a", profiler)
+        assert report.sum() == pytest.approx(1.0)
+        assert np.all(report > 0)
+
+    def test_unregistered_agent_passes_through(self):
+        learner = DemandLearner()
+        profiler = OnlineProfiler()
+        feed(profiler, (0.7, 0.3), 30)
+        assert learner.report("profiled", profiler) == pytest.approx(
+            profiler.report_elasticities()
+        )
+
+    def test_register_is_idempotent(self):
+        learner = DemandLearner()
+        learner.register("a", cls="C")
+        state = learner.state("a")
+        learner.register("a", cls="M")
+        assert learner.state("a") is state
+        assert state.cls == "C"
+
+    def test_forget_drops_state(self):
+        learner = DemandLearner()
+        learner.register("a")
+        learner.forget("a")
+        assert learner.state("a") is None
+        learner.forget("a")  # no-op
+
+
+class TestPriorFeedback:
+    def test_confident_fit_feeds_the_store_once(self):
+        learner = DemandLearner(prior="centroid")
+        learner.register("a", cls="C")
+        profiler = OnlineProfiler()
+        feed(profiler, (0.8, 0.2), 20)
+        learner.note_fit("a", profiler)
+        learner.note_fit("a", profiler)
+        assert learner.priors.observations("C") == 1
+        # The next C agent starts from the learned centroid, not equal.
+        learner.register("b", cls="C")
+        assert learner.state("b").prior == pytest.approx([0.8, 0.2], rel=1e-5)
+
+    def test_unconfident_fit_does_not_feed(self):
+        learner = DemandLearner(prior="centroid")
+        learner.register("a", cls="C")
+        profiler = OnlineProfiler()
+        feed(profiler, (0.8, 0.2), 5)
+        learner.note_fit("a", profiler)
+        assert learner.priors.observations("C") == 0
+
+
+class TestPerturb:
+    def _learner(self, epsilon=1.0):
+        config = LearnerConfig(epsilon0=epsilon, epsilon_min=epsilon)
+        return DemandLearner(config=config, seed=7)
+
+    def test_perturbation_preserves_column_sums_and_floors(self):
+        learner = self._learner(epsilon=1.0)
+        names = ("a", "b", "c")
+        for name in names:
+            learner.register(name)
+        shares = np.array([[10.0, 4000.0], [8.0, 2000.0], [7.6, 2192.0]])
+        out, explored = learner.perturb(shares, names, FLOORS)
+        assert set(explored) == set(names)
+        assert not np.allclose(out, shares)
+        assert out.sum(axis=0) == pytest.approx(shares.sum(axis=0), rel=1e-9)
+        assert np.all(out >= np.asarray(FLOORS) - 1e-12)
+
+    def test_epsilon_zero_never_perturbs(self):
+        learner = self._learner(epsilon=0.0)
+        learner.register("a")
+        shares = np.array([[10.0, 4000.0]])
+        out, explored = learner.perturb(shares, ("a",), FLOORS)
+        assert explored == ()
+        assert np.array_equal(out, shares)
+
+    def test_non_learning_agents_untouched(self):
+        learner = self._learner(epsilon=1.0)
+        learner.register("learned")
+        shares = np.array([[10.0, 4000.0], [8.0, 2000.0]])
+        out, explored = learner.perturb(shares, ("learned", "profiled"), FLOORS)
+        assert explored == ("learned",)
+        # Column renormalization may move the profiled agent slightly,
+        # but the perturbation factor only ever applies to the learner.
+        assert out.sum(axis=0) == pytest.approx(shares.sum(axis=0), rel=1e-9)
+
+    def test_exploration_fraction_gauge(self):
+        registry = MetricsRegistry()
+        learner = DemandLearner(
+            config=LearnerConfig(epsilon0=1.0, epsilon_min=1.0),
+            metrics=registry,
+            seed=3,
+        )
+        learner.register("a")
+        learner.perturb(np.array([[10.0, 4000.0]]), ("a",), FLOORS)
+        gauge = registry.gauge("repro_learning_exploration_fraction")
+        assert gauge.value == 1.0
+
+
+class TestCaps:
+    def test_caps_require_confidence(self):
+        learner = DemandLearner()
+        learner.register("a")
+        profiler = OnlineProfiler()
+        caps = learner.caps_for(("a",), {"a": profiler}, FLOORS)
+        assert np.all(np.isinf(caps))
+
+    def test_apply_caps_counts_events(self):
+        registry = MetricsRegistry()
+        learner = DemandLearner(metrics=registry)
+        learner.register("a")
+        profiler = OnlineProfiler()
+        # A response flat in resource 1: performance tracks resource 0.
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            allocation = rng.uniform((1.0, 200.0), (10.0, 3000.0))
+            profiler.observe(allocation, float(allocation[0] ** 0.9))
+        shares = np.array([[12.0, 4096.0], [13.6, 4096.0]])
+        out, capped = learner.apply_caps(
+            shares, ("a", "b"), {"a": profiler}, FLOORS, CAPACITIES
+        )
+        assert capped >= 1
+        assert out[0, 1] < shares[0, 1]  # the saturated entry shrank
+        assert out.sum(axis=0)[1] == pytest.approx(shares.sum(axis=0)[1])
+        counter = registry.counter("repro_learning_cap_events_total")
+        assert counter.value == capped
+
+
+class TestConvergence:
+    def _converged_learner(self):
+        config = LearnerConfig(
+            epsilon0=0.0,
+            epsilon_min=0.0,
+            confidence_samples=10,
+            convergence_window=3,
+        )
+        learner = DemandLearner(config=config)
+        learner.register("a")
+        profiler = OnlineProfiler()
+        feed(profiler, (0.8, 0.2), 20)
+        return learner, profiler
+
+    def test_stable_reports_converge(self):
+        learner, profiler = self._converged_learner()
+        converged = []
+        for epoch in range(6):
+            converged += learner.note_epoch(epoch, ("a",), {"a": profiler})
+        assert converged == ["a"]
+        assert learner.state("a").converged_epoch is not None
+
+    def test_drift_rearms_exploration(self):
+        learner, profiler = self._converged_learner()
+        for epoch in range(6):
+            learner.note_epoch(epoch, ("a",), {"a": profiler})
+        assert learner.state("a").converged_epoch is not None
+        # A phase change: the report jumps far beyond rearm_drift.
+        feed(profiler, (0.05, 0.95), 40, seed=9)
+        learner.note_epoch(6, ("a",), {"a": profiler})
+        assert learner.state("a").converged_epoch is None
+        assert learner.state("a").epsilon == learner.config.epsilon0
+
+    def test_epsilon_decays_to_floor(self):
+        config = LearnerConfig(epsilon0=0.9, epsilon_min=0.1, epsilon_decay=0.5)
+        learner = DemandLearner(config=config)
+        learner.register("a")
+        profiler = OnlineProfiler()
+        for epoch in range(10):
+            learner.note_epoch(epoch, ("a",), {"a": profiler})
+        assert learner.state("a").epsilon == pytest.approx(0.1)

@@ -1,0 +1,78 @@
+"""PriorStore: equal vs class-centroid priors for profile-free agents."""
+
+import numpy as np
+import pytest
+
+from repro.learning import PRIOR_NAMES, PriorStore
+
+
+class TestPolicy:
+    def test_names_are_static_strings(self):
+        assert PRIOR_NAMES == ("equal", "centroid")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown prior policy"):
+            PriorStore(policy="oracle")
+
+    def test_bad_dimensionality_rejected(self):
+        with pytest.raises(ValueError, match="n_resources"):
+            PriorStore(n_resources=0)
+
+
+class TestEqual:
+    def test_equal_prior_sums_to_one(self):
+        store = PriorStore(policy="equal", n_resources=3)
+        assert store.prior_for("C") == pytest.approx([1 / 3] * 3)
+
+    def test_equal_policy_ignores_observations(self):
+        store = PriorStore(policy="equal")
+        store.update((0.9, 0.1), cls="C")
+        assert store.prior_for("C") == pytest.approx([0.5, 0.5])
+
+
+class TestCentroid:
+    def test_class_centroid_preferred(self):
+        store = PriorStore(policy="centroid")
+        store.update((0.8, 0.2), cls="C")
+        store.update((0.6, 0.4), cls="C")
+        store.update((0.1, 0.9), cls="M")
+        assert store.prior_for("C") == pytest.approx([0.7, 0.3])
+        assert store.prior_for("M") == pytest.approx([0.1, 0.9])
+
+    def test_unknown_class_falls_back_to_global(self):
+        store = PriorStore(policy="centroid")
+        store.update((0.8, 0.2), cls="C")
+        # "M" has no centroid yet; the global one (only C's fit) serves.
+        assert store.prior_for("M") == pytest.approx([0.8, 0.2])
+        assert store.prior_for(None) == pytest.approx([0.8, 0.2])
+
+    def test_empty_store_falls_back_to_equal(self):
+        store = PriorStore(policy="centroid")
+        assert store.prior_for("C") == pytest.approx([0.5, 0.5])
+
+    def test_prior_is_normalized(self):
+        store = PriorStore(policy="centroid")
+        store.update((0.6, 0.4))
+        prior = store.prior_for(None)
+        assert prior.sum() == pytest.approx(1.0)
+        assert np.all(prior > 0)
+
+    def test_degenerate_fits_ignored(self):
+        store = PriorStore(policy="centroid")
+        store.update((np.nan, 0.5), cls="C")
+        store.update((0.0, 1.0), cls="C")
+        store.update((-0.2, 1.2), cls="C")
+        assert store.observations("C") == 0
+        assert store.prior_for("C") == pytest.approx([0.5, 0.5])
+
+    def test_wrong_shape_raises(self):
+        store = PriorStore(policy="centroid")
+        with pytest.raises(ValueError, match="expected shape"):
+            store.update((0.3, 0.3, 0.4))
+
+    def test_observation_counts(self):
+        store = PriorStore(policy="centroid")
+        store.update((0.5, 0.5), cls="C")
+        store.update((0.5, 0.5))
+        assert store.observations("C") == 1
+        assert store.observations() == 2

@@ -270,3 +270,65 @@ class TestMetricsMirror:
         profiler = OnlineProfiler(n_resources=2)
         profiler.observe((1.0, 1.0), -5.0)
         assert profiler.counters["rejected_non_positive"] == 1  # no crash, no registry
+
+
+class TestExplorationBypass:
+    """Exploration-tagged samples skip the fit-relative outlier gate.
+
+    Regression: a demand-learning controller deliberately measures at
+    perturbed operating points; a phase-changed agent's exploration
+    stream used to be rejected wholesale before the consecutive-run
+    escape could fire, so the learner never saw its own evidence.
+    """
+
+    def test_exploration_sample_bypasses_the_gate(self):
+        profiler = OnlineProfiler(outlier_log_threshold=2.0)
+        feed_synthetic(profiler, (0.6, 0.4), 20)
+        before = profiler.n_samples
+        profiler.observe((2.0, 2.0), 1e6, exploration=True)
+        assert profiler.n_samples == before + 1
+        assert profiler.counters["rejected_outliers"] == 0
+
+    def test_plain_sample_still_gated(self):
+        profiler = OnlineProfiler(outlier_log_threshold=2.0)
+        feed_synthetic(profiler, (0.6, 0.4), 20)
+        before = profiler.n_samples
+        profiler.observe((2.0, 2.0), 1e6)
+        assert profiler.n_samples == before
+        assert profiler.counters["rejected_outliers"] == 1
+
+    def test_phase_change_learned_through_exploration_stream(self):
+        # With a tight gate and a long outlier run budget, a 100x IPC
+        # regime change arriving purely as exploration samples must be
+        # absorbed sample by sample, not rejected until the escape.
+        profiler = OnlineProfiler(
+            outlier_log_threshold=1.0, max_consecutive_outliers=1000, decay=0.7
+        )
+        feed_synthetic(profiler, (0.6, 0.4), 20)
+        utility = CobbDouglasUtility((0.6, 0.4), scale=100.0)
+        rng = np.random.default_rng(9)
+        for _ in range(30):
+            allocation = rng.uniform(0.5, 20.0, size=2)
+            profiler.observe(allocation, utility.value(allocation), exploration=True)
+        assert profiler.counters["rejected_outliers"] == 0
+        assert profiler.last_fit.utility.scale == pytest.approx(100.0, rel=0.3)
+
+    def test_exploration_does_not_bypass_validity_checks(self):
+        # The tag skips only the *fit-relative* gate; garbage stays out.
+        profiler = OnlineProfiler()
+        profiler.observe((1.0, 2.0), -1.0, exploration=True)
+        assert profiler.n_samples == 0
+        assert profiler.counters["rejected_non_positive"] == 1
+
+
+class TestSamplesAccessor:
+    def test_empty_history_is_none(self):
+        assert OnlineProfiler().samples() is None
+
+    def test_samples_returns_accepted_history(self):
+        profiler = OnlineProfiler()
+        feed_synthetic(profiler, (0.6, 0.4), 7)
+        allocations, performance = profiler.samples()
+        assert allocations.shape == (7, 2)
+        assert performance.shape == (7,)
+        assert np.all(performance > 0)

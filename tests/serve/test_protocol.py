@@ -247,3 +247,111 @@ class TestBulkSamples:
         body["accepted"] = True
         with pytest.raises(ProtocolError, match="accepted"):
             BulkSampleResponse.from_dict(body)
+
+
+class TestProfileFreeRegister:
+    """The `"profile": null` register variant (demand learning)."""
+
+    def test_round_trip(self):
+        request = AgentRequest(action="register", agent="web", profile_free=True)
+        data = request.as_dict()
+        assert data["profile"] is None
+        assert "workload" not in data
+        assert AgentRequest.from_dict(data) == request
+
+    def test_round_trip_with_class_hint(self):
+        request = AgentRequest(
+            action="register", agent="web", profile_free=True, workload_class="M"
+        )
+        data = request.as_dict()
+        assert data["workload_class"] == "M"
+        assert AgentRequest.from_dict(data) == request
+
+    def test_non_null_profile_rejected(self):
+        with pytest.raises(ProtocolError, match="profile"):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "register",
+                    "agent": "web",
+                    "profile": {"alpha": [0.5, 0.5]},
+                }
+            )
+
+    def test_profile_and_workload_are_exclusive(self):
+        with pytest.raises(ProtocolError):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "register",
+                    "agent": "web",
+                    "workload": "canneal",
+                    "profile": None,
+                }
+            )
+
+    def test_class_hint_requires_profile_free(self):
+        with pytest.raises(ProtocolError, match="workload_class"):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "register",
+                    "agent": "web",
+                    "workload": "canneal",
+                    "workload_class": "M",
+                }
+            )
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ProtocolError, match="workload_class"):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "register",
+                    "agent": "web",
+                    "profile": None,
+                    "workload_class": "X",
+                }
+            )
+
+    def test_deregister_forbids_profile(self):
+        with pytest.raises(ProtocolError):
+            AgentRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "action": "deregister",
+                    "agent": "web",
+                    "profile": None,
+                }
+            )
+
+
+class TestExplorationFlag:
+    """The optional `exploration` marker on samples."""
+
+    def test_default_false_and_not_serialized(self):
+        request = SampleRequest(agent="web", bandwidth_gbps=3.2, cache_kb=512.0, ipc=1.4)
+        assert request.exploration is False
+        assert "exploration" not in request.as_dict()
+
+    def test_true_round_trip(self):
+        request = SampleRequest(
+            agent="web", bandwidth_gbps=3.2, cache_kb=512.0, ipc=1.4, exploration=True
+        )
+        data = request.as_dict()
+        assert data["exploration"] is True
+        assert SampleRequest.from_dict(data) == request
+
+    @pytest.mark.parametrize("value", [1, "true", None])
+    def test_non_boolean_rejected(self, value):
+        with pytest.raises(ProtocolError, match="exploration"):
+            SampleRequest.from_dict(
+                {
+                    "version": PROTOCOL_VERSION,
+                    "agent": "web",
+                    "bandwidth_gbps": 3.2,
+                    "cache_kb": 512.0,
+                    "ipc": 1.4,
+                    "exploration": value,
+                }
+            )

@@ -542,3 +542,43 @@ class TestMechanismFlag:
         out = capsys.readouterr().out
         assert code == 0
         assert json.loads(out)["feasible"] is True
+
+
+class TestLearningFlags:
+    def test_dynamic_and_serve_accept_learning_flags(self):
+        for command in ("dynamic", "serve"):
+            args = build_parser().parse_args(
+                [command, "--learn-demands", "--prior", "centroid"]
+            )
+            assert args.learn_demands is True
+            assert args.prior == "centroid"
+
+    def test_learning_defaults_off(self):
+        for command in ("dynamic", "serve"):
+            args = build_parser().parse_args([command])
+            assert args.learn_demands is False
+            assert args.prior == "equal"
+
+    def test_unknown_prior_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "--prior", "oracle"])
+
+    def test_static_prior_names_match_learning_package(self):
+        from repro.cli import CLI_PRIOR_NAMES
+        from repro.learning import PRIOR_NAMES
+
+        assert CLI_PRIOR_NAMES == PRIOR_NAMES
+
+    def test_dynamic_learning_run_summary(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "dynamic",
+            "--epochs", "5",
+            "--learn-demands",
+            "--prior", "centroid",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["feasible"] is True
+        assert payload["learn_demands"] is True

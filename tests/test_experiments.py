@@ -27,7 +27,7 @@ class TestRegistry:
         expected = {
             "fig1-7", "fig8a", "fig8b", "fig8c", "fig9",
             "fig10-12", "fig13", "fig14", "table1", "table2",
-            "spl", "cost",
+            "spl", "cost", "regret",
         }
         assert expected <= set(EXPERIMENTS)
 
@@ -114,3 +114,25 @@ class TestBatch:
             assert results["fig8a"].text
         finally:
             warm.close()
+
+
+class TestRegret:
+    def test_fast_run_invariants(self):
+        from repro.experiments.regret import run_regret
+
+        report = run_regret(epochs=40, window=10, churn=False, seed=1)
+        assert len(report.per_epoch) == 40
+        assert all(gap >= -1e-9 for gap in report.per_epoch)
+        assert report.cumulative_regret == pytest.approx(sum(report.per_epoch))
+        assert report.cumulative[-1] == pytest.approx(report.cumulative_regret)
+        assert set(report.per_agent_final) == set(report.agents)
+        payload = report.as_dict()
+        assert payload["epochs"] == 40
+        assert len(payload["per_epoch"]) == 40
+        assert payload["cumulative_regret"] == pytest.approx(report.cumulative_regret)
+
+    def test_epochs_must_cover_two_windows(self):
+        from repro.experiments.regret import run_regret
+
+        with pytest.raises(ValueError, match="epochs"):
+            run_regret(epochs=10, window=10)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.dynamic",
     "repro.obs",
     "repro.serve",
+    "repro.learning",
 ]
 
 
